@@ -1,0 +1,36 @@
+//! # smartpick-baselines
+//!
+//! The comparison systems of the Smartpick paper's evaluation, implemented
+//! from their published descriptions:
+//!
+//! * [`policies`] — provisioning policies compared in Figures 5–7:
+//!   VM-only, SL-only, Smartpick (plain and relay), **SplitServe** (equal
+//!   SL/VM counts + static segue timeout, Jain et al., Middleware '20) and
+//!   **Cocoa** (static-parameter, SL-favouring; Oh & Song, IC2E '21).
+//!   Cocoa and SplitServe consume Smartpick's workload-prediction module
+//!   as an external service, exactly as §6.3.2 wires them up.
+//! * [`cherrypick`] — **CherryPick** (Alipourfard et al., NSDI '17):
+//!   Bayesian optimisation where every probe is a *live run* — low search
+//!   complexity, high probing cost (§3.2).
+//! * [`optimuscloud`] — **OptimusCloud** (Mahgoub et al., ATC '20):
+//!   Random-Forest prediction with an *exhaustive* configuration sweep —
+//!   no probing cost, high search complexity (§3.2).
+//! * [`libra`] — **LIBRA** (Raza et al., IC2E '21): the cost-indifference
+//!   point between serverless and VM capacity (§7's related work).
+//! * [`pcr`] — the performance–cost ratio `PCr = (1/Time)/(1 + cost)` of
+//!   Equation 3, used to compare the three search strategies (Figure 2).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cherrypick;
+pub mod libra;
+pub mod optimuscloud;
+pub mod pcr;
+pub mod policies;
+
+pub use cherrypick::CherryPick;
+pub use libra::Libra;
+pub use optimuscloud::OptimusCloud;
+pub use pcr::{performance_cost_ratio, DecisionMeasurement};
+pub use policies::{policy_by_name, ProvisioningPolicy};

@@ -1,0 +1,103 @@
+//! LIBRA-style provisioning (Raza et al., IC2E '21): split capacity at the
+//! **cost-indifference point** between serverless and VM resources.
+//!
+//! LIBRA serves the sustained part of a workload with VMs (cheaper per
+//! unit time once booted) and the transient part with serverless (no
+//! boot, higher unit price). For a finite query, the natural reading is:
+//! capacity needed only during the VM cold-boot window goes serverless;
+//! steady capacity goes to VMs. The paper notes (§7) that LIBRA's actual
+//! costs drift with the accuracy of the estimated completion time — which
+//! is exactly where Smartpick's predictor helps.
+
+use smartpick_cloudsim::boot::PLANNING_VM_BOOT_SECS;
+use smartpick_core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
+use smartpick_core::{SmartpickError, WorkloadPredictor};
+use smartpick_engine::{Allocation, QueryProfile};
+
+use crate::policies::ProvisioningPolicy;
+
+/// The LIBRA baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Libra {
+    /// VM cold-boot seconds assumed for the indifference computation.
+    pub boot_secs: f64,
+}
+
+impl Default for Libra {
+    fn default() -> Self {
+        Libra {
+            boot_secs: PLANNING_VM_BOOT_SECS,
+        }
+    }
+}
+
+impl ProvisioningPolicy for Libra {
+    fn name(&self) -> &'static str {
+        "LIBRA"
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        // Capacity estimate from the external WP's best hybrid search.
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::Hybrid,
+            seed,
+        })?;
+        let total = det.allocation.total_instances().max(1);
+        let est_secs = det.predicted_seconds.max(1.0);
+        // The boot window's share of the query is transient → serverless.
+        let transient_frac = (self.boot_secs / est_secs).clamp(0.0, 1.0);
+        let n_sl = ((total as f64) * transient_frac).round() as u32;
+        let n_vm = total - n_sl.min(total);
+        Ok(Allocation::new(n_vm.max(1), n_sl))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::{CloudEnv, Provider};
+    use smartpick_core::training::{train_predictor, TrainOptions};
+    use smartpick_ml::forest::ForestParams;
+    use smartpick_workloads::tpcds;
+
+    fn predictor() -> WorkloadPredictor {
+        let env = CloudEnv::new(Provider::Aws);
+        let queries: Vec<_> = [82u32, 74]
+            .iter()
+            .map(|&q| tpcds::query(q, 100.0).unwrap())
+            .collect();
+        let opts = TrainOptions {
+            configs_per_query: 6,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+            max_vm: 6,
+            max_sl: 6,
+            ..TrainOptions::default()
+        };
+        train_predictor(&env, &queries, &opts, 31).unwrap().0
+    }
+
+    #[test]
+    fn longer_queries_get_proportionally_fewer_sls() {
+        let wp = predictor();
+        let libra = Libra::default();
+        let short = libra.decide(&wp, &tpcds::query(82, 100.0).unwrap(), 1).unwrap();
+        let long = libra.decide(&wp, &tpcds::query(74, 100.0).unwrap(), 1).unwrap();
+        let frac = |a: &Allocation| a.n_sl as f64 / a.total_instances() as f64;
+        assert!(
+            frac(&long) <= frac(&short) + 1e-9,
+            "short {short} vs long {long}"
+        );
+        assert!(long.n_vm >= 1);
+    }
+}

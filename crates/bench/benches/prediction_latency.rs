@@ -1,0 +1,60 @@
+//! Decision-latency benchmarks for the workload-prediction service.
+//!
+//! The paper reports WP determining configurations "within 1.5 seconds for
+//! a known query and less than 2.5 seconds for an unknown (alien) query"
+//! on its Python/Thrift stack (§4.1). The Rust reproduction is orders of
+//! magnitude faster; the *shape* to preserve is known ≤ alien (aliens add
+//! SQL parsing plus the similarity search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smartpick_bench::Lab;
+use smartpick_cloudsim::Provider;
+use smartpick_core::wp::{PredictionRequest, WorkloadPredictionService};
+use smartpick_workloads::tpcds;
+
+fn bench_determinations(c: &mut Criterion) {
+    let lab = Lab::quick(Provider::Aws, 42).expect("training succeeds");
+    let known = tpcds::query(11, 100.0).expect("catalog query");
+    let alien = tpcds::query(4, 100.0).expect("catalog query");
+
+    let mut group = c.benchmark_group("wp_determination");
+    group.bench_function("known_query", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let det = lab
+                .smartpick
+                .determine(&PredictionRequest::new(known.clone(), seed))
+                .expect("determination succeeds");
+            black_box(det.allocation)
+        })
+    });
+    group.bench_function("alien_query", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let det = lab
+                .smartpick
+                .determine(&PredictionRequest::new(alien.clone(), seed))
+                .expect("determination succeeds");
+            black_box(det.allocation)
+        })
+    });
+    group.finish();
+}
+
+fn bench_similarity_checker(c: &mut Criterion) {
+    let mut sc = smartpick_core::SimilarityChecker::new();
+    for q in tpcds::TRAINING_QUERIES {
+        sc.register(&tpcds::query(q, 100.0).expect("catalog query"));
+    }
+    let alien = tpcds::query(62, 100.0).expect("catalog query");
+    c.bench_function("similarity_checker_closest", |b| {
+        b.iter(|| black_box(sc.closest(&alien)))
+    });
+}
+
+criterion_group!(benches, bench_determinations, bench_similarity_checker);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Search-strategy latency: the wall-clock side of Figure 2.
+//!
+//! RF-only (exhaustive sweep) pays per-candidate inference over the whole
+//! hybrid grid; RF + BO probes a few dozen candidates. The grid here is
+//! 61×61 (§3.2's "huge search space" point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use smartpick_baselines::optimuscloud::OptimusCloud;
+use smartpick_bench::Lab;
+use smartpick_cloudsim::Provider;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{PredictionRequest, WorkloadPredictionService};
+use smartpick_workloads::tpcds;
+
+fn bench_strategies(c: &mut Criterion) {
+    let opts = TrainOptions {
+        configs_per_query: 8,
+        burst_factor: 4,
+        max_vm: 60,
+        max_sl: 60,
+        ..TrainOptions::default()
+    };
+    let lab = Lab::with_options(Provider::Aws, 42, &opts).expect("training succeeds");
+    let query = tpcds::query(68, 100.0).expect("catalog query");
+
+    let mut group = c.benchmark_group("search_strategies");
+    group.bench_function(BenchmarkId::new("rf_exhaustive", "61x61"), |b| {
+        let oc = OptimusCloud {
+            max_vm: 60,
+            max_sl: 60,
+            ..OptimusCloud::default()
+        };
+        b.iter(|| black_box(oc.search(&lab.smartpick, &query).expect("sweep succeeds")))
+    });
+    group.bench_function(BenchmarkId::new("rf_plus_bo", "61x61"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                lab.smartpick
+                    .determine(&PredictionRequest::new(query.clone(), seed))
+                    .expect("determination succeeds"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Execution-engine throughput and the relay-policy ablation: wall time of
+//! simulating one query under the three serverless-retirement policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use smartpick_cloudsim::{CloudEnv, Provider, SimDuration};
+use smartpick_engine::{simulate_query, Allocation, RelayPolicy};
+use smartpick_workloads::tpcds;
+
+fn bench_simulation(c: &mut Criterion) {
+    let env = CloudEnv::new(Provider::Aws);
+    let mut group = c.benchmark_group("simulate_query");
+    for qnum in [82u32, 11] {
+        let query = tpcds::query(qnum, 100.0).expect("catalog query");
+        group.bench_with_input(BenchmarkId::new("hybrid", qnum), &query, |b, q| {
+            let alloc = Allocation::new(5, 5);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(simulate_query(q, &alloc, &env, seed).expect("run succeeds"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_relay_ablation(c: &mut Criterion) {
+    let env = CloudEnv::new(Provider::Aws);
+    let query = tpcds::query(74, 100.0).expect("catalog query");
+    let mut group = c.benchmark_group("relay_policy_ablation");
+    for (name, relay) in [
+        ("none", RelayPolicy::None),
+        ("relay", RelayPolicy::Relay),
+        (
+            "segue90",
+            RelayPolicy::Segue {
+                timeout: SimDuration::from_secs_f64(90.0),
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let alloc = Allocation::new(5, 5).with_relay(relay);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(simulate_query(&query, &alloc, &env, seed).expect("run succeeds"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_relay_ablation);
+criterion_main!(benches);

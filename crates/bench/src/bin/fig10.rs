@@ -1,0 +1,61 @@
+//! Figure 10: handling a brand-new workload — Word Count — through
+//! event-driven retraining. `errorDifference.trigger` is set to 10 s as in
+//! §6.5.2: the first executions mispredict (the Similarity Checker can
+//! only offer a TPC-DS counterpart), the monitor fires a background
+//! retrain, and predictions converge to the actual times.
+//!
+//! Run with `--release`.
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_workloads::wordcount;
+
+const EXECUTIONS: usize = 8;
+
+fn main() {
+    for provider in Provider::ALL {
+        let mut props = SmartpickProperties::default();
+        props.provider = provider;
+        props.error_difference_trigger_secs = 10.0;
+        let env = CloudEnv::new(provider);
+        let mut system = Smartpick::train(
+            env,
+            props,
+            &smartpick_bench::training_queries(100.0),
+            42,
+        )
+        .expect("training succeeds");
+
+        println!(
+            "Figure 10 ({}). Word Count as a new workload (trigger = 10 s)",
+            provider.name()
+        );
+        smartpick_bench::rule(78);
+        println!(
+            "{:<6} {:>12} {:>10} {:>10} {:>11} {:>12}",
+            "run", "predicted", "actual", "error", "retrained", "cost"
+        );
+        smartpick_bench::rule(78);
+        let wc = wordcount::query(100.0);
+        for run in 1..=EXECUTIONS {
+            let outcome = system.submit(&wc).expect("submission succeeds");
+            println!(
+                "{:<6} {:>11.1}s {:>9.1}s {:>9.1}s {:>11} {:>12}",
+                run,
+                outcome.determination.predicted_seconds,
+                outcome.report.seconds(),
+                outcome.prediction_error(),
+                outcome
+                    .retrain
+                    .as_ref()
+                    .map(|r| format!("yes ({:?})", r.location))
+                    .unwrap_or_else(|| "no".into()),
+                smartpick_bench::cents(outcome.report.total_cost().dollars()),
+            );
+        }
+        smartpick_bench::rule(78);
+        println!();
+    }
+    println!("paper shape: large initial error, then quick convergence after retraining");
+}

@@ -1,0 +1,66 @@
+//! Figure 11: handling data growth — TPC-H query 3 arrives as an alien
+//! workload, runs five times at 100 GB, then the database grows to 500 GB
+//! (§6.5.2). The prediction error spikes at the size change (larger on
+//! GCP) and converges again after retraining.
+//!
+//! Run with `--release`.
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_workloads::tpch;
+
+const RUNS_SMALL: usize = 5;
+const RUNS_LARGE: usize = 5;
+
+fn main() {
+    for provider in Provider::ALL {
+        let mut props = SmartpickProperties::default();
+        props.provider = provider;
+        props.error_difference_trigger_secs = 10.0;
+        let env = CloudEnv::new(provider);
+        let mut system = Smartpick::train(
+            env,
+            props,
+            &smartpick_bench::training_queries(100.0),
+            42,
+        )
+        .expect("training succeeds");
+
+        println!(
+            "Figure 11 ({}). TPC-H q3 with data growth 100 GB -> 500 GB (trigger = 10 s)",
+            provider.name()
+        );
+        smartpick_bench::rule(84);
+        println!(
+            "{:<6} {:>8} {:>12} {:>10} {:>10} {:>11}",
+            "run", "data", "predicted", "actual", "error", "retrained"
+        );
+        smartpick_bench::rule(84);
+        let small = tpch::query(3, 100.0).expect("catalog query");
+        let large = tpch::query(3, 500.0).expect("catalog query");
+        for run in 1..=(RUNS_SMALL + RUNS_LARGE) {
+            let (query, size) = if run <= RUNS_SMALL {
+                (&small, "100GB")
+            } else {
+                (&large, "500GB")
+            };
+            let outcome = system.submit(query).expect("submission succeeds");
+            println!(
+                "{:<6} {:>8} {:>11.1}s {:>9.1}s {:>9.1}s {:>11}",
+                run,
+                size,
+                outcome.determination.predicted_seconds,
+                outcome.report.seconds(),
+                outcome.prediction_error(),
+                if outcome.retrain.is_some() { "yes" } else { "no" },
+            );
+        }
+        smartpick_bench::rule(84);
+        println!();
+    }
+    println!(
+        "paper shape: error spikes when the data grows (larger spike on GCP), then\n\
+         converges after background retraining"
+    );
+}

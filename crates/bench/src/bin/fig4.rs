@@ -1,0 +1,50 @@
+//! Figure 4: prediction accuracy on the held-out test dataset.
+//!
+//! Trains Smartpick and Smartpick-r on both providers with the full §6.1
+//! recipe (5 queries × 20 configs → ±5% burst → 1000 samples → 80:20
+//! split) and prints, per model: RMSE, the regression standard error, the
+//! "within 2× standard error" accuracy, and the residual histogram
+//! (frequency of test samples at increasing distance from truth).
+//!
+//! Paper reference points — AWS: RMSE 6.2 / 8.2, accuracies 98.5% /
+//! 97.05%; GCP: RMSE 12.8 / 7.59, accuracies 73.4% / 83.49%.
+
+use smartpick_bench::Lab;
+use smartpick_cloudsim::Provider;
+use smartpick_core::training::TrainReport;
+use smartpick_ml::metrics::residual_histogram;
+
+fn show(provider: Provider, model: &str, report: &TrainReport) {
+    println!(
+        "{} / {model}: RMSE {:.2} s, stderr {:.2} s, accuracy {:.2}% (within 10 s; \
+         {:.1}% within 2x own stderr; {} train / {} test)",
+        provider.name(),
+        report.rmse,
+        report.stderr,
+        report.accuracy_pct,
+        report.accuracy_2stderr_pct,
+        report.n_train,
+        report.n_test
+    );
+    let hist = residual_histogram(&report.test_truth, &report.test_pred, 5.0, 8);
+    print!("  |pred-truth| histogram: ");
+    for (edge, count) in &hist {
+        print!("<={edge:.0}s:{count} ");
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 4. Accuracy on the held-out test dataset");
+    smartpick_bench::rule(78);
+    for provider in Provider::ALL {
+        let lab = Lab::new(provider, 42).expect("training succeeds");
+        show(provider, "Smartpick", &lab.smartpick_report);
+        show(provider, "Smartpick-r", &lab.smartpick_r_report);
+        println!();
+    }
+    println!(
+        "paper: AWS 98.5% / 97.05% (RMSE 6.2 / 8.2); GCP 73.4% / 83.49% (RMSE 12.8 / 7.59)\n\
+         shape to hold: AWS accuracy > GCP accuracy; GCP RMSE > AWS RMSE"
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 5: evaluation on AWS — query completion time (a) and cost (b)
+//! for TPC-DS queries 11/49/68/74/82 under VM-only, SL-only, Smartpick and
+//! Smartpick-r, plus predicted-vs-actual pairs for both models (c, d).
+//!
+//! Run with `--release`. `SMARTPICK_RUNS` overrides the 10-run averaging.
+
+use smartpick_cloudsim::Provider;
+
+fn main() {
+    smartpick_bench::experiments::approaches_comparison(Provider::Aws, "Figure 5");
+}

@@ -1,0 +1,10 @@
+//! Figure 6: the Figure 5 experiment on GCP — same approaches, more
+//! variance, lower VM-only cost (no burstable surcharge).
+//!
+//! Run with `--release`. `SMARTPICK_RUNS` overrides the 10-run averaging.
+
+use smartpick_cloudsim::Provider;
+
+fn main() {
+    smartpick_bench::experiments::approaches_comparison(Provider::Gcp, "Figure 6");
+}

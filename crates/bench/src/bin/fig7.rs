@@ -1,0 +1,15 @@
+//! Figure 7: performance and cost comparison with the state of the art —
+//! Smartpick-r vs Cocoa vs SplitServe on AWS and GCP. Cocoa and SplitServe
+//! consume Smartpick's workload-prediction module as an external service,
+//! exactly as §6.3.2 wires them up.
+//!
+//! Run with `--release`. `SMARTPICK_RUNS` overrides the 10-run averaging.
+
+use smartpick_cloudsim::Provider;
+
+fn main() {
+    for provider in Provider::ALL {
+        smartpick_bench::experiments::state_of_the_art_comparison(provider);
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! §7 extension: "using larger (expensive) VM instance types (and
+//! families), e.g. AWS c3, opens another richer tradeoff space" —
+//! the result the paper measured but omitted for space.
+//!
+//! Compares the default burstable family (t3/e2) against the
+//! compute-optimised family (c5/c2) on the same query and allocations:
+//! faster cores buy shorter completion times at a higher hourly price.
+
+use smartpick_bench::{cents, default_runs, measure};
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_engine::{Allocation, RelayPolicy};
+use smartpick_workloads::tpcds;
+
+fn main() {
+    let runs = default_runs();
+    let query = tpcds::query(74, 100.0).expect("catalog query");
+    println!("Section 7 extension: instance-family tradeoff, TPC-DS q74 ({runs} runs)");
+    smartpick_bench::rule(92);
+    println!(
+        "{:<10} {:<16} {:>24} {:>24}",
+        "provider", "family", "VM-only (8)", "hybrid relay (6,6)"
+    );
+    smartpick_bench::rule(92);
+    for provider in Provider::ALL {
+        for family in ["t3", "c5"] {
+            let env = CloudEnv::with_family(provider, family);
+            let vm = measure(&query, &Allocation::vm_only(8), &env, runs, 11)
+                .expect("runs succeed");
+            let hybrid = measure(
+                &query,
+                &Allocation::new(6, 6).with_relay(RelayPolicy::Relay),
+                &env,
+                runs,
+                13,
+            )
+            .expect("runs succeed");
+            println!(
+                "{:<10} {:<16} {:>12.1}s {:>10} {:>12.1}s {:>10}",
+                provider.name(),
+                env.catalog().worker_vm().name,
+                vm.mean_seconds,
+                cents(vm.mean_cost),
+                hybrid.mean_seconds,
+                cents(hybrid.mean_cost),
+            );
+        }
+    }
+    smartpick_bench::rule(92);
+    println!(
+        "expected: the compute-optimised family is faster at higher cost —\n\
+         a second cost-performance axis on top of the {{nVM, nSL}} knob"
+    );
+}

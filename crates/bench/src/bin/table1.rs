@@ -1,0 +1,55 @@
+//! Table 1: comparison between SL and VM with the same compute resources
+//! (2 vCPU / 2 GB). Regenerates the paper's agility / performance / cost
+//! rows from the simulator's catalog, boot and performance models.
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+
+fn main() {
+    println!("Table 1. SL vs VM with the same compute resources (2 vCPU, 2 GB)");
+    smartpick_bench::rule(86);
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "metric", "SL", "VM"
+    );
+    smartpick_bench::rule(86);
+
+    let env = CloudEnv::new(Provider::Aws);
+    let sl_boot = env.boot().sl_mean();
+    let vm_boot = env.boot().vm_mean();
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "Agility (boot latency)",
+        format!("High ({} ms)", sl_boot.as_millis()),
+        format!("Low ({:.1} s measured; 55 s planning)", vm_boot.as_secs_f64()),
+    );
+
+    let perf = env.perf();
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "Performance (CPU events/s)",
+        format!("{:.1} (memory-size bound)", perf.sl_cpu_events_s),
+        format!("{:.1} (relatively constant)", perf.vm_cpu_events_s),
+    );
+
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "Cost efficiency",
+        "High (pay only while invoked)",
+        "Low (pay while deployed)",
+    );
+
+    let sl_hr = env.catalog().worker_sl().hourly_equivalent_price();
+    let vm_hr = env.catalog().worker_vm().hourly_price;
+    println!(
+        "{:<28} {:<28} {:<28}",
+        "Unit time cost ($/hour)",
+        format!("{} ({:.1}x VM)", sl_hr, sl_hr.dollars() / vm_hr.dollars()),
+        format!("{vm_hr}"),
+    );
+    smartpick_bench::rule(86);
+    println!(
+        "paper: SL boot <100 ms, VM boot >55 s, SL unit cost up to 5.8x; SL ~30% slower\n\
+         measured SL/VM slowdown here: {:.2}x",
+        perf.sl_slowdown()
+    );
+}

@@ -1,0 +1,40 @@
+//! Table 5: performance comparison between GCP and AWS. Prints the
+//! microbenchmark profile the simulator uses (taken from the paper's own
+//! measurements) plus the derived speed factors.
+
+use smartpick_cloudsim::{PerfProfile, Provider};
+
+fn main() {
+    println!("Table 5. Performance comparison between GCP and AWS");
+    smartpick_bench::rule(100);
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "provider", "storage MiB/s", "IO writes/s", "IO reads/s", "mem k-ops/s", "VM CPU ev/s", "SL CPU ev/s"
+    );
+    smartpick_bench::rule(100);
+    for p in Provider::ALL {
+        let perf = PerfProfile::for_provider(p);
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            p.name(),
+            perf.cloud_storage_mib_s,
+            perf.vm_io_writes_s,
+            perf.vm_io_reads_s,
+            perf.memory_kops_s,
+            perf.vm_cpu_events_s,
+            perf.sl_cpu_events_s,
+        );
+    }
+    smartpick_bench::rule(100);
+    let aws = PerfProfile::for_provider(Provider::Aws);
+    let gcp = PerfProfile::for_provider(Provider::Gcp);
+    println!(
+        "derived: GCP VM speed = {:.2}x AWS; SL slowdown AWS {:.2}x, GCP {:.2}x;\n\
+         exec jitter sigma AWS {:.0}%, GCP {:.0}% (drives the Fig. 4 accuracy gap)",
+        gcp.vm_speed_factor(),
+        aws.sl_slowdown(),
+        gcp.sl_slowdown(),
+        aws.exec_jitter_rel_sigma * 100.0,
+        gcp.exec_jitter_rel_sigma * 100.0,
+    );
+}

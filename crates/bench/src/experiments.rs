@@ -1,0 +1,134 @@
+//! Shared experiment runners used by the per-figure binaries.
+
+use smartpick_baselines::policies::{
+    Cocoa, ProvisioningPolicy, SlOnly, SmartpickPolicy, SplitServe, VmOnly,
+};
+use smartpick_cloudsim::Provider;
+use smartpick_workloads::tpcds;
+
+use crate::{cents, default_runs, measure, rule, Lab};
+
+/// The Figure 5/6 experiment: VM-only / SL-only / Smartpick / Smartpick-r
+/// across the five training queries on one provider, with the
+/// predicted-vs-actual pairs of panels (c)/(d).
+pub fn approaches_comparison(provider: Provider, figure: &str) {
+    let lab = Lab::new(provider, 42).expect("training succeeds");
+    let runs = default_runs();
+    println!(
+        "{figure}. Evaluation on {} ({} runs per point; time then cost)",
+        provider.name(),
+        runs
+    );
+    rule(100);
+    println!(
+        "{:<8} {:>18} {:>18} {:>18} {:>18}",
+        "query", "VM-only", "SL-only", "Smartpick", "Smartpick-r"
+    );
+    rule(100);
+
+    let policies: Vec<Box<dyn ProvisioningPolicy>> = vec![
+        Box::new(VmOnly),
+        Box::new(SlOnly),
+        Box::new(SmartpickPolicy::plain()),
+        Box::new(SmartpickPolicy::with_relay()),
+    ];
+
+    let mut scatter: Vec<(String, &'static str, f64, f64)> = Vec::new();
+    for (qi, qnum) in tpcds::TRAINING_QUERIES.iter().enumerate() {
+        let query = tpcds::query(*qnum, 100.0).expect("catalog query");
+        let mut cells = Vec::new();
+        for (pi, policy) in policies.iter().enumerate() {
+            let wp = if policy.name() == "Smartpick-r" {
+                &lab.smartpick_r
+            } else {
+                &lab.smartpick
+            };
+            let seed = (qi * 10 + pi) as u64;
+            let alloc = policy.decide(wp, &query, seed).expect("decision succeeds");
+            let summary =
+                measure(&query, &alloc, &lab.env, runs, seed ^ 0xEE).expect("runs succeed");
+            cells.push(format!(
+                "{:>8.1}s {:>8}",
+                summary.mean_seconds,
+                cents(summary.mean_cost)
+            ));
+            if policy.name().starts_with("Smartpick") {
+                let predicted = wp
+                    .predict_seconds(&query, &alloc)
+                    .expect("known query predicts");
+                scatter.push((
+                    format!("q{qnum}"),
+                    policy.name(),
+                    predicted,
+                    summary.mean_seconds,
+                ));
+            }
+        }
+        println!(
+            "q{:<7} {:>18} {:>18} {:>18} {:>18}",
+            qnum, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    rule(100);
+    println!("(c)/(d) predicted vs actual (seconds):");
+    for (q, model, pred, actual) in &scatter {
+        println!("  {q:<5} {model:<12} predicted {pred:>7.1}  actual {actual:>7.1}");
+    }
+    println!(
+        "\npaper shape: Smartpick/Smartpick-r beat VM-only and SL-only on time;\n\
+         Smartpick-r costs less than Smartpick; predictions track actuals"
+    );
+}
+
+/// The Figure 7 experiment on one provider: Smartpick-r vs Cocoa vs
+/// SplitServe, all consuming Smartpick's WP module per §6.3.2.
+pub fn state_of_the_art_comparison(provider: Provider) {
+    let lab = Lab::new(provider, 42).expect("training succeeds");
+    let runs = default_runs();
+    println!(
+        "Figure 7 ({}). Smartpick vs Cocoa vs SplitServe ({} runs per point)",
+        provider.name(),
+        runs
+    );
+    rule(82);
+    println!(
+        "{:<8} {:>22} {:>22} {:>22}",
+        "query", "Smartpick", "Cocoa", "SplitServe"
+    );
+    rule(82);
+    let policies: Vec<Box<dyn ProvisioningPolicy>> = vec![
+        Box::new(SmartpickPolicy::with_relay()),
+        Box::new(Cocoa::default()),
+        Box::new(SplitServe::default()),
+    ];
+    for (qi, qnum) in tpcds::TRAINING_QUERIES.iter().enumerate() {
+        let query = tpcds::query(*qnum, 100.0).expect("catalog query");
+        let mut cells = Vec::new();
+        for (pi, policy) in policies.iter().enumerate() {
+            let wp = if policy.name() == "Smartpick-r" {
+                &lab.smartpick_r
+            } else {
+                // Cocoa and SplitServe consume the external (plain) WP.
+                &lab.smartpick
+            };
+            let seed = (qi * 16 + pi) as u64;
+            let alloc = policy.decide(wp, &query, seed).expect("decision succeeds");
+            let summary =
+                measure(&query, &alloc, &lab.env, runs, seed ^ 0x77).expect("runs succeed");
+            cells.push(format!(
+                "{:>10.1}s {:>9}",
+                summary.mean_seconds,
+                cents(summary.mean_cost)
+            ));
+        }
+        println!(
+            "q{:<7} {:>22} {:>22} {:>22}",
+            qnum, cells[0], cells[1], cells[2]
+        );
+    }
+    rule(82);
+    println!(
+        "paper shape: comparable times, but Cocoa and SplitServe cost much more\n\
+         (SL-favouring statics; equal-count segueing with idle leases)"
+    );
+}

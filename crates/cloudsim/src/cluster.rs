@@ -1,0 +1,352 @@
+//! Instance lifecycle management and per-query billing.
+//!
+//! A [`Cluster`] owns every instance spawned for one query run: it samples
+//! boot latencies, tracks lifecycle transitions (booting → running →
+//! draining → terminated) and produces the itemised [`CostReport`] the
+//! paper's §5 cost-estimation logic computes from instance ids and
+//! charging statuses.
+
+use rand::Rng;
+
+use crate::catalog::{InstanceKind, InstanceType};
+use crate::cost::{CostKind, CostReport};
+use crate::error::CloudSimError;
+use crate::instance::{Instance, InstanceId, InstanceState, RequestId};
+use crate::time::{SimDuration, SimTime};
+use crate::CloudEnv;
+
+/// All instances spawned for one simulated query, with billing.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use smartpick_cloudsim::{CloudEnv, Cluster, Provider, SimTime};
+///
+/// let env = CloudEnv::new(Provider::Aws);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut cluster = Cluster::new(env.clone());
+///
+/// let spawn = cluster.request(env.catalog().worker_vm().clone(), SimTime::ZERO, &mut rng);
+/// cluster.mark_ready(spawn.instance, spawn.ready_at)?;
+/// cluster.terminate(spawn.instance, spawn.ready_at + smartpick_cloudsim::SimDuration::from_secs_f64(60.0))?;
+/// let bill = cluster.bill(SimTime::from_secs_f64(120.0));
+/// assert!(bill.total().dollars() > 0.0);
+/// # Ok::<(), smartpick_cloudsim::CloudSimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    env: CloudEnv,
+    instances: Vec<Instance>,
+    next_id: u64,
+}
+
+/// The outcome of requesting an instance: its identifiers and the time the
+/// boot will complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnTicket {
+    /// Request id (what the resource manager knows immediately).
+    pub request: RequestId,
+    /// Instance id (what the provider assigns).
+    pub instance: InstanceId,
+    /// When the instance will be ready; the caller schedules this event.
+    pub ready_at: SimTime,
+}
+
+impl Cluster {
+    /// Creates an empty cluster on the given environment.
+    pub fn new(env: CloudEnv) -> Self {
+        Cluster {
+            env,
+            instances: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The environment this cluster runs in.
+    pub fn env(&self) -> &CloudEnv {
+        &self.env
+    }
+
+    /// Requests one instance of `itype` at time `now`, sampling its boot
+    /// latency. The instance starts in [`InstanceState::Booting`]; call
+    /// [`Cluster::mark_ready`] when the returned `ready_at` time fires.
+    pub fn request(
+        &mut self,
+        itype: InstanceType,
+        now: SimTime,
+        rng: &mut impl Rng,
+    ) -> SpawnTicket {
+        let id = self.next_id;
+        self.next_id += 1;
+        let boot = self.env.boot().sample(itype.kind, rng);
+        let ready_at = now + boot;
+        self.instances.push(Instance {
+            id: InstanceId(id),
+            request: RequestId(id),
+            itype,
+            state: InstanceState::Booting,
+            requested_at: now,
+            ready_at: None,
+            terminated_at: None,
+            busy_ms: 0,
+        });
+        SpawnTicket {
+            request: RequestId(id),
+            instance: InstanceId(id),
+            ready_at,
+        }
+    }
+
+    fn get_mut(&mut self, id: InstanceId) -> Result<&mut Instance, CloudSimError> {
+        self.instances
+            .get_mut(id.0 as usize)
+            .ok_or(CloudSimError::UnknownInstance(id))
+    }
+
+    /// Looks up an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudSimError::UnknownInstance`] for ids this cluster never
+    /// issued.
+    pub fn instance(&self, id: InstanceId) -> Result<&Instance, CloudSimError> {
+        self.instances
+            .get(id.0 as usize)
+            .ok_or(CloudSimError::UnknownInstance(id))
+    }
+
+    /// All instances, in spawn order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Marks a booting instance as running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudSimError::InvalidState`] unless the instance is
+    /// booting.
+    pub fn mark_ready(&mut self, id: InstanceId, now: SimTime) -> Result<(), CloudSimError> {
+        let inst = self.get_mut(id)?;
+        if inst.state != InstanceState::Booting {
+            return Err(CloudSimError::InvalidState {
+                instance: id,
+                operation: "mark ready",
+                state: "non-booting",
+            });
+        }
+        inst.state = InstanceState::Running;
+        inst.ready_at = Some(now);
+        Ok(())
+    }
+
+    /// Puts a running instance into the relay drain state: it finishes its
+    /// current task but receives no new ones (§4.3).
+    ///
+    /// Draining a booting or already-draining instance is a no-op so the
+    /// relay logic does not need to order events carefully; draining a
+    /// terminated instance is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudSimError::InvalidState`] if the instance already
+    /// terminated.
+    pub fn drain(&mut self, id: InstanceId) -> Result<(), CloudSimError> {
+        let inst = self.get_mut(id)?;
+        match inst.state {
+            InstanceState::Running | InstanceState::Booting => {
+                inst.state = InstanceState::Draining;
+                Ok(())
+            }
+            InstanceState::Draining => Ok(()),
+            InstanceState::Terminated => Err(CloudSimError::InvalidState {
+                instance: id,
+                operation: "drain",
+                state: "terminated",
+            }),
+        }
+    }
+
+    /// Terminates an instance; billing stops at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudSimError::InvalidState`] if already terminated.
+    pub fn terminate(&mut self, id: InstanceId, now: SimTime) -> Result<(), CloudSimError> {
+        let inst = self.get_mut(id)?;
+        if inst.state == InstanceState::Terminated {
+            return Err(CloudSimError::InvalidState {
+                instance: id,
+                operation: "terminate",
+                state: "terminated",
+            });
+        }
+        inst.state = InstanceState::Terminated;
+        if inst.ready_at.is_none() {
+            // Terminated before it ever booted: bill nothing.
+            inst.ready_at = Some(now);
+        }
+        inst.terminated_at = Some(now);
+        Ok(())
+    }
+
+    /// Records `busy` of task execution on an instance (utilisation
+    /// statistics; billing is lifetime-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudSimError::UnknownInstance`] for unknown ids.
+    pub fn add_busy(&mut self, id: InstanceId, busy: SimDuration) -> Result<(), CloudSimError> {
+        self.get_mut(id)?.busy_ms += busy.as_millis();
+        Ok(())
+    }
+
+    /// Whether any serverless instance participated in this query.
+    pub fn used_serverless(&self) -> bool {
+        self.instances.iter().any(Instance::is_serverless)
+    }
+
+    /// Produces the itemised bill for the query, with instances still alive
+    /// billed up to `query_end`.
+    ///
+    /// Per the paper's §5: VMs are charged per-second while deployed plus an
+    /// 8 GB volume each; serverless invocations are charged for their whole
+    /// lifetime at provider granularity; and the external-store host is
+    /// charged for the query window when at least one SL participated.
+    pub fn bill(&self, query_end: SimTime) -> CostReport {
+        let pricing = self.env.pricing();
+        let mut report = CostReport::new();
+        for inst in &self.instances {
+            let Some((start, end)) = inst.billed_window(query_end) else {
+                continue;
+            };
+            let lifetime = end.saturating_since(start);
+            match inst.itype.kind {
+                InstanceKind::Vm => {
+                    report.add(
+                        CostKind::VmCompute,
+                        format!("{} {}", inst.itype.name, inst.id),
+                        pricing.vm_compute_cost(&inst.itype, lifetime),
+                    );
+                    report.add(
+                        CostKind::VmStorage,
+                        format!("gp2-8g {}", inst.id),
+                        pricing.vm_storage_cost(lifetime),
+                    );
+                }
+                InstanceKind::Serverless => {
+                    report.add(
+                        CostKind::SlCompute,
+                        format!("{} {}", inst.itype.name, inst.request),
+                        pricing.sl_compute_cost(&inst.itype, lifetime),
+                    );
+                }
+            }
+        }
+        if self.used_serverless() {
+            let master = self.env.catalog().master_vm();
+            report.add(
+                CostKind::ExternalStore,
+                format!("{} redis", master.name),
+                pricing.external_store_cost(master, query_end.saturating_since(SimTime::ZERO)),
+            );
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::Provider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster() -> (Cluster, StdRng) {
+        (
+            Cluster::new(CloudEnv::new(Provider::Aws)),
+            StdRng::seed_from_u64(11),
+        )
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let (mut c, mut rng) = cluster();
+        let t = c.request(
+            c.env().catalog().worker_vm().clone(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(t.ready_at.as_secs_f64() > 20.0, "VM boots take tens of seconds");
+        c.mark_ready(t.instance, t.ready_at).unwrap();
+        assert!(c.instance(t.instance).unwrap().accepts_tasks());
+        c.drain(t.instance).unwrap();
+        assert!(!c.instance(t.instance).unwrap().accepts_tasks());
+        c.terminate(t.instance, t.ready_at + SimDuration::from_secs_f64(10.0))
+            .unwrap();
+        assert!(c.terminate(t.instance, t.ready_at).is_err());
+    }
+
+    #[test]
+    fn bill_includes_external_store_only_with_serverless() {
+        let (mut c, mut rng) = cluster();
+        let vm = c.request(
+            c.env().catalog().worker_vm().clone(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        c.mark_ready(vm.instance, vm.ready_at).unwrap();
+        let end = SimTime::from_secs_f64(100.0);
+        c.terminate(vm.instance, end).unwrap();
+        let bill = c.bill(end);
+        assert_eq!(bill.subtotal(CostKind::ExternalStore).dollars(), 0.0);
+
+        let sl = c.request(
+            c.env().catalog().worker_sl().clone(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        c.mark_ready(sl.instance, sl.ready_at).unwrap();
+        c.terminate(sl.instance, end).unwrap();
+        let bill = c.bill(end);
+        assert!(bill.subtotal(CostKind::ExternalStore).dollars() > 0.0);
+        assert!(bill.subtotal(CostKind::SlCompute).dollars() > 0.0);
+    }
+
+    #[test]
+    fn terminating_booting_instance_bills_nothing() {
+        let (mut c, mut rng) = cluster();
+        let t = c.request(
+            c.env().catalog().worker_vm().clone(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        // Kill it before boot completes.
+        c.terminate(t.instance, SimTime::from_millis(10)).unwrap();
+        let bill = c.bill(SimTime::from_secs_f64(50.0));
+        assert_eq!(bill.subtotal(CostKind::VmCompute).dollars(), 0.0);
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let (c, _) = cluster();
+        assert!(matches!(
+            c.instance(InstanceId(99)),
+            Err(CloudSimError::UnknownInstance(_))
+        ));
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let (mut c, mut rng) = cluster();
+        let t = c.request(
+            c.env().catalog().worker_sl().clone(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        c.add_busy(t.instance, SimDuration::from_millis(1500)).unwrap();
+        c.add_busy(t.instance, SimDuration::from_millis(500)).unwrap();
+        assert_eq!(c.instance(t.instance).unwrap().busy_ms, 2000);
+    }
+}

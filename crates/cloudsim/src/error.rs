@@ -1,0 +1,62 @@
+//! Error types for the cloud simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instance::InstanceId;
+
+/// Errors reported by the cloud simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudSimError {
+    /// A provider name failed to parse.
+    UnknownProvider(String),
+    /// An instance id was not found in the cluster.
+    UnknownInstance(InstanceId),
+    /// An operation was attempted in an invalid lifecycle state.
+    InvalidState {
+        /// The instance involved.
+        instance: InstanceId,
+        /// What was attempted.
+        operation: &'static str,
+        /// The state it was in.
+        state: &'static str,
+    },
+}
+
+impl fmt::Display for CloudSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudSimError::UnknownProvider(name) => {
+                write!(f, "unknown cloud provider `{name}` (expected AWS or GCP)")
+            }
+            CloudSimError::UnknownInstance(id) => write!(f, "unknown instance {id}"),
+            CloudSimError::InvalidState {
+                instance,
+                operation,
+                state,
+            } => write!(f, "cannot {operation} instance {instance} in state {state}"),
+        }
+    }
+}
+
+impl Error for CloudSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CloudSimError::UnknownProvider("azure".into());
+        assert!(e.to_string().contains("azure"));
+        let e = CloudSimError::UnknownInstance(InstanceId(3));
+        assert!(e.to_string().contains("i-000003"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CloudSimError>();
+    }
+}

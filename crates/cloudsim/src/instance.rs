@@ -1,0 +1,149 @@
+//! Instance identities and lifecycle.
+//!
+//! The paper's resource manager keeps a mapping between the **REQUEST ID**
+//! assigned when a serverless invocation is requested and the **INSTANCE
+//! ID** a VM reports when it connects (§5, "Relay-instances mechanism").
+//! The simulator reproduces both identifier spaces.
+
+use std::fmt;
+
+use crate::catalog::{InstanceKind, InstanceType};
+use crate::time::SimTime;
+
+/// Identifier a provider assigns to a deployed instance (VM `i-…`,
+/// function invocation `r-…`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i-{:06}", self.0)
+    }
+}
+
+/// Identifier assigned when an instance is *requested*; the relay mechanism
+/// maps VM instance ids back to the serverless request they relay (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r-{:06}", self.0)
+    }
+}
+
+/// Lifecycle state of a simulated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceState {
+    /// Spawn requested; boot in progress.
+    Booting,
+    /// Ready and accepting tasks. Billing runs in this state.
+    Running,
+    /// Relay drain: no new tasks are assigned; the instance terminates when
+    /// its current task finishes (§4.3).
+    Draining,
+    /// Terminated; billing stopped.
+    Terminated,
+}
+
+impl fmt::Display for InstanceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstanceState::Booting => "booting",
+            InstanceState::Running => "running",
+            InstanceState::Draining => "draining",
+            InstanceState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One simulated compute instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Provider-assigned instance id.
+    pub id: InstanceId,
+    /// Request id under which it was spawned.
+    pub request: RequestId,
+    /// Catalog type.
+    pub itype: InstanceType,
+    /// Current lifecycle state.
+    pub state: InstanceState,
+    /// When the spawn was requested.
+    pub requested_at: SimTime,
+    /// When it became ready (boot completed), if it has.
+    pub ready_at: Option<SimTime>,
+    /// When it terminated, if it has.
+    pub terminated_at: Option<SimTime>,
+    /// Accumulated busy time in milliseconds (task execution), for
+    /// utilisation statistics.
+    pub busy_ms: u64,
+}
+
+impl Instance {
+    /// Whether the instance may receive new tasks.
+    pub fn accepts_tasks(&self) -> bool {
+        self.state == InstanceState::Running
+    }
+
+    /// Whether the instance is serverless.
+    pub fn is_serverless(&self) -> bool {
+        self.itype.kind == InstanceKind::Serverless
+    }
+
+    /// The billed lifetime window: ready → terminated.
+    ///
+    /// Returns `None` when the instance never became ready.
+    pub fn billed_window(&self, now: SimTime) -> Option<(SimTime, SimTime)> {
+        let start = self.ready_at?;
+        let end = self.terminated_at.unwrap_or(now);
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::provider::Provider;
+
+    fn sample_instance() -> Instance {
+        let cat = Catalog::for_provider(Provider::Aws);
+        Instance {
+            id: InstanceId(1),
+            request: RequestId(1),
+            itype: cat.worker_vm().clone(),
+            state: InstanceState::Booting,
+            requested_at: SimTime::ZERO,
+            ready_at: None,
+            terminated_at: None,
+            busy_ms: 0,
+        }
+    }
+
+    #[test]
+    fn booting_instance_rejects_tasks_and_has_no_bill() {
+        let inst = sample_instance();
+        assert!(!inst.accepts_tasks());
+        assert!(inst.billed_window(SimTime::from_millis(1000)).is_none());
+    }
+
+    #[test]
+    fn billed_window_spans_ready_to_now() {
+        let mut inst = sample_instance();
+        inst.state = InstanceState::Running;
+        inst.ready_at = Some(SimTime::from_millis(100));
+        let (s, e) = inst.billed_window(SimTime::from_millis(500)).unwrap();
+        assert_eq!(s.as_millis(), 100);
+        assert_eq!(e.as_millis(), 500);
+        inst.terminated_at = Some(SimTime::from_millis(300));
+        let (_, e) = inst.billed_window(SimTime::from_millis(500)).unwrap();
+        assert_eq!(e.as_millis(), 300);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(InstanceId(42).to_string(), "i-000042");
+        assert_eq!(RequestId(7).to_string(), "r-000007");
+    }
+}

@@ -1,0 +1,128 @@
+//! US-dollar amounts for cloud billing.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A (possibly fractional) US-dollar amount.
+///
+/// Cloud list prices go down to 10⁻⁷ dollars per unit, so this is a thin
+/// wrapper over `f64` that adds intent, formatting and a tolerant
+/// equality helper.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_cloudsim::Money;
+/// let vm_hour = Money::from_dollars(0.0208);
+/// let five = vm_hour * 5.0;
+/// assert!(five.approx_eq(Money::from_dollars(0.104), 1e-12));
+/// assert_eq!(format!("{five}"), "$0.104000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Creates an amount from dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars` is NaN.
+    pub fn from_dollars(dollars: f64) -> Self {
+        assert!(!dollars.is_nan(), "money cannot be NaN");
+        Money(dollars)
+    }
+
+    /// The amount in dollars.
+    pub fn dollars(self) -> f64 {
+        self.0
+    }
+
+    /// The amount in US cents.
+    pub fn cents(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Whether two amounts differ by at most `tol` dollars.
+    pub fn approx_eq(self, other: Money, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+
+    /// The larger of two amounts.
+    pub fn max(self, other: Money) -> Money {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.6}", self.0)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |acc, m| acc + m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(0.5);
+        let b = Money::from_dollars(0.25);
+        assert_eq!((a + b).dollars(), 0.75);
+        assert_eq!((a - b).dollars(), 0.25);
+        assert_eq!((a * 2.0).dollars(), 1.0);
+        assert_eq!(a.cents(), 50.0);
+    }
+
+    #[test]
+    fn sums() {
+        let total: Money = (0..4).map(|_| Money::from_dollars(0.1)).sum();
+        assert!(total.approx_eq(Money::from_dollars(0.4), 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = Money::from_dollars(f64::NAN);
+    }
+}

@@ -1,0 +1,213 @@
+//! Billing rules (the paper's §5 "Cost estimation").
+//!
+//! The paper's cost model for a query comprises:
+//!
+//! * **VM compute**: on-demand price for the instance's deployed lifetime
+//!   (billed per second),
+//! * **burstable surcharge**: $0.05 per vCPU-hour for the AWS `t3` family
+//!   (§2.2); free on GCP `e2-small` (§6.1),
+//! * **VM storage**: an 8 GB gp2 (AWS, $0.10/GB-month) or pd-standard
+//!   (GCP, $0.04/GB-month) volume per worker, billed per second,
+//! * **serverless compute**: memory-seconds over the whole invocation
+//!   lifetime at millisecond (AWS) or 100 ms (GCP) granularity, plus a
+//!   per-request charge,
+//! * **external store**: the master-class VM hosting Redis is added to the
+//!   bill "if at least one SL instance is running for a query" (§5).
+
+use crate::catalog::{InstanceKind, InstanceType};
+use crate::money::Money;
+use crate::provider::Provider;
+use crate::time::SimDuration;
+
+/// Hours in a billing month used to prorate per-month storage prices.
+const HOURS_PER_MONTH: f64 = 730.0;
+
+/// The billing rules of one provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingModel {
+    provider: Provider,
+    /// Burstable CPU-credit surcharge per vCPU-hour (AWS t3: $0.05; GCP: 0).
+    burst_per_vcpu_hour: Money,
+    /// Block-storage price per GB-month.
+    storage_per_gb_month: Money,
+    /// Size of each worker VM's root volume in GB (§5: 8 GB SSD).
+    vm_storage_gb: f64,
+    /// VM billing granularity in milliseconds (per-second billing).
+    vm_billing_granularity_ms: u64,
+}
+
+impl PricingModel {
+    /// The billing rules for `provider`.
+    pub fn for_provider(provider: Provider) -> Self {
+        match provider {
+            Provider::Aws => PricingModel {
+                provider,
+                burst_per_vcpu_hour: Money::from_dollars(0.05),
+                storage_per_gb_month: Money::from_dollars(0.10),
+                vm_storage_gb: 8.0,
+                vm_billing_granularity_ms: 1_000,
+            },
+            Provider::Gcp => PricingModel {
+                provider,
+                // §6.1: "burstable costs of GCP e2-small is free of charge".
+                burst_per_vcpu_hour: Money::ZERO,
+                storage_per_gb_month: Money::from_dollars(0.04),
+                vm_storage_gb: 8.0,
+                vm_billing_granularity_ms: 1_000,
+            },
+        }
+    }
+
+    /// The provider these rules belong to.
+    pub fn provider(&self) -> Provider {
+        self.provider
+    }
+
+    /// Returns a copy without the burstable surcharge — non-burstable
+    /// families (`c5`, `c2`) price their full CPU into the hourly rate.
+    pub fn without_burst_surcharge(mut self) -> Self {
+        self.burst_per_vcpu_hour = Money::ZERO;
+        self
+    }
+
+    /// Burstable surcharge per vCPU-hour.
+    pub fn burst_surcharge_per_vcpu_hour(&self) -> Money {
+        self.burst_per_vcpu_hour
+    }
+
+    /// Compute cost of one VM deployed for `deployed`.
+    ///
+    /// Includes the on-demand price and the burstable surcharge; billed at
+    /// per-second granularity, rounding the lifetime up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is not a VM type.
+    pub fn vm_compute_cost(&self, vm: &InstanceType, deployed: SimDuration) -> Money {
+        assert_eq!(vm.kind, InstanceKind::Vm, "vm_compute_cost needs a VM type");
+        let billed = deployed.round_up_to(self.vm_billing_granularity_ms);
+        let hours = billed.as_hours_f64();
+        vm.hourly_price * hours + self.burst_per_vcpu_hour * (vm.vcpus as f64 * hours)
+    }
+
+    /// Storage cost of one worker VM's root volume for `deployed`
+    /// (per-second prorated month).
+    pub fn vm_storage_cost(&self, deployed: SimDuration) -> Money {
+        let billed = deployed.round_up_to(self.vm_billing_granularity_ms);
+        self.storage_per_gb_month * (self.vm_storage_gb * billed.as_hours_f64() / HOURS_PER_MONTH)
+    }
+
+    /// Compute cost of one serverless invocation alive for `lifetime`.
+    ///
+    /// Serverless analytics executors run as one long invocation, so the
+    /// whole lifetime is billed (this is what makes "using SLs until the
+    /// query completes" costly, §2.2/§4.3), at the provider's granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sl` is not a serverless type.
+    pub fn sl_compute_cost(&self, sl: &InstanceType, lifetime: SimDuration) -> Money {
+        assert_eq!(
+            sl.kind,
+            InstanceKind::Serverless,
+            "sl_compute_cost needs a serverless type"
+        );
+        let billed = lifetime.round_up_to(self.provider.sl_billing_granularity_ms());
+        let gib = sl.memory_mib as f64 / 1024.0;
+        sl.sl_price_per_gib_second * (gib * billed.as_secs_f64()) + sl.sl_price_per_request
+    }
+
+    /// Cost of the master-class VM hosting the external Redis store for
+    /// `window` — added to a query's bill when at least one serverless
+    /// instance participates (§5).
+    pub fn external_store_cost(&self, master: &InstanceType, window: SimDuration) -> Money {
+        let billed = window.round_up_to(self.vm_billing_granularity_ms);
+        master.hourly_price * billed.as_hours_f64()
+    }
+
+    /// Analytical per-second cost of one VM worker (compute + burst +
+    /// storage), used by the planner's closed-form cost model (Eq. 4's
+    /// `C_vm`).
+    pub fn vm_cost_per_second(&self, vm: &InstanceType) -> Money {
+        let hourly = vm.hourly_price + self.burst_per_vcpu_hour * vm.vcpus as f64
+            + self.storage_per_gb_month * (self.vm_storage_gb / HOURS_PER_MONTH);
+        hourly * (1.0 / 3600.0)
+    }
+
+    /// Analytical per-second cost of one serverless worker (Eq. 4's `C_sl`).
+    pub fn sl_cost_per_second(&self, sl: &InstanceType) -> Money {
+        let gib = sl.memory_mib as f64 / 1024.0;
+        sl.sl_price_per_gib_second * gib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn vm_hour_costs_listed_price_plus_burst() {
+        let p = PricingModel::for_provider(Provider::Aws);
+        let c = Catalog::for_provider(Provider::Aws);
+        let cost = p.vm_compute_cost(c.worker_vm(), SimDuration::from_secs_f64(3600.0));
+        // $0.0208 on-demand + 2 vCPU * $0.05 burst.
+        assert!(cost.approx_eq(Money::from_dollars(0.1208), 1e-9), "{cost}");
+    }
+
+    #[test]
+    fn gcp_vm_hour_has_no_burst() {
+        let p = PricingModel::for_provider(Provider::Gcp);
+        let c = Catalog::for_provider(Provider::Gcp);
+        let cost = p.vm_compute_cost(c.worker_vm(), SimDuration::from_secs_f64(3600.0));
+        assert!(cost.approx_eq(Money::from_dollars(0.016_751), 1e-9), "{cost}");
+    }
+
+    #[test]
+    fn lambda_minute_costs_memory_seconds() {
+        let p = PricingModel::for_provider(Provider::Aws);
+        let c = Catalog::for_provider(Provider::Aws);
+        let cost = p.sl_compute_cost(c.worker_sl(), SimDuration::from_secs_f64(60.0));
+        // 2 GiB * 60 s * $0.0000166667 + one request.
+        let expect = 2.0 * 60.0 * 0.000_016_666_7 + 0.000_000_2;
+        assert!(cost.approx_eq(Money::from_dollars(expect), 1e-9), "{cost}");
+    }
+
+    #[test]
+    fn gcp_sl_rounds_to_100ms() {
+        let p = PricingModel::for_provider(Provider::Gcp);
+        let c = Catalog::for_provider(Provider::Gcp);
+        let a = p.sl_compute_cost(c.worker_sl(), SimDuration::from_millis(101));
+        let b = p.sl_compute_cost(c.worker_sl(), SimDuration::from_millis(200));
+        assert!(a.approx_eq(b, 1e-12), "{a} vs {b}");
+    }
+
+    #[test]
+    fn storage_prorates_month() {
+        let p = PricingModel::for_provider(Provider::Aws);
+        let month = SimDuration::from_secs_f64(730.0 * 3600.0);
+        let cost = p.vm_storage_cost(month);
+        assert!(cost.approx_eq(Money::from_dollars(0.8), 1e-6), "{cost}");
+    }
+
+    #[test]
+    fn per_second_rates_are_consistent_with_hourly() {
+        for prov in Provider::ALL {
+            let p = PricingModel::for_provider(prov);
+            let c = Catalog::for_provider(prov);
+            let hour = SimDuration::from_secs_f64(3600.0);
+            let direct =
+                p.vm_compute_cost(c.worker_vm(), hour) + p.vm_storage_cost(hour);
+            let rate = p.vm_cost_per_second(c.worker_vm()) * 3600.0;
+            assert!(rate.approx_eq(direct, 1e-9), "{prov}: {rate} vs {direct}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn vm_cost_rejects_serverless() {
+        let p = PricingModel::for_provider(Provider::Aws);
+        let c = Catalog::for_provider(Provider::Aws);
+        let _ = p.vm_compute_cost(c.worker_sl(), SimDuration::from_secs_f64(1.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Cloud providers simulated by this crate.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CloudSimError;
+
+/// A public-cloud provider.
+///
+/// The paper evaluates Smartpick on live AWS and GCP testbeds (§6.1); the
+/// simulator reproduces both with their respective instance catalogs,
+/// prices, billing granularities and the performance differences measured
+/// in the paper's Table 5.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_cloudsim::Provider;
+/// let p: Provider = "GCP".parse()?;
+/// assert_eq!(p, Provider::Gcp);
+/// # Ok::<(), smartpick_cloudsim::CloudSimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provider {
+    /// Amazon Web Services (US East), the paper's primary testbed.
+    Aws,
+    /// Google Cloud Platform (US East).
+    Gcp,
+}
+
+impl Provider {
+    /// All simulated providers, in the order the paper reports them.
+    pub const ALL: [Provider; 2] = [Provider::Aws, Provider::Gcp];
+
+    /// Short display name used in experiment output (`AWS` / `GCP`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Provider::Aws => "AWS",
+            Provider::Gcp => "GCP",
+        }
+    }
+
+    /// Serverless billing granularity in milliseconds: AWS Lambda bills per
+    /// 1 ms, GCP Functions per 100 ms (paper §1, footnote 1).
+    pub fn sl_billing_granularity_ms(self) -> u64 {
+        match self {
+            Provider::Aws => 1,
+            Provider::Gcp => 100,
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Provider {
+    type Err = CloudSimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "aws" | "amazon" => Ok(Provider::Aws),
+            "gcp" | "google" | "gcloud" => Ok(Provider::Gcp),
+            other => Err(CloudSimError::UnknownProvider(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_provider() {
+        assert_eq!("aws".parse::<Provider>().unwrap(), Provider::Aws);
+        assert_eq!(" Google ".parse::<Provider>().unwrap(), Provider::Gcp);
+        assert!("azure".parse::<Provider>().is_err());
+    }
+
+    #[test]
+    fn billing_granularity_matches_paper_footnote() {
+        assert_eq!(Provider::Aws.sl_billing_granularity_ms(), 1);
+        assert_eq!(Provider::Gcp.sl_billing_granularity_ms(), 100);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Provider::Aws.to_string(), "AWS");
+        assert_eq!(Provider::Gcp.to_string(), "GCP");
+    }
+}

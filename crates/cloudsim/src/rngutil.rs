@@ -1,0 +1,92 @@
+//! Small deterministic sampling helpers shared across the workspace.
+//!
+//! `rand` 0.8 ships uniform sampling only; the normal variates the
+//! simulator needs are generated with a Box–Muller transform so no extra
+//! dependency is required.
+
+use rand::Rng;
+
+/// Samples a normal variate with the given `mean` and standard deviation
+/// `sigma` using the Box–Muller transform.
+///
+/// A non-positive `sigma` returns `mean` exactly, which gives deterministic
+/// models a zero-noise escape hatch.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use smartpick_cloudsim::rngutil::sample_normal;
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let x = sample_normal(&mut rng, 10.0, 0.0);
+/// assert_eq!(x, 10.0);
+/// ```
+pub fn sample_normal(rng: &mut impl Rng, mean: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sigma * z
+}
+
+/// Samples a multiplicative jitter factor `max(lo, N(1, rel_sigma))`,
+/// used to perturb task execution times. The floor `lo` (default 0.2 via
+/// [`jitter_factor`]) keeps durations positive.
+pub fn jitter_factor_with_floor(rng: &mut impl Rng, rel_sigma: f64, lo: f64) -> f64 {
+    sample_normal(rng, 1.0, rel_sigma).max(lo)
+}
+
+/// Samples a multiplicative jitter factor with a 0.2 floor.
+pub fn jitter_factor(rng: &mut impl Rng, rel_sigma: f64) -> f64 {
+    jitter_factor_with_floor(rng, rel_sigma, 0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_mean_and_sigma_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(sample_normal(&mut rng, 3.25, 0.0), 3.25);
+    }
+
+    #[test]
+    fn jitter_is_floored() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10_000 {
+            let f = jitter_factor(&mut rng, 0.5);
+            assert!(f >= 0.2);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulated time: millisecond-resolution instants and durations.
+//!
+//! The whole simulator runs on a virtual clock; nothing ever reads the wall
+//! clock, which keeps every run reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated clock, in milliseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_cloudsim::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_millis(), 1500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from (possibly fractional) seconds since start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time: {secs}");
+        SimTime((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_cloudsim::SimDuration;
+/// let d = SimDuration::from_millis(250) + SimDuration::from_millis(750);
+/// assert_eq!(d.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1000.0).round() as u64)
+    }
+
+    /// The duration in whole milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration in hours (used by hourly billing).
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Rounds this duration *up* to the next multiple of `granularity_ms`,
+    /// matching cloud billing granularity (1 ms on AWS Lambda, 100 ms on GCP
+    /// Functions, 1 s on EC2).
+    ///
+    /// A zero duration stays zero.
+    pub fn round_up_to(self, granularity_ms: u64) -> SimDuration {
+        if granularity_ms <= 1 || self.0 == 0 {
+            return self;
+        }
+        let rem = self.0 % granularity_ms;
+        if rem == 0 {
+            self
+        } else {
+            SimDuration(self.0 + granularity_ms - rem)
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is uncertain.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_seconds() {
+        let d = SimDuration::from_secs_f64(12.345);
+        assert_eq!(d.as_millis(), 12_345);
+        assert!((d.as_secs_f64() - 12.345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn billing_round_up() {
+        let d = SimDuration::from_millis(1234);
+        assert_eq!(d.round_up_to(100).as_millis(), 1300);
+        assert_eq!(d.round_up_to(1000).as_millis(), 2000);
+        assert_eq!(d.round_up_to(1).as_millis(), 1234);
+        assert_eq!(SimDuration::ZERO.round_up_to(100).as_millis(), 0);
+        assert_eq!(SimDuration::from_millis(100).round_up_to(100).as_millis(), 100);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_millis(100);
+        let t1 = t0 + SimDuration::from_millis(50);
+        assert_eq!((t1 - t0).as_millis(), 50);
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the cloud simulator's invariants.
+
+use proptest::prelude::*;
+
+use smartpick_cloudsim::{
+    Catalog, CloudEnv, Cluster, EventQueue, Money, PricingModel, Provider, SimDuration, SimTime,
+};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within ties.
+    #[test]
+    fn event_queue_pops_in_time_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    // FIFO tie-break: indices with equal time stay ordered.
+                    prop_assert!(times[li] != times[i] || li < i);
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Billing round-up yields a multiple of the granularity, never less
+    /// than the original duration, and overshoots by less than one unit.
+    #[test]
+    fn round_up_is_tight(ms in 0u64..10_000_000, gran in 1u64..5_000) {
+        let d = SimDuration::from_millis(ms);
+        let r = d.round_up_to(gran);
+        prop_assert!(r >= d);
+        prop_assert!(r.as_millis() % gran == 0 || gran <= 1 || ms == 0);
+        prop_assert!(r.as_millis() - ms < gran);
+    }
+
+    /// VM compute cost is monotone in deployment duration and linear in
+    /// instance count.
+    #[test]
+    fn vm_cost_monotone(secs_a in 1.0f64..10_000.0, extra in 1.0f64..1_000.0) {
+        for provider in Provider::ALL {
+            let pricing = PricingModel::for_provider(provider);
+            let catalog = Catalog::for_provider(provider);
+            let vm = catalog.worker_vm();
+            let a = pricing.vm_compute_cost(vm, SimDuration::from_secs_f64(secs_a));
+            let b = pricing.vm_compute_cost(vm, SimDuration::from_secs_f64(secs_a + extra));
+            prop_assert!(b >= a, "{provider}: {b} < {a}");
+        }
+    }
+
+    /// Serverless cost never decreases with lifetime.
+    #[test]
+    fn sl_cost_monotone(secs in 0.001f64..10_000.0, extra in 0.001f64..1_000.0) {
+        for provider in Provider::ALL {
+            let pricing = PricingModel::for_provider(provider);
+            let catalog = Catalog::for_provider(provider);
+            let sl = catalog.worker_sl();
+            let a = pricing.sl_compute_cost(sl, SimDuration::from_secs_f64(secs));
+            let b = pricing.sl_compute_cost(sl, SimDuration::from_secs_f64(secs + extra));
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Money addition is commutative and associative within fp tolerance.
+    #[test]
+    fn money_arithmetic(a in 0.0f64..1e6, b in 0.0f64..1e6, c in 0.0f64..1e6) {
+        let (ma, mb, mc) = (Money::from_dollars(a), Money::from_dollars(b), Money::from_dollars(c));
+        prop_assert!((ma + mb).approx_eq(mb + ma, 1e-9));
+        prop_assert!(((ma + mb) + mc).approx_eq(ma + (mb + mc), 1e-6));
+    }
+
+    /// A cluster bill is non-negative and includes the external store iff
+    /// serverless participated.
+    #[test]
+    fn cluster_bills_are_consistent(n_vm in 0u32..4, n_sl in 0u32..4, secs in 1.0f64..500.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let env = CloudEnv::new(Provider::Aws);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cluster = Cluster::new(env.clone());
+        let end = SimTime::from_secs_f64(secs);
+        for _ in 0..n_vm {
+            let t = cluster.request(env.catalog().worker_vm().clone(), SimTime::ZERO, &mut rng);
+            cluster.mark_ready(t.instance, t.ready_at).unwrap();
+        }
+        for _ in 0..n_sl {
+            let t = cluster.request(env.catalog().worker_sl().clone(), SimTime::ZERO, &mut rng);
+            cluster.mark_ready(t.instance, t.ready_at).unwrap();
+        }
+        let bill = cluster.bill(end);
+        prop_assert!(bill.total().dollars() >= 0.0);
+        let has_store = bill
+            .items()
+            .iter()
+            .any(|i| i.kind == smartpick_cloudsim::CostKind::ExternalStore);
+        prop_assert_eq!(has_store, n_sl > 0);
+    }
+}

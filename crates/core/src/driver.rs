@@ -1,0 +1,301 @@
+//! The Smartpick system facade — Figure 3's full workflow.
+//!
+//! On each submitted query (step 0): the Job Initializer asks WP for the
+//! optimal `{nVM, nSL}` (1); unknown queries go through the Similarity
+//! Checker (2); WP pulls features from MFE/History (3–5) and runs RF + BO;
+//! with a non-zero knob the `ET_l` list is traversed (§3.3); the
+//! determination returns (6) and the Resource Manager spawns the instances
+//! and runs the query (7–8); on completion MFE compares predicted vs
+//! actual and fires background retraining when the error exceeds the
+//! trigger (9).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smartpick_cloudsim::CloudEnv;
+use smartpick_engine::{QueryProfile, RunReport};
+
+use crate::error::SmartpickError;
+use crate::history::{HistoryServer, RunRecord};
+use crate::mfe::Mfe;
+use crate::properties::SmartpickProperties;
+use crate::retrain::RetrainReport;
+use crate::rm::ResourceManager;
+use crate::training::{train_predictor, TrainOptions, TrainReport};
+use crate::wp::{
+    ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService,
+    WorkloadPredictor,
+};
+
+/// Everything one submitted query produced.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// WP's resource determination (including `ET_l`).
+    pub determination: Determination,
+    /// The execution report (completion time, itemised cost).
+    pub report: RunReport,
+    /// Background retraining fired by this run, if any.
+    pub retrain: Option<RetrainReport>,
+}
+
+impl QueryOutcome {
+    /// Absolute prediction error, seconds.
+    pub fn prediction_error(&self) -> f64 {
+        (self.report.seconds() - self.determination.predicted_seconds).abs()
+    }
+}
+
+/// The assembled Smartpick system.
+#[derive(Debug)]
+pub struct Smartpick {
+    props: SmartpickProperties,
+    predictor: WorkloadPredictor,
+    history: HistoryServer,
+    mfe: Mfe,
+    rm: ResourceManager,
+    rng: StdRng,
+}
+
+impl Smartpick {
+    /// Trains a Smartpick instance on `training_queries` with default
+    /// training options (the paper's 20-configs × data-burst recipe) and
+    /// the relay setting taken from `props`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures; [`SmartpickError::NoTrainingData`]
+    /// when `training_queries` is empty.
+    pub fn train(
+        env: CloudEnv,
+        props: SmartpickProperties,
+        training_queries: &[QueryProfile],
+        seed: u64,
+    ) -> Result<Self, SmartpickError> {
+        let opts = TrainOptions {
+            relay: props.relay,
+            ..TrainOptions::default()
+        };
+        Self::train_with_options(env, props, training_queries, &opts, seed).map(|(s, _)| s)
+    }
+
+    /// Trains with explicit options, also returning the quality report.
+    ///
+    /// # Errors
+    ///
+    /// See [`Smartpick::train`].
+    pub fn train_with_options(
+        env: CloudEnv,
+        props: SmartpickProperties,
+        training_queries: &[QueryProfile],
+        options: &TrainOptions,
+        seed: u64,
+    ) -> Result<(Self, TrainReport), SmartpickError> {
+        let (predictor, report) = train_predictor(&env, training_queries, options, seed)?;
+        Ok((
+            Smartpick {
+                mfe: Mfe::new(env.clone(), props.clone(), seed ^ 0x11FE),
+                rm: ResourceManager::new(env),
+                props,
+                predictor,
+                history: HistoryServer::new(),
+                rng: StdRng::seed_from_u64(seed ^ DRIVER_SEED_MIX),
+            },
+            report,
+        ))
+    }
+
+    /// Submits a query through the full Figure 3 workflow with the
+    /// configured knob and the unrestricted hybrid search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction and execution failures.
+    pub fn submit(&mut self, query: &QueryProfile) -> Result<QueryOutcome, SmartpickError> {
+        self.submit_with(query, self.props.knob, ConstraintMode::Hybrid)
+    }
+
+    /// Submits with an explicit knob and search constraint (the baselines
+    /// of §6.3 use `VmOnly` / `SlOnly` / `EqualSlVm`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction and execution failures.
+    pub fn submit_with(
+        &mut self,
+        query: &QueryProfile,
+        knob: f64,
+        constraint: ConstraintMode,
+    ) -> Result<QueryOutcome, SmartpickError> {
+        // Steps 1–6: determine the configuration.
+        let seed: u64 = self.rng.gen();
+        let determination = self.predictor.determine(&PredictionRequest {
+            query: query.clone(),
+            knob,
+            constraint,
+            seed,
+        })?;
+
+        // Steps 7–8: spawn and execute.
+        let run_seed: u64 = self.rng.gen();
+        let report = self
+            .rm
+            .execute(query, &determination.allocation, run_seed)?;
+
+        // Step 9: record, monitor, maybe retrain.
+        let ctx = self.mfe.next_context();
+        let error = (report.seconds() - determination.predicted_seconds).abs();
+        let will_trigger = error > self.props.error_difference_trigger_secs;
+
+        // An alien query that surprised us becomes a known query with its
+        // own code before its sample enters the training batch (§4.2);
+        // otherwise the sample would teach the model wrong things about
+        // the similarity-matched query. A well-predicted alien's sample
+        // stays under the matched code — it behaved like that query.
+        let code = if will_trigger && !determination.known_query {
+            self.predictor.register_query(query)
+        } else {
+            self.predictor
+                .code_of(&determination.matched_query)
+                .unwrap_or(-1.0)
+        };
+        let features =
+            self.mfe
+                .features_for(code, query.input_gb, &determination.allocation, &ctx);
+        let record = RunRecord {
+            query_id: query.id.clone(),
+            features,
+            actual_seconds: report.seconds(),
+            predicted_seconds: determination.predicted_seconds,
+            cost_dollars: report.total_cost().dollars(),
+        };
+        let trigger = self.mfe.after_run(&self.history, record);
+
+        let retrain = match trigger {
+            Some(trigger) => {
+                let retrain_seed: u64 = self.rng.gen();
+                Some(
+                    self.mfe
+                        .monitor_mut()
+                        .retrain(&mut self.predictor, trigger, retrain_seed)?,
+                )
+            }
+            None => None,
+        };
+
+        Ok(QueryOutcome {
+            determination,
+            report,
+            retrain,
+        })
+    }
+
+    /// The trained predictor (read access).
+    pub fn predictor(&self) -> &WorkloadPredictor {
+        &self.predictor
+    }
+
+    /// The history server.
+    pub fn history(&self) -> &HistoryServer {
+        &self.history
+    }
+
+    /// The resource manager (charging statistics).
+    pub fn resource_manager(&self) -> &ResourceManager {
+        &self.rm
+    }
+
+    /// The configured properties.
+    pub fn properties(&self) -> &SmartpickProperties {
+        &self.props
+    }
+
+    /// Background retraining tasks fired so far.
+    pub fn retrain_count(&self) -> usize {
+        self.mfe.monitor().retrain_count()
+    }
+}
+
+/// Mixed into the training seed so the driver's per-submission RNG stream
+/// differs from the trainer's.
+const DRIVER_SEED_MIX: u64 = 0xD21F;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::Provider;
+    use smartpick_ml::forest::ForestParams;
+    use smartpick_workloads::tpcds;
+
+    fn quick_opts() -> TrainOptions {
+        TrainOptions {
+            configs_per_query: 6,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+            max_vm: 5,
+            max_sl: 5,
+            ..TrainOptions::default()
+        }
+    }
+
+    fn system() -> Smartpick {
+        let env = CloudEnv::new(Provider::Aws);
+        let queries: Vec<_> = [82u32, 68]
+            .iter()
+            .map(|&q| tpcds::query(q, 100.0).unwrap())
+            .collect();
+        Smartpick::train_with_options(
+            env,
+            SmartpickProperties::default(),
+            &queries,
+            &quick_opts(),
+            5,
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn submit_known_query_end_to_end() {
+        let mut sp = system();
+        let q = tpcds::query(82, 100.0).unwrap();
+        let outcome = sp.submit(&q).unwrap();
+        assert!(outcome.determination.known_query);
+        assert!(outcome.report.seconds() > 0.0);
+        assert!(outcome.report.total_cost().dollars() > 0.0);
+        assert_eq!(sp.history().len(), 1);
+        assert_eq!(sp.resource_manager().stats().queries, 1);
+    }
+
+    #[test]
+    fn alien_query_is_matched_and_possibly_retrained() {
+        let mut sp = system();
+        // q62 is the alien counterpart of q68.
+        let q = tpcds::query(62, 100.0).unwrap();
+        let outcome = sp.submit(&q).unwrap();
+        assert!(!outcome.determination.known_query);
+        assert_eq!(outcome.determination.matched_query, "tpcds-q68");
+    }
+
+    #[test]
+    fn prediction_accuracy_is_usable() {
+        let mut sp = system();
+        let q = tpcds::query(68, 100.0).unwrap();
+        let outcome = sp.submit(&q).unwrap();
+        let rel = outcome.prediction_error() / outcome.report.seconds();
+        assert!(rel < 0.5, "relative error {rel}");
+    }
+
+    #[test]
+    fn repeated_submissions_accumulate_history() {
+        let mut sp = system();
+        let q = tpcds::query(82, 100.0).unwrap();
+        for _ in 0..3 {
+            sp.submit(&q).unwrap();
+        }
+        assert_eq!(sp.history().len(), 3);
+        assert_eq!(sp.history().for_query("tpcds-q82").len(), 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! The History Server (§4.1, §5).
+//!
+//! "History Server captures and stores the metrics outlined in Table 3"
+//! and serves them to other components (the paper exposes it over internal
+//! DNS; here it is a thread-safe in-process store). Records serialise to
+//! JSON, matching the paper's storage format.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::features::QueryFeatures;
+
+/// One completed run's record: features, outcome and the prediction made.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Query identifier (e.g. `tpcds-q11`).
+    pub query_id: String,
+    /// The Table 3 features of the run.
+    pub features: QueryFeatures,
+    /// Actual completion time, seconds.
+    pub actual_seconds: f64,
+    /// Predicted completion time, seconds (NaN-free; 0 when unpredicted).
+    pub predicted_seconds: f64,
+    /// Total cost in dollars.
+    pub cost_dollars: f64,
+}
+
+impl RunRecord {
+    /// Absolute prediction error in seconds.
+    pub fn abs_error(&self) -> f64 {
+        (self.actual_seconds - self.predicted_seconds).abs()
+    }
+}
+
+/// Thread-safe store of run records.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_core::history::{HistoryServer, RunRecord};
+/// use smartpick_core::features::QueryFeatures;
+/// use smartpick_cloudsim::{CloudEnv, Provider};
+/// use smartpick_engine::Allocation;
+///
+/// let history = HistoryServer::new();
+/// let env = CloudEnv::new(Provider::Aws);
+/// history.record(RunRecord {
+///     query_id: "tpcds-q11".into(),
+///     features: QueryFeatures::for_allocation(0.0, 100.0, &Allocation::new(2, 2), &env),
+///     actual_seconds: 80.0,
+///     predicted_seconds: 78.0,
+///     cost_dollars: 0.04,
+/// });
+/// assert_eq!(history.len(), 1);
+/// assert_eq!(history.for_query("tpcds-q11").len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryServer {
+    records: RwLock<Vec<RunRecord>>,
+}
+
+impl HistoryServer {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        HistoryServer::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&self, record: RunRecord) {
+        self.records.write().push(record);
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// A snapshot of all records.
+    pub fn snapshot(&self) -> Vec<RunRecord> {
+        self.records.read().clone()
+    }
+
+    /// Records for one query id.
+    pub fn for_query(&self, query_id: &str) -> Vec<RunRecord> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.query_id == query_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent `n` records (oldest first).
+    pub fn recent(&self, n: usize) -> Vec<RunRecord> {
+        let records = self.records.read();
+        let start = records.len().saturating_sub(n);
+        records[start..].to_vec()
+    }
+
+    /// Serialises the whole history to JSON (the paper's storage format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&*self.records.read()).expect("records are serialisable")
+    }
+
+    /// Restores a history from JSON produced by [`HistoryServer::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let records: Vec<RunRecord> = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        Ok(HistoryServer {
+            records: RwLock::new(records),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::{CloudEnv, Provider};
+    use smartpick_engine::Allocation;
+
+    fn record(id: &str, actual: f64, predicted: f64) -> RunRecord {
+        let env = CloudEnv::new(Provider::Aws);
+        RunRecord {
+            query_id: id.to_owned(),
+            features: QueryFeatures::for_allocation(0.0, 100.0, &Allocation::new(1, 1), &env),
+            actual_seconds: actual,
+            predicted_seconds: predicted,
+            cost_dollars: 0.01,
+        }
+    }
+
+    #[test]
+    fn stores_and_filters() {
+        let h = HistoryServer::new();
+        h.record(record("a", 10.0, 9.0));
+        h.record(record("b", 20.0, 22.0));
+        h.record(record("a", 11.0, 10.5));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.for_query("a").len(), 2);
+        assert_eq!(h.recent(2).len(), 2);
+        assert_eq!(h.recent(2)[0].query_id, "b");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let h = HistoryServer::new();
+        h.record(record("x", 30.0, 28.0));
+        let json = h.to_json();
+        let back = HistoryServer::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.snapshot()[0].query_id, "x");
+        assert!(HistoryServer::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn abs_error() {
+        assert_eq!(record("q", 10.0, 13.0).abs_error(), 3.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let h = Arc::new(HistoryServer::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        h.record(record(&format!("q{i}"), j as f64, j as f64));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.len(), 400);
+    }
+}

@@ -1,0 +1,259 @@
+//! Event-driven background retraining (§4.2, §5 "Prediction model
+//! updates").
+//!
+//! An independent monitor compares each run's actual completion time with
+//! the prediction; when the difference exceeds
+//! `smartpick.train.errorDifference.trigger`, a background retraining task
+//! re-tunes the model: the offending samples are inflated with the ±5%
+//! data-burst heuristic and appended to the forest `warm_start`-style.
+//! A second, batch-based path retrains whenever `max.batch` samples have
+//! accumulated, keeping the model incrementally up-to-date. Where the
+//! retraining runs (same instance if enough RAM, otherwise a fresh one) is
+//! governed by `pref.sameInstance` / `min.ram.gb`.
+
+use smartpick_ml::dataset::Dataset;
+
+use crate::error::SmartpickError;
+use crate::features::QueryFeatures;
+use crate::properties::SmartpickProperties;
+use crate::wp::WorkloadPredictor;
+
+/// Where a retraining task runs (§5): the paper observes same-instance
+/// retraining interferes with the running job and recommends a separate
+/// instance (§6.5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainLocation {
+    /// In-place on the driver instance (needs `min.ram.gb` free).
+    SameInstance,
+    /// On a freshly spawned instance.
+    SeparateInstance,
+}
+
+/// Why a retraining task fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainTrigger {
+    /// |actual − predicted| exceeded `errorDifference.trigger`.
+    ErrorDifference,
+    /// `max.batch` samples accumulated.
+    BatchFull,
+}
+
+/// Outcome of one retraining task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrainReport {
+    /// What fired it.
+    pub trigger: RetrainTrigger,
+    /// Where it ran.
+    pub location: RetrainLocation,
+    /// Samples (after burst) the forest was extended with.
+    pub samples_used: usize,
+    /// Trees added to the ensemble.
+    pub trees_added: usize,
+}
+
+/// The retraining monitor: accumulates observations and fires retraining
+/// tasks per the configured policy.
+#[derive(Debug)]
+pub struct RetrainMonitor {
+    props: SmartpickProperties,
+    pending: Dataset,
+    /// Free driver RAM in GB, for the same-instance decision (simulated;
+    /// defaults to 16 GB master minus workload headroom).
+    pub free_ram_gb: u32,
+    retrain_count: usize,
+}
+
+impl RetrainMonitor {
+    /// Creates a monitor with the given properties.
+    pub fn new(props: SmartpickProperties) -> Self {
+        RetrainMonitor {
+            props,
+            pending: Dataset::new(QueryFeatures::names()),
+            free_ram_gb: 8,
+            retrain_count: 0,
+        }
+    }
+
+    /// Number of retraining tasks fired so far.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// Samples waiting for the next batch retrain.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records one completed run and decides whether retraining fires.
+    ///
+    /// Every observation joins the pending batch; the error-difference rule
+    /// fires immediately on a bad prediction, the batch rule when the
+    /// pending set reaches `max.batch`.
+    pub fn observe(
+        &mut self,
+        features: &QueryFeatures,
+        predicted_seconds: f64,
+        actual_seconds: f64,
+    ) -> Option<RetrainTrigger> {
+        self.pending.push(features.to_vec(), actual_seconds);
+        let error = (actual_seconds - predicted_seconds).abs();
+        if error > self.props.error_difference_trigger_secs {
+            return Some(RetrainTrigger::ErrorDifference);
+        }
+        if self.pending.len() >= self.props.max_batch {
+            return Some(RetrainTrigger::BatchFull);
+        }
+        None
+    }
+
+    /// Where the task will run, per `pref.sameInstance` and `min.ram.gb`.
+    pub fn location(&self) -> RetrainLocation {
+        if self.props.same_instance_retrain && self.free_ram_gb >= self.props.min_ram_gb {
+            RetrainLocation::SameInstance
+        } else {
+            RetrainLocation::SeparateInstance
+        }
+    }
+
+    /// Executes a retraining task against `predictor`: bursts the pending
+    /// samples ±5%, extends the forest with `warm_start`, and clears the
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartpickError::NoTrainingData`] when nothing is pending,
+    /// or a model error from the forest extension.
+    pub fn retrain(
+        &mut self,
+        predictor: &mut WorkloadPredictor,
+        trigger: RetrainTrigger,
+        seed: u64,
+    ) -> Result<RetrainReport, SmartpickError> {
+        if self.pending.is_empty() {
+            return Err(SmartpickError::NoTrainingData);
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let burst = self.pending.burst(10, 0.05, &mut rng);
+        // Extending by the current ensemble size halves the weight of stale
+        // knowledge per retrain, converging geometrically (Figure 10/11).
+        let trees_added = predictor.forest().n_trees();
+        predictor
+            .forest_mut()
+            .warm_start_extend(&burst, trees_added, seed ^ 0xAD0BE)?;
+        self.pending = Dataset::new(QueryFeatures::names());
+        self.retrain_count += 1;
+        Ok(RetrainReport {
+            trigger,
+            location: self.location(),
+            samples_used: burst.len(),
+            trees_added,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::{CloudEnv, Provider};
+    use smartpick_engine::Allocation;
+    use smartpick_ml::forest::ForestParams;
+    use smartpick_workloads::tpcds;
+
+    fn trained_predictor() -> WorkloadPredictor {
+        let env = CloudEnv::new(Provider::Aws);
+        let queries = vec![tpcds::query(82, 100.0).unwrap()];
+        let opts = crate::training::TrainOptions {
+            configs_per_query: 6,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+            max_vm: 4,
+            max_sl: 4,
+            ..crate::training::TrainOptions::default()
+        };
+        crate::training::train_predictor(&env, &queries, &opts, 9)
+            .unwrap()
+            .0
+    }
+
+    fn features(actual_code: f64) -> QueryFeatures {
+        let env = CloudEnv::new(Provider::Aws);
+        QueryFeatures::for_allocation(actual_code, 100.0, &Allocation::new(2, 2), &env)
+    }
+
+    #[test]
+    fn error_difference_fires() {
+        let mut props = SmartpickProperties::default();
+        props.error_difference_trigger_secs = 10.0;
+        let mut mon = RetrainMonitor::new(props);
+        assert_eq!(mon.observe(&features(0.0), 50.0, 55.0), None);
+        assert_eq!(
+            mon.observe(&features(0.0), 50.0, 75.0),
+            Some(RetrainTrigger::ErrorDifference)
+        );
+    }
+
+    #[test]
+    fn batch_rule_fires_at_max_batch() {
+        let mut props = SmartpickProperties::default();
+        props.max_batch = 3;
+        props.error_difference_trigger_secs = 1e9;
+        let mut mon = RetrainMonitor::new(props);
+        assert_eq!(mon.observe(&features(0.0), 10.0, 10.0), None);
+        assert_eq!(mon.observe(&features(0.0), 10.0, 10.0), None);
+        assert_eq!(
+            mon.observe(&features(0.0), 10.0, 10.0),
+            Some(RetrainTrigger::BatchFull)
+        );
+    }
+
+    #[test]
+    fn location_follows_properties() {
+        let mut props = SmartpickProperties::default();
+        props.same_instance_retrain = true;
+        props.min_ram_gb = 4;
+        let mon = RetrainMonitor::new(props.clone());
+        assert_eq!(mon.location(), RetrainLocation::SameInstance);
+        let mut mon = RetrainMonitor::new(props);
+        mon.free_ram_gb = 2;
+        assert_eq!(mon.location(), RetrainLocation::SeparateInstance);
+        let mon = RetrainMonitor::new(SmartpickProperties::default());
+        assert_eq!(mon.location(), RetrainLocation::SeparateInstance);
+    }
+
+    #[test]
+    fn retrain_shifts_predictions_toward_new_truth() {
+        let mut predictor = trained_predictor();
+        let mut props = SmartpickProperties::default();
+        props.error_difference_trigger_secs = 10.0;
+        let mut mon = RetrainMonitor::new(props);
+
+        // A new regime: this feature row actually takes 400 s.
+        let f = features(1.0);
+        let before = predictor.forest().predict(&f.to_vec());
+        let trigger = mon.observe(&f, before, 400.0).expect("big error fires");
+        let report = mon.retrain(&mut predictor, trigger, 77).unwrap();
+        assert!(report.samples_used >= 10);
+        assert_eq!(report.trees_added, 20);
+        let after = predictor.forest().predict(&f.to_vec());
+        assert!(
+            (after - 400.0).abs() < (before - 400.0).abs() * 0.7,
+            "prediction should converge: before {before}, after {after}"
+        );
+        assert_eq!(mon.pending_len(), 0);
+        assert_eq!(mon.retrain_count(), 1);
+    }
+
+    #[test]
+    fn retrain_without_pending_errors() {
+        let mut predictor = trained_predictor();
+        let mut mon = RetrainMonitor::new(SmartpickProperties::default());
+        assert!(matches!(
+            mon.retrain(&mut predictor, RetrainTrigger::BatchFull, 0),
+            Err(SmartpickError::NoTrainingData)
+        ));
+    }
+}

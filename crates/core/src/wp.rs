@@ -1,0 +1,384 @@
+//! The Workload Prediction (WP) component: Random Forest + Bayesian
+//! Optimizer (§3).
+//!
+//! `f(β) = RF_t` (Equation 1) predicts a query's completion time from the
+//! Table 3 features; the Bayesian optimizer maximises `−(RF_t + δ)`
+//! (Equation 2) over the `{nVM, nSL}` grid with Probability-of-Improvement
+//! acquisition, stopping after 10 consecutive probes that improve the best
+//! estimate by less than 1% (§3.1). Every probe lands in the
+//! estimated-times list `ET_l`, which the knob of §3.3 traverses.
+//!
+//! The module is deliberately framed as a *service*
+//! ([`WorkloadPredictionService`]) because the paper ships WP as a
+//! standalone Thrift server that other serverless data-analytics systems
+//! (Cocoa, SplitServe) can call (§5, §6.3.2); [`ConstraintMode`]
+//! implements those integrations' restricted searches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smartpick_cloudsim::rngutil::sample_normal;
+use smartpick_cloudsim::{CloudEnv, Money};
+use smartpick_engine::{Allocation, QueryProfile, RelayPolicy};
+use smartpick_ml::bayesopt::{BayesianOptimizer, BoParams};
+use smartpick_ml::forest::RandomForest;
+
+use crate::error::SmartpickError;
+use crate::features::QueryFeatures;
+use crate::planner::{Planner, UniformWorkload};
+use crate::similarity::SimilarityChecker;
+use crate::tradeoff::{choose_with_knob, EtEntry};
+
+/// A query the predictor was trained on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnownQuery {
+    /// Query identifier.
+    pub id: String,
+    /// Numeric code used as the `query-code` feature.
+    pub code: f64,
+    /// Input size the model saw, GB.
+    pub input_gb: f64,
+    /// Uniform-workload approximation for the planner's cost model.
+    pub workload: UniformWorkload,
+}
+
+/// Which configurations the search may consider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintMode {
+    /// The full hybrid space (Smartpick).
+    Hybrid,
+    /// VMs only — the "tweaked WP" plugged into Cocoa/SplitServe (§6.3.2).
+    VmOnly,
+    /// SLs only (the SL-only baseline).
+    SlOnly,
+    /// Equal numbers of SLs and VMs — SplitServe's design constraint
+    /// (§4.3).
+    EqualSlVm,
+}
+
+/// A prediction request.
+#[derive(Debug, Clone)]
+pub struct PredictionRequest {
+    /// The query to size.
+    pub query: QueryProfile,
+    /// Cost–performance knob ε (0 = best performance).
+    pub knob: f64,
+    /// Search-space constraint.
+    pub constraint: ConstraintMode,
+    /// Seed for the stochastic parts of the search.
+    pub seed: u64,
+}
+
+impl PredictionRequest {
+    /// A best-performance hybrid request.
+    pub fn new(query: QueryProfile, seed: u64) -> Self {
+        PredictionRequest {
+            query,
+            knob: 0.0,
+            constraint: ConstraintMode::Hybrid,
+            seed,
+        }
+    }
+}
+
+/// The outcome of a resource determination.
+#[derive(Debug, Clone)]
+pub struct Determination {
+    /// The chosen configuration (relay policy already applied).
+    pub allocation: Allocation,
+    /// Predicted completion time for the chosen configuration, seconds.
+    pub predicted_seconds: f64,
+    /// Planner-estimated cost for the chosen configuration.
+    pub predicted_cost: Money,
+    /// The estimated-times list `ET_l` (§3.3), one entry per probe.
+    pub et_list: Vec<EtEntry>,
+    /// Objective evaluations the search spent.
+    pub evaluations: usize,
+    /// Whether the query was known (false = similarity-matched alien).
+    pub known_query: bool,
+    /// The known query the prediction was based on.
+    pub matched_query: String,
+    /// Cosine similarity of the match (1.0 for known queries).
+    pub match_similarity: f64,
+}
+
+/// The workload-prediction service interface other SEDA systems call
+/// (§5 exposes this over Thrift RPC; here it is a trait object boundary).
+pub trait WorkloadPredictionService {
+    /// Determines the optimal configuration for a request.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SmartpickError::UnknownQuery`] when the
+    /// query cannot be matched to any known workload.
+    fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError>;
+}
+
+/// The trained predictor: Random Forest + BO + Similarity Checker.
+#[derive(Debug, Clone)]
+pub struct WorkloadPredictor {
+    env: CloudEnv,
+    forest: RandomForest,
+    known: Vec<KnownQuery>,
+    sc: SimilarityChecker,
+    planner: Planner,
+    /// Whether the model was trained on relay runs (Smartpick-r).
+    relay_aware: bool,
+    /// Regression standard error from training (drives the accuracy rule).
+    stderr: f64,
+    /// Search-space bounds (inclusive).
+    max_vm: u32,
+    /// Search-space bounds (inclusive).
+    max_sl: u32,
+    /// Minimum total instances a candidate may request — mirrors the
+    /// training floor so the search never relies on extrapolated
+    /// predictions for starving configurations.
+    min_total: u32,
+    bo: BoParams,
+    /// σ of the δ observation noise in Equation 2.
+    noise_sigma: f64,
+}
+
+impl WorkloadPredictor {
+    /// Assembles a predictor from its parts (used by the training
+    /// pipeline).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        env: CloudEnv,
+        forest: RandomForest,
+        known: Vec<KnownQuery>,
+        sc: SimilarityChecker,
+        relay_aware: bool,
+        stderr: f64,
+        max_vm: u32,
+        max_sl: u32,
+        min_total: u32,
+    ) -> Self {
+        WorkloadPredictor {
+            planner: Planner::new(env.clone()),
+            env,
+            forest,
+            known,
+            sc,
+            relay_aware,
+            stderr,
+            max_vm,
+            max_sl,
+            min_total: min_total.max(1),
+            bo: BoParams {
+                acq_subsample: Some(64),
+                ..BoParams::default()
+            },
+            noise_sigma: 0.25,
+        }
+    }
+
+    /// The environment the predictor was trained for.
+    pub fn env(&self) -> &CloudEnv {
+        &self.env
+    }
+
+    /// Whether the model was trained on relay runs (Smartpick-r).
+    pub fn relay_aware(&self) -> bool {
+        self.relay_aware
+    }
+
+    /// The regression standard error measured at training time.
+    pub fn stderr(&self) -> f64 {
+        self.stderr
+    }
+
+    /// The known queries.
+    pub fn known_queries(&self) -> &[KnownQuery] {
+        &self.known
+    }
+
+    /// Mutable access to the underlying forest (background retraining).
+    pub(crate) fn forest_mut(&mut self) -> &mut RandomForest {
+        &mut self.forest
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Registers a previously alien query as known (after retraining has
+    /// incorporated it, §4.2). Returns its new code.
+    pub fn register_query(&mut self, query: &QueryProfile) -> f64 {
+        if let Some(k) = self.known.iter().find(|k| k.id == query.id) {
+            return k.code;
+        }
+        let code = self.known.len() as f64;
+        self.known.push(KnownQuery {
+            id: query.id.clone(),
+            code,
+            input_gb: query.input_gb,
+            workload: approximate_workload(query, &self.env),
+        });
+        self.sc.register(query);
+        code
+    }
+
+    /// Looks up a known query's code by id.
+    pub fn code_of(&self, query_id: &str) -> Option<f64> {
+        self.known.iter().find(|k| k.id == query_id).map(|k| k.code)
+    }
+
+    /// Predicts the completion time (seconds) of `query` under a specific
+    /// configuration — Equation 1 without the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartpickError::UnknownQuery`] when the query cannot be
+    /// matched.
+    pub fn predict_seconds(
+        &self,
+        query: &QueryProfile,
+        alloc: &Allocation,
+    ) -> Result<f64, SmartpickError> {
+        let (known, _similarity, _known_query) = self.resolve(query)?;
+        let features =
+            QueryFeatures::for_allocation(known.code, query.input_gb, alloc, &self.env);
+        Ok(self.forest.predict(&features.to_vec()))
+    }
+
+    /// Resolves a query to a known query: directly if known, via the
+    /// Similarity Checker otherwise.
+    fn resolve(&self, query: &QueryProfile) -> Result<(&KnownQuery, f64, bool), SmartpickError> {
+        if let Some(k) = self.known.iter().find(|k| k.id == query.id) {
+            return Ok((k, 1.0, true));
+        }
+        let matched = self
+            .sc
+            .closest(query)
+            .ok_or_else(|| SmartpickError::UnknownQuery(query.id.clone()))?;
+        let k = self
+            .known
+            .iter()
+            .find(|k| k.id == matched.query_id)
+            .ok_or_else(|| SmartpickError::UnknownQuery(query.id.clone()))?;
+        Ok((k, matched.similarity, false))
+    }
+
+    /// The candidate `{nVM, nSL}` grid for a constraint mode.
+    fn candidates(&self, constraint: ConstraintMode) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for n_vm in 0..=self.max_vm {
+            for n_sl in 0..=self.max_sl {
+                if n_vm + n_sl < self.min_total.max(1) {
+                    continue;
+                }
+                let keep = match constraint {
+                    ConstraintMode::Hybrid => true,
+                    ConstraintMode::VmOnly => n_sl == 0,
+                    ConstraintMode::SlOnly => n_vm == 0,
+                    ConstraintMode::EqualSlVm => n_vm == n_sl && n_vm > 0,
+                };
+                if keep {
+                    out.push(vec![n_vm as f64, n_sl as f64]);
+                }
+            }
+        }
+        out
+    }
+
+    /// The relay policy the determination should carry.
+    fn relay_for(&self, n_vm: u32, n_sl: u32) -> RelayPolicy {
+        if self.relay_aware && n_vm > 0 && n_sl > 0 {
+            RelayPolicy::Relay
+        } else {
+            RelayPolicy::None
+        }
+    }
+}
+
+/// Approximates a query DAG as a uniform workload for the planner's cost
+/// model: total tasks at the mean per-task VM time.
+pub(crate) fn approximate_workload(query: &QueryProfile, env: &CloudEnv) -> UniformWorkload {
+    let perf = env.perf();
+    let mut total_secs = 0.0;
+    let mut tasks = 0usize;
+    for s in &query.stages {
+        let per_task = s.cpu_ms_per_task / 1000.0 / perf.vm_speed_factor()
+            + perf.storage_read_secs(s.input_mib_per_task + s.shuffle_mib_per_task);
+        total_secs += per_task * s.tasks as f64;
+        tasks += s.tasks;
+    }
+    UniformWorkload {
+        tasks,
+        task_secs_on_vm: if tasks == 0 { 0.0 } else { total_secs / tasks as f64 },
+    }
+}
+
+impl WorkloadPredictionService for WorkloadPredictor {
+    fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError> {
+        let (known, similarity, known_query) = self.resolve(&request.query)?;
+        let code = known.code;
+        let matched_id = known.id.clone();
+
+        let candidates = self.candidates(request.constraint);
+        let mut noise_rng = StdRng::seed_from_u64(request.seed ^ NOISE_SEED_MIX);
+        let bo = BayesianOptimizer::new(self.bo.clone());
+
+        // Equation 2: maximise −(RF_t + δ).
+        let result = bo.maximize(&candidates, request.seed, |x| {
+            let alloc = Allocation::new(x[0] as u32, x[1] as u32);
+            let features =
+                QueryFeatures::for_allocation(code, request.query.input_gb, &alloc, &self.env);
+            let rf_t = self.forest.predict(&features.to_vec());
+            let delta = sample_normal(&mut noise_rng, 0.0, self.noise_sigma);
+            -(rf_t + delta)
+        });
+
+        // Build ET_l from the probes, with planner costs.
+        let et_list: Vec<EtEntry> = result
+            .probes
+            .iter()
+            .map(|p| {
+                let n_vm = p.x[0] as u32;
+                let n_sl = p.x[1] as u32;
+                let alloc = Allocation::new(n_vm, n_sl).with_relay(self.relay_for(n_vm, n_sl));
+                let est_seconds = -p.objective;
+                EtEntry {
+                    est_cost: self.planner.expected_cost(&alloc, est_seconds),
+                    allocation: alloc,
+                    est_seconds,
+                }
+            })
+            .collect();
+
+        // Best-performance choice.
+        let best_vm = result.best_x[0] as u32;
+        let best_sl = result.best_x[1] as u32;
+        let best_alloc =
+            Allocation::new(best_vm, best_sl).with_relay(self.relay_for(best_vm, best_sl));
+        let t_best = -result.best_objective;
+        let c_best = self.planner.expected_cost(&best_alloc, t_best);
+
+        // Knob (§3.3): traverse ET_l for a cheaper in-tolerance entry.
+        let (allocation, predicted_seconds, predicted_cost) =
+            match choose_with_knob(&et_list, t_best, c_best, request.knob) {
+                Some(i) => {
+                    let e = &et_list[i];
+                    (e.allocation, e.est_seconds, e.est_cost)
+                }
+                None => (best_alloc, t_best, c_best),
+            };
+
+        Ok(Determination {
+            allocation,
+            predicted_seconds,
+            predicted_cost,
+            et_list,
+            evaluations: result.evaluations,
+            known_query,
+            matched_query: matched_id,
+            match_similarity: similarity,
+        })
+    }
+}
+
+/// Mixed into the request seed so the δ-noise stream differs from the BO's
+/// own candidate shuffling.
+const NOISE_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;

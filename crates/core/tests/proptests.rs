@@ -1,0 +1,124 @@
+//! Property-based tests for the planner's closed-form model and the
+//! Equation 4 knob.
+
+use proptest::prelude::*;
+
+use smartpick_cloudsim::{CloudEnv, Money, Provider};
+use smartpick_core::planner::{Planner, UniformWorkload};
+use smartpick_core::tradeoff::{choose_with_knob, EtEntry};
+use smartpick_engine::{Allocation, RelayPolicy};
+
+proptest! {
+    /// Adding instances never makes the planner's expected time worse.
+    #[test]
+    fn planner_time_monotone_in_capacity(
+        tasks in 1usize..2000,
+        task_secs in 0.5f64..10.0,
+        n_vm in 0u32..8,
+        n_sl in 0u32..8,
+    ) {
+        prop_assume!(n_vm + n_sl > 0);
+        let p = Planner::new(CloudEnv::new(Provider::Aws));
+        let w = UniformWorkload { tasks, task_secs_on_vm: task_secs };
+        let base = p.expected_seconds(&w, &Allocation::new(n_vm, n_sl));
+        let more_vm = p.expected_seconds(&w, &Allocation::new(n_vm + 1, n_sl));
+        let more_sl = p.expected_seconds(&w, &Allocation::new(n_vm, n_sl + 1));
+        prop_assert!(more_vm <= base + 1e-9, "vm: {more_vm} > {base}");
+        prop_assert!(more_sl <= base + 1e-9, "sl: {more_sl} > {base}");
+    }
+
+    /// Expected cost is non-negative and grows with estimated time.
+    #[test]
+    fn planner_cost_monotone_in_time(
+        n_vm in 0u32..8,
+        n_sl in 0u32..8,
+        secs in 1.0f64..2000.0,
+        extra in 1.0f64..500.0,
+    ) {
+        prop_assume!(n_vm + n_sl > 0);
+        for relay in [RelayPolicy::None, RelayPolicy::Relay] {
+            let p = Planner::new(CloudEnv::new(Provider::Gcp));
+            let alloc = Allocation::new(n_vm, n_sl).with_relay(relay);
+            let a = p.expected_cost(&alloc, secs);
+            let b = p.expected_cost(&alloc, secs + extra);
+            prop_assert!(a.dollars() >= 0.0);
+            prop_assert!(b >= a, "{relay:?}: {b} < {a} at {secs}+{extra}");
+        }
+    }
+
+    /// Relay never costs more than the same allocation without relay.
+    #[test]
+    fn planner_relay_never_costs_more(
+        n_vm in 1u32..8,
+        n_sl in 1u32..8,
+        secs in 1.0f64..2000.0,
+    ) {
+        let p = Planner::new(CloudEnv::new(Provider::Aws));
+        let plain = p.expected_cost(&Allocation::new(n_vm, n_sl), secs);
+        let relay = p.expected_cost(
+            &Allocation::new(n_vm, n_sl).with_relay(RelayPolicy::Relay),
+            secs,
+        );
+        prop_assert!(relay <= plain, "{relay} > {plain}");
+    }
+
+    /// Whatever the knob picks satisfies both Equation 4 constraints, and
+    /// enlarging ε never picks something more expensive.
+    #[test]
+    fn knob_choice_is_feasible_and_monotone(
+        entries in prop::collection::vec(
+            (1.0f64..500.0, 0.001f64..0.2), 1..40
+        ),
+        eps_small in 0.05f64..0.5,
+        eps_extra in 0.0f64..1.0,
+    ) {
+        let et: Vec<EtEntry> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(secs, cost))| EtEntry {
+                allocation: Allocation::new(1 + (i % 5) as u32, (i % 3) as u32),
+                est_seconds: secs,
+                est_cost: Money::from_dollars(cost),
+            })
+            .collect();
+        // Best-performance reference: fastest entry.
+        let best = et
+            .iter()
+            .min_by(|a, b| a.est_seconds.partial_cmp(&b.est_seconds).unwrap())
+            .unwrap();
+        let (t_best, c_best) = (best.est_seconds, best.est_cost);
+
+        let small = choose_with_knob(&et, t_best, c_best, eps_small);
+        if let Some(i) = small {
+            prop_assert!(et[i].est_seconds <= t_best * (1.0 + eps_small) + 1e-9);
+            prop_assert!(et[i].est_cost <= c_best);
+        }
+        let large = choose_with_knob(&et, t_best, c_best, eps_small + eps_extra);
+        if let (Some(i), Some(j)) = (small, large) {
+            prop_assert!(
+                et[j].est_cost <= et[i].est_cost,
+                "larger knob picked pricier entry"
+            );
+        }
+        // A feasible choice at small ε implies one at larger ε.
+        if small.is_some() {
+            prop_assert!(large.is_some());
+        }
+    }
+
+    /// ε = 0 always keeps the best-performance configuration.
+    #[test]
+    fn zero_knob_never_overrides(n in 1usize..20) {
+        let et: Vec<EtEntry> = (0..n)
+            .map(|i| EtEntry {
+                allocation: Allocation::new(i as u32 + 1, 0),
+                est_seconds: 10.0 + i as f64,
+                est_cost: Money::from_dollars(0.01),
+            })
+            .collect();
+        prop_assert_eq!(
+            choose_with_knob(&et, 10.0, Money::from_dollars(0.01), 0.0),
+            None
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests of the Workload Prediction service boundary — the
+//! trait other SEDA systems consume (§5, §6.3.2).
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::training::{train_predictor, TrainOptions};
+use smartpick_core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
+use smartpick_core::WorkloadPredictor;
+use smartpick_ml::forest::ForestParams;
+use smartpick_workloads::tpcds;
+
+fn predictor() -> WorkloadPredictor {
+    let env = CloudEnv::new(Provider::Aws);
+    let queries: Vec<_> = tpcds::TRAINING_QUERIES
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 8,
+        burst_factor: 4,
+        forest: ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        },
+        ..TrainOptions::default()
+    };
+    train_predictor(&env, &queries, &opts, 42).unwrap().0
+}
+
+#[test]
+fn usable_as_a_trait_object() {
+    let wp = predictor();
+    let service: &dyn WorkloadPredictionService = &wp;
+    let det = service
+        .determine(&PredictionRequest::new(tpcds::query(11, 100.0).unwrap(), 1))
+        .expect("determination succeeds");
+    assert!(det.allocation.is_viable());
+}
+
+#[test]
+fn search_honours_the_training_floor() {
+    // Trained with min_total = 4: no determination may request fewer.
+    let wp = predictor();
+    for (qnum, seed) in [(11u32, 1u64), (49, 2), (82, 3)] {
+        for constraint in [
+            ConstraintMode::Hybrid,
+            ConstraintMode::VmOnly,
+            ConstraintMode::SlOnly,
+        ] {
+            let det = wp
+                .determine(&PredictionRequest {
+                    query: tpcds::query(qnum, 100.0).unwrap(),
+                    knob: 0.0,
+                    constraint,
+                    seed,
+                })
+                .unwrap();
+            assert!(
+                det.allocation.total_instances() >= 4,
+                "q{qnum} {constraint:?}: {}",
+                det.allocation
+            );
+            for e in &det.et_list {
+                assert!(e.allocation.total_instances() >= 4);
+            }
+        }
+    }
+}
+
+#[test]
+fn et_list_is_internally_consistent() {
+    let wp = predictor();
+    let det = wp
+        .determine(&PredictionRequest::new(tpcds::query(74, 100.0).unwrap(), 7))
+        .unwrap();
+    assert_eq!(det.et_list.len(), det.evaluations);
+    for e in &det.et_list {
+        assert!(e.est_seconds.is_finite());
+        assert!(e.est_cost.dollars() >= 0.0);
+        assert!(e.allocation.is_viable());
+    }
+    // The chosen configuration's prediction matches one of the probes
+    // (knob 0 keeps the best probe).
+    let best = det
+        .et_list
+        .iter()
+        .map(|e| e.est_seconds)
+        .fold(f64::INFINITY, f64::min);
+    assert!((det.predicted_seconds - best).abs() < 1e-9);
+}
+
+#[test]
+fn registering_a_query_makes_it_known() {
+    let mut wp = predictor();
+    let alien = tpcds::query(62, 100.0).unwrap();
+    assert!(wp.code_of("tpcds-q62").is_none());
+    let code = wp.register_query(&alien);
+    assert_eq!(wp.code_of("tpcds-q62"), Some(code));
+    // Re-registration is idempotent.
+    assert_eq!(wp.register_query(&alien), code);
+    let det = wp
+        .determine(&PredictionRequest::new(alien, 9))
+        .unwrap();
+    assert!(det.known_query);
+}
+
+#[test]
+fn predictions_scale_with_instance_count() {
+    // More instances must not predict (much) slower completion for the
+    // same query — the learned surface is broadly monotone.
+    let wp = predictor();
+    let q = tpcds::query(74, 100.0).unwrap();
+    let small = wp
+        .predict_seconds(&q, &smartpick_engine::Allocation::new(2, 2))
+        .unwrap();
+    let large = wp
+        .predict_seconds(&q, &smartpick_engine::Allocation::new(10, 10))
+        .unwrap();
+    assert!(
+        large < small * 1.1,
+        "20 instances ({large:.1}s) should not be slower than 4 ({small:.1}s)"
+    );
+}
+
+#[test]
+fn relay_aware_predictor_emits_relay_allocations() {
+    let env = CloudEnv::new(Provider::Aws);
+    let queries: Vec<_> = [82u32, 74]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 6,
+        burst_factor: 3,
+        relay: true,
+        forest: ForestParams {
+            n_trees: 20,
+            ..ForestParams::default()
+        },
+        ..TrainOptions::default()
+    };
+    let (wp, _) = train_predictor(&env, &queries, &opts, 5).unwrap();
+    assert!(wp.relay_aware());
+    let det = wp
+        .determine(&PredictionRequest::new(tpcds::query(74, 100.0).unwrap(), 3))
+        .unwrap();
+    if det.allocation.n_vm > 0 && det.allocation.n_sl > 0 {
+        assert_eq!(det.allocation.relay, smartpick_engine::RelayPolicy::Relay);
+    }
+}

@@ -1,0 +1,115 @@
+//! Compute-resource allocations: how many SLs and VMs, and how SLs retire.
+
+use std::fmt;
+
+use smartpick_cloudsim::SimDuration;
+
+/// How serverless instances are retired during a hybrid run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelayPolicy {
+    /// SLs live until the query completes (plain hybrid / SL-only — the
+    /// costly behaviour §2.2 warns about).
+    None,
+    /// Smartpick's **relay-instances** (§4.3): SL *i* drains as soon as VM
+    /// *i* is ready and terminates when its current task finishes.
+    Relay,
+    /// SplitServe's **segueing**: every SL is held (and billed) until a
+    /// static timeout, idle or not, then drains (§4.3's critique).
+    Segue {
+        /// The static SL timeout.
+        timeout: SimDuration,
+    },
+}
+
+impl fmt::Display for RelayPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayPolicy::None => f.write_str("none"),
+            RelayPolicy::Relay => f.write_str("relay"),
+            RelayPolicy::Segue { timeout } => write!(f, "segue({timeout})"),
+        }
+    }
+}
+
+/// A compute-resource configuration `{nVM, nSL}` for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// Number of worker VMs.
+    pub n_vm: u32,
+    /// Number of serverless workers.
+    pub n_sl: u32,
+    /// Serverless retirement policy.
+    pub relay: RelayPolicy,
+}
+
+impl Allocation {
+    /// A hybrid allocation without relay.
+    pub fn new(n_vm: u32, n_sl: u32) -> Self {
+        Allocation {
+            n_vm,
+            n_sl,
+            relay: RelayPolicy::None,
+        }
+    }
+
+    /// VM-only: `{n, 0}`.
+    pub fn vm_only(n: u32) -> Self {
+        Allocation::new(n, 0)
+    }
+
+    /// SL-only: `{0, n}`.
+    pub fn sl_only(n: u32) -> Self {
+        Allocation::new(0, n)
+    }
+
+    /// Sets the relay policy.
+    pub fn with_relay(mut self, relay: RelayPolicy) -> Self {
+        self.relay = relay;
+        self
+    }
+
+    /// Total instances requested.
+    pub fn total_instances(&self) -> u32 {
+        self.n_vm + self.n_sl
+    }
+
+    /// Whether at least one instance is requested.
+    pub fn is_viable(&self) -> bool {
+        self.total_instances() > 0
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{nVM={}, nSL={}, {}}}", self.n_vm, self.n_sl, self.relay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Allocation::vm_only(5).n_sl, 0);
+        assert_eq!(Allocation::sl_only(5).n_vm, 0);
+        let a = Allocation::new(2, 3).with_relay(RelayPolicy::Relay);
+        assert_eq!(a.total_instances(), 5);
+        assert_eq!(a.relay, RelayPolicy::Relay);
+    }
+
+    #[test]
+    fn viability() {
+        assert!(!Allocation::new(0, 0).is_viable());
+        assert!(Allocation::new(0, 1).is_viable());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Allocation::new(1, 2).with_relay(RelayPolicy::Segue {
+            timeout: SimDuration::from_secs_f64(60.0),
+        });
+        let s = a.to_string();
+        assert!(s.contains("nVM=1") && s.contains("segue"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+use smartpick_cloudsim::CloudSimError;
+
+/// Errors from simulated query execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The allocation requests zero instances.
+    EmptyAllocation,
+    /// The query DAG failed validation.
+    InvalidQuery(String),
+    /// Every instance terminated while tasks remained (e.g. a segue timeout
+    /// with no VMs to take over).
+    Starved,
+    /// An underlying cloud-simulation error.
+    Cloud(CloudSimError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyAllocation => {
+                write!(f, "allocation requests zero instances; nothing can run")
+            }
+            EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::Starved => {
+                write!(f, "all instances terminated while tasks remained (starvation)")
+            }
+            EngineError::Cloud(e) => write!(f, "cloud simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Cloud(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CloudSimError> for EngineError {
+    fn from(e: CloudSimError) -> Self {
+        EngineError::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = EngineError::EmptyAllocation;
+        assert!(e.to_string().contains("zero instances"));
+        let e: EngineError = CloudSimError::UnknownProvider("x".into()).into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

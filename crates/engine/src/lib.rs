@@ -1,0 +1,59 @@
+//! # smartpick-engine
+//!
+//! A Spark-like distributed **query execution engine** running on the
+//! simulated cloud of [`smartpick_cloudsim`]. It stands in for the Spark
+//! 2.2.1 deployment of the Smartpick paper (Middleware '23, §5).
+//!
+//! The paper models data-analytics queries as MapReduce-like DAGs: "several
+//! map and reduce stages that cannot start until all their dependencies are
+//! resolved" (§2.1). The engine reproduces exactly that:
+//!
+//! * [`query::QueryProfile`] — a DAG of [`query::StageProfile`]s, each with
+//!   a task count, per-task CPU work, cloud-storage input and shuffle
+//!   volume.
+//! * [`allocation::Allocation`] — how many serverless (SL) and VM workers
+//!   to spawn, plus the [`allocation::RelayPolicy`]: none, Smartpick's
+//!   relay-instances (§4.3), or SplitServe-style segueing with a static
+//!   timeout.
+//! * [`scheduler::simulate_query`] — an event-driven simulation that boots
+//!   instances, list-schedules ready tasks onto free executor slots
+//!   (preferring cheaper/faster VM slots once they exist), drains relayed
+//!   SLs when their paired VM becomes ready, and bills everything through
+//!   the cluster's cost meter.
+//! * [`listener::QueryListener`] — a Spark-listener-style event bus the
+//!   paper's Monitor/Feature-Extraction component hooks into (§5 "Metrics
+//!   collection").
+//!
+//! ## Example
+//!
+//! ```
+//! use smartpick_cloudsim::{CloudEnv, Provider};
+//! use smartpick_engine::allocation::{Allocation, RelayPolicy};
+//! use smartpick_engine::query::QueryProfile;
+//! use smartpick_engine::scheduler::simulate_query;
+//!
+//! let env = CloudEnv::new(Provider::Aws);
+//! let query = QueryProfile::uniform("demo", 3, 40, 2_000.0, 32.0, 8.0);
+//! let alloc = Allocation::new(3, 3).with_relay(RelayPolicy::Relay);
+//! let report = simulate_query(&query, &alloc, &env, 42)?;
+//! assert!(report.completion.as_secs_f64() > 0.0);
+//! assert!(report.cost.total().dollars() > 0.0);
+//! # Ok::<(), smartpick_engine::EngineError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod allocation;
+pub mod error;
+pub mod listener;
+pub mod query;
+pub mod report;
+pub mod scheduler;
+
+pub use allocation::{Allocation, RelayPolicy};
+pub use error::EngineError;
+pub use listener::{NullListener, QueryListener, TaskEndEvent};
+pub use query::{QueryClass, QueryProfile, StageProfile};
+pub use report::RunReport;
+pub use scheduler::{simulate_query, simulate_query_with_listener};

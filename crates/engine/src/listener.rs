@@ -1,0 +1,118 @@
+//! A Spark-listener-style event bus.
+//!
+//! The paper modifies "Spark's implementation of listener classes" so that
+//! metrics flow to the History Server as asynchronous events with little
+//! overhead to the running job (§5). The engine emits the same events to
+//! any [`QueryListener`].
+
+use smartpick_cloudsim::{InstanceId, InstanceKind, SimTime};
+
+/// Details of one finished task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskEndEvent {
+    /// Stage index within the query.
+    pub stage: usize,
+    /// Task index within the stage.
+    pub task: usize,
+    /// Instance that executed it.
+    pub instance: InstanceId,
+    /// VM or serverless.
+    pub kind: InstanceKind,
+    /// When it started.
+    pub started_at: SimTime,
+    /// When it finished.
+    pub finished_at: SimTime,
+}
+
+/// Receives engine events during a simulated run.
+///
+/// All methods default to no-ops so implementors override only what they
+/// need.
+pub trait QueryListener {
+    /// An instance completed booting.
+    fn on_instance_ready(&mut self, instance: InstanceId, kind: InstanceKind, at: SimTime) {
+        let _ = (instance, kind, at);
+    }
+
+    /// A task finished.
+    fn on_task_end(&mut self, event: &TaskEndEvent) {
+        let _ = event;
+    }
+
+    /// A whole stage finished.
+    fn on_stage_complete(&mut self, stage: usize, at: SimTime) {
+        let _ = (stage, at);
+    }
+
+    /// An instance was terminated (relay drain, segue timeout or query end).
+    fn on_instance_terminated(&mut self, instance: InstanceId, at: SimTime) {
+        let _ = (instance, at);
+    }
+
+    /// The query completed.
+    fn on_query_complete(&mut self, at: SimTime) {
+        let _ = at;
+    }
+}
+
+/// A listener that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullListener;
+
+impl QueryListener for NullListener {}
+
+/// A listener that counts events — handy in tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct CountingListener {
+    /// Instances that became ready.
+    pub instances_ready: usize,
+    /// Tasks finished.
+    pub tasks_ended: usize,
+    /// Stages completed.
+    pub stages_completed: usize,
+    /// Instances terminated.
+    pub instances_terminated: usize,
+    /// Query completions observed (should be 0 or 1).
+    pub queries_completed: usize,
+}
+
+impl QueryListener for CountingListener {
+    fn on_instance_ready(&mut self, _: InstanceId, _: InstanceKind, _: SimTime) {
+        self.instances_ready += 1;
+    }
+    fn on_task_end(&mut self, _: &TaskEndEvent) {
+        self.tasks_ended += 1;
+    }
+    fn on_stage_complete(&mut self, _: usize, _: SimTime) {
+        self.stages_completed += 1;
+    }
+    fn on_instance_terminated(&mut self, _: InstanceId, _: SimTime) {
+        self.instances_terminated += 1;
+    }
+    fn on_query_complete(&mut self, _: SimTime) {
+        self.queries_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_listener_accepts_everything() {
+        let mut l = NullListener;
+        l.on_instance_ready(InstanceId(0), InstanceKind::Vm, SimTime::ZERO);
+        l.on_stage_complete(0, SimTime::ZERO);
+        l.on_query_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn counting_listener_counts() {
+        let mut l = CountingListener::default();
+        l.on_instance_ready(InstanceId(0), InstanceKind::Vm, SimTime::ZERO);
+        l.on_instance_ready(InstanceId(1), InstanceKind::Serverless, SimTime::ZERO);
+        l.on_query_complete(SimTime::ZERO);
+        assert_eq!(l.instances_ready, 2);
+        assert_eq!(l.queries_completed, 1);
+    }
+}

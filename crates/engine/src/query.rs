@@ -1,0 +1,198 @@
+//! Query profiles: MapReduce-like stage DAGs (§2.1).
+
+/// Workload class by expected running time, as in the paper's §2.2
+/// illustrative example (short / mid / long).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Short-running (benefits most from serverless agility).
+    Short,
+    /// Mid-running (hybrid sweet spot).
+    Mid,
+    /// Long-running (VM-heavy configurations win).
+    Long,
+}
+
+impl QueryClass {
+    /// Classifies by total task count using the §2.2 example's thresholds
+    /// (100 / 250 / 500 tasks).
+    pub fn from_task_count(tasks: usize) -> Self {
+        if tasks <= 150 {
+            QueryClass::Short
+        } else if tasks <= 350 {
+            QueryClass::Mid
+        } else {
+            QueryClass::Long
+        }
+    }
+}
+
+/// One stage of a query: a set of independent tasks that all must finish
+/// before dependent stages start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProfile {
+    /// Stage label (`map-0`, `shuffle-1`, …).
+    pub name: String,
+    /// Number of parallel tasks.
+    pub tasks: usize,
+    /// CPU work per task in milliseconds *on the AWS VM baseline*; other
+    /// providers/kinds scale by the Table 5 speed factors.
+    pub cpu_ms_per_task: f64,
+    /// Cloud-storage input read per task, MiB (input stages).
+    pub input_mib_per_task: f64,
+    /// Shuffle traffic per task through the external store, MiB.
+    pub shuffle_mib_per_task: f64,
+    /// Indices of stages that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// A query: named DAG of stages plus its SQL text and input size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// Stable identifier, e.g. `tpcds-q11`.
+    pub id: String,
+    /// SQL text (used by the Similarity Checker).
+    pub sql: String,
+    /// Total input size in GB (a Table 3 feature).
+    pub input_gb: f64,
+    /// The stage DAG, topologically ordered (deps point backwards).
+    pub stages: Vec<StageProfile>,
+}
+
+impl QueryProfile {
+    /// Builds a linear-chain query of `n_stages` equal stages — convenient
+    /// for tests and examples. Stage `i` depends on stage `i − 1`.
+    pub fn uniform(
+        id: &str,
+        n_stages: usize,
+        tasks_per_stage: usize,
+        cpu_ms_per_task: f64,
+        input_mib_per_task: f64,
+        shuffle_mib_per_task: f64,
+    ) -> Self {
+        let stages = (0..n_stages)
+            .map(|i| StageProfile {
+                name: format!("stage-{i}"),
+                tasks: tasks_per_stage,
+                cpu_ms_per_task,
+                input_mib_per_task: if i == 0 { input_mib_per_task } else { 0.0 },
+                shuffle_mib_per_task,
+                deps: if i == 0 { vec![] } else { vec![i - 1] },
+            })
+            .collect();
+        QueryProfile {
+            id: id.to_owned(),
+            sql: String::new(),
+            input_gb: (n_stages * tasks_per_stage) as f64 * input_mib_per_task / 1024.0,
+            stages,
+        }
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Number of tasks in the root (map) stages — the `map_tasks` component
+    /// of the Similarity Checker vector.
+    pub fn map_tasks(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.deps.is_empty())
+            .map(|s| s.tasks)
+            .sum()
+    }
+
+    /// Workload class by total task count.
+    pub fn class(&self) -> QueryClass {
+        QueryClass::from_task_count(self.total_tasks())
+    }
+
+    /// Returns a copy with every stage's input and shuffle volumes (and the
+    /// task counts of input stages) scaled by `factor` — how the workload
+    /// generators model a data-size change (e.g. the 100 GB → 500 GB growth
+    /// of §6.5.2).
+    pub fn scaled_data(&self, factor: f64) -> QueryProfile {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut out = self.clone();
+        out.input_gb *= factor;
+        for stage in &mut out.stages {
+            if stage.deps.is_empty() {
+                stage.tasks = ((stage.tasks as f64 * factor).round() as usize).max(1);
+            }
+            stage.shuffle_mib_per_task *= factor.sqrt();
+        }
+        out
+    }
+
+    /// Validates that the DAG is topologically ordered, acyclic and
+    /// non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err(format!("query {} has no stages", self.id));
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stage.tasks == 0 {
+                return Err(format!("stage {} of {} has zero tasks", stage.name, self.id));
+            }
+            for &d in &stage.deps {
+                if d >= i {
+                    return Err(format!(
+                        "stage {} of {} depends on later stage {d}",
+                        stage.name, self.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builds_linear_chain() {
+        let q = QueryProfile::uniform("q", 4, 10, 1000.0, 16.0, 4.0);
+        assert_eq!(q.stages.len(), 4);
+        assert_eq!(q.total_tasks(), 40);
+        assert_eq!(q.map_tasks(), 10);
+        assert!(q.validate().is_ok());
+        assert_eq!(q.stages[2].deps, vec![1]);
+        // Only the first stage reads input.
+        assert_eq!(q.stages[1].input_mib_per_task, 0.0);
+    }
+
+    #[test]
+    fn classes_follow_paper_thresholds() {
+        assert_eq!(QueryClass::from_task_count(100), QueryClass::Short);
+        assert_eq!(QueryClass::from_task_count(250), QueryClass::Mid);
+        assert_eq!(QueryClass::from_task_count(500), QueryClass::Long);
+    }
+
+    #[test]
+    fn scaled_data_grows_input_stages() {
+        let q = QueryProfile::uniform("q", 2, 10, 1000.0, 16.0, 4.0);
+        let big = q.scaled_data(5.0);
+        assert_eq!(big.stages[0].tasks, 50);
+        assert_eq!(big.stages[1].tasks, 10, "non-input stages keep task count");
+        assert!((big.input_gb - q.input_gb * 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_dags() {
+        let mut q = QueryProfile::uniform("q", 2, 10, 1000.0, 16.0, 4.0);
+        q.stages[0].deps = vec![1];
+        assert!(q.validate().is_err());
+        let mut q2 = QueryProfile::uniform("q", 1, 1, 1.0, 0.0, 0.0);
+        q2.stages[0].tasks = 0;
+        assert!(q2.validate().is_err());
+        let empty = QueryProfile {
+            id: "e".into(),
+            sql: String::new(),
+            input_gb: 0.0,
+            stages: vec![],
+        };
+        assert!(empty.validate().is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Run reports: everything one simulated query execution produced.
+
+use smartpick_cloudsim::{CostReport, Money, SimDuration, SimTime};
+
+use crate::allocation::Allocation;
+
+/// The outcome of one simulated query run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Query identifier.
+    pub query_id: String,
+    /// The allocation that ran it.
+    pub allocation: Allocation,
+    /// Wall-clock completion time (submission → last task end).
+    pub completion: SimDuration,
+    /// Itemised bill.
+    pub cost: CostReport,
+    /// Tasks executed on serverless workers.
+    pub tasks_on_sl: usize,
+    /// Tasks executed on VM workers.
+    pub tasks_on_vm: usize,
+    /// Completion time of each stage.
+    pub stage_completions: Vec<SimTime>,
+    /// When the first task started (shows SL agility vs VM cold boot).
+    pub first_task_start: SimTime,
+}
+
+impl RunReport {
+    /// Total bill for the run.
+    pub fn total_cost(&self) -> Money {
+        self.cost.total()
+    }
+
+    /// Completion time in seconds (convenience for tables/figures).
+    pub fn seconds(&self) -> f64 {
+        self.completion.as_secs_f64()
+    }
+
+    /// Fraction of tasks that ran on serverless workers.
+    pub fn sl_task_fraction(&self) -> f64 {
+        let total = self.tasks_on_sl + self.tasks_on_vm;
+        if total == 0 {
+            0.0
+        } else {
+            self.tasks_on_sl as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_cloudsim::CostReport;
+
+    #[test]
+    fn fractions_and_accessors() {
+        let r = RunReport {
+            query_id: "q".into(),
+            allocation: Allocation::new(1, 1),
+            completion: SimDuration::from_secs_f64(10.0),
+            cost: CostReport::new(),
+            tasks_on_sl: 30,
+            tasks_on_vm: 70,
+            stage_completions: vec![],
+            first_task_start: SimTime::ZERO,
+        };
+        assert_eq!(r.seconds(), 10.0);
+        assert!((r.sl_task_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(r.total_cost().dollars(), 0.0);
+    }
+
+    #[test]
+    fn zero_tasks_fraction_is_zero() {
+        let r = RunReport {
+            query_id: "q".into(),
+            allocation: Allocation::new(0, 1),
+            completion: SimDuration::ZERO,
+            cost: CostReport::new(),
+            tasks_on_sl: 0,
+            tasks_on_vm: 0,
+            stage_completions: vec![],
+            first_task_start: SimTime::ZERO,
+        };
+        assert_eq!(r.sl_task_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,547 @@
+//! The event-driven query scheduler.
+//!
+//! Reproduces Spark's stage-oriented execution on top of the simulated
+//! cloud: instances are requested at submission time, tasks of dependency-
+//! free stages are list-scheduled onto free executor slots as instances
+//! boot, and stage barriers hold dependent stages until every parent task
+//! finished (§2.1). VM slots are preferred once available — VMs are both
+//! faster and cheaper per unit time (Table 1) — while serverless slots
+//! carry the early work during the VM cold-boot window.
+//!
+//! The three [`RelayPolicy`] variants differ only in when serverless
+//! workers retire; everything else (billing, ordering, jitter) is shared,
+//! which makes the relay-vs-segue cost comparisons of §6.3 apples-to-apples.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smartpick_cloudsim::rngutil::jitter_factor;
+use smartpick_cloudsim::{
+    CloudEnv, Cluster, EventQueue, InstanceId, InstanceKind, InstanceState, SimDuration, SimTime,
+};
+
+use crate::allocation::{Allocation, RelayPolicy};
+use crate::error::EngineError;
+use crate::listener::{NullListener, QueryListener, TaskEndEvent};
+use crate::query::{QueryProfile, StageProfile};
+use crate::report::RunReport;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    InstanceReady(InstanceId),
+    TaskEnd {
+        instance: InstanceId,
+        stage: usize,
+        task: usize,
+        started_at: SimTime,
+    },
+    SegueTimeout,
+}
+
+/// Runs `query` under `alloc` on `env`, discarding listener events.
+///
+/// # Errors
+///
+/// * [`EngineError::EmptyAllocation`] when no instances are requested.
+/// * [`EngineError::InvalidQuery`] when the DAG fails validation.
+/// * [`EngineError::Starved`] when every instance terminated with tasks
+///   remaining (only possible with a segue timeout and no VMs).
+pub fn simulate_query(
+    query: &QueryProfile,
+    alloc: &Allocation,
+    env: &CloudEnv,
+    seed: u64,
+) -> Result<RunReport, EngineError> {
+    simulate_query_with_listener(query, alloc, env, seed, &mut NullListener)
+}
+
+/// Runs `query` under `alloc` on `env`, reporting events to `listener`.
+///
+/// # Errors
+///
+/// See [`simulate_query`].
+pub fn simulate_query_with_listener(
+    query: &QueryProfile,
+    alloc: &Allocation,
+    env: &CloudEnv,
+    seed: u64,
+    listener: &mut dyn QueryListener,
+) -> Result<RunReport, EngineError> {
+    if !alloc.is_viable() {
+        return Err(EngineError::EmptyAllocation);
+    }
+    query.validate().map_err(EngineError::InvalidQuery)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cluster = Cluster::new(env.clone());
+    let mut events: EventQueue<Event> = EventQueue::new();
+
+    // --- Spawn everything at submission time (t = 0). -------------------
+    let mut vm_ids = Vec::with_capacity(alloc.n_vm as usize);
+    let mut sl_ids = Vec::with_capacity(alloc.n_sl as usize);
+    for _ in 0..alloc.n_vm {
+        let t = cluster.request(env.catalog().worker_vm().clone(), SimTime::ZERO, &mut rng);
+        events.push(t.ready_at, Event::InstanceReady(t.instance));
+        vm_ids.push(t.instance);
+    }
+    for _ in 0..alloc.n_sl {
+        let t = cluster.request(env.catalog().worker_sl().clone(), SimTime::ZERO, &mut rng);
+        events.push(t.ready_at, Event::InstanceReady(t.instance));
+        sl_ids.push(t.instance);
+    }
+    // Relay pairing: SL i retires when VM i becomes ready (§4.3).
+    let relay_pair: HashMap<InstanceId, InstanceId> = match alloc.relay {
+        RelayPolicy::Relay => vm_ids
+            .iter()
+            .zip(&sl_ids)
+            .map(|(&vm, &sl)| (vm, sl))
+            .collect(),
+        _ => HashMap::new(),
+    };
+    if let RelayPolicy::Segue { timeout } = alloc.relay {
+        events.push(SimTime::ZERO + timeout, Event::SegueTimeout);
+    }
+
+    // --- Stage bookkeeping. ----------------------------------------------
+    let n_stages = query.stages.len();
+    let mut deps_left: Vec<usize> = query.stages.iter().map(|s| s.deps.len()).collect();
+    let mut next_task: Vec<usize> = vec![0; n_stages];
+    let mut unfinished: Vec<usize> = query.stages.iter().map(|s| s.tasks).collect();
+    let mut stage_ready: Vec<bool> = deps_left.iter().map(|&d| d == 0).collect();
+    let mut stages_done = 0usize;
+    let mut stage_completions: Vec<SimTime> = vec![SimTime::ZERO; n_stages];
+
+    // --- Executor slots. ---------------------------------------------------
+    let mut free_slots: HashMap<InstanceId, u32> = HashMap::new();
+    let mut running: HashMap<InstanceId, u32> = HashMap::new();
+
+    let mut tasks_on_sl = 0usize;
+    let mut tasks_on_vm = 0usize;
+    let mut first_task_start: Option<SimTime> = None;
+    let mut last_task_end = SimTime::ZERO;
+
+    // Pick the next ready task, preferring earlier stages (FIFO).
+    let pop_ready_task = |next_task: &mut Vec<usize>, stage_ready: &[bool]| {
+        for s in 0..n_stages {
+            if stage_ready[s] && next_task[s] < query.stages[s].tasks {
+                let t = next_task[s];
+                next_task[s] += 1;
+                return Some((s, t));
+            }
+        }
+        None
+    };
+
+    // --- Event loop. -------------------------------------------------------
+    while stages_done < n_stages {
+        let Some((now, event)) = events.pop() else {
+            return Err(EngineError::Starved);
+        };
+        match event {
+            Event::InstanceReady(id) => {
+                let state = cluster.instance(id)?.state;
+                match state {
+                    InstanceState::Booting => {
+                        cluster.mark_ready(id, now)?;
+                        let kind = cluster.instance(id)?.itype.kind;
+                        listener.on_instance_ready(id, kind, now);
+                        free_slots.insert(id, cluster.instance(id)?.itype.slots());
+                        running.insert(id, 0);
+                        // Relay: this VM's paired SL retires now.
+                        if let Some(&sl) = relay_pair.get(&id) {
+                            retire(
+                                &mut cluster,
+                                sl,
+                                now,
+                                &mut free_slots,
+                                &running,
+                                listener,
+                            )?;
+                        }
+                    }
+                    // Drained while still booting (paired VM beat it up):
+                    // terminate without ever taking tasks.
+                    InstanceState::Draining => {
+                        cluster.terminate(id, now)?;
+                        listener.on_instance_terminated(id, now);
+                    }
+                    _ => {}
+                }
+            }
+            Event::TaskEnd {
+                instance,
+                stage,
+                task,
+                started_at,
+            } => {
+                let kind = cluster.instance(instance)?.itype.kind;
+                cluster.add_busy(instance, now.saturating_since(started_at))?;
+                listener.on_task_end(&TaskEndEvent {
+                    stage,
+                    task,
+                    instance,
+                    kind,
+                    started_at,
+                    finished_at: now,
+                });
+                match kind {
+                    InstanceKind::Vm => tasks_on_vm += 1,
+                    InstanceKind::Serverless => tasks_on_sl += 1,
+                }
+                last_task_end = last_task_end.max(now);
+                *running.get_mut(&instance).expect("ran => registered") -= 1;
+                *free_slots.get_mut(&instance).expect("ran => registered") += 1;
+
+                unfinished[stage] -= 1;
+                if unfinished[stage] == 0 {
+                    stages_done += 1;
+                    stage_completions[stage] = now;
+                    listener.on_stage_complete(stage, now);
+                    for (child, sp) in query.stages.iter().enumerate() {
+                        if sp.deps.contains(&stage) {
+                            deps_left[child] -= 1;
+                            if deps_left[child] == 0 {
+                                stage_ready[child] = true;
+                            }
+                        }
+                    }
+                }
+                // A draining instance with nothing left running terminates.
+                if cluster.instance(instance)?.state == InstanceState::Draining
+                    && running[&instance] == 0
+                {
+                    retire(&mut cluster, instance, now, &mut free_slots, &running, listener)?;
+                }
+            }
+            Event::SegueTimeout => {
+                // SplitServe holds every SL until this static timeout, then
+                // retires them all (idle ones immediately, busy ones after
+                // their current task).
+                for &sl in &sl_ids {
+                    let state = cluster.instance(sl)?.state;
+                    if state == InstanceState::Terminated {
+                        continue;
+                    }
+                    if running.get(&sl).copied().unwrap_or(0) == 0 {
+                        retire(&mut cluster, sl, now, &mut free_slots, &running, listener)?;
+                    } else {
+                        cluster.drain(sl)?;
+                        free_slots.insert(sl, 0);
+                    }
+                }
+            }
+        }
+
+        // Assign ready tasks to free slots: VM slots first.
+        let mut assignable: Vec<InstanceId> = free_slots
+            .iter()
+            .filter(|(id, &slots)| {
+                slots > 0 && cluster.instance(**id).map(|i| i.accepts_tasks()).unwrap_or(false)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        assignable.sort_by_key(|id| {
+            let inst = cluster.instance(*id).expect("listed => exists");
+            (matches!(inst.itype.kind, InstanceKind::Serverless), id.0)
+        });
+        for id in assignable {
+            loop {
+                let slots = free_slots[&id];
+                if slots == 0 {
+                    break;
+                }
+                let Some((stage, task)) = pop_ready_task(&mut next_task, &stage_ready) else {
+                    break;
+                };
+                let inst = cluster.instance(id)?;
+                let start = now;
+                if first_task_start.map_or(true, |t| start < t) {
+                    first_task_start = Some(start);
+                }
+                let dur = task_duration(&query.stages[stage], inst.itype.kind, env, &mut rng);
+                events.push(start + dur, Event::TaskEnd {
+                    instance: id,
+                    stage,
+                    task,
+                    started_at: start,
+                });
+                *free_slots.get_mut(&id).expect("listed => registered") -= 1;
+                *running.get_mut(&id).expect("listed => registered") += 1;
+            }
+        }
+    }
+
+    let query_end = last_task_end;
+    // Terminate whatever is still alive at query end. Under segueing the
+    // serverless lease is *static*: SLs stay deployed (and billed) until
+    // their timeout even when the query finished earlier — the idle-cost
+    // inflation §4.3 attributes to SplitServe.
+    for inst in cluster.instances().to_vec() {
+        if inst.state != InstanceState::Terminated {
+            let end = match (alloc.relay, inst.itype.kind) {
+                (RelayPolicy::Segue { timeout }, InstanceKind::Serverless) => {
+                    query_end.max(SimTime::ZERO + timeout)
+                }
+                _ => query_end,
+            };
+            cluster.terminate(inst.id, end)?;
+            listener.on_instance_terminated(inst.id, end);
+        }
+    }
+    listener.on_query_complete(query_end);
+
+    Ok(RunReport {
+        query_id: query.id.clone(),
+        allocation: *alloc,
+        completion: query_end.saturating_since(SimTime::ZERO),
+        cost: cluster.bill(query_end),
+        tasks_on_sl,
+        tasks_on_vm,
+        stage_completions,
+        first_task_start: first_task_start.unwrap_or(SimTime::ZERO),
+    })
+}
+
+/// Terminates one instance and removes its slots.
+fn retire(
+    cluster: &mut Cluster,
+    id: InstanceId,
+    now: SimTime,
+    free_slots: &mut HashMap<InstanceId, u32>,
+    running: &HashMap<InstanceId, u32>,
+    listener: &mut dyn QueryListener,
+) -> Result<(), EngineError> {
+    let state = cluster.instance(id)?.state;
+    if state == InstanceState::Terminated {
+        return Ok(());
+    }
+    if running.get(&id).copied().unwrap_or(0) > 0 {
+        // Still busy: drain; the final TaskEnd retires it.
+        cluster.drain(id)?;
+        free_slots.insert(id, 0);
+        return Ok(());
+    }
+    if state == InstanceState::Booting {
+        // Not yet up: mark for termination on arrival.
+        cluster.drain(id)?;
+        return Ok(());
+    }
+    cluster.terminate(id, now)?;
+    free_slots.insert(id, 0);
+    listener.on_instance_terminated(id, now);
+    Ok(())
+}
+
+/// Samples one task's duration on an instance of the given kind.
+///
+/// CPU work scales by the provider/kind speed factor of Table 5 (which
+/// encodes both GCP's slower cores and the ~30% serverless overhead);
+/// input and shuffle bytes move at the provider's cloud-storage bandwidth;
+/// and the whole thing is jittered by the provider's noise level.
+fn task_duration(
+    stage: &StageProfile,
+    kind: InstanceKind,
+    env: &CloudEnv,
+    rng: &mut StdRng,
+) -> SimDuration {
+    let perf = env.perf();
+    let speed = match kind {
+        InstanceKind::Vm => perf.vm_speed_factor(),
+        InstanceKind::Serverless => perf.sl_speed_factor(),
+    };
+    let cpu_secs = stage.cpu_ms_per_task / 1000.0 / speed;
+    let io_secs = perf.storage_read_secs(stage.input_mib_per_task + stage.shuffle_mib_per_task);
+    let total = (cpu_secs + io_secs) * jitter_factor(rng, perf.exec_jitter_rel_sigma);
+    SimDuration::from_secs_f64(total.max(0.001))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listener::CountingListener;
+    use smartpick_cloudsim::{CostKind, Provider};
+
+    fn env() -> CloudEnv {
+        CloudEnv::new(Provider::Aws)
+    }
+
+    fn small_query() -> QueryProfile {
+        QueryProfile::uniform("t", 2, 20, 2_000.0, 16.0, 4.0)
+    }
+
+    #[test]
+    fn sl_only_starts_fast_vm_only_waits_for_boot() {
+        let q = small_query();
+        let sl = simulate_query(&q, &Allocation::sl_only(4), &env(), 1).unwrap();
+        let vm = simulate_query(&q, &Allocation::vm_only(4), &env(), 1).unwrap();
+        assert!(
+            sl.first_task_start.as_secs_f64() < 0.5,
+            "SL agility: first task at {}",
+            sl.first_task_start
+        );
+        assert!(
+            vm.first_task_start.as_secs_f64() > 20.0,
+            "VM cold boot: first task at {}",
+            vm.first_task_start
+        );
+        assert_eq!(sl.tasks_on_sl, q.total_tasks());
+        assert_eq!(vm.tasks_on_vm, q.total_tasks());
+    }
+
+    #[test]
+    fn all_tasks_complete_and_stages_ordered() {
+        let q = QueryProfile::uniform("t", 4, 15, 1_500.0, 8.0, 2.0);
+        let mut listener = CountingListener::default();
+        let r = simulate_query_with_listener(
+            &q,
+            &Allocation::new(2, 2),
+            &env(),
+            7,
+            &mut listener,
+        )
+        .unwrap();
+        assert_eq!(listener.tasks_ended, q.total_tasks());
+        assert_eq!(listener.stages_completed, 4);
+        assert_eq!(listener.queries_completed, 1);
+        assert_eq!(r.tasks_on_sl + r.tasks_on_vm, q.total_tasks());
+        // Chain stages finish in order.
+        for w in r.stage_completions.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn relay_is_cheaper_than_plain_hybrid_for_long_queries() {
+        let q = QueryProfile::uniform("long", 3, 150, 3_000.0, 16.0, 4.0);
+        let plain = simulate_query(&q, &Allocation::new(5, 5), &env(), 3).unwrap();
+        let relay = simulate_query(
+            &q,
+            &Allocation::new(5, 5).with_relay(RelayPolicy::Relay),
+            &env(),
+            3,
+        )
+        .unwrap();
+        assert!(
+            relay.cost.subtotal(CostKind::SlCompute).dollars()
+                < plain.cost.subtotal(CostKind::SlCompute).dollars() * 0.7,
+            "relay SL bill {} vs plain {}",
+            relay.cost.subtotal(CostKind::SlCompute),
+            plain.cost.subtotal(CostKind::SlCompute)
+        );
+        // Relay gives up the SL slots after the boot window, so with the
+        // *same* allocation it can run somewhat longer — the predictor
+        // compensates by choosing a different configuration (§4.3). What
+        // must hold mechanically is a bounded slowdown, not a collapse.
+        let ratio = relay.seconds() / plain.seconds();
+        assert!((0.9..2.0).contains(&ratio), "time ratio {ratio}");
+    }
+
+    #[test]
+    fn relay_terminates_sls_shortly_after_boot_window() {
+        let q = QueryProfile::uniform("long", 3, 150, 3_000.0, 16.0, 4.0);
+        let mut listener = CountingListener::default();
+        let r = simulate_query_with_listener(
+            &q,
+            &Allocation::new(4, 4).with_relay(RelayPolicy::Relay),
+            &env(),
+            5,
+            &mut listener,
+        )
+        .unwrap();
+        assert!(r.tasks_on_sl > 0, "SLs carry the boot window");
+        assert!(r.tasks_on_vm > r.tasks_on_sl, "VMs carry the tail");
+        assert_eq!(listener.instances_terminated, 8);
+    }
+
+    #[test]
+    fn segue_bills_idle_sls_until_timeout() {
+        // Query so small the SLs go idle long before the timeout.
+        let q = QueryProfile::uniform("tiny", 1, 4, 1_000.0, 4.0, 0.0);
+        let timeout = SimDuration::from_secs_f64(120.0);
+        let segue = simulate_query(
+            &q,
+            &Allocation::new(2, 2).with_relay(RelayPolicy::Segue { timeout }),
+            &env(),
+            2,
+        )
+        .unwrap();
+        let none = simulate_query(&q, &Allocation::new(2, 2), &env(), 2).unwrap();
+        // Segue leases SLs for the full static 120 s window; plain hybrid
+        // releases them at query end (a couple of seconds) — so segue's SL
+        // bill must be much larger.
+        assert!(
+            segue.cost.subtotal(CostKind::SlCompute).dollars()
+                > none.cost.subtotal(CostKind::SlCompute).dollars() * 2.0,
+            "segue {} vs none {}",
+            segue.cost.subtotal(CostKind::SlCompute),
+            none.cost.subtotal(CostKind::SlCompute)
+        );
+    }
+
+    #[test]
+    fn empty_allocation_rejected() {
+        let q = small_query();
+        assert!(matches!(
+            simulate_query(&q, &Allocation::new(0, 0), &env(), 0),
+            Err(EngineError::EmptyAllocation)
+        ));
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let mut q = small_query();
+        q.stages[0].tasks = 0;
+        assert!(matches!(
+            simulate_query(&q, &Allocation::new(1, 1), &env(), 0),
+            Err(EngineError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn segue_without_vms_starves() {
+        let q = QueryProfile::uniform("big", 2, 200, 5_000.0, 16.0, 4.0);
+        let r = simulate_query(
+            &q,
+            &Allocation::sl_only(2).with_relay(RelayPolicy::Segue {
+                timeout: SimDuration::from_secs_f64(5.0),
+            }),
+            &env(),
+            0,
+        );
+        assert!(matches!(r, Err(EngineError::Starved)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = small_query();
+        let a = simulate_query(&q, &Allocation::new(2, 3), &env(), 9).unwrap();
+        let b = simulate_query(&q, &Allocation::new(2, 3), &env(), 9).unwrap();
+        assert_eq!(a.completion, b.completion);
+        assert!(a.total_cost().approx_eq(b.total_cost(), 1e-12));
+    }
+
+    #[test]
+    fn gcp_runs_slower_than_aws() {
+        let q = QueryProfile::uniform("x", 3, 60, 3_000.0, 32.0, 8.0);
+        let aws = simulate_query(&q, &Allocation::new(3, 3), &env(), 4).unwrap();
+        let gcp =
+            simulate_query(&q, &Allocation::new(3, 3), &CloudEnv::new(Provider::Gcp), 4).unwrap();
+        assert!(
+            gcp.seconds() > aws.seconds(),
+            "GCP {} vs AWS {}",
+            gcp.seconds(),
+            aws.seconds()
+        );
+    }
+
+    #[test]
+    fn more_instances_run_faster() {
+        let q = QueryProfile::uniform("x", 2, 100, 3_000.0, 8.0, 2.0);
+        let few = simulate_query(&q, &Allocation::sl_only(2), &env(), 6).unwrap();
+        let many = simulate_query(&q, &Allocation::sl_only(8), &env(), 6).unwrap();
+        assert!(many.seconds() < few.seconds());
+    }
+}

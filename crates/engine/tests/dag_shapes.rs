@@ -1,0 +1,131 @@
+//! Execution over non-linear DAG shapes: the engine must honour fan-in
+//! (joins), fan-out and diamond dependencies, not just the linear chains
+//! the uniform builder produces.
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_engine::listener::{CountingListener, QueryListener, TaskEndEvent};
+use smartpick_engine::{
+    simulate_query_with_listener, Allocation, QueryProfile, StageProfile,
+};
+use smartpick_cloudsim::{InstanceId, InstanceKind, SimTime};
+
+fn stage(name: &str, tasks: usize, deps: Vec<usize>) -> StageProfile {
+    StageProfile {
+        name: name.to_owned(),
+        tasks,
+        cpu_ms_per_task: 800.0,
+        input_mib_per_task: if deps.is_empty() { 16.0 } else { 0.0 },
+        shuffle_mib_per_task: if deps.is_empty() { 0.0 } else { 4.0 },
+        deps,
+    }
+}
+
+/// Records the first start time of every stage.
+#[derive(Debug, Default)]
+struct StageStarts {
+    first_start: std::collections::HashMap<usize, SimTime>,
+    stage_ends: std::collections::HashMap<usize, SimTime>,
+}
+
+impl QueryListener for StageStarts {
+    fn on_task_end(&mut self, e: &TaskEndEvent) {
+        self.first_start
+            .entry(e.stage)
+            .and_modify(|t| *t = (*t).min(e.started_at))
+            .or_insert(e.started_at);
+    }
+    fn on_stage_complete(&mut self, stage: usize, at: SimTime) {
+        self.stage_ends.insert(stage, at);
+    }
+    fn on_instance_ready(&mut self, _: InstanceId, _: InstanceKind, _: SimTime) {}
+}
+
+fn diamond() -> QueryProfile {
+    // 0 -> {1, 2} -> 3 (join).
+    QueryProfile {
+        id: "diamond".into(),
+        sql: String::new(),
+        input_gb: 1.0,
+        stages: vec![
+            stage("scan", 12, vec![]),
+            stage("left", 8, vec![0]),
+            stage("right", 8, vec![0]),
+            stage("join", 6, vec![1, 2]),
+        ],
+    }
+}
+
+#[test]
+fn diamond_joins_wait_for_both_branches() {
+    let env = CloudEnv::new(Provider::Aws);
+    let q = diamond();
+    assert!(q.validate().is_ok());
+    let mut listener = StageStarts::default();
+    let report =
+        simulate_query_with_listener(&q, &Allocation::new(2, 2), &env, 5, &mut listener)
+            .expect("run succeeds");
+    assert_eq!(report.tasks_on_sl + report.tasks_on_vm, 12 + 8 + 8 + 6);
+
+    // Branches start only after the scan completes; the join only after
+    // both branches.
+    let scan_end = listener.stage_ends[&0];
+    let join_start = listener.first_start[&3];
+    assert!(listener.first_start[&1] >= scan_end);
+    assert!(listener.first_start[&2] >= scan_end);
+    assert!(join_start >= listener.stage_ends[&1]);
+    assert!(join_start >= listener.stage_ends[&2]);
+}
+
+#[test]
+fn wide_fan_in_counts_every_parent() {
+    // Five independent scans feeding one reduce.
+    let mut stages: Vec<StageProfile> = (0..5).map(|i| stage(&format!("s{i}"), 4, vec![])).collect();
+    stages.push(stage("reduce", 3, (0..5).collect()));
+    let q = QueryProfile {
+        id: "fanin".into(),
+        sql: String::new(),
+        input_gb: 1.0,
+        stages,
+    };
+    let env = CloudEnv::new(Provider::Aws);
+    let mut listener = CountingListener::default();
+    let report =
+        simulate_query_with_listener(&q, &Allocation::sl_only(3), &env, 2, &mut listener)
+            .expect("run succeeds");
+    assert_eq!(listener.stages_completed, 6);
+    assert_eq!(report.tasks_on_sl, 5 * 4 + 3);
+    // The reduce completed last.
+    let reduce_end = report.stage_completions[5];
+    for end in &report.stage_completions[..5] {
+        assert!(*end <= reduce_end);
+    }
+}
+
+#[test]
+fn fan_out_runs_siblings_concurrently() {
+    // One scan fanning out to three independent branches — with enough
+    // slots the branches overlap in time.
+    let mut stages = vec![stage("scan", 4, vec![])];
+    for i in 0..3 {
+        stages.push(stage(&format!("branch{i}"), 6, vec![0]));
+    }
+    let q = QueryProfile {
+        id: "fanout".into(),
+        sql: String::new(),
+        input_gb: 1.0,
+        stages,
+    };
+    let env = CloudEnv::new(Provider::Aws);
+    let mut listener = StageStarts::default();
+    simulate_query_with_listener(&q, &Allocation::sl_only(4), &env, 8, &mut listener)
+        .expect("run succeeds");
+    // All branches start before any branch finishes (overlap), given 8
+    // slots against 18 branch tasks.
+    let earliest_end = (1..=3).map(|s| listener.stage_ends[&s]).min().unwrap();
+    for s in 1..=3 {
+        assert!(
+            listener.first_start[&s] < earliest_end,
+            "branch {s} never overlapped"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the execution engine's conservation and
+//! determinism invariants.
+
+use proptest::prelude::*;
+
+use smartpick_cloudsim::{CloudEnv, Provider, SimDuration};
+use smartpick_engine::{simulate_query, Allocation, QueryProfile, RelayPolicy};
+
+fn small_query(stages: usize, tasks: usize) -> QueryProfile {
+    QueryProfile::uniform("prop", stages, tasks, 1_000.0, 8.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every task runs exactly once, on either kind of worker.
+    #[test]
+    fn task_conservation(
+        n_vm in 0u32..5,
+        n_sl in 0u32..5,
+        stages in 1usize..4,
+        tasks in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(n_vm + n_sl > 0);
+        let q = small_query(stages, tasks);
+        let env = CloudEnv::new(Provider::Aws);
+        let r = simulate_query(&q, &Allocation::new(n_vm, n_sl), &env, seed).unwrap();
+        prop_assert_eq!(r.tasks_on_sl + r.tasks_on_vm, stages * tasks);
+        prop_assert!(r.completion > SimDuration::ZERO);
+        prop_assert!(r.cost.total().dollars() > 0.0);
+        // Pure allocations route all work to the only kind present.
+        if n_sl == 0 {
+            prop_assert_eq!(r.tasks_on_sl, 0);
+        }
+        if n_vm == 0 {
+            prop_assert_eq!(r.tasks_on_vm, 0);
+        }
+    }
+
+    /// Same seed, same outcome; different relay policies never lose tasks.
+    #[test]
+    fn deterministic_and_relay_safe(
+        n in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        let q = small_query(2, 40);
+        let env = CloudEnv::new(Provider::Gcp);
+        for relay in [RelayPolicy::None, RelayPolicy::Relay] {
+            let alloc = Allocation::new(n, n).with_relay(relay);
+            let a = simulate_query(&q, &alloc, &env, seed).unwrap();
+            let b = simulate_query(&q, &alloc, &env, seed).unwrap();
+            prop_assert_eq!(a.completion, b.completion);
+            prop_assert!(a.cost.total().approx_eq(b.cost.total(), 1e-12));
+            prop_assert_eq!(a.tasks_on_sl + a.tasks_on_vm, 80);
+        }
+    }
+
+    /// Stage barriers hold: completion times are non-decreasing along a
+    /// linear chain.
+    #[test]
+    fn stage_barriers_ordered(
+        n_vm in 1u32..4,
+        n_sl in 0u32..4,
+        stages in 2usize..5,
+        seed in 0u64..200,
+    ) {
+        let q = small_query(stages, 12);
+        let env = CloudEnv::new(Provider::Aws);
+        let r = simulate_query(&q, &Allocation::new(n_vm, n_sl), &env, seed).unwrap();
+        for w in r.stage_completions.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(r.stage_completions.len(), stages);
+    }
+
+    /// Relay never bills the serverless side more than no-relay does, all
+    /// else equal.
+    #[test]
+    fn relay_never_increases_sl_bill(n in 1u32..4, seed in 0u64..200) {
+        use smartpick_cloudsim::CostKind;
+        let q = small_query(3, 60);
+        let env = CloudEnv::new(Provider::Aws);
+        let plain = simulate_query(&q, &Allocation::new(n, n), &env, seed).unwrap();
+        let relay = simulate_query(
+            &q,
+            &Allocation::new(n, n).with_relay(RelayPolicy::Relay),
+            &env,
+            seed,
+        )
+        .unwrap();
+        prop_assert!(
+            relay.cost.subtotal(CostKind::SlCompute).dollars()
+                <= plain.cost.subtotal(CostKind::SlCompute).dollars() + 1e-9
+        );
+    }
+
+    /// Scaling the data never shrinks the (same-allocation) completion time
+    /// on average-free single runs with the same seed.
+    #[test]
+    fn more_data_takes_longer(factor in 2.0f64..6.0, seed in 0u64..100) {
+        let q = small_query(2, 20);
+        let big = q.scaled_data(factor);
+        let env = CloudEnv::new(Provider::Aws);
+        let alloc = Allocation::new(2, 2);
+        let a = simulate_query(&q, &alloc, &env, seed).unwrap();
+        let b = simulate_query(&big, &alloc, &env, seed).unwrap();
+        prop_assert!(b.completion >= a.completion);
+    }
+}

@@ -1,0 +1,379 @@
+//! Bayesian optimisation over a discrete candidate set.
+//!
+//! Smartpick couples its Random Forest with a Bayesian Optimizer so the
+//! `{nVM, nSL}` configuration space need not be swept exhaustively (§3.1).
+//! The surrogate is a Gaussian process; the acquisition is **Probability of
+//! Improvement** (the paper picks PI for being similar to EI but simpler
+//! and widely used); and the search stops when the best (estimated) query
+//! completion time has not improved by 1% for 10 consecutive probes.
+//!
+//! The optimizer also records every probe `(x, objective)` — Smartpick's
+//! estimated-times list `ET_l`, which the cost–performance knob later
+//! traverses (§3.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::gp::{GaussianProcess, GpParams};
+use crate::metrics::{norm_cdf, norm_pdf};
+
+/// Acquisition functions for selecting the next probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Probability of improvement (the paper's choice, §3.1).
+    ProbabilityOfImprovement {
+        /// Exploration margin ξ added to the incumbent.
+        xi: f64,
+    },
+    /// Expected improvement.
+    ExpectedImprovement {
+        /// Exploration margin ξ added to the incumbent.
+        xi: f64,
+    },
+    /// Upper confidence bound `μ + κσ`.
+    UpperConfidenceBound {
+        /// Exploration weight κ.
+        kappa: f64,
+    },
+}
+
+impl Acquisition {
+    /// Scores a candidate given the surrogate posterior `(mean, var)` and
+    /// the incumbent best objective value. Higher is better.
+    pub fn score(&self, mean: f64, var: f64, best: f64) -> f64 {
+        let sigma = var.sqrt().max(1e-12);
+        match *self {
+            Acquisition::ProbabilityOfImprovement { xi } => {
+                norm_cdf((mean - best - xi) / sigma)
+            }
+            Acquisition::ExpectedImprovement { xi } => {
+                let z = (mean - best - xi) / sigma;
+                (mean - best - xi) * norm_cdf(z) + sigma * norm_pdf(z)
+            }
+            Acquisition::UpperConfidenceBound { kappa } => mean + kappa * sigma,
+        }
+    }
+}
+
+/// Bayesian-optimizer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoParams {
+    /// Random probes before the surrogate takes over.
+    pub n_init: usize,
+    /// Hard cap on total objective evaluations.
+    pub max_evals: usize,
+    /// Consecutive probes without relative improvement before stopping —
+    /// the paper uses 10.
+    pub patience: usize,
+    /// Relative improvement that resets the patience counter — the paper
+    /// uses 1% (0.01).
+    pub improvement_rel_tol: f64,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// Surrogate hyperparameters.
+    pub gp: GpParams,
+    /// When set, the acquisition argmax is taken over a random subsample of
+    /// this many unprobed candidates per iteration instead of all of them —
+    /// the standard trick that keeps per-iteration cost flat on huge
+    /// candidate grids (the paper's "huge search space", §3.2).
+    pub acq_subsample: Option<usize>,
+}
+
+impl Default for BoParams {
+    fn default() -> Self {
+        BoParams {
+            n_init: 8,
+            max_evals: 64,
+            patience: 10,
+            improvement_rel_tol: 0.01,
+            acquisition: Acquisition::ProbabilityOfImprovement { xi: 0.01 },
+            gp: GpParams::default(),
+            acq_subsample: None,
+        }
+    }
+}
+
+/// One probe the optimizer made: candidate index, candidate, objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Probe {
+    /// Index into the candidate set.
+    pub candidate_index: usize,
+    /// The candidate coordinates.
+    pub x: Vec<f64>,
+    /// The (maximised) objective value observed.
+    pub objective: f64,
+}
+
+/// Result of a Bayesian-optimisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoResult {
+    /// Best candidate found.
+    pub best_x: Vec<f64>,
+    /// Index of the best candidate in the candidate set.
+    pub best_index: usize,
+    /// Best objective value (maximised).
+    pub best_objective: f64,
+    /// Every probe in order — Smartpick's `ET_l` estimated-times list.
+    pub probes: Vec<Probe>,
+    /// Total objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Maximises a black-box objective over a discrete candidate set.
+#[derive(Debug, Clone)]
+pub struct BayesianOptimizer {
+    params: BoParams,
+}
+
+impl BayesianOptimizer {
+    /// Creates an optimizer with the given parameters.
+    pub fn new(params: BoParams) -> Self {
+        BayesianOptimizer { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &BoParams {
+        &self.params
+    }
+
+    /// Maximises `objective` over `candidates`.
+    ///
+    /// Candidates are probed at most once each. The run ends when the
+    /// paper's termination rule fires (no ≥`improvement_rel_tol` relative
+    /// improvement for `patience` consecutive probes), when `max_evals` is
+    /// reached, or when every candidate has been probed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn maximize(
+        &self,
+        candidates: &[Vec<f64>],
+        seed: u64,
+        mut objective: impl FnMut(&[f64]) -> f64,
+    ) -> BoResult {
+        assert!(!candidates.is_empty(), "candidate set must be non-empty");
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut unprobed: Vec<usize> = (0..candidates.len()).collect();
+        unprobed.shuffle(&mut rng);
+
+        let mut probes: Vec<Probe> = Vec::new();
+        let mut best_index = 0usize;
+        let mut best_objective = f64::NEG_INFINITY;
+        let mut stale = 0usize;
+
+        let probe = |idx: usize,
+                         probes: &mut Vec<Probe>,
+                         best_index: &mut usize,
+                         best_objective: &mut f64,
+                         stale: &mut usize,
+                         objective: &mut dyn FnMut(&[f64]) -> f64| {
+            let x = candidates[idx].clone();
+            let y = objective(&x);
+            probes.push(Probe {
+                candidate_index: idx,
+                x,
+                objective: y,
+            });
+            let improved = if best_objective.is_finite() {
+                let scale = best_objective.abs().max(1e-9);
+                (y - *best_objective) / scale >= self.params.improvement_rel_tol
+            } else {
+                true
+            };
+            if y > *best_objective {
+                *best_objective = y;
+                *best_index = idx;
+            }
+            if improved {
+                *stale = 0;
+            } else {
+                *stale += 1;
+            }
+        };
+
+        // Phase 1: random initial design.
+        let n_init = p.n_init.min(candidates.len()).max(1);
+        for _ in 0..n_init {
+            let idx = unprobed.pop().expect("n_init bounded by candidate count");
+            probe(
+                idx,
+                &mut probes,
+                &mut best_index,
+                &mut best_objective,
+                &mut stale,
+                &mut objective,
+            );
+        }
+
+        // Phase 2: surrogate-guided probes.
+        while probes.len() < p.max_evals && !unprobed.is_empty() && stale < p.patience {
+            let xs: Vec<Vec<f64>> = probes.iter().map(|pr| pr.x.clone()).collect();
+            let ys: Vec<f64> = probes.iter().map(|pr| pr.objective).collect();
+            let next = match GaussianProcess::fit(&xs, &ys, &p.gp) {
+                Ok(gp) => {
+                    let pool: Vec<usize> = match p.acq_subsample {
+                        Some(k) if unprobed.len() > k => {
+                            use rand::seq::index::sample;
+                            sample(&mut rng, unprobed.len(), k)
+                                .into_iter()
+                                .map(|i| unprobed[i])
+                                .collect()
+                        }
+                        _ => unprobed.clone(),
+                    };
+                    let mut best_cand = pool[0];
+                    let mut best_score = f64::NEG_INFINITY;
+                    for &idx in &pool {
+                        let (m, v) = gp.posterior(&candidates[idx]);
+                        let s = p.acquisition.score(m, v, best_objective);
+                        if s > best_score {
+                            best_score = s;
+                            best_cand = idx;
+                        }
+                    }
+                    best_cand
+                }
+                // Surrogate failure (degenerate kernel): fall back to a
+                // random unprobed candidate rather than aborting the search.
+                Err(_) => unprobed[0],
+            };
+            unprobed.retain(|&i| i != next);
+            probe(
+                next,
+                &mut probes,
+                &mut best_index,
+                &mut best_objective,
+                &mut stale,
+                &mut objective,
+            );
+        }
+
+        let evaluations = probes.len();
+        BoResult {
+            best_x: candidates[best_index].clone(),
+            best_index,
+            best_objective,
+            probes,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d(n: usize) -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push(vec![i as f64, j as f64]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn finds_peak_of_smooth_surface() {
+        // Peak at (7, 4).
+        let candidates = grid_2d(12);
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let res = bo.maximize(&candidates, 11, |x| {
+            -((x[0] - 7.0).powi(2) + (x[1] - 4.0).powi(2))
+        });
+        assert!(
+            (res.best_x[0] - 7.0).abs() + (res.best_x[1] - 4.0).abs() <= 3.0,
+            "best {:?}",
+            res.best_x
+        );
+        // Far fewer evaluations than the 144-point grid.
+        assert!(res.evaluations < candidates.len());
+    }
+
+    #[test]
+    fn termination_rule_stops_early_on_flat_objective() {
+        let candidates = grid_2d(20); // 400 candidates
+        let params = BoParams {
+            n_init: 4,
+            max_evals: 400,
+            ..BoParams::default()
+        };
+        let bo = BayesianOptimizer::new(params);
+        let res = bo.maximize(&candidates, 3, |_| 1.0);
+        // Constant objective: patience (10) exhausts right after init.
+        assert!(res.evaluations <= 4 + 10 + 1, "evals {}", res.evaluations);
+    }
+
+    #[test]
+    fn probes_are_unique_candidates() {
+        let candidates = grid_2d(5);
+        let bo = BayesianOptimizer::new(BoParams {
+            max_evals: 25,
+            patience: 100,
+            ..BoParams::default()
+        });
+        let res = bo.maximize(&candidates, 9, |x| x[0] + x[1]);
+        let mut seen: Vec<usize> = res.probes.iter().map(|p| p.candidate_index).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "a candidate was probed twice");
+    }
+
+    #[test]
+    fn respects_max_evals() {
+        let candidates = grid_2d(20);
+        let bo = BayesianOptimizer::new(BoParams {
+            n_init: 2,
+            max_evals: 12,
+            patience: 1000,
+            ..BoParams::default()
+        });
+        let res = bo.maximize(&candidates, 1, |x| x[0] * 1000.0 + x[1]);
+        assert_eq!(res.evaluations, 12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let candidates = grid_2d(8);
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let a = bo.maximize(&candidates, 5, |x| -(x[0] - 3.0).powi(2) - x[1]);
+        let b = bo.maximize(&candidates, 5, |x| -(x[0] - 3.0).powi(2) - x[1]);
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn et_list_records_every_probe() {
+        let candidates = grid_2d(6);
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let res = bo.maximize(&candidates, 2, |x| -x[0]);
+        assert_eq!(res.probes.len(), res.evaluations);
+        assert!(res
+            .probes
+            .iter()
+            .any(|p| p.objective == res.best_objective));
+    }
+
+    #[test]
+    fn acquisition_scores_behave() {
+        let pi = Acquisition::ProbabilityOfImprovement { xi: 0.0 };
+        // Mean above incumbent => probability > 0.5.
+        assert!(pi.score(1.0, 0.25, 0.0) > 0.5);
+        assert!(pi.score(-1.0, 0.25, 0.0) < 0.5);
+        let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
+        assert!(ei.score(1.0, 0.25, 0.0) > ei.score(0.0, 0.25, 0.0));
+        let ucb = Acquisition::UpperConfidenceBound { kappa: 2.0 };
+        assert!(ucb.score(0.0, 4.0, 0.0) > ucb.score(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_panic() {
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let _ = bo.maximize(&[], 0, |_| 0.0);
+    }
+}

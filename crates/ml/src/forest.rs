@@ -1,0 +1,278 @@
+//! Random-forest regression (bagged CART trees).
+//!
+//! The paper's workload predictor is a "decision-tree based Random Forest"
+//! chosen for its low compute cost, small training-data needs and
+//! resistance to over-fitting via ensembling (§3.1). Retraining uses
+//! scikit-learn's `warm_start` idiom — extending the ensemble with new
+//! trees fitted on fresh data — reproduced here by
+//! [`RandomForest::warm_start_extend`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyperparameters for a random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Per-tree parameters. When `tree.max_features` is `None` the forest
+    /// substitutes the regression default `max(1, n_features / 3)`.
+    pub tree: TreeParams,
+    /// Whether each tree trains on a bootstrap resample.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 60,
+            tree: TreeParams::default(),
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted random-forest regressor.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_ml::dataset::Dataset;
+/// use smartpick_ml::forest::{ForestParams, RandomForest};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..60 {
+///     let x = i as f64 / 10.0;
+///     data.push(vec![x], 2.0 * x + 1.0);
+/// }
+/// let forest = RandomForest::fit(&data, &ForestParams::default(), 3)?;
+/// let y = forest.predict(&[3.0]);
+/// assert!((y - 7.0).abs() < 1.0);
+/// # Ok::<(), smartpick_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    params: ForestParams,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest on `data` with a deterministic `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for empty data and
+    /// [`MlError::InvalidParameter`] for a zero-tree ensemble.
+    pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Result<Self, MlError> {
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidParameter("n_trees must be positive"));
+        }
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut forest = RandomForest {
+            trees: Vec::with_capacity(params.n_trees),
+            params: params.clone(),
+            n_features: data.n_features(),
+        };
+        forest.grow(data, params.n_trees, seed)?;
+        Ok(forest)
+    }
+
+    fn effective_tree_params(&self) -> TreeParams {
+        let mut tp = self.params.tree.clone();
+        if tp.max_features.is_none() {
+            tp.max_features = Some((self.n_features / 3).max(1));
+        }
+        tp
+    }
+
+    fn grow(&mut self, data: &Dataset, n_new: usize, seed: u64) -> Result<(), MlError> {
+        let tp = self.effective_tree_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..n_new {
+            let indices: Vec<usize> = if self.params.bootstrap {
+                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect()
+            } else {
+                (0..data.len()).collect()
+            };
+            let tree_seed = rng.gen::<u64>() ^ t as u64;
+            self.trees
+                .push(RegressionTree::fit_indices(data, &indices, &tp, tree_seed)?);
+        }
+        Ok(())
+    }
+
+    /// Extends the ensemble with `n_new` trees fitted on `data` — the
+    /// `warm_start` retraining idiom of §5. Existing trees are kept, so old
+    /// knowledge decays gradually instead of being discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data` has a different
+    /// feature width, or [`MlError::EmptyDataset`] if it is empty.
+    pub fn warm_start_extend(
+        &mut self,
+        data: &Dataset,
+        n_new: usize,
+        seed: u64,
+    ) -> Result<(), MlError> {
+        if data.n_features() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: data.n_features(),
+            });
+        }
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        self.grow(data, n_new, seed)
+    }
+
+    /// Predicts the target for one feature vector (ensemble mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Predicts every row of `xs`.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Ensemble mean and standard deviation across trees for one input —
+    /// a cheap uncertainty proxy.
+    pub fn predict_with_std(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Number of trees currently in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Normalised impurity feature importances (sums to 1 unless all zero).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (i, v) in tree.importance().iter().enumerate() {
+                total[i] += v;
+            }
+        }
+        let sum: f64 = total.iter().sum();
+        if sum > 0.0 {
+            for v in &mut total {
+                *v /= sum;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "junk".into()]);
+        for i in 0..n {
+            let x = i as f64 / n as f64 * 10.0;
+            d.push(vec![x, ((i * 13) % 11) as f64], (x).sin() * 5.0 + x);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_smooth_function_reasonably() {
+        let d = wave_data(300);
+        let f = RandomForest::fit(&d, &ForestParams::default(), 1).unwrap();
+        for probe in [1.0f64, 4.0, 8.0] {
+            let truth = probe.sin() * 5.0 + probe;
+            let pred = f.predict(&[probe, 0.0]);
+            assert!((pred - truth).abs() < 2.0, "x={probe}: {pred} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = wave_data(100);
+        let a = RandomForest::fit(&d, &ForestParams::default(), 9).unwrap();
+        let b = RandomForest::fit(&d, &ForestParams::default(), 9).unwrap();
+        assert_eq!(a.predict(&[2.0, 0.0]), b.predict(&[2.0, 0.0]));
+    }
+
+    #[test]
+    fn warm_start_adds_trees_and_shifts_predictions() {
+        let d = wave_data(100);
+        let mut f = RandomForest::fit(&d, &ForestParams::default(), 2).unwrap();
+        let before_trees = f.n_trees();
+        // New regime: constant 100.
+        let mut new = Dataset::new(vec!["x".into(), "junk".into()]);
+        for i in 0..100 {
+            new.push(vec![i as f64 / 10.0, 0.0], 100.0);
+        }
+        f.warm_start_extend(&new, before_trees, 3).unwrap();
+        assert_eq!(f.n_trees(), before_trees * 2);
+        // Half the trees now vote 100, pulling predictions strongly upward.
+        assert!(f.predict(&[5.0, 0.0]) > 40.0);
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_width() {
+        let d = wave_data(50);
+        let mut f = RandomForest::fit(&d, &ForestParams::default(), 2).unwrap();
+        let narrow = Dataset::new(vec!["only".into()]);
+        assert!(matches!(
+            f.warm_start_extend(&narrow, 1, 0),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn importances_normalised_and_informative() {
+        let d = wave_data(200);
+        let f = RandomForest::fit(&d, &ForestParams::default(), 4).unwrap();
+        let imp = f.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "x should matter more than junk: {imp:?}");
+    }
+
+    #[test]
+    fn zero_trees_invalid() {
+        let d = wave_data(10);
+        let params = ForestParams {
+            n_trees: 0,
+            ..ForestParams::default()
+        };
+        assert!(matches!(
+            RandomForest::fit(&d, &params, 0),
+            Err(MlError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn predict_with_std_reports_spread() {
+        let d = wave_data(200);
+        let f = RandomForest::fit(&d, &ForestParams::default(), 5).unwrap();
+        let (mean, std) = f.predict_with_std(&[5.0, 0.0]);
+        assert!(mean.is_finite() && std >= 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! CART regression trees (variance-reduction splits).
+//!
+//! These are the base learners of the paper's "decision-tree based Random
+//! Forest" (§3.1, Equation 1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// Hyperparameters for one regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs before it may split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` considers all (plain CART),
+    /// `Some(m)` samples `m` at random (random-forest style).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 16,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_ml::dataset::Dataset;
+/// use smartpick_ml::tree::{RegressionTree, TreeParams};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..50 {
+///     let x = i as f64;
+///     data.push(vec![x], if x < 25.0 { 1.0 } else { 9.0 });
+/// }
+/// let tree = RegressionTree::fit(&data, &TreeParams::default(), 0)?;
+/// assert!(tree.predict(&[10.0]) < 2.0);
+/// assert!(tree.predict(&[40.0]) > 8.0);
+/// # Ok::<(), smartpick_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total variance reduction contributed by each feature (unnormalised
+    /// impurity importance).
+    importance: Vec<f64>,
+}
+
+struct Builder<'a> {
+    xs: &'a [Vec<f64>],
+    ys: &'a [f64],
+    params: &'a TreeParams,
+    nodes: Vec<Node>,
+    importance: Vec<f64>,
+}
+
+/// Candidate split found for a node.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64,
+}
+
+impl<'a> Builder<'a> {
+    /// Sum of squared errors around the mean for the given sample indices.
+    fn sse(&self, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mean = idx.iter().map(|&i| self.ys[i]).sum::<f64>() / idx.len() as f64;
+        idx.iter().map(|&i| (self.ys[i] - mean).powi(2)).sum()
+    }
+
+    fn leaf(&mut self, idx: &[usize]) -> usize {
+        let value = idx.iter().map(|&i| self.ys[i]).sum::<f64>() / idx.len() as f64;
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    fn best_split_on(&self, idx: &[usize], feature: usize) -> Option<BestSplit> {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            self.xs[a][feature]
+                .partial_cmp(&self.xs[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = order.len();
+        // Prefix sums of y and y² in feature order.
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let prefix: Vec<(f64, f64)> = order
+            .iter()
+            .map(|&i| {
+                sum += self.ys[i];
+                sum2 += self.ys[i] * self.ys[i];
+                (sum, sum2)
+            })
+            .collect();
+        let (total, total2) = prefix[n - 1];
+        let mut best: Option<BestSplit> = None;
+        let min_leaf = self.params.min_samples_leaf.max(1);
+        for k in min_leaf..=(n - min_leaf) {
+            if k == n {
+                break;
+            }
+            let xa = self.xs[order[k - 1]][feature];
+            let xb = self.xs[order[k]][feature];
+            if xa == xb {
+                continue; // cannot split between identical values
+            }
+            let (ls, ls2) = prefix[k - 1];
+            let rs = total - ls;
+            let rs2 = total2 - ls2;
+            let sse_l = ls2 - ls * ls / k as f64;
+            let sse_r = rs2 - rs * rs / (n - k) as f64;
+            let score = sse_l + sse_r;
+            if best.as_ref().map_or(true, |b| score < b.score) {
+                best = Some(BestSplit {
+                    feature,
+                    threshold: (xa + xb) / 2.0,
+                    score,
+                });
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, idx: &[usize], depth: usize, rng: &mut impl Rng) -> usize {
+        let node_sse = self.sse(idx);
+        if depth >= self.params.max_depth
+            || idx.len() < self.params.min_samples_split
+            || node_sse <= 1e-12
+        {
+            return self.leaf(idx);
+        }
+
+        let n_features = self.xs[0].len();
+        let features: Vec<usize> = match self.params.max_features {
+            None => (0..n_features).collect(),
+            Some(m) => {
+                let mut all: Vec<usize> = (0..n_features).collect();
+                all.shuffle(rng);
+                all.truncate(m.clamp(1, n_features));
+                all
+            }
+        };
+
+        let best = features
+            .iter()
+            .filter_map(|&f| self.best_split_on(idx, f))
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+
+        let Some(best) = best else {
+            return self.leaf(idx);
+        };
+        let gain = node_sse - best.score;
+        if gain <= 1e-12 {
+            return self.leaf(idx);
+        }
+        self.importance[best.feature] += gain;
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.xs[i][best.feature] <= best.threshold);
+        // Reserve the split slot, then build children.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 });
+        let left = self.build(&left_idx, depth + 1, rng);
+        let right = self.build(&right_idx, depth + 1, rng);
+        self.nodes[slot] = Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left,
+            right,
+        };
+        slot
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on `data`.
+    ///
+    /// `seed` drives the feature subsampling (only relevant when
+    /// `params.max_features` is set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for an empty dataset.
+    pub fn fit(data: &Dataset, params: &TreeParams, seed: u64) -> Result<Self, MlError> {
+        Self::fit_indices(data, &(0..data.len()).collect::<Vec<_>>(), params, seed)
+    }
+
+    /// Fits a tree on a subset of `data` given by `indices` (used by
+    /// bootstrap bagging).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] when `indices` is empty.
+    pub fn fit_indices(
+        data: &Dataset,
+        indices: &[usize],
+        params: &TreeParams,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if indices.is_empty() || data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = indices.iter().map(|&i| data.features()[i].clone()).collect();
+        let ys: Vec<f64> = indices.iter().map(|&i| data.targets()[i]).collect();
+        let mut builder = Builder {
+            xs: &xs,
+            ys: &ys,
+            params,
+            nodes: Vec::new(),
+            importance: vec![0.0; data.n_features()],
+        };
+        let all: Vec<usize> = (0..xs.len()).collect();
+        let root = builder.build(&all, 0, &mut rng);
+        debug_assert_eq!(root, 0);
+        Ok(RegressionTree {
+            nodes: builder.nodes,
+            n_features: data.n_features(),
+            importance: builder.importance,
+        })
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of feature columns the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Unnormalised impurity importance per feature.
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "noise".into()]);
+        for i in 0..100 {
+            let x = i as f64;
+            let y = if x < 30.0 {
+                5.0
+            } else if x < 70.0 {
+                20.0
+            } else {
+                -3.0
+            };
+            d.push(vec![x, (i % 7) as f64], y);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_piecewise_constant_function() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        assert!((t.predict(&[10.0, 0.0]) - 5.0).abs() < 0.5);
+        assert!((t.predict(&[50.0, 0.0]) - 20.0).abs() < 0.5);
+        assert!((t.predict(&[90.0, 0.0]) + 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn informative_feature_dominates_importance() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        assert!(t.importance()[0] > t.importance()[1] * 10.0);
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf_mean() {
+        let d = step_data();
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&d, &params, 0).unwrap();
+        assert_eq!(t.node_count(), 1);
+        let mean = d.targets().iter().sum::<f64>() / d.len() as f64;
+        assert!((t.predict(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64], 7.5);
+        }
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[3.0]), 7.5);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let d = Dataset::new(vec!["x".into()]);
+        assert!(matches!(
+            RegressionTree::fit(&d, &TreeParams::default(), 0),
+            Err(MlError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = step_data();
+        let params = TreeParams {
+            min_samples_leaf: 40,
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&d, &params, 0).unwrap();
+        // With 100 samples and 40-sample leaves at most one split fits.
+        assert!(t.node_count() <= 3, "nodes: {}", t.node_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn predict_rejects_wrong_width() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        let _ = t.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+
+use smartpick_ml::dataset::Dataset;
+use smartpick_ml::forest::{ForestParams, RandomForest};
+use smartpick_ml::metrics;
+use smartpick_ml::tree::{RegressionTree, TreeParams};
+
+fn dataset(xs: &[(f64, f64)]) -> Dataset {
+    let mut d = Dataset::new(vec!["x".into()]);
+    for &(x, y) in xs {
+        d.push(vec![x], y);
+    }
+    d
+}
+
+proptest! {
+    /// Tree predictions never leave the convex hull of training targets.
+    #[test]
+    fn tree_predictions_bounded_by_targets(
+        points in prop::collection::vec((-100.0f64..100.0, -50.0f64..50.0), 4..60),
+        probe in -200.0f64..200.0,
+    ) {
+        let d = dataset(&points);
+        let tree = RegressionTree::fit(&d, &TreeParams::default(), 1).unwrap();
+        let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let y = tree.predict(&[probe]);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    /// Forest predictions are also bounded by the target range (means of
+    /// bounded tree outputs).
+    #[test]
+    fn forest_predictions_bounded(
+        points in prop::collection::vec((-100.0f64..100.0, -50.0f64..50.0), 6..40),
+        probe in -200.0f64..200.0,
+    ) {
+        let d = dataset(&points);
+        let params = ForestParams { n_trees: 10, ..ForestParams::default() };
+        let forest = RandomForest::fit(&d, &params, 2).unwrap();
+        let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let y = forest.predict(&[probe]);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+
+    /// Splits partition the dataset exactly.
+    #[test]
+    fn split_partitions_exactly(n in 5usize..200, frac in 0.1f64..0.9, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64], i as f64);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = d.split(frac, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty());
+        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// The data-burst multiplies the sample count by exactly the factor and
+    /// keeps every jittered target within the band.
+    #[test]
+    fn burst_respects_factor_and_band(
+        n in 2usize..30,
+        factor in 1usize..8,
+        jitter in 0.0f64..0.2,
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64], 100.0 + i as f64);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = d.burst(factor, jitter, &mut rng);
+        prop_assert_eq!(b.len(), n * factor.max(1));
+        for &y in b.targets() {
+            let ok = d.targets().iter().any(|&orig| (y - orig).abs() <= orig.abs() * jitter + 1e-9);
+            prop_assert!(ok);
+        }
+    }
+
+    /// RMSE is zero iff predictions equal truths; always non-negative.
+    #[test]
+    fn rmse_properties(ys in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        prop_assert!(metrics::rmse(&ys, &ys) < 1e-12);
+        let shifted: Vec<f64> = ys.iter().map(|y| y + 1.0).collect();
+        let r = metrics::rmse(&ys, &shifted);
+        prop_assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    /// accuracy_within is monotone in the threshold.
+    #[test]
+    fn accuracy_monotone_in_threshold(
+        ys in prop::collection::vec(-100.0f64..100.0, 2..50),
+        t1 in 0.0f64..50.0,
+        dt in 0.0f64..50.0,
+    ) {
+        let pred: Vec<f64> = ys.iter().map(|y| y * 1.1 + 0.5).collect();
+        let a1 = metrics::accuracy_within(&ys, &pred, t1);
+        let a2 = metrics::accuracy_within(&ys, &pred, t1 + dt);
+        prop_assert!(a2 >= a1);
+    }
+
+    /// norm_cdf is a monotone map into [0, 1].
+    #[test]
+    fn norm_cdf_monotone(a in -6.0f64..6.0, d in 0.0f64..6.0) {
+        let ca = metrics::norm_cdf(a);
+        let cb = metrics::norm_cdf(a + d);
+        prop_assert!((0.0..=1.0).contains(&ca));
+        prop_assert!(cb >= ca - 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! A small SQL lexer: just enough structure for metadata extraction.
+
+/// One lexical token of a SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare or dotted identifier or keyword (`store_sales`, `ss.item_sk`).
+    /// Keywords are *not* distinguished here; [`crate::metadata`] decides.
+    Word(String),
+    /// A quoted string literal (contents without quotes).
+    StringLit(String),
+    /// A numeric literal.
+    Number(String),
+    /// A single punctuation character: `( ) , ; = < > + - * / .` etc.
+    Punct(char),
+}
+
+impl Token {
+    /// The word, uppercased, if this token is a word.
+    pub fn as_upper_word(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes a SQL string.
+///
+/// Handles single-quoted strings (with `''` escapes), double-quoted
+/// identifiers, line comments (`--`), block comments (`/* */`), numbers and
+/// dotted identifiers. Anything unrecognised is skipped.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_sqlmeta::{tokenize, Token};
+/// let tokens = tokenize("SELECT a FROM t -- comment\nWHERE a = 'x''y'");
+/// assert!(tokens.contains(&Token::Word("t".into())));
+/// assert!(tokens.contains(&Token::StringLit("x'y".into())));
+/// ```
+pub fn tokenize(sql: &str) -> Vec<Token> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\'' {
+                    if chars.get(i + 1) == Some(&'\'') {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+            }
+            tokens.push(Token::StringLit(s));
+        } else if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            i = (i + 1).min(chars.len());
+            tokens.push(Token::Word(s));
+        } else if c.is_ascii_digit() {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Number(s));
+        } else if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Word(s));
+        } else {
+            tokens.push(Token::Punct(c));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_and_puncts() {
+        let t = tokenize("SELECT a1, 42 FROM t;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("a1".into()),
+                Token::Punct(','),
+                Token::Number("42".into()),
+                Token::Word("FROM".into()),
+                Token::Word("t".into()),
+                Token::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_identifiers_stay_joined() {
+        let t = tokenize("ss.item_sk");
+        assert_eq!(t, vec![Token::Word("ss.item_sk".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("a -- hidden\n/* also hidden */ b");
+        assert_eq!(t, vec![Token::Word("a".into()), Token::Word("b".into())]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s'");
+        assert_eq!(t, vec![Token::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        let _ = tokenize("'unterminated");
+        let _ = tokenize("\"unterminated");
+        let _ = tokenize("/* unterminated");
+        let _ = tokenize("-- only a comment");
+    }
+
+    #[test]
+    fn upper_word_helper() {
+        assert_eq!(
+            Token::Word("select".into()).as_upper_word(),
+            Some("SELECT".into())
+        );
+        assert_eq!(Token::Number("1".into()).as_upper_word(), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! # smartpick-sqlmeta
+//!
+//! SQL metadata extraction and vector similarity — the Rust stand-in for
+//! the Python `sql-metadata` library Smartpick's **Similarity Checker**
+//! uses (§5 "Query similarity check").
+//!
+//! When an *alien* (unknown) query arrives, Smartpick extracts "meaningful
+//! information such as the number of tables, columns and subqueries
+//! inferred in the request", builds a 4-dimensional vector (together with
+//! the number of map tasks) and ranks known queries by **spatial cosine
+//! similarity** to find the closest identifier (§4.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use smartpick_sqlmeta::{extract, cosine_similarity};
+//!
+//! let meta = extract(
+//!     "SELECT ss.item_sk, SUM(ss.net_paid) \
+//!      FROM store_sales ss JOIN item i ON ss.item_sk = i.item_sk \
+//!      WHERE i.category = 'Music' GROUP BY ss.item_sk",
+//! );
+//! assert_eq!(meta.table_count(), 2);
+//! assert_eq!(meta.subquery_count, 0);
+//! assert!(meta.column_count() >= 3);
+//!
+//! let sim = cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+//! assert!((sim - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod metadata;
+pub mod similarity;
+
+pub use lexer::{tokenize, Token};
+pub use metadata::{extract, QueryMetadata};
+pub use similarity::{cosine_similarity, rank_by_similarity};

@@ -1,0 +1,219 @@
+//! Query-metadata extraction: tables, columns, subqueries.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{tokenize, Token};
+
+/// SQL keywords and aggregate functions that are never table or column
+/// names.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "JOIN", "INNER", "OUTER", "LEFT",
+    "RIGHT", "FULL", "CROSS", "ON", "AS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE",
+    "IS", "NULL", "DISTINCT", "UNION", "ALL", "ANY", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "LIMIT", "OFFSET", "ASC", "DESC", "WITH", "OVER", "PARTITION", "ROWS", "PRECEDING",
+    "FOLLOWING", "CURRENT", "ROW", "SUM", "AVG", "COUNT", "MIN", "MAX", "STDDEV", "ABS", "ROUND",
+    "CAST", "COALESCE", "SUBSTR", "SUBSTRING", "EXTRACT", "YEAR", "MONTH", "DAY", "DATE",
+    "INTERVAL", "RANK", "DENSE_RANK", "ROW_NUMBER", "TOP", "INTO", "VALUES", "INSERT", "UPDATE",
+    "DELETE", "CREATE", "TABLE", "VIEW",
+];
+
+fn is_keyword(upper: &str) -> bool {
+    KEYWORDS.contains(&upper)
+}
+
+/// Metadata extracted from one SQL query — the Similarity Checker's raw
+/// material (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryMetadata {
+    /// Distinct table names referenced in `FROM` / `JOIN` clauses.
+    pub tables: BTreeSet<String>,
+    /// Distinct column names referenced anywhere (qualified names are
+    /// reduced to their final segment).
+    pub columns: BTreeSet<String>,
+    /// Number of nested `SELECT`s (top-level query not counted).
+    pub subquery_count: usize,
+}
+
+impl QueryMetadata {
+    /// Number of distinct tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of distinct columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The Similarity Checker's feature vector
+    /// `(tables, columns, subqueries, map_tasks)` (§5).
+    pub fn to_similarity_vector(&self, map_tasks: usize) -> [f64; 4] {
+        [
+            self.table_count() as f64,
+            self.column_count() as f64,
+            self.subquery_count as f64,
+            map_tasks as f64,
+        ]
+    }
+}
+
+/// Extracts [`QueryMetadata`] from SQL text.
+///
+/// The extraction is heuristic (as is the `sql-metadata` library the paper
+/// uses): identifiers after `FROM`/`JOIN` become tables (comma lists
+/// included); all other non-keyword identifiers become columns, with
+/// qualified names (`alias.column`) contributing their last segment; each
+/// `SELECT` beyond the first counts as a subquery. Table aliases directly
+/// following a table name are ignored.
+pub fn extract(sql: &str) -> QueryMetadata {
+    let tokens = tokenize(sql);
+    let mut meta = QueryMetadata::default();
+    let mut select_count = 0usize;
+
+    // Pass 1: tables and aliases.
+    let mut aliases: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(word) = tokens[i].as_upper_word() {
+            if word == "SELECT" {
+                select_count += 1;
+            }
+            if word == "FROM" || word == "JOIN" {
+                i += 1;
+                // A parenthesis here means a derived table (subquery), which
+                // pass 1 skips; the inner SELECT is counted anyway.
+                loop {
+                    // Expect: table [alias] [, table [alias]]...
+                    let Some(Token::Word(name)) = tokens.get(i) else {
+                        break;
+                    };
+                    let upper = name.to_ascii_uppercase();
+                    if is_keyword(&upper) {
+                        break;
+                    }
+                    meta.tables.insert(name.clone());
+                    i += 1;
+                    // Optional alias: a non-keyword word right after.
+                    if let Some(Token::Word(alias)) = tokens.get(i) {
+                        let au = alias.to_ascii_uppercase();
+                        if !is_keyword(&au) && !alias.contains('.') {
+                            aliases.insert(alias.clone());
+                            i += 1;
+                        } else if au == "AS" {
+                            i += 1;
+                            if let Some(Token::Word(alias)) = tokens.get(i) {
+                                aliases.insert(alias.clone());
+                                i += 1;
+                            }
+                        }
+                    }
+                    if tokens.get(i) == Some(&Token::Punct(',')) {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: columns — every other non-keyword identifier.
+    for token in &tokens {
+        let Token::Word(w) = token else { continue };
+        let upper = w.to_ascii_uppercase();
+        if is_keyword(&upper) {
+            continue;
+        }
+        if let Some((qualifier, column)) = w.rsplit_once('.') {
+            // Qualified name: the qualifier is a table or alias; the final
+            // segment is the column.
+            let _ = qualifier;
+            if !column.is_empty() {
+                meta.columns.insert(column.to_string());
+            }
+        } else if !meta.tables.contains(w) && !aliases.contains(w) {
+            meta.columns.insert(w.clone());
+        }
+    }
+
+    meta.subquery_count = select_count.saturating_sub(1);
+    meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let m = extract("SELECT a, b FROM t WHERE c > 1");
+        assert_eq!(m.table_count(), 1);
+        assert!(m.tables.contains("t"));
+        assert_eq!(m.column_count(), 3);
+        assert_eq!(m.subquery_count, 0);
+    }
+
+    #[test]
+    fn joins_and_aliases() {
+        let m = extract(
+            "SELECT ss.item_sk, i.category FROM store_sales ss \
+             JOIN item i ON ss.item_sk = i.item_sk",
+        );
+        assert_eq!(m.table_count(), 2);
+        assert!(m.tables.contains("store_sales") && m.tables.contains("item"));
+        assert!(m.columns.contains("item_sk") && m.columns.contains("category"));
+        // Aliases are not columns.
+        assert!(!m.columns.contains("ss") && !m.columns.contains("i"));
+    }
+
+    #[test]
+    fn comma_join_lists() {
+        let m = extract("SELECT x FROM a, b, c WHERE a.k = b.k AND b.j = c.j");
+        assert_eq!(m.table_count(), 3);
+    }
+
+    #[test]
+    fn subqueries_counted() {
+        let m = extract(
+            "SELECT * FROM t WHERE x IN (SELECT y FROM u) \
+             AND z > (SELECT AVG(w) FROM v)",
+        );
+        assert_eq!(m.subquery_count, 2);
+        assert!(m.tables.contains("u") && m.tables.contains("v"));
+    }
+
+    #[test]
+    fn aggregates_are_not_columns() {
+        let m = extract("SELECT SUM(net_paid), COUNT(x) FROM s GROUP BY y");
+        assert!(!m.columns.contains("SUM") && !m.columns.contains("COUNT"));
+        assert!(m.columns.contains("net_paid"));
+    }
+
+    #[test]
+    fn similarity_vector_shape() {
+        let m = extract("SELECT a FROM t");
+        let v = m.to_similarity_vector(120);
+        assert_eq!(v, [1.0, 1.0, 0.0, 120.0]);
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let m = extract("");
+        assert_eq!(m.table_count(), 0);
+        assert_eq!(m.column_count(), 0);
+        assert_eq!(m.subquery_count, 0);
+    }
+
+    #[test]
+    fn with_clause_tables() {
+        let m = extract(
+            "WITH recent AS (SELECT * FROM sales WHERE d > 10) \
+             SELECT r.total FROM recent r",
+        );
+        assert!(m.tables.contains("sales"));
+        assert!(m.tables.contains("recent"));
+        assert_eq!(m.subquery_count, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Spatial cosine similarity (§4.2).
+
+/// Cosine similarity between two equal-length vectors, in `[-1, 1]`.
+///
+/// A zero vector yields similarity 0 against anything — a harmless
+/// convention for the Similarity Checker (an empty query matches nothing
+/// well).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+///
+/// # Example
+///
+/// ```
+/// use smartpick_sqlmeta::cosine_similarity;
+/// assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+/// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+/// ```
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na <= 1e-12 || nb <= 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Ranks `known` vectors by cosine similarity to `probe`, best first.
+///
+/// Returns `(index, similarity)` pairs. Ties preserve input order, keeping
+/// results deterministic.
+pub fn rank_by_similarity(probe: &[f64], known: &[Vec<f64>]) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = known
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (i, cosine_similarity(probe, k)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_direction_is_one() {
+        assert!((cosine_similarity(&[3.0, 4.0], &[6.0, 8.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_direction_is_minus_one() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_yields_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn ranking_orders_best_first() {
+        let probe = [1.0, 1.0, 0.0, 100.0];
+        let known = vec![
+            vec![1.0, 1.0, 0.0, 500.0],  // same shape, different magnitude axis
+            vec![1.0, 1.0, 0.0, 101.0],  // nearly identical
+            vec![0.0, 0.0, 5.0, 0.0],    // orthogonal-ish
+        ];
+        let ranked = rank_by_similarity(&probe, &known);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[2].0, 2);
+        assert!(ranked[0].1 > ranked[1].1 && ranked[1].1 > ranked[2].1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

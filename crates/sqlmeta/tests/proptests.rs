@@ -1,0 +1,71 @@
+//! Property-based tests: the lexer and extractor must be total (never
+//! panic) over arbitrary input, and similarity must respect its bounds.
+
+use proptest::prelude::*;
+
+use smartpick_sqlmeta::{cosine_similarity, extract, rank_by_similarity, tokenize};
+
+proptest! {
+    /// The tokenizer is total over arbitrary unicode strings.
+    #[test]
+    fn tokenizer_never_panics(s in "\\PC{0,400}") {
+        let _ = tokenize(&s);
+    }
+
+    /// Extraction is total and produces consistent counts.
+    #[test]
+    fn extraction_never_panics(s in "\\PC{0,400}") {
+        let meta = extract(&s);
+        prop_assert_eq!(meta.table_count(), meta.tables.len());
+        prop_assert_eq!(meta.column_count(), meta.columns.len());
+    }
+
+    /// Extraction is total over SQL-ish strings too. Generated names are
+    /// prefixed so they cannot collide with SQL keywords (a bare `in`
+    /// would rightly be treated as a keyword, not a table).
+    #[test]
+    fn extraction_on_sqlish(
+        tables in prop::collection::vec("tbl_[a-z]{1,8}", 1..5),
+        cols in prop::collection::vec("col_[a-z]{1,8}", 1..6),
+    ) {
+        let sql = format!(
+            "SELECT {} FROM {}",
+            cols.join(", "),
+            tables.join(", ")
+        );
+        let meta = extract(&sql);
+        prop_assert!(meta.table_count() <= tables.len());
+        prop_assert!(meta.table_count() >= 1);
+    }
+
+    /// Cosine similarity stays within [-1, 1] and is symmetric.
+    #[test]
+    fn cosine_bounds_and_symmetry(
+        a in prop::collection::vec(-100.0f64..100.0, 4),
+        b in prop::collection::vec(-100.0f64..100.0, 4),
+    ) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        let t = cosine_similarity(&b, &a);
+        prop_assert!((s - t).abs() < 1e-12);
+    }
+
+    /// Self-similarity of a non-zero vector is 1.
+    #[test]
+    fn self_similarity_is_one(a in prop::collection::vec(0.1f64..100.0, 4)) {
+        prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Rankings are sorted descending and cover all candidates.
+    #[test]
+    fn rankings_sorted(
+        probe in prop::collection::vec(-10.0f64..10.0, 3),
+        known in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 1..10),
+    ) {
+        let ranked = rank_by_similarity(&probe, &known);
+        prop_assert_eq!(ranked.len(), known.len());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! TPC-DS-style query profiles.
+//!
+//! Each profile encodes the structural characteristics the paper relies on:
+//! 6–16 dependent stages mixing scans (cloud-storage input) with shuffle
+//! stages, plus SQL text whose table/column/subquery counts drive the
+//! Similarity Checker. Task counts are calibrated to the paper's §2.2
+//! workload classes (roughly 100 / 250 / 500 tasks for short / mid / long)
+//! at the default 100 GB input.
+
+use smartpick_engine::{QueryProfile, StageProfile};
+
+/// Per-task cloud-storage read for scan stages, MiB.
+const SCAN_INPUT_MIB: f64 = 96.0;
+
+struct Spec {
+    q: u32,
+    sql: &'static str,
+    /// Scan stages at 100 GB: `(tasks, cpu_ms_per_task)`.
+    scans: &'static [(usize, f64)],
+    /// Shuffle/reduce chain: `(tasks, cpu_ms_per_task, shuffle_mib)`. The
+    /// first reduce depends on every scan; the rest form a chain.
+    reduces: &'static [(usize, f64, f64)],
+}
+
+/// The TPC-DS queries the paper uses: 11/49/68/74/82 for model training and
+/// 2/4/18/55/62 as aliens.
+pub const TRAINING_QUERIES: [u32; 5] = [11, 49, 68, 74, 82];
+/// The alien (unknown) TPC-DS queries of §6.5.1.
+pub const ALIEN_QUERIES: [u32; 5] = [2, 4, 18, 55, 62];
+
+const SPECS: &[Spec] = &[
+    // ---- Training set -------------------------------------------------
+    // q11: iterative customer year-over-year comparison. Long-running.
+    Spec {
+        q: 11,
+        sql: "WITH year_total AS (SELECT c.customer_id, d.year, SUM(ss.net_paid) total \
+              FROM store_sales ss, date_dim d, customer c \
+              WHERE ss.sold_date_sk = d.date_sk AND ss.customer_sk = c.customer_sk \
+              GROUP BY c.customer_id, d.year) \
+              SELECT t1.customer_id FROM year_total t1, year_total t2 \
+              WHERE t1.customer_id = t2.customer_id AND t1.year = 1999 \
+              AND t2.year = 2000 AND t2.total > t1.total ORDER BY t1.customer_id",
+        scans: &[(130, 3_000.0), (40, 2_400.0)],
+        reduces: &[
+            (90, 3_200.0, 20.0),
+            (70, 3_000.0, 16.0),
+            (60, 2_800.0, 14.0),
+            (50, 2_800.0, 12.0),
+            (40, 2_600.0, 10.0),
+            (24, 2_600.0, 8.0),
+            (12, 2_400.0, 6.0),
+            (4, 2_000.0, 4.0),
+        ],
+    },
+    // q49: worst return ratios across channels. Mid-running.
+    Spec {
+        q: 49,
+        sql: "SELECT channel, item, return_ratio FROM \
+              (SELECT 'store' channel, sr.item_sk item, \
+              SUM(sr.return_amt) / SUM(ss.net_paid) return_ratio \
+              FROM store_sales ss, store_returns sr, date_dim d \
+              WHERE ss.ticket_sk = sr.ticket_sk AND ss.sold_date_sk = d.date_sk \
+              GROUP BY sr.item_sk) ranked \
+              WHERE return_ratio > 0.1 ORDER BY return_ratio DESC",
+        scans: &[(90, 2_800.0), (30, 2_200.0)],
+        reduces: &[
+            (60, 2_800.0, 16.0),
+            (45, 2_600.0, 12.0),
+            (30, 2_400.0, 10.0),
+            (18, 2_400.0, 8.0),
+            (8, 2_000.0, 4.0),
+            (4, 1_800.0, 3.0),
+        ],
+    },
+    // q68: customer purchases in chosen cities. Mid-running.
+    Spec {
+        q: 68,
+        sql: "SELECT c.last_name, c.first_name, ca.city, extended_price \
+              FROM (SELECT ss.ticket_sk, SUM(ss.ext_sales_price) extended_price \
+              FROM store_sales ss, date_dim d, store s, household_demographics hd \
+              WHERE ss.sold_date_sk = d.date_sk AND ss.store_sk = s.store_sk \
+              AND ss.hdemo_sk = hd.demo_sk GROUP BY ss.ticket_sk) dn, \
+              customer c, customer_address ca \
+              WHERE dn.ticket_sk = c.customer_sk AND c.addr_sk = ca.address_sk",
+        scans: &[(80, 2_600.0), (25, 2_200.0)],
+        reduces: &[
+            (55, 2_600.0, 14.0),
+            (40, 2_400.0, 12.0),
+            (25, 2_400.0, 8.0),
+            (12, 2_200.0, 6.0),
+            (5, 1_800.0, 3.0),
+        ],
+    },
+    // q74: year-over-year customer totals across channels. Long-running.
+    Spec {
+        q: 74,
+        sql: "WITH year_total AS (SELECT c.customer_id, d.year, \
+              SUM(ss.net_paid) year_total FROM store_sales ss, date_dim d, customer c \
+              WHERE ss.customer_sk = c.customer_sk AND ss.sold_date_sk = d.date_sk \
+              GROUP BY c.customer_id, d.year \
+              UNION ALL SELECT c.customer_id, d.year, SUM(ws.net_paid) year_total \
+              FROM web_sales ws, date_dim d, customer c \
+              WHERE ws.customer_sk = c.customer_sk AND ws.sold_date_sk = d.date_sk \
+              GROUP BY c.customer_id, d.year) \
+              SELECT t1.customer_id FROM year_total t1, year_total t2 \
+              WHERE t1.customer_id = t2.customer_id AND t2.year_total > t1.year_total",
+        scans: &[(110, 3_000.0), (70, 2_800.0), (30, 2_200.0)],
+        reduces: &[
+            (75, 3_000.0, 18.0),
+            (60, 2_800.0, 14.0),
+            (45, 2_800.0, 12.0),
+            (30, 2_600.0, 10.0),
+            (16, 2_400.0, 6.0),
+            (6, 2_000.0, 4.0),
+        ],
+    },
+    // q82: items with specific inventory conditions. Short-running.
+    Spec {
+        q: 82,
+        sql: "SELECT i.item_id, i.item_desc, i.current_price \
+              FROM item i, inventory inv, date_dim d, store_sales ss \
+              WHERE i.current_price BETWEEN 30 AND 60 \
+              AND inv.item_sk = i.item_sk AND d.date_sk = inv.date_sk \
+              AND ss.item_sk = i.item_sk GROUP BY i.item_id, i.item_desc, i.current_price",
+        scans: &[(45, 2_400.0), (15, 2_000.0)],
+        reduces: &[
+            (30, 2_400.0, 10.0),
+            (16, 2_200.0, 8.0),
+            (8, 2_000.0, 5.0),
+            (3, 1_600.0, 2.0),
+        ],
+    },
+    // ---- Alien set (structurally similar to a training query) ----------
+    // q2: web/catalog weekly sales deltas — shaped like q74 (long).
+    Spec {
+        q: 2,
+        sql: "WITH wscs AS (SELECT sold_date_sk, sales_price FROM web_sales ws \
+              UNION ALL SELECT sold_date_sk, sales_price FROM catalog_sales cs) \
+              SELECT d_week_seq, SUM(sales_price) FROM wscs, date_dim d \
+              WHERE d.date_sk = sold_date_sk GROUP BY d_week_seq ORDER BY d_week_seq",
+        scans: &[(100, 3_000.0), (65, 2_800.0), (25, 2_200.0)],
+        reduces: &[
+            (70, 3_000.0, 18.0),
+            (55, 2_800.0, 14.0),
+            (40, 2_800.0, 12.0),
+            (28, 2_600.0, 10.0),
+            (14, 2_400.0, 6.0),
+            (6, 2_000.0, 4.0),
+        ],
+    },
+    // q4: customer year-over-year across three channels — like q11 (long).
+    Spec {
+        q: 4,
+        sql: "WITH year_total AS (SELECT c.customer_id, d.year, SUM(cs.net_paid) total \
+              FROM catalog_sales cs, date_dim d, customer c \
+              WHERE cs.customer_sk = c.customer_sk AND cs.sold_date_sk = d.date_sk \
+              GROUP BY c.customer_id, d.year) \
+              SELECT t1.customer_id FROM year_total t1, year_total t2 \
+              WHERE t1.customer_id = t2.customer_id AND t2.total > t1.total \
+              ORDER BY t1.customer_id",
+        scans: &[(125, 3_000.0), (45, 2_400.0)],
+        reduces: &[
+            (85, 3_200.0, 20.0),
+            (68, 3_000.0, 16.0),
+            (55, 2_800.0, 14.0),
+            (46, 2_800.0, 12.0),
+            (36, 2_600.0, 10.0),
+            (22, 2_600.0, 8.0),
+            (10, 2_400.0, 6.0),
+            (4, 2_000.0, 4.0),
+        ],
+    },
+    // q18: catalog sales demographics averages — like q49 (mid).
+    Spec {
+        q: 18,
+        sql: "SELECT item, avg_quantity, avg_price FROM \
+              (SELECT i.item_id item, AVG(cs.quantity) avg_quantity, AVG(cs.list_price) avg_price \
+              FROM catalog_sales cs, customer_demographics cd, date_dim d \
+              WHERE cs.sold_date_sk = d.date_sk AND cs.cdemo_sk = cd.demo_sk \
+              GROUP BY i.item_id) averaged \
+              WHERE avg_price > 50 ORDER BY avg_price DESC",
+        scans: &[(85, 2_800.0), (32, 2_200.0)],
+        reduces: &[
+            (58, 2_800.0, 16.0),
+            (42, 2_600.0, 12.0),
+            (28, 2_400.0, 10.0),
+            (16, 2_400.0, 8.0),
+            (7, 2_000.0, 4.0),
+            (3, 1_800.0, 3.0),
+        ],
+    },
+    // q55: brand revenue for one month — like q82 (short).
+    Spec {
+        q: 55,
+        sql: "SELECT i.brand_id, i.brand, SUM(ss.ext_sales_price) ext_price \
+              FROM date_dim d, store_sales ss, item i \
+              WHERE d.date_sk = ss.sold_date_sk AND ss.item_sk = i.item_sk \
+              AND i.manager_id = 28 GROUP BY i.brand_id, i.brand ORDER BY ext_price DESC",
+        scans: &[(42, 2_400.0), (14, 2_000.0)],
+        reduces: &[
+            (28, 2_400.0, 10.0),
+            (15, 2_200.0, 8.0),
+            (7, 2_000.0, 5.0),
+            (3, 1_600.0, 2.0),
+        ],
+    },
+    // q62: web sales shipping-mode latency buckets — like q68 (mid).
+    Spec {
+        q: 62,
+        sql: "SELECT w.warehouse_name, sm.ship_mode, shipped.order_count \
+              FROM (SELECT ws.warehouse_sk, ws.ship_mode_sk, COUNT(ws.order_number) order_count \
+              FROM web_sales ws, date_dim d, web_site site \
+              WHERE ws.ship_date_sk = d.date_sk AND ws.web_site_sk = site.site_sk \
+              GROUP BY ws.warehouse_sk, ws.ship_mode_sk) shipped, \
+              warehouse w, ship_mode sm \
+              WHERE shipped.warehouse_sk = w.warehouse_sk AND shipped.ship_mode_sk = sm.ship_mode_sk",
+        scans: &[(78, 2_600.0), (27, 2_200.0)],
+        reduces: &[
+            (52, 2_600.0, 14.0),
+            (38, 2_400.0, 12.0),
+            (24, 2_400.0, 8.0),
+            (11, 2_200.0, 6.0),
+            (5, 1_800.0, 3.0),
+        ],
+    },
+];
+
+/// Builds the TPC-DS query `q` at the given input size in GB.
+///
+/// Returns `None` for query numbers outside the ten the paper uses.
+/// Profiles are calibrated at 100 GB; other sizes scale the scan stages
+/// linearly and shuffle volumes by √factor (as
+/// [`QueryProfile::scaled_data`] does).
+pub fn query(q: u32, input_gb: f64) -> Option<QueryProfile> {
+    let spec = SPECS.iter().find(|s| s.q == q)?;
+    let mut stages = Vec::new();
+    for (i, &(tasks, cpu)) in spec.scans.iter().enumerate() {
+        stages.push(StageProfile {
+            name: format!("scan-{i}"),
+            tasks,
+            cpu_ms_per_task: cpu,
+            input_mib_per_task: SCAN_INPUT_MIB,
+            shuffle_mib_per_task: 0.0,
+            deps: vec![],
+        });
+    }
+    let n_scans = spec.scans.len();
+    for (i, &(tasks, cpu, shuffle)) in spec.reduces.iter().enumerate() {
+        let deps = if i == 0 {
+            (0..n_scans).collect()
+        } else {
+            vec![n_scans + i - 1]
+        };
+        stages.push(StageProfile {
+            name: format!("shuffle-{i}"),
+            tasks,
+            cpu_ms_per_task: cpu,
+            input_mib_per_task: 0.0,
+            shuffle_mib_per_task: shuffle,
+            deps,
+        });
+    }
+    let base = QueryProfile {
+        id: format!("tpcds-q{q}"),
+        sql: spec.sql.to_owned(),
+        input_gb: 100.0,
+        stages,
+    };
+    let factor = input_gb / 100.0;
+    Some(if (factor - 1.0).abs() < 1e-9 {
+        base
+    } else {
+        let mut scaled = base.scaled_data(factor);
+        scaled.input_gb = input_gb;
+        scaled
+    })
+}
+
+/// All ten profiles (training + alien) at `input_gb`.
+pub fn all_queries(input_gb: f64) -> Vec<QueryProfile> {
+    SPECS
+        .iter()
+        .map(|s| query(s.q, input_gb).expect("spec table is self-consistent"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpick_engine::QueryClass;
+
+    #[test]
+    fn catalog_contains_exactly_the_papers_queries() {
+        for q in TRAINING_QUERIES.iter().chain(&ALIEN_QUERIES) {
+            assert!(query(*q, 100.0).is_some(), "missing q{q}");
+        }
+        assert!(query(99, 100.0).is_none());
+        assert_eq!(all_queries(100.0).len(), 10);
+    }
+
+    #[test]
+    fn stage_counts_are_in_the_papers_band() {
+        for q in all_queries(100.0) {
+            let n = q.stages.len();
+            assert!((6..=16).contains(&n), "{}: {n} stages", q.id);
+            assert!(q.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn training_set_spans_all_three_classes() {
+        let classes: Vec<QueryClass> = TRAINING_QUERIES
+            .iter()
+            .map(|&q| query(q, 100.0).unwrap().class())
+            .collect();
+        assert!(classes.contains(&QueryClass::Short));
+        assert!(classes.contains(&QueryClass::Mid));
+        assert!(classes.contains(&QueryClass::Long));
+    }
+
+    #[test]
+    fn sql_parses_to_nontrivial_metadata() {
+        for q in all_queries(100.0) {
+            let meta = smartpick_sqlmeta::extract(&q.sql);
+            assert!(meta.table_count() >= 2, "{}: {} tables", q.id, meta.table_count());
+            assert!(meta.column_count() >= 3, "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn aliens_resemble_their_training_counterparts() {
+        // Pairings from the catalog comments.
+        for (alien, counterpart) in [(2u32, 74u32), (4, 11), (18, 49), (55, 82), (62, 68)] {
+            let a = query(alien, 100.0).unwrap();
+            let t = query(counterpart, 100.0).unwrap();
+            let am = smartpick_sqlmeta::extract(&a.sql).to_similarity_vector(a.map_tasks());
+            let tm = smartpick_sqlmeta::extract(&t.sql).to_similarity_vector(t.map_tasks());
+            let sim = smartpick_sqlmeta::cosine_similarity(&am, &tm);
+            assert!(sim > 0.99, "q{alien} vs q{counterpart}: similarity {sim}");
+        }
+    }
+
+    #[test]
+    fn five_hundred_gb_grows_scan_stages() {
+        let small = query(11, 100.0).unwrap();
+        let big = query(11, 500.0).unwrap();
+        assert_eq!(big.input_gb, 500.0);
+        assert!(big.map_tasks() > small.map_tasks() * 4);
+        assert_eq!(
+            big.stages.last().unwrap().tasks,
+            small.stages.last().unwrap().tasks
+        );
+    }
+}

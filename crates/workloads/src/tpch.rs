@@ -1,0 +1,148 @@
+//! TPC-H-style query profiles: fewer stages (2–6), moderate compute and
+//! I/O (§6.1).
+
+use smartpick_engine::{QueryProfile, StageProfile};
+
+/// Per-task cloud-storage read for scan stages, MiB.
+const SCAN_INPUT_MIB: f64 = 96.0;
+
+struct Spec {
+    q: u32,
+    sql: &'static str,
+    scans: &'static [(usize, f64)],
+    reduces: &'static [(usize, f64, f64)],
+}
+
+const SPECS: &[Spec] = &[
+    // q1: pricing summary report — a scan plus one aggregation.
+    Spec {
+        q: 1,
+        sql: "SELECT l.returnflag, l.linestatus, SUM(l.quantity), SUM(l.extendedprice), \
+              AVG(l.discount), COUNT(l.orderkey) FROM lineitem l \
+              WHERE l.shipdate <= '1998-09-02' GROUP BY l.returnflag, l.linestatus",
+        scans: &[(110, 2_600.0)],
+        reduces: &[(20, 2_200.0, 8.0)],
+    },
+    // q3: shipping priority — the §6.5.2 data-growth query.
+    Spec {
+        q: 3,
+        sql: "SELECT l.orderkey, SUM(l.extendedprice) revenue, o.orderdate, o.shippriority \
+              FROM customer c, orders o, lineitem l \
+              WHERE c.mktsegment = 'BUILDING' AND c.custkey = o.custkey \
+              AND l.orderkey = o.orderkey AND o.orderdate < '1995-03-15' \
+              GROUP BY l.orderkey, o.orderdate, o.shippriority ORDER BY revenue DESC",
+        scans: &[(85, 2_600.0), (30, 2_200.0)],
+        reduces: &[(45, 2_600.0, 12.0), (18, 2_200.0, 8.0)],
+    },
+    // q6: forecasting revenue change — tiny scan + aggregate.
+    Spec {
+        q: 6,
+        sql: "SELECT SUM(l.extendedprice * l.discount) revenue FROM lineitem l \
+              WHERE l.shipdate >= '1994-01-01' AND l.discount BETWEEN 0.05 AND 0.07 \
+              AND l.quantity < 24",
+        scans: &[(70, 2_200.0)],
+        reduces: &[(6, 1_800.0, 3.0)],
+    },
+    // q5: local supplier volume — the deepest TPC-H chain we model.
+    Spec {
+        q: 5,
+        sql: "SELECT n.name, SUM(l.extendedprice * (1 - l.discount)) revenue \
+              FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+              WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey \
+              AND l.suppkey = s.suppkey AND s.nationkey = n.nationkey \
+              AND n.regionkey = r.regionkey AND r.name = 'ASIA' \
+              GROUP BY n.name ORDER BY revenue DESC",
+        scans: &[(80, 2_600.0), (35, 2_200.0)],
+        reduces: &[(50, 2_600.0, 12.0), (30, 2_400.0, 10.0), (14, 2_200.0, 6.0), (5, 1_800.0, 3.0)],
+    },
+];
+
+/// Builds TPC-H query `q` at the given input size in GB (calibrated at
+/// 100 GB). Returns `None` for numbers outside the modelled set {1,3,5,6}.
+pub fn query(q: u32, input_gb: f64) -> Option<QueryProfile> {
+    let spec = SPECS.iter().find(|s| s.q == q)?;
+    let mut stages = Vec::new();
+    for (i, &(tasks, cpu)) in spec.scans.iter().enumerate() {
+        stages.push(StageProfile {
+            name: format!("scan-{i}"),
+            tasks,
+            cpu_ms_per_task: cpu,
+            input_mib_per_task: SCAN_INPUT_MIB,
+            shuffle_mib_per_task: 0.0,
+            deps: vec![],
+        });
+    }
+    let n_scans = spec.scans.len();
+    for (i, &(tasks, cpu, shuffle)) in spec.reduces.iter().enumerate() {
+        let deps = if i == 0 {
+            (0..n_scans).collect()
+        } else {
+            vec![n_scans + i - 1]
+        };
+        stages.push(StageProfile {
+            name: format!("shuffle-{i}"),
+            tasks,
+            cpu_ms_per_task: cpu,
+            input_mib_per_task: 0.0,
+            shuffle_mib_per_task: shuffle,
+            deps,
+        });
+    }
+    let base = QueryProfile {
+        id: format!("tpch-q{q}"),
+        sql: spec.sql.to_owned(),
+        input_gb: 100.0,
+        stages,
+    };
+    let factor = input_gb / 100.0;
+    Some(if (factor - 1.0).abs() < 1e-9 {
+        base
+    } else {
+        let mut scaled = base.scaled_data(factor);
+        scaled.input_gb = input_gb;
+        scaled
+    })
+}
+
+/// All modelled TPC-H profiles at `input_gb`.
+pub fn all_queries(input_gb: f64) -> Vec<QueryProfile> {
+    SPECS
+        .iter()
+        .map(|s| query(s.q, input_gb).expect("spec table is self-consistent"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counts_are_in_the_papers_band() {
+        for q in all_queries(100.0) {
+            let n = q.stages.len();
+            assert!((2..=6).contains(&n), "{}: {n} stages", q.id);
+            assert!(q.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn q3_exists_for_the_growth_experiment() {
+        let q3 = query(3, 100.0).unwrap();
+        assert_eq!(q3.id, "tpch-q3");
+        let big = query(3, 500.0).unwrap();
+        assert!(big.map_tasks() > q3.map_tasks() * 4);
+    }
+
+    #[test]
+    fn unknown_number_is_none() {
+        assert!(query(99, 100.0).is_none());
+    }
+
+    #[test]
+    fn sql_metadata_is_nontrivial() {
+        for q in all_queries(100.0) {
+            let meta = smartpick_sqlmeta::extract(&q.sql);
+            assert!(meta.table_count() >= 1, "{}", q.id);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Training-run generation.
+//!
+//! §6.1: "To train the prediction models, we run 20 randomly selected
+//! configurations of VMs and SLs for each of the 5 TPC-DS queries". This
+//! module draws those random `{nVM, nSL}` configurations and executes them
+//! on the engine, yielding the raw `(allocation, report)` samples the
+//! prediction pipeline turns into a dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smartpick_cloudsim::CloudEnv;
+use smartpick_engine::{simulate_query, Allocation, EngineError, QueryProfile, RelayPolicy};
+
+/// Options for random-configuration runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRunOptions {
+    /// Configurations per query (the paper uses 20).
+    pub configs_per_query: usize,
+    /// Maximum VMs per configuration (inclusive).
+    pub max_vm: u32,
+    /// Maximum SLs per configuration (inclusive).
+    pub max_sl: u32,
+    /// Minimum total instances per configuration: training on starving
+    /// one-worker clusters would dominate the error budget with
+    /// many-minute runs no deployment would choose.
+    pub min_total: u32,
+    /// Relay policy applied to every run (`Relay` trains Smartpick-r,
+    /// `None` trains plain Smartpick — §6.1 builds both models).
+    pub relay: RelayPolicy,
+}
+
+impl Default for TrainingRunOptions {
+    fn default() -> Self {
+        TrainingRunOptions {
+            configs_per_query: 20,
+            max_vm: 10,
+            max_sl: 10,
+            min_total: 4,
+            relay: RelayPolicy::None,
+        }
+    }
+}
+
+/// One executed training configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigSample {
+    /// The configuration that ran.
+    pub allocation: Allocation,
+    /// What happened.
+    pub report: smartpick_engine::RunReport,
+}
+
+/// Runs `options.configs_per_query` random configurations of `query`.
+///
+/// Configurations always request at least one instance in total; the relay
+/// policy only applies when both kinds are present.
+///
+/// # Errors
+///
+/// Propagates any [`EngineError`] from the simulated runs.
+pub fn run_random_configs(
+    query: &QueryProfile,
+    env: &CloudEnv,
+    options: &TrainingRunOptions,
+    seed: u64,
+) -> Result<Vec<ConfigSample>, EngineError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(options.configs_per_query);
+    for i in 0..options.configs_per_query {
+        let floor = options.min_total.max(1);
+        let (n_vm, n_sl) = loop {
+            let n_vm = rng.gen_range(0..=options.max_vm);
+            let n_sl = rng.gen_range(0..=options.max_sl);
+            if n_vm + n_sl >= floor {
+                break (n_vm, n_sl);
+            }
+        };
+        let relay = if n_vm > 0 && n_sl > 0 {
+            options.relay
+        } else {
+            RelayPolicy::None
+        };
+        let alloc = Allocation::new(n_vm, n_sl).with_relay(relay);
+        let run_seed = rng.gen::<u64>() ^ i as u64;
+        let report = simulate_query(query, &alloc, env, run_seed)?;
+        out.push(ConfigSample {
+            allocation: alloc,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds;
+    use smartpick_cloudsim::Provider;
+
+    #[test]
+    fn produces_requested_number_of_samples() {
+        let q = tpcds::query(82, 100.0).unwrap();
+        let env = CloudEnv::new(Provider::Aws);
+        let opts = TrainingRunOptions {
+            configs_per_query: 6,
+            ..TrainingRunOptions::default()
+        };
+        let samples = run_random_configs(&q, &env, &opts, 42).unwrap();
+        assert_eq!(samples.len(), 6);
+        for s in &samples {
+            assert!(s.allocation.is_viable());
+            assert!(s.report.seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = tpcds::query(82, 100.0).unwrap();
+        let env = CloudEnv::new(Provider::Aws);
+        let opts = TrainingRunOptions {
+            configs_per_query: 4,
+            ..TrainingRunOptions::default()
+        };
+        let a = run_random_configs(&q, &env, &opts, 7).unwrap();
+        let b = run_random_configs(&q, &env, &opts, 7).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.allocation, y.allocation);
+            assert_eq!(x.report.completion, y.report.completion);
+        }
+    }
+
+    #[test]
+    fn relay_only_applied_to_hybrid_configs() {
+        let q = tpcds::query(82, 100.0).unwrap();
+        let env = CloudEnv::new(Provider::Aws);
+        let opts = TrainingRunOptions {
+            configs_per_query: 12,
+            relay: RelayPolicy::Relay,
+            ..TrainingRunOptions::default()
+        };
+        for s in run_random_configs(&q, &env, &opts, 3).unwrap() {
+            if s.allocation.n_vm == 0 || s.allocation.n_sl == 0 {
+                assert_eq!(s.allocation.relay, RelayPolicy::None);
+            } else {
+                assert_eq!(s.allocation.relay, RelayPolicy::Relay);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The Word Count workload: a simple two-stage I/O-bound job (§6.1),
+//! used as the brand-new workload in the retraining experiment (§6.5.2).
+
+use smartpick_engine::{QueryProfile, StageProfile};
+
+/// Builds a Word Count job over `input_gb` of text.
+///
+/// Structure: one map stage that scans the input (I/O-heavy, light CPU)
+/// and one reduce stage that aggregates counts.
+pub fn query(input_gb: f64) -> QueryProfile {
+    assert!(input_gb > 0.0, "input size must be positive");
+    let factor = input_gb / 100.0;
+    let map_tasks = ((170.0 * factor).round() as usize).max(1);
+    let reduce_tasks = ((34.0 * factor.sqrt()).round() as usize).max(1);
+    QueryProfile {
+        id: "wordcount".to_owned(),
+        sql: "SELECT word, COUNT(word) FROM corpus GROUP BY word".to_owned(),
+        input_gb,
+        stages: vec![
+            StageProfile {
+                name: "map".to_owned(),
+                tasks: map_tasks,
+                cpu_ms_per_task: 1_400.0,
+                input_mib_per_task: 96.0,
+                shuffle_mib_per_task: 0.0,
+                deps: vec![],
+            },
+            StageProfile {
+                name: "reduce".to_owned(),
+                tasks: reduce_tasks,
+                cpu_ms_per_task: 1_800.0,
+                input_mib_per_task: 0.0,
+                shuffle_mib_per_task: 10.0,
+                deps: vec![0],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_stages_io_bound_map() {
+        let q = query(100.0);
+        assert_eq!(q.stages.len(), 2);
+        assert!(q.validate().is_ok());
+        assert!(q.stages[0].input_mib_per_task > 0.0);
+        assert_eq!(q.stages[1].deps, vec![0]);
+    }
+
+    #[test]
+    fn scales_with_input() {
+        let small = query(100.0);
+        let big = query(500.0);
+        assert!(big.map_tasks() > small.map_tasks() * 4);
+    }
+
+    #[test]
+    fn sql_is_parsable() {
+        let q = query(100.0);
+        let meta = smartpick_sqlmeta::extract(&q.sql);
+        assert!(meta.tables.contains("corpus"));
+        assert!(meta.columns.contains("word"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_input_rejected() {
+        let _ = query(0.0);
+    }
+}

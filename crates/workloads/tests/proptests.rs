@@ -1,0 +1,52 @@
+//! Property-based tests over the workload catalog.
+
+use proptest::prelude::*;
+
+use smartpick_workloads::{tpcds, tpch, wordcount};
+
+proptest! {
+    /// Scaling input data grows map tasks roughly linearly and never
+    /// breaks DAG validity.
+    #[test]
+    fn tpcds_scaling_is_monotone(qidx in 0usize..10, factor in 1.0f64..8.0) {
+        let qnum = [11u32, 49, 68, 74, 82, 2, 4, 18, 55, 62][qidx];
+        let base = tpcds::query(qnum, 100.0).unwrap();
+        let scaled = tpcds::query(qnum, 100.0 * factor).unwrap();
+        prop_assert!(scaled.validate().is_ok());
+        prop_assert!(scaled.map_tasks() >= base.map_tasks());
+        let expect = (base.map_tasks() as f64 * factor) as usize;
+        // Rounding per stage: allow a small absolute band.
+        prop_assert!((scaled.map_tasks() as i64 - expect as i64).abs() <= 4);
+        prop_assert_eq!(
+            scaled.stages.last().unwrap().tasks,
+            base.stages.last().unwrap().tasks,
+            "final reduce stage keeps its task count"
+        );
+    }
+
+    /// All catalog profiles stay valid at any size, with the advertised
+    /// stage-count bands.
+    #[test]
+    fn catalog_profiles_valid_at_any_size(gb in 1.0f64..1000.0) {
+        for q in tpcds::all_queries(gb) {
+            prop_assert!(q.validate().is_ok());
+            prop_assert!((6..=16).contains(&q.stages.len()));
+        }
+        for q in tpch::all_queries(gb) {
+            prop_assert!(q.validate().is_ok());
+            prop_assert!((2..=6).contains(&q.stages.len()));
+        }
+        let wc = wordcount::query(gb);
+        prop_assert!(wc.validate().is_ok());
+        prop_assert_eq!(wc.stages.len(), 2);
+    }
+
+    /// Total tasks grow with input size for scan-dominated jobs.
+    #[test]
+    fn wordcount_tasks_scale(a in 10.0f64..200.0, extra in 1.0f64..300.0) {
+        let small = wordcount::query(a);
+        let big = wordcount::query(a + extra);
+        prop_assert!(big.total_tasks() >= small.total_tasks());
+        prop_assert!(big.input_gb > small.input_gb);
+    }
+}

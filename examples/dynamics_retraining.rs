@@ -1,0 +1,61 @@
+//! Workload dynamics (§4.2, §6.5): a brand-new workload (Word Count)
+//! arrives, the first prediction misses, the error-difference monitor
+//! fires a background retrain, and the model converges; then the data
+//! grows 100 GB → 500 GB and the system adapts again.
+//!
+//! ```sh
+//! cargo run --release --example dynamics_retraining
+//! ```
+
+use smartpick::cloudsim::{CloudEnv, Provider};
+use smartpick::core::driver::Smartpick;
+use smartpick::core::properties::SmartpickProperties;
+use smartpick::core::SmartpickError;
+use smartpick::workloads::{tpch, wordcount};
+
+fn main() -> Result<(), SmartpickError> {
+    let mut props = SmartpickProperties::default();
+    props.error_difference_trigger_secs = 10.0; // the §6.5.2 setting
+
+    let env = CloudEnv::new(Provider::Aws);
+    let training: Vec<_> = smartpick::workloads::tpcds::TRAINING_QUERIES
+        .iter()
+        .map(|&q| smartpick::workloads::tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    println!("training on the TPC-DS representational set...");
+    let mut system = Smartpick::train(env, props, &training, 42)?;
+
+    println!("\n== Word Count: a completely new workload ==");
+    let wc = wordcount::query(100.0);
+    for run in 1..=5 {
+        let outcome = system.submit(&wc)?;
+        println!(
+            "run {run}: predicted {:>6.1}s actual {:>6.1}s error {:>6.1}s retrain: {}",
+            outcome.determination.predicted_seconds,
+            outcome.report.seconds(),
+            outcome.prediction_error(),
+            outcome.retrain.is_some(),
+        );
+    }
+
+    println!("\n== TPC-H q3: data grows 100 GB -> 500 GB ==");
+    let small = tpch::query(3, 100.0).expect("catalog query");
+    let large = tpch::query(3, 500.0).expect("catalog query");
+    for run in 1..=8 {
+        let query = if run <= 4 { &small } else { &large };
+        let outcome = system.submit(query)?;
+        println!(
+            "run {run} ({:>5.0} GB): predicted {:>6.1}s actual {:>6.1}s retrain: {}",
+            query.input_gb,
+            outcome.determination.predicted_seconds,
+            outcome.report.seconds(),
+            outcome.retrain.is_some(),
+        );
+    }
+    println!(
+        "\nhistory holds {} runs; the model retrained {} times",
+        system.history().len(),
+        system.retrain_count(),
+    );
+    Ok(())
+}

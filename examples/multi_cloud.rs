@@ -1,0 +1,46 @@
+//! Multi-cloud comparison: the same query and determination pipeline on
+//! AWS and GCP (the paper's two testbeds), showing the provider
+//! performance and billing differences of Table 5 / §6.1.
+//!
+//! ```sh
+//! cargo run --release --example multi_cloud
+//! ```
+
+use smartpick::cloudsim::{CloudEnv, Provider};
+use smartpick::core::driver::Smartpick;
+use smartpick::core::properties::SmartpickProperties;
+use smartpick::core::SmartpickError;
+use smartpick::workloads::tpcds;
+
+fn main() -> Result<(), SmartpickError> {
+    let query = tpcds::query(49, 100.0).expect("catalog query");
+    for provider in Provider::ALL {
+        let mut props = SmartpickProperties::default();
+        props.provider = provider;
+        let env = CloudEnv::new(provider);
+        let training: Vec<_> = tpcds::TRAINING_QUERIES
+            .iter()
+            .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+            .collect();
+        println!("== {} ==", provider.name());
+        println!(
+            "worker VM: {} at {}/h | serverless: {} at {}/GiB-s | SL billing granularity {} ms",
+            env.catalog().worker_vm().name,
+            env.catalog().worker_vm().hourly_price,
+            env.catalog().worker_sl().name,
+            env.catalog().worker_sl().sl_price_per_gib_second,
+            provider.sl_billing_granularity_ms(),
+        );
+        let mut system = Smartpick::train(env, props, &training, 42)?;
+        let outcome = system.submit(&query)?;
+        println!(
+            "q49: {} | predicted {:.1}s | actual {:.1}s | cost {}\n",
+            outcome.determination.allocation,
+            outcome.determination.predicted_seconds,
+            outcome.report.seconds(),
+            outcome.report.total_cost(),
+        );
+    }
+    println!("expected: GCP runs slower (Table 5) but VM-time is cheaper (no burst charge)");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train Smartpick on the five representational TPC-DS
+//! queries and submit a query through the full workflow of the paper's
+//! Figure 3 — prediction, resource determination, execution, monitoring.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smartpick::cloudsim::{CloudEnv, Provider};
+use smartpick::core::driver::Smartpick;
+use smartpick::core::properties::SmartpickProperties;
+use smartpick::core::SmartpickError;
+use smartpick::workloads::tpcds;
+
+fn main() -> Result<(), SmartpickError> {
+    // 1. A simulated AWS environment (t3.small workers + Lambda-2GB).
+    let env = CloudEnv::new(Provider::Aws);
+
+    // 2. The paper's §6.1 training recipe: queries 11/49/68/74/82 at
+    //    100 GB, 20 random configurations each, ±5% data burst.
+    let training: Vec<_> = tpcds::TRAINING_QUERIES
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    println!("training Smartpick on {} queries...", training.len());
+    let mut system = Smartpick::train(env, SmartpickProperties::default(), &training, 42)?;
+
+    // 3. Submit a known query.
+    let q11 = tpcds::query(11, 100.0).expect("catalog query");
+    let outcome = system.submit(&q11)?;
+    println!(
+        "q11: determination {} | predicted {:.1}s | actual {:.1}s | cost {}",
+        outcome.determination.allocation,
+        outcome.determination.predicted_seconds,
+        outcome.report.seconds(),
+        outcome.report.total_cost(),
+    );
+    println!(
+        "     {} tasks on serverless, {} on VMs; first task started at {}",
+        outcome.report.tasks_on_sl, outcome.report.tasks_on_vm, outcome.report.first_task_start,
+    );
+
+    // 4. Submit an alien query: the Similarity Checker finds the closest
+    //    known workload.
+    let q4 = tpcds::query(4, 100.0).expect("catalog query");
+    let outcome = system.submit(&q4)?;
+    println!(
+        "q4 (alien): matched {} (similarity {:.3}) -> {} | predicted {:.1}s | actual {:.1}s",
+        outcome.determination.matched_query,
+        outcome.determination.match_similarity,
+        outcome.determination.allocation,
+        outcome.determination.predicted_seconds,
+        outcome.report.seconds(),
+    );
+
+    // 5. The itemised bill of the last run.
+    println!("\nitemised bill of the q4 run:\n{}", outcome.report.cost);
+    Ok(())
+}

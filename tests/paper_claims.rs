@@ -1,0 +1,204 @@
+//! Integration tests asserting the paper's headline claims hold in this
+//! reproduction — the *shape* of every major result, independent of the
+//! figure harnesses.
+
+use smartpick::baselines::policies::{
+    ProvisioningPolicy, SlOnly, SmartpickPolicy, SplitServe, VmOnly,
+};
+use smartpick::cloudsim::{CloudEnv, CostKind, Provider};
+use smartpick::core::training::{train_predictor, TrainOptions};
+use smartpick::core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
+use smartpick::core::WorkloadPredictor;
+use smartpick::engine::{simulate_query, RelayPolicy};
+use smartpick::ml::forest::ForestParams;
+use smartpick::workloads::tpcds;
+
+fn opts() -> TrainOptions {
+    TrainOptions {
+        configs_per_query: 10,
+        burst_factor: 5,
+        forest: ForestParams {
+            n_trees: 40,
+            ..ForestParams::default()
+        },
+        ..TrainOptions::default()
+    }
+}
+
+fn predictors(provider: Provider) -> (CloudEnv, WorkloadPredictor, WorkloadPredictor) {
+    let env = CloudEnv::new(provider);
+    let queries: Vec<_> = tpcds::TRAINING_QUERIES
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let plain = train_predictor(&env, &queries, &opts(), 42).unwrap().0;
+    let relay = train_predictor(
+        &env,
+        &queries,
+        &TrainOptions {
+            relay: true,
+            ..opts()
+        },
+        43,
+    )
+    .unwrap()
+    .0;
+    (env, plain, relay)
+}
+
+fn mean_run(
+    env: &CloudEnv,
+    query: &smartpick::engine::QueryProfile,
+    alloc: &smartpick::engine::Allocation,
+    seed: u64,
+) -> (f64, f64) {
+    let mut secs = 0.0;
+    let mut cost = 0.0;
+    let n = 5;
+    for i in 0..n {
+        let r = simulate_query(query, alloc, env, seed + i).unwrap();
+        secs += r.seconds();
+        cost += r.total_cost().dollars();
+    }
+    (secs / n as f64, cost / n as f64)
+}
+
+/// Table 1: serverless unit-time cost is up to ~5.8× the equally-sized VM.
+#[test]
+fn table1_sl_unit_cost_ratio() {
+    let env = CloudEnv::new(Provider::Aws);
+    let ratio = env.catalog().worker_sl().hourly_equivalent_price().dollars()
+        / env.catalog().worker_vm().hourly_price.dollars();
+    assert!((5.5..6.0).contains(&ratio), "ratio {ratio}");
+}
+
+/// Figure 5 shape on AWS: the hybrid determinations beat both extremes on
+/// completion time, and Smartpick-r is cheaper than plain Smartpick.
+#[test]
+fn fig5_hybrid_beats_extremes_and_relay_saves_money() {
+    let (env, plain, relay) = predictors(Provider::Aws);
+    let query = tpcds::query(74, 100.0).unwrap(); // long-running
+
+    let vm_alloc = VmOnly.decide(&plain, &query, 1).unwrap();
+    let sl_alloc = SlOnly.decide(&plain, &query, 1).unwrap();
+    let sp_alloc = SmartpickPolicy::plain().decide(&plain, &query, 1).unwrap();
+    let spr_alloc = SmartpickPolicy::with_relay().decide(&relay, &query, 1).unwrap();
+
+    let (vm_t, _) = mean_run(&env, &query, &vm_alloc, 10);
+    let (sl_t, sl_c) = mean_run(&env, &query, &sl_alloc, 20);
+    let (sp_t, _sp_c) = mean_run(&env, &query, &sp_alloc, 30);
+    let (spr_t, spr_c) = mean_run(&env, &query, &spr_alloc, 40);
+
+    assert!(sp_t < vm_t, "Smartpick {sp_t:.1}s vs VM-only {vm_t:.1}s");
+    assert!(sp_t < sl_t, "Smartpick {sp_t:.1}s vs SL-only {sl_t:.1}s");
+    // Relay: similar time (bounded slowdown), lower cost than SL-only.
+    assert!(spr_t < vm_t * 1.05, "Smartpick-r {spr_t:.1}s vs VM-only {vm_t:.1}s");
+    assert!(spr_c < sl_c, "Smartpick-r {spr_c:.4} vs SL-only {sl_c:.4}");
+}
+
+/// §2.2 / Figure 5: serverless agility — the SL side starts work in
+/// milliseconds while VM-only waits out the cold boot.
+#[test]
+fn serverless_agility_shows_in_first_task_start() {
+    let env = CloudEnv::new(Provider::Aws);
+    let query = tpcds::query(82, 100.0).unwrap();
+    let sl = simulate_query(&query, &smartpick::engine::Allocation::sl_only(5), &env, 3).unwrap();
+    let vm = simulate_query(&query, &smartpick::engine::Allocation::vm_only(5), &env, 3).unwrap();
+    assert!(sl.first_task_start.as_secs_f64() < 0.5);
+    assert!(vm.first_task_start.as_secs_f64() > 20.0);
+}
+
+/// Figure 7 shape: SplitServe's segueing costs more than Smartpick-r for
+/// comparable completion times ("up to 50% cost reduction").
+#[test]
+fn fig7_splitserve_costs_more_than_smartpick_r() {
+    let (env, plain, relay) = predictors(Provider::Aws);
+    let query = tpcds::query(11, 100.0).unwrap();
+
+    let spr_alloc = SmartpickPolicy::with_relay().decide(&relay, &query, 2).unwrap();
+    let ss_alloc = SplitServe::default().decide(&plain, &query, 2).unwrap();
+
+    let (spr_t, spr_c) = mean_run(&env, &query, &spr_alloc, 50);
+    let (ss_t, ss_c) = mean_run(&env, &query, &ss_alloc, 60);
+
+    assert!(
+        spr_c < ss_c,
+        "Smartpick-r {spr_c:.4} should undercut SplitServe {ss_c:.4}"
+    );
+    // SplitServe holds every SL for the whole lease, so with the same
+    // instance budget it can finish somewhat faster — the paper calls the
+    // times "comparable"; what must not happen is a blow-up.
+    assert!(
+        spr_t < ss_t * 1.6,
+        "times comparable: {spr_t:.1}s vs {ss_t:.1}s"
+    );
+}
+
+/// Figure 8 shape: raising the knob lowers predicted cost without
+/// exceeding the latency tolerance.
+#[test]
+fn fig8_knob_monotonically_relaxes_cost() {
+    let (_env, _plain, relay) = predictors(Provider::Aws);
+    let query = tpcds::query(11, 100.0).unwrap();
+    let base = relay
+        .determine(&PredictionRequest::new(query.clone(), 5))
+        .unwrap();
+    let mut last_cost = f64::INFINITY;
+    for knob in [0.2, 0.5, 0.8] {
+        let det = relay
+            .determine(&PredictionRequest {
+                query: query.clone(),
+                knob,
+                constraint: ConstraintMode::Hybrid,
+                seed: 5,
+            })
+            .unwrap();
+        assert!(
+            det.predicted_seconds <= base.predicted_seconds * (1.0 + knob) + 1e-6,
+            "knob {knob}: {} vs cap {}",
+            det.predicted_seconds,
+            base.predicted_seconds * (1.0 + knob)
+        );
+        assert!(det.predicted_cost.dollars() <= base.predicted_cost.dollars() + 1e-9);
+        assert!(det.predicted_cost.dollars() <= last_cost + 1e-9);
+        last_cost = det.predicted_cost.dollars();
+    }
+}
+
+/// §4.3: the relay mechanism cuts the serverless bill relative to keeping
+/// SLs for the whole query.
+#[test]
+fn relay_cuts_serverless_bill() {
+    let env = CloudEnv::new(Provider::Aws);
+    let query = tpcds::query(74, 100.0).unwrap();
+    let plain = simulate_query(
+        &query,
+        &smartpick::engine::Allocation::new(5, 5),
+        &env,
+        9,
+    )
+    .unwrap();
+    let relay = simulate_query(
+        &query,
+        &smartpick::engine::Allocation::new(5, 5).with_relay(RelayPolicy::Relay),
+        &env,
+        9,
+    )
+    .unwrap();
+    let plain_sl = plain.cost.subtotal(CostKind::SlCompute).dollars();
+    let relay_sl = relay.cost.subtotal(CostKind::SlCompute).dollars();
+    assert!(
+        relay_sl < plain_sl * 0.6,
+        "relay SL bill {relay_sl:.4} vs plain {plain_sl:.4}"
+    );
+}
+
+/// Table 5 / Figures 5–6: GCP runs the same work more slowly than AWS.
+#[test]
+fn gcp_is_slower_than_aws_for_the_same_work() {
+    let query = tpcds::query(49, 100.0).unwrap();
+    let alloc = smartpick::engine::Allocation::new(4, 4);
+    let aws = simulate_query(&query, &alloc, &CloudEnv::new(Provider::Aws), 4).unwrap();
+    let gcp = simulate_query(&query, &alloc, &CloudEnv::new(Provider::Gcp), 4).unwrap();
+    assert!(gcp.seconds() > aws.seconds());
+}
