@@ -71,7 +71,7 @@ impl OptimusCloud {
                 let alloc = Allocation::new(n_vm, n_sl);
                 let secs = wp.predict_seconds(query, &alloc)?;
                 evaluations += 1;
-                if best.as_ref().map_or(true, |(_, b)| secs < *b) {
+                if best.as_ref().is_none_or(|(_, b)| secs < *b) {
                     best = Some((alloc, secs));
                 }
             }

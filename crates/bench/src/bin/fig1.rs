@@ -29,7 +29,7 @@ fn main() {
             let alloc = Allocation::new(n_vm, n_sl);
             let est = planner.estimate(&workload, &alloc);
             let tag = format!("({n_sl},{n_vm})");
-            if best.as_ref().map_or(true, |(_, b)| est.seconds < *b) {
+            if best.as_ref().is_none_or(|(_, b)| est.seconds < *b) {
                 best = Some((tag.clone(), est.seconds));
             }
             println!(

@@ -15,9 +15,11 @@ const RUNS_LARGE: usize = 5;
 
 fn main() {
     for provider in Provider::ALL {
-        let mut props = SmartpickProperties::default();
-        props.provider = provider;
-        props.error_difference_trigger_secs = 10.0;
+        let props = SmartpickProperties {
+            provider,
+            error_difference_trigger_secs: 10.0,
+            ..SmartpickProperties::default()
+        };
         let env = CloudEnv::new(provider);
         let mut system = Smartpick::train(
             env,

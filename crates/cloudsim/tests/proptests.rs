@@ -34,7 +34,7 @@ proptest! {
         let d = SimDuration::from_millis(ms);
         let r = d.round_up_to(gran);
         prop_assert!(r >= d);
-        prop_assert!(r.as_millis() % gran == 0 || gran <= 1 || ms == 0);
+        prop_assert!(r.as_millis().is_multiple_of(gran) || gran <= 1 || ms == 0);
         prop_assert!(r.as_millis() - ms < gran);
     }
 

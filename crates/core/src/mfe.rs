@@ -134,11 +134,14 @@ mod tests {
 
     #[test]
     fn after_run_records_and_triggers() {
-        let mut m = Mfe::new(CloudEnv::new(Provider::Aws), {
-            let mut p = SmartpickProperties::default();
-            p.error_difference_trigger_secs = 5.0;
-            p
-        }, 4);
+        let mut m = Mfe::new(
+            CloudEnv::new(Provider::Aws),
+            SmartpickProperties {
+                error_difference_trigger_secs: 5.0,
+                ..SmartpickProperties::default()
+            },
+            4,
+        );
         let history = HistoryServer::new();
         let ctx = m.next_context();
         let f = m.features_for(0.0, 100.0, &Allocation::new(1, 1), &ctx);

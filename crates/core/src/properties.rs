@@ -179,10 +179,12 @@ mod tests {
 
     #[test]
     fn round_trip_via_pairs() {
-        let mut p = SmartpickProperties::default();
-        p.provider = Provider::Gcp;
-        p.knob = 0.8;
-        p.relay = false;
+        let p = SmartpickProperties {
+            provider: Provider::Gcp,
+            knob: 0.8,
+            relay: false,
+            ..SmartpickProperties::default()
+        };
         let back = SmartpickProperties::from_pairs(&p.to_pairs()).unwrap();
         assert_eq!(p, back);
     }

@@ -11,12 +11,20 @@
 //! retraining runs (same instance if enough RAM, otherwise a fresh one) is
 //! governed by `pref.sameInstance` / `min.ram.gb`.
 
+use smartpick_engine::{Allocation, RelayPolicy};
 use smartpick_ml::dataset::Dataset;
 
 use crate::error::SmartpickError;
 use crate::features::QueryFeatures;
+use crate::planner::UniformWorkload;
 use crate::properties::SmartpickProperties;
 use crate::wp::WorkloadPredictor;
+
+/// The live ensemble is kept at no more than this multiple of the
+/// configured tree count: each retrain adds one configured-size batch and
+/// the oldest batch beyond the cap is retired, so stale knowledge ages
+/// out while prediction latency and memory stay bounded.
+const ENSEMBLE_CAP_FACTOR: usize = 4;
 
 /// Where a retraining task runs (§5): the paper observes same-instance
 /// retraining interferes with the running job and recommends a separate
@@ -134,13 +142,27 @@ impl RetrainMonitor {
         }
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let burst = self.pending.burst(10, 0.05, &mut rng);
-        // Extending by the current ensemble size halves the weight of stale
-        // knowledge per retrain, converging geometrically (Figure 10/11).
-        let trees_added = predictor.forest().n_trees();
+        let mut burst = self.pending.burst(10, 0.05, &mut rng);
+        if trigger == RetrainTrigger::ErrorDifference {
+            // A surprising run means the model's picture of this query is
+            // wrong across the whole grid, not just at the observed point.
+            let (x, y) = self.pending.sample(self.pending.len() - 1);
+            for (fx, fy) in synthesize_capacity_sweep(predictor, x, y) {
+                burst.push(fx, fy);
+            }
+        }
+        let trees_added = predictor.forest().params().n_trees;
         predictor
             .forest_mut()
             .warm_start_extend(&burst, trees_added, seed ^ 0xAD0BE)?;
+        // Bound the ensemble: retire the oldest *retrained* batch beyond
+        // the cap, but never the original training base — those are the
+        // only trees guaranteed to cover every known query.
+        let cap = trees_added * ENSEMBLE_CAP_FACTOR;
+        let live = predictor.forest().n_trees();
+        if live > cap {
+            predictor.forest_mut().retire_oldest(live - cap, trees_added);
+        }
         self.pending = Dataset::new(QueryFeatures::names());
         self.retrain_count += 1;
         Ok(RetrainReport {
@@ -150,6 +172,89 @@ impl RetrainMonitor {
             trees_added,
         })
     }
+}
+
+/// Sample points along one allocation axis: the small counts where the
+/// capacity curve bends, plus the bound itself.
+fn axis_points(max: u32) -> Vec<u32> {
+    let mut pts: Vec<u32> = [0u32, 1, 2, 4].into_iter().filter(|&v| v < max).collect();
+    pts.push(max);
+    pts
+}
+
+/// Planner-calibrated pseudo-samples for an error-difference retrain.
+///
+/// Retraining on observed runs alone teaches the forest nothing about
+/// *other* allocations in the new regime, so the next search happily
+/// chases stale (optimistic) predictions at unexplored configurations.
+/// Instead, the analytical planner's capacity curve is calibrated so it
+/// passes through the observed `(allocation, actual_seconds)` point, then
+/// sampled across the `{nVM, nSL}` grid — one synthetic row per point —
+/// teaching the forest how the new regime scales with capacity in a
+/// single retrain. Returns no samples when the triggering row cannot be
+/// resolved to a known query or the planner estimate is unusable.
+fn synthesize_capacity_sweep(
+    predictor: &WorkloadPredictor,
+    trigger_features: &[f64],
+    actual_seconds: f64,
+) -> Vec<(Vec<f64>, f64)> {
+    // Feature layout per `features::FEATURE_NAMES`. The feature row does
+    // not carry the relay policy, so it is reconstructed with the same
+    // rule the predictor applies when determining allocations.
+    let code = trigger_features[0];
+    let (n_vm_obs, n_sl_obs) = (trigger_features[1] as u32, trigger_features[2] as u32);
+    let relay_for = |n_vm: u32, n_sl: u32| {
+        if predictor.relay_aware() && n_vm > 0 && n_sl > 0 {
+            RelayPolicy::Relay
+        } else {
+            RelayPolicy::None
+        }
+    };
+    let observed = Allocation::new(n_vm_obs, n_sl_obs).with_relay(relay_for(n_vm_obs, n_sl_obs));
+    let input_gb = trigger_features[3] / (1024.0 * 1024.0 * 1024.0);
+    let Some(known) = predictor
+        .known_queries()
+        .iter()
+        .find(|k| (k.code - code).abs() < 0.5)
+    else {
+        return Vec::new();
+    };
+    // Task counts scale with data size relative to the registered profile.
+    let scale = if known.input_gb > 0.0 {
+        input_gb / known.input_gb
+    } else {
+        1.0
+    };
+    let workload = UniformWorkload {
+        tasks: ((known.workload.tasks as f64 * scale).round() as usize).max(1),
+        task_secs_on_vm: known.workload.task_secs_on_vm,
+    };
+    let planner = predictor.planner();
+    let expected_observed = planner.expected_seconds(&workload, &observed);
+    if !expected_observed.is_finite() || expected_observed <= 0.0 || actual_seconds <= 0.0 {
+        return Vec::new();
+    }
+    // Multiplicative calibration through the observed point, clamped so a
+    // single noisy run cannot swing the whole sweep wildly.
+    let ratio = (actual_seconds / expected_observed).clamp(0.2, 5.0);
+    let (max_vm, max_sl) = predictor.search_bounds();
+    let mut out = Vec::new();
+    for n_vm in axis_points(max_vm) {
+        for n_sl in axis_points(max_sl) {
+            if n_vm + n_sl == 0 {
+                continue;
+            }
+            let alloc = Allocation::new(n_vm, n_sl).with_relay(relay_for(n_vm, n_sl));
+            let est = planner.expected_seconds(&workload, &alloc) * ratio;
+            if !est.is_finite() || est <= 0.0 {
+                continue;
+            }
+            let features =
+                QueryFeatures::for_allocation(code, input_gb, &alloc, predictor.env());
+            out.push((features.to_vec(), est));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -186,8 +291,10 @@ mod tests {
 
     #[test]
     fn error_difference_fires() {
-        let mut props = SmartpickProperties::default();
-        props.error_difference_trigger_secs = 10.0;
+        let props = SmartpickProperties {
+            error_difference_trigger_secs: 10.0,
+            ..SmartpickProperties::default()
+        };
         let mut mon = RetrainMonitor::new(props);
         assert_eq!(mon.observe(&features(0.0), 50.0, 55.0), None);
         assert_eq!(
@@ -198,9 +305,11 @@ mod tests {
 
     #[test]
     fn batch_rule_fires_at_max_batch() {
-        let mut props = SmartpickProperties::default();
-        props.max_batch = 3;
-        props.error_difference_trigger_secs = 1e9;
+        let props = SmartpickProperties {
+            max_batch: 3,
+            error_difference_trigger_secs: 1e9,
+            ..SmartpickProperties::default()
+        };
         let mut mon = RetrainMonitor::new(props);
         assert_eq!(mon.observe(&features(0.0), 10.0, 10.0), None);
         assert_eq!(mon.observe(&features(0.0), 10.0, 10.0), None);
@@ -212,9 +321,11 @@ mod tests {
 
     #[test]
     fn location_follows_properties() {
-        let mut props = SmartpickProperties::default();
-        props.same_instance_retrain = true;
-        props.min_ram_gb = 4;
+        let props = SmartpickProperties {
+            same_instance_retrain: true,
+            min_ram_gb: 4,
+            ..SmartpickProperties::default()
+        };
         let mon = RetrainMonitor::new(props.clone());
         assert_eq!(mon.location(), RetrainLocation::SameInstance);
         let mut mon = RetrainMonitor::new(props);
@@ -227,8 +338,10 @@ mod tests {
     #[test]
     fn retrain_shifts_predictions_toward_new_truth() {
         let mut predictor = trained_predictor();
-        let mut props = SmartpickProperties::default();
-        props.error_difference_trigger_secs = 10.0;
+        let props = SmartpickProperties {
+            error_difference_trigger_secs: 10.0,
+            ..SmartpickProperties::default()
+        };
         let mut mon = RetrainMonitor::new(props);
 
         // A new regime: this feature row actually takes 400 s.

@@ -117,7 +117,6 @@ pub fn build_raw_dataset(
         } else {
             RelayPolicy::None
         },
-        ..TrainingRunOptions::default()
     };
     for (code, query) in queries.iter().enumerate() {
         let samples = run_random_configs(query, env, &run_opts, rng.gen())?;

@@ -193,9 +193,20 @@ impl WorkloadPredictor {
         &self.known
     }
 
+    /// The inclusive `{nVM, nSL}` search-space bounds.
+    pub fn search_bounds(&self) -> (u32, u32) {
+        (self.max_vm, self.max_sl)
+    }
+
     /// Mutable access to the underlying forest (background retraining).
     pub(crate) fn forest_mut(&mut self) -> &mut RandomForest {
         &mut self.forest
+    }
+
+    /// The analytical planner this predictor prices configurations with
+    /// (shared with retraining so calibration can never drift from it).
+    pub(crate) fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// The underlying forest.

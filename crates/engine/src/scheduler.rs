@@ -258,7 +258,7 @@ pub fn simulate_query_with_listener(
                 };
                 let inst = cluster.instance(id)?;
                 let start = now;
-                if first_task_start.map_or(true, |t| start < t) {
+                if first_task_start.is_none_or(|t| start < t) {
                     first_task_start = Some(start);
                 }
                 let dur = task_duration(&query.stages[stage], inst.itype.kind, env, &mut rng);

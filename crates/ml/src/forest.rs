@@ -164,6 +164,26 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// The hyperparameters the forest was configured with. Note that after
+    /// [`RandomForest::warm_start_extend`] the live ensemble can hold more
+    /// trees than `params().n_trees`.
+    pub fn params(&self) -> &ForestParams {
+        &self.params
+    }
+
+    /// Drops the `n` oldest trees at or after index `keep` — the
+    /// forgetting half of the warm-start retraining cycle, keeping the
+    /// ensemble (and prediction latency) bounded while stale knowledge
+    /// ages out. The first `keep` trees are protected so the broad
+    /// original training base is never forgotten wholesale. Always keeps
+    /// at least one tree.
+    pub fn retire_oldest(&mut self, n: usize, keep: usize) {
+        let keep = keep.min(self.trees.len());
+        let evictable = self.trees.len() - keep;
+        let n = n.min(evictable).min(self.trees.len().saturating_sub(1));
+        self.trees.drain(keep..keep + n);
+    }
+
     /// Number of feature columns.
     pub fn n_features(&self) -> usize {
         self.n_features
@@ -233,6 +253,24 @@ mod tests {
         assert_eq!(f.n_trees(), before_trees * 2);
         // Half the trees now vote 100, pulling predictions strongly upward.
         assert!(f.predict(&[5.0, 0.0]) > 40.0);
+    }
+
+    #[test]
+    fn retire_oldest_respects_protected_prefix() {
+        let d = wave_data(100);
+        let params = ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        };
+        let mut f = RandomForest::fit(&d, &params, 7).unwrap();
+        f.warm_start_extend(&d, 20, 8).unwrap();
+        assert_eq!(f.n_trees(), 30);
+        // Asking to evict more than is evictable only drains past `keep`.
+        f.retire_oldest(100, 10);
+        assert_eq!(f.n_trees(), 10);
+        // And never below one tree even with keep = 0.
+        f.retire_oldest(100, 0);
+        assert_eq!(f.n_trees(), 1);
     }
 
     #[test]

@@ -110,8 +110,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l.get(i, k) * z[k];
+            for (k, &zk) in z.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * zk;
             }
             z[i] = sum / self.l.get(i, i);
         }
@@ -125,8 +125,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = z[i];
-            for k in (i + 1)..n {
-                sum -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
             }
             x[i] = sum / self.l.get(i, i);
         }

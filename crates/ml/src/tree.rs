@@ -142,7 +142,7 @@ impl<'a> Builder<'a> {
             let sse_l = ls2 - ls * ls / k as f64;
             let sse_r = rs2 - rs * rs / (n - k) as f64;
             let score = sse_l + sse_r;
-            if best.as_ref().map_or(true, |b| score < b.score) {
+            if best.as_ref().is_none_or(|b| score < b.score) {
                 best = Some(BestSplit {
                     feature,
                     threshold: (xa + xb) / 2.0,

@@ -82,11 +82,8 @@ pub fn extract(sql: &str) -> QueryMetadata {
                 i += 1;
                 // A parenthesis here means a derived table (subquery), which
                 // pass 1 skips; the inner SELECT is counted anyway.
-                loop {
-                    // Expect: table [alias] [, table [alias]]...
-                    let Some(Token::Word(name)) = tokens.get(i) else {
-                        break;
-                    };
+                // Expect: table [alias] [, table [alias]]...
+                while let Some(Token::Word(name)) = tokens.get(i) {
                     let upper = name.to_ascii_uppercase();
                     if is_keyword(&upper) {
                         break;

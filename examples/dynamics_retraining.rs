@@ -14,8 +14,10 @@ use smartpick::core::SmartpickError;
 use smartpick::workloads::{tpch, wordcount};
 
 fn main() -> Result<(), SmartpickError> {
-    let mut props = SmartpickProperties::default();
-    props.error_difference_trigger_secs = 10.0; // the §6.5.2 setting
+    let props = SmartpickProperties {
+        error_difference_trigger_secs: 10.0, // the §6.5.2 setting
+        ..SmartpickProperties::default()
+    };
 
     let env = CloudEnv::new(Provider::Aws);
     let training: Vec<_> = smartpick::workloads::tpcds::TRAINING_QUERIES

@@ -15,8 +15,10 @@ use smartpick::workloads::tpcds;
 fn main() -> Result<(), SmartpickError> {
     let query = tpcds::query(49, 100.0).expect("catalog query");
     for provider in Provider::ALL {
-        let mut props = SmartpickProperties::default();
-        props.provider = provider;
+        let props = SmartpickProperties {
+            provider,
+            ..SmartpickProperties::default()
+        };
         let env = CloudEnv::new(provider);
         let training: Vec<_> = tpcds::TRAINING_QUERIES
             .iter()

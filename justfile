@@ -1,0 +1,22 @@
+# Development entry points. `just verify` is the tier-1 gate CI runs.
+
+# Build release, run the full test suite, lint, and compile benches.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --all-targets -- -D warnings
+    cargo bench --no-run
+
+# Fast feedback: debug build + tests.
+check:
+    cargo test -q
+
+# Run every criterion harness (wall-clock measurements, shim harness).
+bench:
+    cargo bench
+
+# Reproduce all paper figure/table binaries (release).
+figures:
+    cargo build --release -p smartpick_bench --bins
+    for bin in fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table1 table5 sec7_families; do \
+        echo "== $bin"; ./target/release/$bin; done

@@ -1,0 +1,60 @@
+//! Offline shim for the subset of `parking_lot` used in this workspace:
+//! [`RwLock`] with non-poisoning `read()` / `write()`.
+//!
+//! Backed by `std::sync::RwLock`; a poisoned lock (writer panicked) is
+//! recovered instead of propagating the poison, matching `parking_lot`'s
+//! no-poisoning semantics.
+
+#![deny(missing_debug_implementations)]
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(vec![1, 2]);
+        lock.write().push(3);
+        assert_eq!(*lock.read(), vec![1, 2, 3]);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+}

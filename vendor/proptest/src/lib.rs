@@ -1,0 +1,552 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, [`ProptestConfig`], and [`Strategy`] implementations
+//! for numeric ranges, tuples, `prop::collection::vec`, [`Just`], and a
+//! regex-lite string strategy (`"[a-z]{1,8}"`-style patterns plus `\PC`).
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! seeded deterministically per test (derived from the test name), and
+//! failing cases are reported with their inputs but **not shrunk**. The
+//! default case count is 64 (override with the `PROPTEST_CASES`
+//! environment variable), keeping heavy simulation properties fast.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Per-test configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before the test errors.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; try another.
+    Reject(String),
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for bool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        // Upstream `any::<bool>()`-ish; `true`/`false` literals are rare
+        // as strategies, so treat a literal as "any bool".
+        rng.gen()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple!(
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// Collection sizes accepted by [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty proptest size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: r.end() + 1,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size` (a `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategy.
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies interpret the string as a generation pattern:
+/// a sequence of atoms (literal char, `[a-z0-9_]`-style class, or `\PC`
+/// for "any printable char"), each optionally followed by `{n}` /
+/// `{m,n}` repetition. This covers the patterns used in this workspace;
+/// unsupported syntax panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// Inclusive char ranges, e.g. `[a-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let class = chars.next();
+                    assert_eq!(
+                        class,
+                        Some('C'),
+                        "proptest shim: only \\PC is supported, got \\P{class:?} in {pattern:?}"
+                    );
+                    Atom::Printable
+                }
+                Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '-')) => {
+                    Atom::Literal(esc)
+                }
+                other => panic!("proptest shim: unsupported escape \\{other:?} in {pattern:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("proptest shim: unterminated class in {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some(']') | None => {
+                                panic!("proptest shim: dangling `-` in class in {pattern:?}")
+                            }
+                            Some(ch) => ch,
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "proptest shim: empty char class in {pattern:?}"
+                );
+                Atom::Class(ranges)
+            }
+            lit => Atom::Literal(lit),
+        };
+        // Optional {n} or {m,n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            match parts.as_slice() {
+                [n] => {
+                    let n = n.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+                [m, n] => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                _ => panic!("proptest shim: bad repetition {{{spec}}} in {pattern:?}"),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse_pattern(pattern) {
+        let reps = if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        };
+        for _ in 0..reps {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    let (a, b) = (a as u32, b as u32);
+                    assert!(a <= b, "inverted class range");
+                    let code = rng.gen_range(a..=b);
+                    out.push(char::from_u32(code).unwrap_or('a'));
+                }
+                Atom::Printable => out.push(printable_char(rng)),
+            }
+        }
+    }
+    out
+}
+
+/// Any non-control character, biased toward ASCII but covering
+/// multi-byte unicode so total-function properties see hard inputs.
+fn printable_char(rng: &mut StdRng) -> char {
+    const EXOTIC: &[char] = &[
+        'é', 'ß', 'Ω', 'λ', '中', '文', 'й', 'ק', '🙂', '🦀', '∑', '√', '—', '“', '”', '\u{a0}',
+        'ﬁ', '𝕏', 'ย', '한',
+    ];
+    match rng.gen_range(0u32..10) {
+        0..=6 => char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("ascii printable"),
+        7 => char::from_u32(rng.gen_range(0xa1u32..0x100)).expect("latin-1 printable"),
+        _ => EXOTIC[rng.gen_range(0..EXOTIC.len())],
+    }
+}
+
+/// Upstream-compatible module alias: `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+#[doc(hidden)]
+pub fn __panic_on_failure(test_name: &str, case: u32, inputs: &str, msg: &str) -> ! {
+    panic!(
+        "proptest property `{test_name}` falsified at case {case}\n  inputs: {inputs}\n  {msg}\n\
+         (shim does not shrink; rerun is deterministic)"
+    )
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    let seed = $crate::__seed_for(stringify!($name), case + rejects);
+                    let mut __rng =
+                        <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&::std::format!("{:?}, ", $arg));
+                        )+
+                        s
+                    };
+                    let __outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { case += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejects += 1;
+                            if rejects > config.max_global_rejects {
+                                panic!(
+                                    "proptest property `{}` rejected too many cases ({})",
+                                    stringify!($name), rejects
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            $crate::__panic_on_failure(
+                                stringify!($name), case, &__inputs, &msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        $crate::prop_assert!(($left) == ($right), $($fmt)+);
+    }};
+}
+
+/// Rejects (skips) the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u32..10, v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&f| (0.0..1.0).contains(&f)));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_is_accepted(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn regex_lite_patterns() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = super::generate_pattern("tbl_[a-z]{1,8}", &mut rng);
+            assert!(s.starts_with("tbl_"));
+            let tail = &s[4..];
+            assert!((1..=8).contains(&tail.len()));
+            assert!(tail.chars().all(|c| c.is_ascii_lowercase()));
+            let p = super::generate_pattern("\\PC{0,400}", &mut rng);
+            assert!(p.chars().count() <= 400);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline shim for `serde_derive`: hand-rolled (no `syn`/`quote`)
+//! derive macros for the sibling `serde` shim's JSON-value traits.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields. Anything else is a compile error with a clear
+//! message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (struct -> `serde::Value::Obj`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let pushes: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Obj(m)\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (`serde::Value::Obj` -> struct).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let inits: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::obj_get(pairs, \"{f}\")?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Obj(pairs) => {{\n\
+                         let pairs = pairs.as_slice();\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError(\n\
+                         ::std::format!(\"expected object for {name}, got {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct ParsedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal parses")
+}
+
+/// Parses `#[attrs] vis struct Name { #[attrs] vis field: Ty, ... }`,
+/// returning the struct name and field names.
+fn parse_struct(input: TokenStream) -> Result<ParsedStruct, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find `struct`.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => break,
+            Some(TokenTree::Ident(_)) => {} // `pub`, ...
+            Some(TokenTree::Group(_)) => {} // `(crate)` after `pub`
+            Some(other) => {
+                return Err(format!("unexpected token before `struct`: {other}"));
+            }
+            None => return Err("derive input has no `struct`".to_string()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct name, got {other:?}")),
+    };
+    // Named-field body must follow immediately (no generics supported).
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive does not support generic struct `{name}`"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive requires named fields on struct `{name}`"
+            ));
+        }
+    };
+    // Field names: skip attrs + visibility, take ident before `:`, then
+    // consume the type up to a comma outside any `<...>` nesting.
+    let mut fields = Vec::new();
+    let mut body_tokens = body.into_iter().peekable();
+    'outer: loop {
+        let field_name = loop {
+            match body_tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(i)) => {
+                    let s = i.to_string();
+                    if s != "pub" {
+                        break s;
+                    }
+                    // Possible `pub(crate)` group.
+                    if let Some(TokenTree::Group(_)) = body_tokens.peek() {
+                        body_tokens.next();
+                    }
+                }
+                Some(other) => {
+                    return Err(format!("unexpected token in struct body: {other}"));
+                }
+                None => break 'outer,
+            }
+        };
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{field_name}` (tuple structs unsupported)"
+                ));
+            }
+        }
+        fields.push(field_name);
+        let mut angle_depth = 0i32;
+        loop {
+            match body_tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+    }
+    Ok(ParsedStruct { name, fields })
+}
