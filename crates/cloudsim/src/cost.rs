@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::money::Money;
 
 /// The billing category of one line item.
@@ -30,8 +32,32 @@ impl fmt::Display for CostKind {
     }
 }
 
+/// Serialises as the kebab-case display name (`"vm-compute"` etc.).
+impl serde::Serialize for CostKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for CostKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "vm-compute" => Ok(CostKind::VmCompute),
+                "vm-storage" => Ok(CostKind::VmStorage),
+                "sl-compute" => Ok(CostKind::SlCompute),
+                "external-store" => Ok(CostKind::ExternalStore),
+                other => Err(serde::DeError(format!("unknown cost kind `{other}`"))),
+            },
+            other => Err(serde::DeError(format!(
+                "expected a cost-kind name, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// One line of a query's bill.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostItem {
     /// Billing category.
     pub kind: CostKind,
@@ -54,7 +80,7 @@ pub struct CostItem {
 /// assert!(report.total().approx_eq(Money::from_dollars(0.021), 1e-12));
 /// assert!(report.subtotal(CostKind::VmCompute).dollars() > 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostReport {
     items: Vec<CostItem>,
 }

@@ -61,6 +61,24 @@ impl Money {
     }
 }
 
+/// Serialises as a bare JSON number of dollars.
+impl serde::Serialize for Money {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Num(self.0)
+    }
+}
+
+impl serde::Deserialize for Money {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Num(n) if !n.is_nan() => Ok(Money(*n)),
+            other => Err(serde::DeError(format!(
+                "expected a dollar amount, got {other:?}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for Money {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "${:.6}", self.0)

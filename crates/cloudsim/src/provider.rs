@@ -68,6 +68,26 @@ impl FromStr for Provider {
     }
 }
 
+/// Serialises as the short display name (`"AWS"` / `"GCP"`).
+impl serde::Serialize for Provider {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for Provider {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: CloudSimError| serde::DeError(e.to_string())),
+            other => Err(serde::DeError(format!(
+                "expected a provider name, got {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,24 @@ impl SimTime {
     }
 }
 
+/// Serialises as a bare JSON number of milliseconds since start.
+impl serde::Serialize for SimTime {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Num(self.0 as f64)
+    }
+}
+
+impl serde::Deserialize for SimTime {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Num(n) if *n >= 0.0 && n.is_finite() => Ok(SimTime(*n as u64)),
+            other => Err(serde::DeError(format!(
+                "expected a millisecond instant, got {other:?}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.3}s", self.as_secs_f64())
@@ -126,6 +144,24 @@ impl SimDuration {
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// Serialises as a bare JSON number of milliseconds.
+impl serde::Serialize for SimDuration {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Num(self.0 as f64)
+    }
+}
+
+impl serde::Deserialize for SimDuration {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Num(n) if *n >= 0.0 && n.is_finite() => Ok(SimDuration(*n as u64)),
+            other => Err(serde::DeError(format!(
+                "expected a millisecond duration, got {other:?}"
+            ))),
+        }
     }
 }
 

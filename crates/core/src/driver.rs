@@ -9,6 +9,8 @@
 //! actual and fires background retraining when the error exceeds the
 //! trigger (9).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,7 +30,7 @@ use crate::wp::{
 };
 
 /// Everything one submitted query produced.
-#[derive(Debug)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct QueryOutcome {
     /// WP's resource determination (including `ET_l`).
     pub determination: Determination,
@@ -43,16 +45,41 @@ impl QueryOutcome {
     pub fn prediction_error(&self) -> f64 {
         (self.report.seconds() - self.determination.predicted_seconds).abs()
     }
+
+    /// Prediction error relative to the actual runtime.
+    ///
+    /// Guards the degenerate zero-runtime run (a query whose simulated
+    /// completion rounds to 0 s): dividing by it would return `inf` (or
+    /// `NaN` for a perfect 0 s prediction), so the absolute error is
+    /// returned instead — never `inf`/`NaN`.
+    pub fn relative_prediction_error(&self) -> f64 {
+        let actual = self.report.seconds();
+        if actual == 0.0 {
+            self.prediction_error()
+        } else {
+            self.prediction_error() / actual
+        }
+    }
 }
 
 /// The assembled Smartpick system.
+///
+/// The trained predictor (the hot read path) and the Resource Manager are
+/// held behind [`Arc`]s: [`Smartpick::snapshot`] hands out an immutable,
+/// lock-free view that concurrent readers can run predictions against
+/// while this driver keeps training, and
+/// [`Smartpick::shared_resource_manager`] lets executions proceed without
+/// holding whatever lock guards the driver. Training mutations go through
+/// [`Arc::make_mut`], i.e. copy-on-write: a retrain never perturbs
+/// snapshots already handed out (cheap, since the forest shares its trees
+/// by `Arc` too).
 #[derive(Debug)]
 pub struct Smartpick {
     props: SmartpickProperties,
-    predictor: WorkloadPredictor,
+    predictor: Arc<WorkloadPredictor>,
     history: HistoryServer,
     mfe: Mfe,
-    rm: ResourceManager,
+    rm: Arc<ResourceManager>,
     rng: StdRng,
 }
 
@@ -93,15 +120,34 @@ impl Smartpick {
         let (predictor, report) = train_predictor(&env, training_queries, options, seed)?;
         Ok((
             Smartpick {
-                mfe: Mfe::new(env.clone(), props.clone(), seed ^ 0x11FE),
-                rm: ResourceManager::new(env),
+                mfe: Mfe::new(env.clone(), props.clone(), seed ^ MFE_SEED_MIX),
+                rm: Arc::new(ResourceManager::new(env)),
                 props,
-                predictor,
+                predictor: Arc::new(predictor),
                 history: HistoryServer::new(),
                 rng: StdRng::seed_from_u64(seed ^ DRIVER_SEED_MIX),
             },
             report,
         ))
+    }
+
+    /// Creates an independent driver that starts from this one's trained
+    /// model but owns fresh monitoring, history, billing and RNG state.
+    ///
+    /// The model itself is shared copy-on-write (an `Arc` bump, no deep
+    /// clone); the two drivers diverge from the first retrain onward. This
+    /// is the cheap way to bootstrap many tenants from one kick-start
+    /// training run.
+    pub fn fork(&self, seed: u64) -> Smartpick {
+        let env = self.predictor.env().clone();
+        Smartpick {
+            mfe: Mfe::new(env.clone(), self.props.clone(), seed ^ MFE_SEED_MIX),
+            rm: Arc::new(ResourceManager::new(env)),
+            props: self.props.clone(),
+            predictor: Arc::clone(&self.predictor),
+            history: HistoryServer::new(),
+            rng: StdRng::seed_from_u64(seed ^ DRIVER_SEED_MIX),
+        }
     }
 
     /// Submits a query through the full Figure 3 workflow with the
@@ -142,6 +188,37 @@ impl Smartpick {
             .execute(query, &determination.allocation, run_seed)?;
 
         // Step 9: record, monitor, maybe retrain.
+        let retrain = self.apply_report(query, &determination, &report)?;
+
+        Ok(QueryOutcome {
+            determination,
+            report,
+            retrain,
+        })
+    }
+
+    /// Applies one completed run to the training state — Figure 3's step 9
+    /// (record, monitor, maybe retrain) decoupled from prediction and
+    /// execution.
+    ///
+    /// This is the *write half* of the split read/write API: a service
+    /// front-end predicts against [`Smartpick::snapshot`] and executes via
+    /// [`Smartpick::shared_resource_manager`] without touching the driver,
+    /// then feeds the `(determination, report)` pair back through here
+    /// (possibly batched, from a background worker). Retraining mutates
+    /// the predictor copy-on-write, so snapshots taken earlier are
+    /// unaffected; republish a fresh snapshot afterwards to pick up the
+    /// new model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retraining failures.
+    pub fn apply_report(
+        &mut self,
+        query: &QueryProfile,
+        determination: &Determination,
+        report: &RunReport,
+    ) -> Result<Option<RetrainReport>, SmartpickError> {
         let ctx = self.mfe.next_context();
         let error = (report.seconds() - determination.predicted_seconds).abs();
         let will_trigger = error > self.props.error_difference_trigger_secs;
@@ -152,7 +229,7 @@ impl Smartpick {
         // the similarity-matched query. A well-predicted alien's sample
         // stays under the matched code — it behaved like that query.
         let code = if will_trigger && !determination.known_query {
-            self.predictor.register_query(query)
+            Arc::make_mut(&mut self.predictor).register_query(query)
         } else {
             self.predictor
                 .code_of(&determination.matched_query)
@@ -170,28 +247,39 @@ impl Smartpick {
         };
         let trigger = self.mfe.after_run(&self.history, record);
 
-        let retrain = match trigger {
+        match trigger {
             Some(trigger) => {
                 let retrain_seed: u64 = self.rng.gen();
-                Some(
-                    self.mfe
-                        .monitor_mut()
-                        .retrain(&mut self.predictor, trigger, retrain_seed)?,
-                )
+                Ok(Some(self.mfe.monitor_mut().retrain(
+                    Arc::make_mut(&mut self.predictor),
+                    trigger,
+                    retrain_seed,
+                )?))
             }
-            None => None,
-        };
-
-        Ok(QueryOutcome {
-            determination,
-            report,
-            retrain,
-        })
+            None => Ok(None),
+        }
     }
 
     /// The trained predictor (read access).
     pub fn predictor(&self) -> &WorkloadPredictor {
         &self.predictor
+    }
+
+    /// An immutable snapshot of the trained predictor.
+    ///
+    /// The snapshot is an `Arc` bump — no model copy — and stays valid
+    /// (predicting from the model as of now) across later retrains, which
+    /// replace the driver's predictor copy-on-write instead of mutating
+    /// it in place. This is the lock-free read path a concurrent service
+    /// front-end serves `predict`/`determine` from.
+    pub fn snapshot(&self) -> Arc<WorkloadPredictor> {
+        Arc::clone(&self.predictor)
+    }
+
+    /// A shared handle to the Resource Manager, so executions (steps 7–8)
+    /// can run without exclusive access to the driver.
+    pub fn shared_resource_manager(&self) -> Arc<ResourceManager> {
+        Arc::clone(&self.rm)
     }
 
     /// The history server.
@@ -218,6 +306,10 @@ impl Smartpick {
 /// Mixed into the training seed so the driver's per-submission RNG stream
 /// differs from the trainer's.
 const DRIVER_SEED_MIX: u64 = 0xD21F;
+
+/// Mixed into the training seed for the MFE's simulated clock/contention
+/// stream (shared by training and forking so both derive it identically).
+const MFE_SEED_MIX: u64 = 0x11FE;
 
 #[cfg(test)]
 mod tests {
@@ -286,6 +378,63 @@ mod tests {
         let outcome = sp.submit(&q).unwrap();
         let rel = outcome.prediction_error() / outcome.report.seconds();
         assert!(rel < 0.5, "relative error {rel}");
+    }
+
+    #[test]
+    fn relative_error_guards_zero_runtime() {
+        let mut sp = system();
+        let q = tpcds::query(82, 100.0).unwrap();
+        let mut outcome = sp.submit(&q).unwrap();
+        assert!(outcome.relative_prediction_error().is_finite());
+        // Force the degenerate zero-second run: the relative error must
+        // fall back to the absolute error instead of inf/NaN.
+        outcome.report.completion = smartpick_cloudsim::SimDuration::ZERO;
+        let rel = outcome.relative_prediction_error();
+        assert!(rel.is_finite());
+        assert_eq!(rel, outcome.prediction_error());
+    }
+
+    #[test]
+    fn snapshot_survives_retrain_unchanged() {
+        let mut sp = system();
+        let snap = sp.snapshot();
+        let q = tpcds::query(82, 100.0).unwrap();
+        let probe = PredictionRequest::new(q.clone(), 99);
+        let before = snap.determine(&probe).unwrap().predicted_seconds;
+
+        // Feed a wildly mispredicted run through the write path so a
+        // retrain fires and the driver's predictor is republished.
+        let outcome = sp.submit(&q).unwrap();
+        let mut report = outcome.report.clone();
+        report.completion = smartpick_cloudsim::SimDuration::from_secs_f64(
+            outcome.determination.predicted_seconds + 500.0,
+        );
+        let retrain = sp
+            .apply_report(&q, &outcome.determination, &report)
+            .unwrap();
+        assert!(retrain.is_some(), "big error fires a retrain");
+
+        // The old snapshot is bit-for-bit stable; a fresh one reflects
+        // the new model.
+        assert_eq!(snap.determine(&probe).unwrap().predicted_seconds, before);
+        let after = sp.snapshot().determine(&probe).unwrap().predicted_seconds;
+        assert_ne!(after, before, "retrain must move the live model");
+    }
+
+    #[test]
+    fn fork_shares_model_but_not_state() {
+        let mut sp = system();
+        let q = tpcds::query(82, 100.0).unwrap();
+        sp.submit(&q).unwrap();
+        let mut forked = sp.fork(1234);
+        // Forks share the trained model (same Arc until a retrain)...
+        assert!(Arc::ptr_eq(&sp.snapshot(), &forked.snapshot()));
+        // ...but not history or billing.
+        assert_eq!(forked.history().len(), 0);
+        assert_eq!(forked.resource_manager().stats().queries, 0);
+        forked.submit(&q).unwrap();
+        assert_eq!(forked.history().len(), 1);
+        assert_eq!(sp.history().len(), 1);
     }
 
     #[test]

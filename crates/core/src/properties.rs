@@ -5,12 +5,13 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
 use smartpick_cloudsim::Provider;
 
 use crate::error::SmartpickError;
 
 /// Smartpick configuration properties (Table 4).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SmartpickProperties {
     /// `smartpick.cloud.compute.provider` — target provider (default AWS).
     pub provider: Provider,

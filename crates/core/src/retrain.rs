@@ -46,8 +46,60 @@ pub enum RetrainTrigger {
     BatchFull,
 }
 
+/// Serialises as `"same-instance"` / `"separate-instance"`.
+impl serde::Serialize for RetrainLocation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                RetrainLocation::SameInstance => "same-instance",
+                RetrainLocation::SeparateInstance => "separate-instance",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl serde::Deserialize for RetrainLocation {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) if s == "same-instance" => Ok(RetrainLocation::SameInstance),
+            serde::Value::Str(s) if s == "separate-instance" => {
+                Ok(RetrainLocation::SeparateInstance)
+            }
+            other => Err(serde::DeError(format!(
+                "expected a retrain location, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Serialises as `"error-difference"` / `"batch-full"`.
+impl serde::Serialize for RetrainTrigger {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                RetrainTrigger::ErrorDifference => "error-difference",
+                RetrainTrigger::BatchFull => "batch-full",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl serde::Deserialize for RetrainTrigger {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) if s == "error-difference" => Ok(RetrainTrigger::ErrorDifference),
+            serde::Value::Str(s) if s == "batch-full" => Ok(RetrainTrigger::BatchFull),
+            other => Err(serde::DeError(format!(
+                "expected a retrain trigger, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Outcome of one retraining task.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RetrainReport {
     /// What fired it.
     pub trigger: RetrainTrigger,

@@ -12,11 +12,12 @@
 //! i.e. tolerate up to `ε` extra latency in exchange for the cheapest
 //! configuration the search saw.
 
+use serde::{Deserialize, Serialize};
 use smartpick_cloudsim::Money;
 use smartpick_engine::Allocation;
 
 /// One entry of the estimated-times list `ET_l`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EtEntry {
     /// The candidate configuration.
     pub allocation: Allocation,

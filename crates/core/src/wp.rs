@@ -82,7 +82,7 @@ impl PredictionRequest {
 }
 
 /// The outcome of a resource determination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Determination {
     /// The chosen configuration (relay policy already applied).
     pub allocation: Allocation,

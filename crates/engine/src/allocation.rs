@@ -31,8 +31,40 @@ impl fmt::Display for RelayPolicy {
     }
 }
 
+/// Serialises as a tagged string: `"none"`, `"relay"`, or `"segue:<ms>"`.
+impl serde::Serialize for RelayPolicy {
+    fn to_value(&self) -> serde::Value {
+        let s = match self {
+            RelayPolicy::None => "none".to_owned(),
+            RelayPolicy::Relay => "relay".to_owned(),
+            RelayPolicy::Segue { timeout } => format!("segue:{}", timeout.as_millis()),
+        };
+        serde::Value::Str(s)
+    }
+}
+
+impl serde::Deserialize for RelayPolicy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Str(s) = v else {
+            return Err(serde::DeError(format!(
+                "expected a relay-policy string, got {v:?}"
+            )));
+        };
+        match s.as_str() {
+            "none" => Ok(RelayPolicy::None),
+            "relay" => Ok(RelayPolicy::Relay),
+            other => match other.strip_prefix("segue:").map(str::parse::<u64>) {
+                Some(Ok(ms)) => Ok(RelayPolicy::Segue {
+                    timeout: SimDuration::from_millis(ms),
+                }),
+                _ => Err(serde::DeError(format!("unknown relay policy `{other}`"))),
+            },
+        }
+    }
+}
+
 /// A compute-resource configuration `{nVM, nSL}` for one query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Allocation {
     /// Number of worker VMs.
     pub n_vm: u32,

@@ -5,7 +5,7 @@ use smartpick_cloudsim::{CostReport, Money, SimDuration, SimTime};
 use crate::allocation::Allocation;
 
 /// The outcome of one simulated query run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunReport {
     /// Query identifier.
     pub query_id: String,

@@ -7,6 +7,8 @@
 //! trees fitted on fresh data — reproduced here by
 //! [`RandomForest::warm_start_extend`].
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +40,13 @@ impl Default for ForestParams {
 
 /// A fitted random-forest regressor.
 ///
+/// Trees are stored behind [`Arc`], so [`Clone`] is an Arc-bump per tree
+/// rather than a deep copy: cloning a fitted forest is cheap enough to
+/// publish immutable prediction snapshots on every retrain. Mutation
+/// (`warm_start_extend` / `retire_oldest`) only edits the tree *list*;
+/// the trees themselves are immutable once fitted, so clones taken before
+/// a retrain keep predicting from the old ensemble unperturbed.
+///
 /// # Example
 ///
 /// ```
@@ -56,7 +65,7 @@ impl Default for ForestParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RandomForest {
-    trees: Vec<RegressionTree>,
+    trees: Vec<Arc<RegressionTree>>,
     params: ForestParams,
     n_features: usize,
 }
@@ -102,8 +111,9 @@ impl RandomForest {
                 (0..data.len()).collect()
             };
             let tree_seed = rng.gen::<u64>() ^ t as u64;
-            self.trees
-                .push(RegressionTree::fit_indices(data, &indices, &tp, tree_seed)?);
+            self.trees.push(Arc::new(RegressionTree::fit_indices(
+                data, &indices, &tp, tree_seed,
+            )?));
         }
         Ok(())
     }
@@ -304,6 +314,26 @@ mod tests {
             RandomForest::fit(&d, &params, 0),
             Err(MlError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn clone_is_a_shared_snapshot() {
+        let d = wave_data(100);
+        let mut f = RandomForest::fit(&d, &ForestParams::default(), 6).unwrap();
+        let snap = f.clone();
+        // Clones share the fitted trees (Arc-bump, not a deep copy).
+        assert!(Arc::ptr_eq(&f.trees[0], &snap.trees[0]));
+        // Mutating the original (retrain + eviction) leaves the snapshot
+        // predicting from the old ensemble.
+        let before = snap.predict(&[5.0, 0.0]);
+        let mut new = Dataset::new(vec!["x".into(), "junk".into()]);
+        for i in 0..100 {
+            new.push(vec![i as f64 / 10.0, 0.0], 500.0);
+        }
+        f.warm_start_extend(&new, 60, 8).unwrap();
+        f.retire_oldest(30, 10);
+        assert_eq!(snap.predict(&[5.0, 0.0]), before);
+        assert_ne!(f.predict(&[5.0, 0.0]), before);
     }
 
     #[test]

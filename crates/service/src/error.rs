@@ -1,0 +1,112 @@
+//! Typed rejections the service front-end hands back to clients.
+
+use std::error::Error;
+use std::fmt;
+
+use smartpick_core::SmartpickError;
+
+/// Errors reported by [`crate::SmartpickService`].
+///
+/// Admission-control rejections ([`ServiceError::QueueFull`],
+/// [`ServiceError::QuotaExceeded`]) are *retryable*: the work was not
+/// accepted and the client should back off and resubmit.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// No tenant registered under this id.
+    UnknownTenant(String),
+    /// A tenant with this id is already registered.
+    TenantExists(String),
+    /// The shared update queue is at capacity (service-wide backpressure).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The tenant has too many unapplied run reports in flight
+    /// (per-tenant quota, so one noisy tenant cannot starve the rest).
+    QuotaExceeded {
+        /// The offending tenant.
+        tenant: String,
+        /// Reports currently pending for the tenant.
+        pending: usize,
+        /// The configured per-tenant cap.
+        cap: usize,
+    },
+    /// The service has been shut down and accepts no new work.
+    Stopped,
+    /// A prediction / execution / retraining failure from the core.
+    Core(SmartpickError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(id) => write!(f, "unknown tenant `{id}`"),
+            ServiceError::TenantExists(id) => write!(f, "tenant `{id}` already registered"),
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "update queue full ({capacity} reports); retry later")
+            }
+            ServiceError::QuotaExceeded {
+                tenant,
+                pending,
+                cap,
+            } => write!(
+                f,
+                "tenant `{tenant}` has {pending} pending reports (cap {cap}); retry later"
+            ),
+            ServiceError::Stopped => write!(f, "service is shut down"),
+            ServiceError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SmartpickError> for ServiceError {
+    fn from(e: SmartpickError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl ServiceError {
+    /// Whether the rejection is transient (back off and retry).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::QueueFull { .. } | ServiceError::QuotaExceeded { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_retryability() {
+        assert!(ServiceError::QueueFull { capacity: 4 }.is_retryable());
+        assert!(ServiceError::QuotaExceeded {
+            tenant: "t".into(),
+            pending: 9,
+            cap: 8
+        }
+        .is_retryable());
+        assert!(!ServiceError::UnknownTenant("t".into()).is_retryable());
+        assert!(ServiceError::Stopped.to_string().contains("shut down"));
+        let e: ServiceError = SmartpickError::NoTrainingData.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! # smartpick-service
+//!
+//! **smartpickd**: a concurrent, multi-tenant, in-process prediction
+//! service over [`smartpick_core`].
+//!
+//! The paper ships Workload Prediction as a standalone server other
+//! serverless data-analytics systems call over RPC (§5), with an
+//! independent monitor thread retraining the model in the background
+//! (§4.2). `smartpick_core::Smartpick` reproduces the single-tenant
+//! logic but its `submit` takes `&mut self` — one caller owns the whole
+//! driver. This crate adds the service layer that many threads can
+//! hammer concurrently:
+//!
+//! * [`service`] — the [`SmartpickService`] façade and its
+//!   [`ServiceConfig`].
+//! * [`registry`] *(private)* — the sharded tenant registry: N shards of
+//!   `parking_lot::RwLock<HashMap<TenantId, slot>>`, hash-routed, so
+//!   tenant lookup scales without a global lock.
+//! * [`worker`] — the batched update queue and background retrain worker
+//!   (the §4.2 monitor thread, made real); [`CompletedRun`] is the unit
+//!   of feedback.
+//! * [`queue`] *(private)* — the bounded MPSC queue providing
+//!   service-wide backpressure.
+//! * [`stats`] — per-tenant counters, queue depth, snapshot age, and a
+//!   fixed-bucket p50/p99 latency histogram.
+//! * [`error`] — typed [`ServiceError`] rejections (admission control
+//!   rejections are marked retryable).
+//!
+//! Reads are **snapshot-based**: each tenant publishes an immutable
+//! `Arc<WorkloadPredictor>`; `predict`/`determine` clone the `Arc` and
+//! run the whole RF+BO search with no lock held, so predictions never
+//! block behind a retrain. Writes are **batched**: completed-run reports
+//! flow through the bounded queue to one worker thread that applies them
+//! per tenant copy-on-write and republishes the snapshot.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod error;
+mod queue;
+mod registry;
+pub mod service;
+pub mod stats;
+pub mod worker;
+
+pub use error::ServiceError;
+pub use service::{ServiceConfig, SmartpickService};
+pub use stats::{LatencyHistogram, LatencySummary, ServiceStats, TenantStats};
+pub use worker::CompletedRun;

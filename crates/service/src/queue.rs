@@ -1,0 +1,218 @@
+//! The bounded MPSC update queue feeding the retrain worker.
+//!
+//! `std::sync::mpsc` hides its depth, and the vendored `parking_lot` shim
+//! has no `Condvar`, so this is a small purpose-built queue over
+//! `std::sync::{Mutex, Condvar}`: non-blocking bounded producers (full is
+//! an admission-control rejection, never a stall on the client's hot
+//! path), a blocking consumer, an exact [`BoundedQueue::len`] for the
+//! queue-depth stat, and close semantics for shutdown (producers are
+//! rejected, the consumer drains what is left and then sees end-of-queue).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushRejected {
+    /// The queue is at capacity.
+    Full,
+    /// The queue has been closed (service shutting down).
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue without blocking.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushRejected> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushRejected::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRejected::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is full. Only fails once the
+    /// queue is closed. For control messages (flush) that must get in
+    /// without burning CPU; data producers use the non-blocking
+    /// [`BoundedQueue::try_push`] so backpressure stays a rejection.
+    pub(crate) fn push_blocking(&self, item: T) -> Result<(), PushRejected> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushRejected::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues up to `n` immediately available items without blocking.
+    pub(crate) fn drain_up_to(&self, n: usize) -> Vec<T> {
+        let mut inner = self.lock();
+        let take = n.min(inner.items.len());
+        let items: Vec<T> = inner.items.drain(..take).collect();
+        drop(inner);
+        if !items.is_empty() {
+            self.not_full.notify_all();
+        }
+        items
+    }
+
+    /// Current depth.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Closes the queue: producers are rejected from now on; the consumer
+    /// drains the remaining items and then sees end-of-queue.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_fifo_with_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushRejected::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.drain_up_to(10), vec![2, 3]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumer() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push("b"), Err(PushRejected::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocking_parks_until_space_and_fails_closed() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(1))
+        };
+        // The producer is parked on a full queue; popping frees a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.push_blocking(2), Err(PushRejected::Closed));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        for i in 0..20 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushRejected::Full) => std::thread::yield_now(),
+                    Err(PushRejected::Closed) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+}

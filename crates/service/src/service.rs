@@ -1,0 +1,497 @@
+//! The `SmartpickService` façade: many threads, many tenants, one
+//! Smartpick per tenant.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smartpick_core::driver::{QueryOutcome, Smartpick};
+use smartpick_core::wp::{
+    ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService,
+};
+use smartpick_engine::QueryProfile;
+
+use crate::error::ServiceError;
+use crate::queue::{BoundedQueue, PushRejected};
+use crate::registry::{ShardedRegistry, TenantState};
+use crate::stats::{LatencyHistogram, ServiceStats, TenantCounters, TenantStats};
+use crate::worker::{run_worker, CompletedRun, WorkerMsg};
+
+/// Tunables for a [`SmartpickService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Registry shards (tenants are hash-routed across them).
+    pub shards: usize,
+    /// Capacity of the shared update queue (service-wide backpressure).
+    pub queue_capacity: usize,
+    /// Max unapplied reports one tenant may have in flight.
+    pub tenant_pending_cap: usize,
+    /// Max reports the worker applies per batch before republishing
+    /// snapshots.
+    pub retrain_batch_max: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 16,
+            queue_capacity: 1024,
+            tenant_pending_cap: 64,
+            retrain_batch_max: 32,
+        }
+    }
+}
+
+/// A thread-safe, multi-tenant prediction service over
+/// [`smartpick_core::Smartpick`] — "smartpickd".
+///
+/// Concurrency model, in one paragraph: tenants live in a **sharded
+/// registry** (hash-routed `RwLock<HashMap>` shards, held only for an
+/// `Arc` clone); `predict`/`determine` run against each tenant's
+/// **immutable model snapshot** (`Arc<WorkloadPredictor>`), so reads
+/// never block behind a writer; completed runs are fed through a
+/// **bounded update queue** to one background **retrain worker** that
+/// batches them per tenant, applies them to the owning driver under its
+/// per-tenant mutex, and republishes the snapshot — the paper's §4.2
+/// monitor thread. **Admission control** (queue capacity + per-tenant
+/// pending quotas) sheds training feedback under overload instead of
+/// ever failing or delaying the read path.
+///
+/// # Example
+///
+/// ```no_run
+/// use smartpick_cloudsim::{CloudEnv, Provider};
+/// use smartpick_core::driver::Smartpick;
+/// use smartpick_core::properties::SmartpickProperties;
+/// use smartpick_service::SmartpickService;
+/// use smartpick_workloads::tpcds;
+///
+/// let training: Vec<_> = tpcds::TRAINING_QUERIES
+///     .iter()
+///     .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+///     .collect();
+/// let driver = Smartpick::train(
+///     CloudEnv::new(Provider::Aws),
+///     SmartpickProperties::default(),
+///     &training,
+///     42,
+/// )?;
+/// let service = SmartpickService::with_defaults();
+/// service.register_tenant("acme", driver)?;
+/// let outcome = service.submit("acme", &tpcds::query(11, 100.0).expect("q"), 7)?;
+/// println!("{} in {:.1}s", outcome.determination.allocation, outcome.report.seconds());
+/// # Ok::<(), smartpick_service::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct SmartpickService {
+    registry: ShardedRegistry,
+    queue: Arc<BoundedQueue<WorkerMsg>>,
+    worker: Option<JoinHandle<()>>,
+    config: ServiceConfig,
+    epoch: Instant,
+    predict_latency: LatencyHistogram,
+    /// Counters folded in from deregistered tenants, so service-wide
+    /// aggregates stay monotonic across tenant churn.
+    retired: TenantCounters,
+}
+
+impl SmartpickService {
+    /// Starts a service (and its retrain worker thread) with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `config` field is zero.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "shards must be positive");
+        assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(
+            config.tenant_pending_cap > 0,
+            "tenant_pending_cap must be positive"
+        );
+        assert!(
+            config.retrain_batch_max > 0,
+            "retrain_batch_max must be positive"
+        );
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let epoch = Instant::now();
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let batch_max = config.retrain_batch_max;
+            std::thread::Builder::new()
+                .name("smartpickd-retrain".to_owned())
+                .spawn(move || run_worker(queue, batch_max, epoch))
+                .expect("spawn retrain worker")
+        };
+        SmartpickService {
+            registry: ShardedRegistry::new(config.shards),
+            queue,
+            worker: Some(worker),
+            config,
+            epoch,
+            predict_latency: LatencyHistogram::new(),
+            retired: TenantCounters::default(),
+        }
+    }
+
+    /// Starts a service with [`ServiceConfig::default`].
+    pub fn with_defaults() -> Self {
+        SmartpickService::new(ServiceConfig::default())
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    // ---------------------------------------------------------------
+    // Tenant management
+    // ---------------------------------------------------------------
+
+    /// Registers a tenant owning a trained `driver`. Its first snapshot
+    /// is published immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TenantExists`] on a duplicate id,
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn register_tenant(
+        &self,
+        id: impl Into<String>,
+        driver: Smartpick,
+    ) -> Result<(), ServiceError> {
+        if self.queue.is_closed() {
+            return Err(ServiceError::Stopped);
+        }
+        let id = id.into();
+        self.registry
+            .insert(TenantState::new(id, driver, self.now_us()))
+    }
+
+    /// Registers a tenant forked from `template` (shares the trained
+    /// model copy-on-write; owns fresh history/billing/monitor state).
+    /// The cheap way to stamp out many tenants from one kick-start
+    /// training run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmartpickService::register_tenant`].
+    pub fn register_fork(
+        &self,
+        id: impl Into<String>,
+        template: &Smartpick,
+        seed: u64,
+    ) -> Result<(), ServiceError> {
+        self.register_tenant(id, template.fork(seed))
+    }
+
+    /// Removes a tenant. In-flight reports already accepted for it are
+    /// still applied (the worker holds its own handle) but no new work is
+    /// admitted. Its counters are folded into the service-wide totals so
+    /// [`SmartpickService::stats`] aggregates never run backwards; applies
+    /// that complete *after* the fold are the one sliver the aggregates
+    /// can miss.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] if not registered.
+    pub fn deregister_tenant(&self, id: &str) -> Result<(), ServiceError> {
+        let state = self.registry.remove(id)?;
+        state.counters.fold_into(&self.retired);
+        Ok(())
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.registry.ids()
+    }
+
+    // ---------------------------------------------------------------
+    // Read path (snapshot predictions)
+    // ---------------------------------------------------------------
+
+    /// Runs a full resource determination for `tenant` against its
+    /// current model snapshot. Never blocks behind retraining: the
+    /// snapshot is an immutable `Arc`d model, and the only locks touched
+    /// (shard + snapshot cell) are held for the duration of an `Arc`
+    /// clone.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`], or a core prediction failure.
+    pub fn predict(
+        &self,
+        tenant: &str,
+        request: &PredictionRequest,
+    ) -> Result<Determination, ServiceError> {
+        let state = self.registry.get(tenant)?;
+        self.predict_on(&state, request)
+    }
+
+    /// The snapshot read against an already-resolved tenant.
+    fn predict_on(
+        &self,
+        state: &TenantState,
+        request: &PredictionRequest,
+    ) -> Result<Determination, ServiceError> {
+        let start = Instant::now();
+        let snapshot = state.read_snapshot();
+        let determination = snapshot.determine(request)?;
+        state.counters.predictions.fetch_add(1, Ordering::Relaxed);
+        self.predict_latency.record(start.elapsed());
+        Ok(determination)
+    }
+
+    /// Convenience [`SmartpickService::predict`]: hybrid search with the
+    /// tenant's configured knob.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmartpickService::predict`].
+    pub fn determine(
+        &self,
+        tenant: &str,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Determination, ServiceError> {
+        let state = self.registry.get(tenant)?;
+        self.predict_on(
+            &state,
+            &PredictionRequest {
+                query: query.clone(),
+                knob: state.knob,
+                constraint: ConstraintMode::Hybrid,
+                seed,
+            },
+        )
+    }
+
+    /// The full online path: determine against the tenant's snapshot,
+    /// execute on its shared Resource Manager, and feed the completed run
+    /// back through the update queue.
+    ///
+    /// Retraining is asynchronous here, so the returned outcome always
+    /// has `retrain: None`; retrains show up in
+    /// [`SmartpickService::tenant_stats`] once the worker applies the
+    /// report. Under backpressure the *feedback* is shed (visible as a
+    /// rejection in the stats) — the query result itself is never
+    /// delayed or dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`], or a core prediction/execution
+    /// failure.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<QueryOutcome, ServiceError> {
+        // Resolve once and thread the state through: re-resolving per step
+        // would let a concurrent deregister/re-register swap the tenant
+        // out from under us mid-submission (feedback applied to the wrong
+        // tenant instance) and would cost extra shard hops on the hot
+        // path.
+        let state = self.registry.get(tenant)?;
+        let determination = self.predict_on(
+            &state,
+            &PredictionRequest {
+                query: query.clone(),
+                knob: state.knob,
+                constraint: ConstraintMode::Hybrid,
+                seed,
+            },
+        )?;
+        let report = state
+            .rm
+            .execute(query, &determination.allocation, seed ^ EXEC_SEED_MIX)
+            .map_err(smartpick_core::SmartpickError::from)?;
+        state.counters.executions.fetch_add(1, Ordering::Relaxed);
+        // Feedback is best-effort under load: a shed report costs model
+        // freshness, not correctness.
+        let _ = self.enqueue_report(
+            &state,
+            CompletedRun {
+                query: query.clone(),
+                determination: determination.clone(),
+                report: report.clone(),
+            },
+        );
+        Ok(QueryOutcome {
+            determination,
+            report,
+            retrain: None,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Write path (update queue → retrain worker)
+    // ---------------------------------------------------------------
+
+    /// Feeds one completed run into the batched update queue for the
+    /// retrain worker to apply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`]; [`ServiceError::QuotaExceeded`]
+    /// when the tenant is over its pending cap;
+    /// [`ServiceError::QueueFull`] under service-wide backpressure;
+    /// [`ServiceError::Stopped`] after shutdown.
+    pub fn report_run(&self, tenant: &str, run: CompletedRun) -> Result<(), ServiceError> {
+        let state = self.registry.get(tenant)?;
+        self.enqueue_report(&state, run)
+    }
+
+    /// Quota check + enqueue against an already-resolved tenant.
+    fn enqueue_report(
+        &self,
+        state: &Arc<TenantState>,
+        run: CompletedRun,
+    ) -> Result<(), ServiceError> {
+        // Reserve quota (compensating add so concurrent reservations
+        // cannot sneak past the cap).
+        let cap = self.config.tenant_pending_cap;
+        let prior = state.counters.pending.fetch_add(1, Ordering::Relaxed);
+        if prior >= cap {
+            state.counters.pending.fetch_sub(1, Ordering::Relaxed);
+            state.counters.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::QuotaExceeded {
+                tenant: state.id.clone(),
+                pending: prior,
+                cap,
+            });
+        }
+
+        let msg = WorkerMsg::Job {
+            tenant: Arc::clone(state),
+            run: Box::new(run),
+        };
+        match self.queue.try_push(msg) {
+            Ok(()) => {
+                state
+                    .counters
+                    .reports_enqueued
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(rejected) => {
+                state.counters.pending.fetch_sub(1, Ordering::Relaxed);
+                state.counters.rejections.fetch_add(1, Ordering::Relaxed);
+                Err(match rejected {
+                    PushRejected::Full => ServiceError::QueueFull {
+                        capacity: self.config.queue_capacity,
+                    },
+                    PushRejected::Closed => ServiceError::Stopped,
+                })
+            }
+        }
+    }
+
+    /// Blocks until every report enqueued before this call has been
+    /// applied and its tenant's snapshot republished. Returns `false` if
+    /// the service is already shut down.
+    pub fn flush(&self) -> bool {
+        let (ack, done) = sync_channel(1);
+        // The blocking push parks on the queue's not-full condvar, so a
+        // flush against a saturated queue sleeps instead of spinning
+        // against the very worker it is waiting on.
+        if self.queue.push_blocking(WorkerMsg::Flush(ack)).is_err() {
+            return false;
+        }
+        done.recv().is_ok()
+    }
+
+    // ---------------------------------------------------------------
+    // Observability
+    // ---------------------------------------------------------------
+
+    /// Reports currently waiting in the update queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A point-in-time view of one tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] if not registered.
+    pub fn tenant_stats(&self, tenant: &str) -> Result<TenantStats, ServiceError> {
+        let state = self.registry.get(tenant)?;
+        Ok(self.stats_of(&state))
+    }
+
+    /// A point-in-time aggregate view of the whole service. Aggregates
+    /// include the folded-in history of deregistered tenants, so they are
+    /// monotonic across tenant churn.
+    pub fn stats(&self) -> ServiceStats {
+        let r = &self.retired;
+        let mut stats = ServiceStats {
+            tenants: self.registry.len(),
+            queue_depth: self.queue.len(),
+            predictions: r.predictions.load(Ordering::Relaxed),
+            executions: r.executions.load(Ordering::Relaxed),
+            reports_enqueued: r.reports_enqueued.load(Ordering::Relaxed),
+            reports_applied: r.reports_applied.load(Ordering::Relaxed),
+            retrains: r.retrains.load(Ordering::Relaxed),
+            rejections: r.rejections.load(Ordering::Relaxed),
+            apply_failures: r.apply_failures.load(Ordering::Relaxed),
+            predict_latency: self.predict_latency.summary(),
+        };
+        self.registry.for_each(|state| {
+            let t = self.stats_of(state);
+            stats.predictions += t.predictions;
+            stats.executions += t.executions;
+            stats.reports_enqueued += t.reports_enqueued;
+            stats.reports_applied += t.reports_applied;
+            stats.retrains += t.retrains;
+            stats.rejections += t.rejections;
+            stats.apply_failures += t.apply_failures;
+        });
+        stats
+    }
+
+    fn stats_of(&self, state: &TenantState) -> TenantStats {
+        let published = state.published_at_us.load(Ordering::Relaxed);
+        TenantStats {
+            tenant: state.id.clone(),
+            predictions: state.counters.predictions.load(Ordering::Relaxed),
+            executions: state.counters.executions.load(Ordering::Relaxed),
+            reports_enqueued: state.counters.reports_enqueued.load(Ordering::Relaxed),
+            reports_applied: state.counters.reports_applied.load(Ordering::Relaxed),
+            retrains: state.counters.retrains.load(Ordering::Relaxed),
+            rejections: state.counters.rejections.load(Ordering::Relaxed),
+            apply_failures: state.counters.apply_failures.load(Ordering::Relaxed),
+            pending_reports: state.counters.pending.load(Ordering::Relaxed),
+            snapshot_generation: state.generation.load(Ordering::Relaxed),
+            snapshot_age: Duration::from_micros(self.now_us().saturating_sub(published)),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Lifecycle
+    // ---------------------------------------------------------------
+
+    /// Shuts the service down: stops admitting work, lets the worker
+    /// drain the queue, and joins it. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SmartpickService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Mixed into the caller's seed so the execution RNG stream differs from
+/// the search's.
+const EXEC_SEED_MIX: u64 = 0x5EED_EC5E;

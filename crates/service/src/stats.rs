@@ -1,0 +1,249 @@
+//! Service observability: lock-free counters and a fixed-bucket latency
+//! histogram.
+//!
+//! Everything here is updated with relaxed atomics on the hot path —
+//! stats must never serialise the readers they are measuring.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Power-of-two microsecond buckets: bucket *i* counts samples in
+/// `[2^i, 2^(i+1))` µs. 40 buckets cover ~13 days; plenty for a request.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram (microsecond resolution).
+///
+/// Quantiles are read as the *upper bound* of the bucket containing the
+/// requested rank, i.e. estimates are conservative and never more than 2×
+/// the true value.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = (latency.as_micros() as u64).max(1);
+        let idx = (us.ilog2() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds — the upper bound
+    /// of the bucket holding that rank. Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// Mean latency in microseconds. Zero when empty.
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// A point-in-time summary (count, p50, p99, mean).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            mean_us: self.mean_us(),
+        }
+    }
+}
+
+/// A point-in-time latency digest.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th percentile, microseconds (bucket upper bound).
+    pub p99_us: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+}
+
+/// Per-tenant hot-path counters (relaxed atomics).
+#[derive(Debug, Default)]
+pub(crate) struct TenantCounters {
+    pub(crate) predictions: AtomicU64,
+    pub(crate) executions: AtomicU64,
+    pub(crate) reports_enqueued: AtomicU64,
+    pub(crate) reports_applied: AtomicU64,
+    pub(crate) retrains: AtomicU64,
+    pub(crate) rejections: AtomicU64,
+    pub(crate) apply_failures: AtomicU64,
+    /// Reports accepted but not yet applied (quota accounting).
+    pub(crate) pending: AtomicUsize,
+}
+
+impl TenantCounters {
+    /// Adds this set's current values into `into` (used to retire a
+    /// deregistered tenant's history into the service-wide totals; the
+    /// `pending` gauge is deliberately not folded — it is a level, not a
+    /// counter).
+    pub(crate) fn fold_into(&self, into: &TenantCounters) {
+        for (from, to) in [
+            (&self.predictions, &into.predictions),
+            (&self.executions, &into.executions),
+            (&self.reports_enqueued, &into.reports_enqueued),
+            (&self.reports_applied, &into.reports_applied),
+            (&self.retrains, &into.retrains),
+            (&self.rejections, &into.rejections),
+            (&self.apply_failures, &into.apply_failures),
+        ] {
+            to.fetch_add(from.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's counters and snapshot state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant id.
+    pub tenant: String,
+    /// Predictions served from snapshots.
+    pub predictions: u64,
+    /// Queries executed through the service.
+    pub executions: u64,
+    /// Run reports accepted into the update queue.
+    pub reports_enqueued: u64,
+    /// Run reports the worker has applied to the driver.
+    pub reports_applied: u64,
+    /// Retraining tasks the worker's applies fired.
+    pub retrains: u64,
+    /// Admission-control rejections (quota or queue-full).
+    pub rejections: u64,
+    /// Reports whose apply failed in the worker.
+    pub apply_failures: u64,
+    /// Reports accepted but not yet applied.
+    pub pending_reports: usize,
+    /// How many snapshots have been published (0 = still the registration
+    /// snapshot).
+    pub snapshot_generation: u64,
+    /// Time since the tenant's snapshot was last (re)published.
+    pub snapshot_age: Duration,
+}
+
+/// A point-in-time view of the whole service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Reports sitting in the update queue right now.
+    pub queue_depth: usize,
+    /// Sum of per-tenant predictions.
+    pub predictions: u64,
+    /// Sum of per-tenant executions.
+    pub executions: u64,
+    /// Sum of per-tenant accepted reports.
+    pub reports_enqueued: u64,
+    /// Sum of per-tenant applied reports.
+    pub reports_applied: u64,
+    /// Sum of per-tenant retrains.
+    pub retrains: u64,
+    /// Sum of per-tenant rejections.
+    pub rejections: u64,
+    /// Sum of per-tenant apply failures.
+    pub apply_failures: u64,
+    /// Snapshot-read (`predict`/`determine`) latency digest.
+    pub predict_latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_spread() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_millis(10)); // bucket [8192, 16384)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert_eq!(h.quantile_us(0.99), 128);
+        assert_eq!(h.quantile_us(1.0), 16384);
+        assert!(h.mean_us() > 100.0 && h.mean_us() < 300.0);
+        let s = h.summary();
+        assert_eq!(s.p50_us, 128);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn sub_microsecond_samples_land_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_micros(t * 100 + i % 50 + 1));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -1,0 +1,106 @@
+//! The background retrain worker — the paper's §4.2 "independent monitor
+//! thread", made real.
+//!
+//! One worker thread per service drains the bounded update queue in
+//! batches, groups completed-run reports by owning tenant, applies each
+//! batch to that tenant's driver under its (per-tenant) mutex, and
+//! republishes the tenant's prediction snapshot once per batch. Readers
+//! never wait on any of this: they predict against the snapshot published
+//! by the previous batch.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::Instant;
+
+use smartpick_core::wp::Determination;
+use smartpick_engine::{QueryProfile, RunReport};
+
+use crate::queue::BoundedQueue;
+use crate::registry::TenantState;
+
+/// One completed run a client (or the service's own `submit`) feeds back
+/// into the training loop.
+#[derive(Debug, Clone)]
+pub struct CompletedRun {
+    /// The query that ran.
+    pub query: QueryProfile,
+    /// The determination it ran under.
+    pub determination: Determination,
+    /// What actually happened.
+    pub report: RunReport,
+}
+
+/// A queued unit of worker work.
+#[derive(Debug)]
+pub(crate) enum WorkerMsg {
+    /// Apply one completed run to its tenant.
+    Job {
+        /// The owning tenant (resolved at enqueue time, so the worker
+        /// never touches the registry and deregistered tenants still get
+        /// their in-flight reports applied).
+        tenant: Arc<TenantState>,
+        /// The run to apply.
+        run: Box<CompletedRun>,
+    },
+    /// Ack once every message enqueued before this one has been applied.
+    Flush(SyncSender<()>),
+}
+
+/// The worker loop: runs until the queue is closed and drained.
+pub(crate) fn run_worker(queue: Arc<BoundedQueue<WorkerMsg>>, batch_max: usize, epoch: Instant) {
+    while let Some(first) = queue.pop() {
+        let mut batch = vec![first];
+        batch.extend(queue.drain_up_to(batch_max.saturating_sub(1)));
+
+        // Group jobs by tenant, preserving per-tenant FIFO order.
+        let mut flushes: Vec<SyncSender<()>> = Vec::new();
+        let mut groups: Vec<(Arc<TenantState>, Vec<Box<CompletedRun>>)> = Vec::new();
+        for msg in batch {
+            match msg {
+                WorkerMsg::Job { tenant, run } => {
+                    match groups.iter_mut().find(|(t, _)| Arc::ptr_eq(t, &tenant)) {
+                        Some((_, runs)) => runs.push(run),
+                        None => groups.push((tenant, vec![run])),
+                    }
+                }
+                WorkerMsg::Flush(ack) => flushes.push(ack),
+            }
+        }
+
+        for (tenant, runs) in groups {
+            apply_batch(&tenant, &runs, epoch);
+        }
+
+        // Jobs enqueued before each flush are now applied (FIFO queue,
+        // whole batch processed above), so the acks are safe.
+        for ack in flushes {
+            let _ = ack.send(());
+        }
+    }
+}
+
+/// Applies one tenant's batch under its driver lock, then republishes the
+/// snapshot exactly once.
+fn apply_batch(tenant: &TenantState, runs: &[Box<CompletedRun>], epoch: Instant) {
+    let mut driver = tenant.driver.lock();
+    for run in runs {
+        match driver.apply_report(&run.query, &run.determination, &run.report) {
+            Ok(retrain) => {
+                tenant.counters.reports_applied.fetch_add(1, Ordering::Relaxed);
+                if retrain.is_some() {
+                    tenant.counters.retrains.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // A failed apply (e.g. a retrain hiccup) must not take the
+                // worker down; it is surfaced through the stats instead.
+                tenant.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        tenant.counters.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+    let snapshot = driver.snapshot();
+    drop(driver);
+    tenant.publish_snapshot(snapshot, epoch.elapsed().as_micros() as u64);
+}

@@ -1,0 +1,166 @@
+//! Property test for the sharded tenant registry: concurrent
+//! register/predict/report from 8 threads across 64 tenants never loses
+//! an update and never panics.
+//!
+//! Each case draws one RNG seed per thread; threads derive their own op
+//! streams from it. After joining and flushing, the service's counters
+//! must exactly equal the per-thread success tallies — an accepted
+//! report that never gets applied, a double-registered tenant, or a
+//! dropped prediction count all falsify the property.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::PredictionRequest;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{CompletedRun, ServiceConfig, ServiceError, SmartpickService};
+use smartpick_workloads::tpcds;
+
+const THREADS: usize = 8;
+const TENANTS: u64 = 64;
+const OPS_PER_THREAD: usize = 24;
+
+/// One trained template shared by every case (tenants are cheap forks).
+fn template() -> &'static Smartpick {
+    static TEMPLATE: OnceLock<Smartpick> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let queries = vec![tpcds::query(82, 100.0).unwrap()];
+        let opts = TrainOptions {
+            configs_per_query: 5,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 10,
+                ..ForestParams::default()
+            },
+            max_vm: 3,
+            max_sl: 3,
+            ..TrainOptions::default()
+        };
+        Smartpick::train_with_options(
+            CloudEnv::new(Provider::Aws),
+            SmartpickProperties::default(),
+            &queries,
+            &opts,
+            11,
+        )
+        .unwrap()
+        .0
+    })
+}
+
+/// A canned (query, determination, report) triple for report ops.
+fn canned_run() -> &'static CompletedRun {
+    static RUN: OnceLock<CompletedRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let tpl = template();
+        let query = tpcds::query(82, 100.0).unwrap();
+        use smartpick_core::wp::WorkloadPredictionService;
+        let determination = tpl
+            .snapshot()
+            .determine(&PredictionRequest::new(query.clone(), 17))
+            .unwrap();
+        let report = tpl
+            .shared_resource_manager()
+            .execute(&query, &determination.allocation, 23)
+            .unwrap();
+        CompletedRun {
+            query,
+            determination,
+            report,
+        }
+    })
+}
+
+#[derive(Default)]
+struct Tally {
+    registers: AtomicU64,
+    predicts: AtomicU64,
+    reports: AtomicU64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn concurrent_registry_ops_lose_nothing(seeds in prop::collection::vec(0u64..u64::MAX, THREADS)) {
+        let service = Arc::new(SmartpickService::new(ServiceConfig {
+            shards: 8,
+            queue_capacity: 4096,
+            tenant_pending_cap: 4096,
+            retrain_batch_max: 16,
+        }));
+        let tally = Arc::new(Tally::default());
+
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let service = Arc::clone(&service);
+                let tally = Arc::clone(&tally);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for _ in 0..OPS_PER_THREAD {
+                        let tenant = format!("tenant-{}", rng.gen_range(0..TENANTS));
+                        match rng.gen_range(0u8..3) {
+                            0 => match service.register_fork(&tenant, template(), rng.gen()) {
+                                Ok(()) => {
+                                    tally.registers.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(ServiceError::TenantExists(_)) => {}
+                                Err(other) => panic!("register: {other}"),
+                            },
+                            1 => {
+                                let query = tpcds::query(82, 100.0).unwrap();
+                                match service
+                                    .predict(&tenant, &PredictionRequest::new(query, rng.gen()))
+                                {
+                                    Ok(det) => {
+                                        assert!(det.predicted_seconds.is_finite());
+                                        tally.predicts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(ServiceError::UnknownTenant(_)) => {}
+                                    Err(other) => panic!("predict: {other}"),
+                                }
+                            }
+                            _ => match service.report_run(&tenant, canned_run().clone()) {
+                                Ok(()) => {
+                                    tally.reports.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(ServiceError::UnknownTenant(_)) => {}
+                                Err(other) => panic!("report: {other}"),
+                            },
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no thread may panic");
+        }
+
+        prop_assert!(service.flush());
+        let stats = service.stats();
+        // Never loses an update: every success tallied by a client is
+        // visible in the service's books, exactly once.
+        prop_assert_eq!(stats.tenants as u64, tally.registers.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.predictions, tally.predicts.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.reports_enqueued, tally.reports.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.reports_applied, tally.reports.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.apply_failures, 0);
+        prop_assert_eq!(stats.rejections, 0);
+        prop_assert_eq!(stats.queue_depth, 0);
+        // And every registered tenant is still resolvable.
+        for id in service.tenants() {
+            let ts = service.tenant_stats(&id).map_err(|e| {
+                proptest::TestCaseError::fail(format!("lost tenant {id}: {e}"))
+            })?;
+            prop_assert_eq!(ts.pending_reports, 0);
+        }
+    }
+}

@@ -15,6 +15,12 @@ check:
 bench:
     cargo bench
 
+# Multi-threaded service throughput: snapshot reads vs a global lock,
+# with and without retrains running. On a single-core box read the
+# `reads_under_retrain` group; the scaling group needs real cores.
+service-bench:
+    cargo bench --bench service_throughput
+
 # Reproduce all paper figure/table binaries (release).
 figures:
     cargo build --release -p smartpick_bench --bins

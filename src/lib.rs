@@ -12,6 +12,9 @@
 //! * [`cloudsim`] — the simulated AWS/GCP substrate.
 //! * [`engine`] — the Spark-like DAG execution engine.
 //! * [`ml`] — Random Forest / Gaussian Process / Bayesian Optimizer.
+//! * [`service`] — "smartpickd": the concurrent multi-tenant prediction
+//!   service (sharded tenant registry, snapshot reads, batched retrain
+//!   worker).
 //! * [`sqlmeta`] — SQL metadata extraction and cosine similarity.
 //! * [`workloads`] — TPC-DS / TPC-H / WordCount profiles.
 //! * [`baselines`] — Cocoa, SplitServe, CherryPick, OptimusCloud, LIBRA.
@@ -40,5 +43,6 @@ pub use smartpick_cloudsim as cloudsim;
 pub use smartpick_core as core;
 pub use smartpick_engine as engine;
 pub use smartpick_ml as ml;
+pub use smartpick_service as service;
 pub use smartpick_sqlmeta as sqlmeta;
 pub use smartpick_workloads as workloads;

@@ -62,4 +62,18 @@ fn train_predict_plan_round_trip() {
     assert!(outcome.report.seconds() > 0.0);
     assert!(outcome.report.total_cost().dollars() > 0.0);
     assert_eq!(system.history().len(), 1);
+
+    // Service: the same driver served multi-tenant through smartpickd.
+    let service = smartpick::service::SmartpickService::with_defaults();
+    service
+        .register_tenant("smoke", system)
+        .expect("tenant registers");
+    let outcome = service
+        .submit("smoke", &query, 13)
+        .expect("service submit succeeds");
+    assert!(outcome.report.seconds() > 0.0);
+    assert!(service.flush(), "worker applies the report");
+    let stats = service.stats();
+    assert_eq!(stats.executions, 1);
+    assert_eq!(stats.reports_applied, 1);
 }

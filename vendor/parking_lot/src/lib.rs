@@ -1,13 +1,13 @@
 //! Offline shim for the subset of `parking_lot` used in this workspace:
-//! [`RwLock`] with non-poisoning `read()` / `write()`.
+//! [`RwLock`] and [`Mutex`] with non-poisoning guards.
 //!
-//! Backed by `std::sync::RwLock`; a poisoned lock (writer panicked) is
-//! recovered instead of propagating the poison, matching `parking_lot`'s
-//! no-poisoning semantics.
+//! Backed by `std::sync` primitives; a poisoned lock (a panicking holder)
+//! is recovered instead of propagating the poison, matching
+//! `parking_lot`'s no-poisoning semantics.
 
 #![deny(missing_debug_implementations)]
 
-use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Reader-writer lock without lock poisoning.
 #[derive(Debug, Default)]
@@ -46,9 +46,50 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Mutual-exclusion lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::RwLock;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn read_write_round_trip() {
@@ -56,5 +97,18 @@ mod tests {
         lock.write().push(3);
         assert_eq!(*lock.read(), vec![1, 2, 3]);
         assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let lock = Mutex::new(1);
+        *lock.lock() += 1;
+        {
+            let held = lock.lock();
+            assert!(lock.try_lock().is_none());
+            assert_eq!(*held, 2);
+        }
+        assert!(lock.try_lock().is_some());
+        assert_eq!(lock.into_inner(), 2);
     }
 }
