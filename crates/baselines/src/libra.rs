@@ -91,8 +91,12 @@ mod tests {
     fn longer_queries_get_proportionally_fewer_sls() {
         let wp = predictor();
         let libra = Libra::default();
-        let short = libra.decide(&wp, &tpcds::query(82, 100.0).unwrap(), 1).unwrap();
-        let long = libra.decide(&wp, &tpcds::query(74, 100.0).unwrap(), 1).unwrap();
+        let short = libra
+            .decide(&wp, &tpcds::query(82, 100.0).unwrap(), 1)
+            .unwrap();
+        let long = libra
+            .decide(&wp, &tpcds::query(74, 100.0).unwrap(), 1)
+            .unwrap();
         let frac = |a: &Allocation| a.n_sl as f64 / a.total_instances() as f64;
         assert!(
             frac(&long) <= frac(&short) + 1e-9,

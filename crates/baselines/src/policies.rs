@@ -323,7 +323,14 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        for name in ["VM-only", "SL-only", "Smartpick", "Smartpick-r", "SplitServe", "Cocoa"] {
+        for name in [
+            "VM-only",
+            "SL-only",
+            "Smartpick",
+            "Smartpick-r",
+            "SplitServe",
+            "Cocoa",
+        ] {
             assert!(policy_by_name(name).is_some(), "{name}");
         }
         assert!(policy_by_name("nonesuch").is_none());

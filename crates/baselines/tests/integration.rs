@@ -36,7 +36,14 @@ fn all_policies_produce_runnable_allocations() {
     let env = CloudEnv::new(Provider::Aws);
     let wp = predictor(&env);
     let query = tpcds::query(68, 100.0).unwrap();
-    for name in ["VM-only", "SL-only", "Smartpick", "Smartpick-r", "SplitServe", "Cocoa"] {
+    for name in [
+        "VM-only",
+        "SL-only",
+        "Smartpick",
+        "Smartpick-r",
+        "SplitServe",
+        "Cocoa",
+    ] {
         let policy = policy_by_name(name).expect("known policy");
         let alloc = policy.decide(&wp, &query, 3).expect("decision succeeds");
         assert!(alloc.is_viable(), "{name}");

@@ -29,17 +29,21 @@ fn bench_burst_factor(c: &mut Criterion) {
     let raw = base_dataset(100);
     let mut group = c.benchmark_group("data_burst_ablation");
     for factor in [1usize, 5, 10] {
-        group.bench_with_input(BenchmarkId::new("burst_then_fit", factor), &factor, |b, &f| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(9);
-                let burst = raw.burst(f, 0.05, &mut rng);
-                let params = ForestParams {
-                    n_trees: 30,
-                    ..ForestParams::default()
-                };
-                black_box(RandomForest::fit(&burst, &params, 2).expect("fit succeeds"))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("burst_then_fit", factor),
+            &factor,
+            |b, &f| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(9);
+                    let burst = raw.burst(f, 0.05, &mut rng);
+                    let params = ForestParams {
+                        n_trees: 30,
+                        ..ForestParams::default()
+                    };
+                    black_box(RandomForest::fit(&burst, &params, 2).expect("fit succeeds"))
+                })
+            },
+        );
     }
     group.finish();
 }

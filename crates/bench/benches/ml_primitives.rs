@@ -53,7 +53,9 @@ fn bench_gp(c: &mut Criterion) {
         b.iter(|| black_box(GaussianProcess::fit(&xs, &ys, &GpParams::default()).expect("fit")))
     });
     let gp = GaussianProcess::fit(&xs, &ys, &GpParams::default()).expect("fit");
-    group.bench_function("posterior", |b| b.iter(|| black_box(gp.posterior(&[5.0, 5.0]))));
+    group.bench_function("posterior", |b| {
+        b.iter(|| black_box(gp.posterior(&[5.0, 5.0])))
+    });
     group.finish();
 }
 

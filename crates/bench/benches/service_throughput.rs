@@ -156,9 +156,8 @@ fn bench_reads_under_retrain(c: &mut Criterion) {
         .shared_resource_manager()
         .execute(&query, &determination.allocation, 9)
         .expect("execution succeeds");
-    slow_report.completion = smartpick_cloudsim::SimDuration::from_secs_f64(
-        determination.predicted_seconds + 500.0,
-    );
+    slow_report.completion =
+        smartpick_cloudsim::SimDuration::from_secs_f64(determination.predicted_seconds + 500.0);
 
     // Baseline: readers share one exclusive lock with the retrainer.
     {

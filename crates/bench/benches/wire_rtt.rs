@@ -1,0 +1,105 @@
+//! Wire round-trip time: what does the TCP serving boundary cost?
+//!
+//! Three rungs, same machine, loopback socket:
+//!
+//! * `ping` — pure protocol overhead: frame encode + syscalls + frame
+//!   decode, no service work. The floor every remote caller pays.
+//! * `determine_in_process` — the RF+BO determination called directly on
+//!   the embedded service (no socket): the compute being served.
+//! * `determine_over_wire` — the same determination through
+//!   `WireClient`/`WireServer`: compute + serialisation of the full
+//!   `Determination` (including `ET_l`) + framing + loopback TCP.
+//!
+//! `determine_over_wire − determine_in_process` is the serving-boundary
+//! tax the Cloudflow-style prediction-serving argument is about; `ping`
+//! shows how much of it is protocol rather than payload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{ServiceConfig, SmartpickService};
+use smartpick_wire::{WireClient, WireServer, WireServerConfig};
+use smartpick_workloads::tpcds;
+
+fn trained_driver() -> Smartpick {
+    let queries: Vec<_> = [82u32, 68]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 6,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 20,
+            ..ForestParams::default()
+        },
+        max_vm: 5,
+        max_sl: 5,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        42,
+    )
+    .expect("training succeeds")
+    .0
+}
+
+fn bench_wire_rtt(c: &mut Criterion) {
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let template = trained_driver();
+    service
+        .register_fork("bench", &template, 7)
+        .expect("register tenant");
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        template,
+        WireServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let query = tpcds::query(82, 100.0).expect("catalog query");
+
+    let mut group = c.benchmark_group("wire_rtt");
+    group.bench_function("ping", |b| {
+        b.iter(|| client.ping().expect("ping"));
+    });
+    let mut seed = 0u64;
+    group.bench_function("determine_in_process", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                service
+                    .determine("bench", &query, seed)
+                    .expect("in-process determine"),
+            )
+        });
+    });
+    group.bench_function("determine_over_wire", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                client
+                    .determine("bench", &query, seed)
+                    .expect("wire determine"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_rtt);
+criterion_main!(benches);

@@ -14,7 +14,11 @@ const TASK_SECS: f64 = 3.72;
 
 fn main() {
     let planner = Planner::new(CloudEnv::new(Provider::Aws));
-    for (label, tasks) in [("(a) 100 tasks (short)", 100), ("(b) 250 tasks (mid)", 250), ("(c) 500 tasks (long)", 500)] {
+    for (label, tasks) in [
+        ("(a) 100 tasks (short)", 100),
+        ("(b) 250 tasks (mid)", 250),
+        ("(c) 500 tasks (long)", 500),
+    ] {
         let workload = UniformWorkload {
             tasks,
             task_secs_on_vm: TASK_SECS,

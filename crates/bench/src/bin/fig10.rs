@@ -21,13 +21,9 @@ fn main() {
             ..SmartpickProperties::default()
         };
         let env = CloudEnv::new(provider);
-        let mut system = Smartpick::train(
-            env,
-            props,
-            &smartpick_bench::training_queries(100.0),
-            42,
-        )
-        .expect("training succeeds");
+        let mut system =
+            Smartpick::train(env, props, &smartpick_bench::training_queries(100.0), 42)
+                .expect("training succeeds");
 
         println!(
             "Figure 10 ({}). Word Count as a new workload (trigger = 10 s)",

@@ -21,13 +21,9 @@ fn main() {
             ..SmartpickProperties::default()
         };
         let env = CloudEnv::new(provider);
-        let mut system = Smartpick::train(
-            env,
-            props,
-            &smartpick_bench::training_queries(100.0),
-            42,
-        )
-        .expect("training succeeds");
+        let mut system =
+            Smartpick::train(env, props, &smartpick_bench::training_queries(100.0), 42)
+                .expect("training succeeds");
 
         println!(
             "Figure 11 ({}). TPC-H q3 with data growth 100 GB -> 500 GB (trigger = 10 s)",
@@ -55,7 +51,11 @@ fn main() {
                 outcome.determination.predicted_seconds,
                 outcome.report.seconds(),
                 outcome.prediction_error(),
-                if outcome.retrain.is_some() { "yes" } else { "no" },
+                if outcome.retrain.is_some() {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
         smartpick_bench::rule(84);

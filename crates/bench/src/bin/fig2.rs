@@ -38,8 +38,8 @@ fn main() {
         max_sl: GRID,
         ..TrainOptions::default()
     };
-    let lab = smartpick_bench::Lab::with_options(Provider::Aws, 42, &opts)
-        .expect("training succeeds");
+    let lab =
+        smartpick_bench::Lab::with_options(Provider::Aws, 42, &opts).expect("training succeeds");
     let query = tpcds::query(68, 100.0).expect("catalog query");
 
     let mut rf_only = Vec::new();
@@ -65,7 +65,9 @@ fn main() {
             max_sl: GRID,
             ..CherryPick::default()
         };
-        let out = cp.search(&lab.env, &query, rep as u64).expect("probe runs succeed");
+        let out = cp
+            .search(&lab.env, &query, rep as u64)
+            .expect("probe runs succeed");
         bo_only.push(performance_cost_ratio(&DecisionMeasurement {
             time_seconds: out.wall_seconds.max(1e-6),
             cost: out.probe_cost,
@@ -85,7 +87,10 @@ fn main() {
 
     println!("Figure 2. PCr comparison (x100, higher is better), {REPS} repetitions");
     smartpick_bench::rule(64);
-    println!("{:<26} {:>12} {:>12} {:>12}", "system", "mean PCr", "min", "max");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "system", "mean PCr", "min", "max"
+    );
     smartpick_bench::rule(64);
     for (name, vals) in [
         ("OptimusCloud (RF-only)", &rf_only),

@@ -5,8 +5,8 @@
 //!
 //! Run with `--release`. `SMARTPICK_RUNS` overrides the 10-run averaging.
 
-use smartpick_bench::{cents, default_runs, measure, Lab};
 use smartpick_baselines::policies::{ProvisioningPolicy, SplitServe};
+use smartpick_bench::{cents, default_runs, measure, Lab};
 use smartpick_cloudsim::Provider;
 use smartpick_core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
 use smartpick_engine::RelayPolicy;

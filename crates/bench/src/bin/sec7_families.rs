@@ -24,8 +24,8 @@ fn main() {
     for provider in Provider::ALL {
         for family in ["t3", "c5"] {
             let env = CloudEnv::with_family(provider, family);
-            let vm = measure(&query, &Allocation::vm_only(8), &env, runs, 11)
-                .expect("runs succeed");
+            let vm =
+                measure(&query, &Allocation::vm_only(8), &env, runs, 11).expect("runs succeed");
             let hybrid = measure(
                 &query,
                 &Allocation::new(6, 6).with_relay(RelayPolicy::Relay),

@@ -7,10 +7,7 @@ use smartpick_cloudsim::{CloudEnv, Provider};
 fn main() {
     println!("Table 1. SL vs VM with the same compute resources (2 vCPU, 2 GB)");
     smartpick_bench::rule(86);
-    println!(
-        "{:<28} {:<28} {:<28}",
-        "metric", "SL", "VM"
-    );
+    println!("{:<28} {:<28} {:<28}", "metric", "SL", "VM");
     smartpick_bench::rule(86);
 
     let env = CloudEnv::new(Provider::Aws);
@@ -20,7 +17,10 @@ fn main() {
         "{:<28} {:<28} {:<28}",
         "Agility (boot latency)",
         format!("High ({} ms)", sl_boot.as_millis()),
-        format!("Low ({:.1} s measured; 55 s planning)", vm_boot.as_secs_f64()),
+        format!(
+            "Low ({:.1} s measured; 55 s planning)",
+            vm_boot.as_secs_f64()
+        ),
     );
 
     let perf = env.perf();
@@ -33,9 +33,7 @@ fn main() {
 
     println!(
         "{:<28} {:<28} {:<28}",
-        "Cost efficiency",
-        "High (pay only while invoked)",
-        "Low (pay while deployed)",
+        "Cost efficiency", "High (pay only while invoked)", "Low (pay while deployed)",
     );
 
     let sl_hr = env.catalog().worker_sl().hourly_equivalent_price();

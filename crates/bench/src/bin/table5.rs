@@ -9,7 +9,13 @@ fn main() {
     smartpick_bench::rule(100);
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
-        "provider", "storage MiB/s", "IO writes/s", "IO reads/s", "mem k-ops/s", "VM CPU ev/s", "SL CPU ev/s"
+        "provider",
+        "storage MiB/s",
+        "IO writes/s",
+        "IO reads/s",
+        "mem k-ops/s",
+        "VM CPU ev/s",
+        "SL CPU ev/s"
     );
     smartpick_bench::rule(100);
     for p in Provider::ALL {

@@ -278,7 +278,10 @@ mod tests {
             SimTime::ZERO,
             &mut rng,
         );
-        assert!(t.ready_at.as_secs_f64() > 20.0, "VM boots take tens of seconds");
+        assert!(
+            t.ready_at.as_secs_f64() > 20.0,
+            "VM boots take tens of seconds"
+        );
         c.mark_ready(t.instance, t.ready_at).unwrap();
         assert!(c.instance(t.instance).unwrap().accepts_tasks());
         c.drain(t.instance).unwrap();
@@ -345,8 +348,10 @@ mod tests {
             SimTime::ZERO,
             &mut rng,
         );
-        c.add_busy(t.instance, SimDuration::from_millis(1500)).unwrap();
-        c.add_busy(t.instance, SimDuration::from_millis(500)).unwrap();
+        c.add_busy(t.instance, SimDuration::from_millis(1500))
+            .unwrap();
+        c.add_busy(t.instance, SimDuration::from_millis(500))
+            .unwrap();
         assert_eq!(c.instance(t.instance).unwrap().busy_ms, 2000);
     }
 }

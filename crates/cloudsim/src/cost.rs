@@ -128,7 +128,13 @@ impl CostReport {
 impl fmt::Display for CostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for item in &self.items {
-            writeln!(f, "{:>14}  {:<30} {}", item.kind.to_string(), item.detail, item.amount)?;
+            writeln!(
+                f,
+                "{:>14}  {:<30} {}",
+                item.kind.to_string(),
+                item.detail,
+                item.amount
+            )?;
         }
         write!(f, "{:>14}  {:<30} {}", "total", "", self.total())
     }

@@ -129,7 +129,8 @@ impl PricingModel {
     /// storage), used by the planner's closed-form cost model (Eq. 4's
     /// `C_vm`).
     pub fn vm_cost_per_second(&self, vm: &InstanceType) -> Money {
-        let hourly = vm.hourly_price + self.burst_per_vcpu_hour * vm.vcpus as f64
+        let hourly = vm.hourly_price
+            + self.burst_per_vcpu_hour * vm.vcpus as f64
             + self.storage_per_gb_month * (self.vm_storage_gb / HOURS_PER_MONTH);
         hourly * (1.0 / 3600.0)
     }
@@ -160,7 +161,10 @@ mod tests {
         let p = PricingModel::for_provider(Provider::Gcp);
         let c = Catalog::for_provider(Provider::Gcp);
         let cost = p.vm_compute_cost(c.worker_vm(), SimDuration::from_secs_f64(3600.0));
-        assert!(cost.approx_eq(Money::from_dollars(0.016_751), 1e-9), "{cost}");
+        assert!(
+            cost.approx_eq(Money::from_dollars(0.016_751), 1e-9),
+            "{cost}"
+        );
     }
 
     #[test]
@@ -196,8 +200,7 @@ mod tests {
             let p = PricingModel::for_provider(prov);
             let c = Catalog::for_provider(prov);
             let hour = SimDuration::from_secs_f64(3600.0);
-            let direct =
-                p.vm_compute_cost(c.worker_vm(), hour) + p.vm_storage_cost(hour);
+            let direct = p.vm_compute_cost(c.worker_vm(), hour) + p.vm_storage_cost(hour);
             let rate = p.vm_cost_per_second(c.worker_vm()) * 3600.0;
             assert!(rate.approx_eq(direct, 1e-9), "{prov}: {rate} vs {direct}");
         }

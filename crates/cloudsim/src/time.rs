@@ -227,7 +227,10 @@ mod tests {
         assert_eq!(d.round_up_to(1000).as_millis(), 2000);
         assert_eq!(d.round_up_to(1).as_millis(), 1234);
         assert_eq!(SimDuration::ZERO.round_up_to(100).as_millis(), 0);
-        assert_eq!(SimDuration::from_millis(100).round_up_to(100).as_millis(), 100);
+        assert_eq!(
+            SimDuration::from_millis(100).round_up_to(100).as_millis(),
+            100
+        );
     }
 
     #[test]

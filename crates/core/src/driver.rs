@@ -25,8 +25,7 @@ use crate::retrain::RetrainReport;
 use crate::rm::ResourceManager;
 use crate::training::{train_predictor, TrainOptions, TrainReport};
 use crate::wp::{
-    ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService,
-    WorkloadPredictor,
+    ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService, WorkloadPredictor,
 };
 
 /// Everything one submitted query produced.
@@ -235,9 +234,9 @@ impl Smartpick {
                 .code_of(&determination.matched_query)
                 .unwrap_or(-1.0)
         };
-        let features =
-            self.mfe
-                .features_for(code, query.input_gb, &determination.allocation, &ctx);
+        let features = self
+            .mfe
+            .features_for(code, query.input_gb, &determination.allocation, &ctx);
         let record = RunRecord {
             query_id: query.id.clone(),
             features,

@@ -41,7 +41,10 @@ impl fmt::Display for SmartpickError {
                 write!(f, "no training data; run the kick-start training first")
             }
             SmartpickError::UnknownQuery(id) => {
-                write!(f, "query `{id}` is unknown and cannot be similarity-matched")
+                write!(
+                    f,
+                    "query `{id}` is unknown and cannot be similarity-matched"
+                )
             }
             SmartpickError::InvalidProperty { key, value } => {
                 write!(f, "invalid value `{value}` for property `{key}`")

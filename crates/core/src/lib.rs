@@ -78,4 +78,6 @@ pub use features::QueryFeatures;
 pub use history::HistoryServer;
 pub use properties::SmartpickProperties;
 pub use similarity::SimilarityChecker;
-pub use wp::{ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService, WorkloadPredictor};
+pub use wp::{
+    ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService, WorkloadPredictor,
+};

@@ -271,7 +271,10 @@ mod tests {
             task_secs_on_vm: 1.0,
         };
         let t = p.expected_seconds(&tiny, &Allocation::new(5, 5).with_relay(RelayPolicy::Relay));
-        assert!(t < PLANNING_VM_BOOT_SECS, "tiny query should not wait for boot: {t}");
+        assert!(
+            t < PLANNING_VM_BOOT_SECS,
+            "tiny query should not wait for boot: {t}"
+        );
     }
 
     #[test]

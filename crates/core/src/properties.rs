@@ -135,8 +135,14 @@ impl SmartpickProperties {
             "smartpick.cloud.compute.relay".to_owned(),
             self.relay.to_string(),
         );
-        kv.insert("smartpick.cloud.compute.knob".to_owned(), self.knob.to_string());
-        kv.insert("smartpick.train.max.batch".to_owned(), self.max_batch.to_string());
+        kv.insert(
+            "smartpick.cloud.compute.knob".to_owned(),
+            self.knob.to_string(),
+        );
+        kv.insert(
+            "smartpick.train.max.batch".to_owned(),
+            self.max_batch.to_string(),
+        );
         kv.insert(
             "smartpick.train.pref.sameInstance".to_owned(),
             self.same_instance_retrain.to_string(),

@@ -213,7 +213,9 @@ impl RetrainMonitor {
         let cap = trees_added * ENSEMBLE_CAP_FACTOR;
         let live = predictor.forest().n_trees();
         if live > cap {
-            predictor.forest_mut().retire_oldest(live - cap, trees_added);
+            predictor
+                .forest_mut()
+                .retire_oldest(live - cap, trees_added);
         }
         self.pending = Dataset::new(QueryFeatures::names());
         self.retrain_count += 1;
@@ -301,8 +303,7 @@ fn synthesize_capacity_sweep(
             if !est.is_finite() || est <= 0.0 {
                 continue;
             }
-            let features =
-                QueryFeatures::for_allocation(code, input_gb, &alloc, predictor.env());
+            let features = QueryFeatures::for_allocation(code, input_gb, &alloc, predictor.env());
             out.push((features.to_vec(), est));
         }
     }

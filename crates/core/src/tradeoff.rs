@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn zero_knob_keeps_best() {
         let entries = vec![entry(5, 5, 100.0, 0.05), entry(2, 2, 140.0, 0.02)];
-        assert_eq!(choose_with_knob(&entries, 100.0, Money::from_dollars(0.05), 0.0), None);
+        assert_eq!(
+            choose_with_knob(&entries, 100.0, Money::from_dollars(0.05), 0.0),
+            None
+        );
     }
 
     #[test]

@@ -56,8 +56,45 @@ pub enum ConstraintMode {
     EqualSlVm,
 }
 
+impl ConstraintMode {
+    /// The stable wire name (`"hybrid"` / `"vm_only"` / `"sl_only"` /
+    /// `"equal_sl_vm"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConstraintMode::Hybrid => "hybrid",
+            ConstraintMode::VmOnly => "vm_only",
+            ConstraintMode::SlOnly => "sl_only",
+            ConstraintMode::EqualSlVm => "equal_sl_vm",
+        }
+    }
+}
+
+/// Serialises as the stable wire name.
+impl serde::Serialize for ConstraintMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for ConstraintMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "hybrid" => Ok(ConstraintMode::Hybrid),
+                "vm_only" => Ok(ConstraintMode::VmOnly),
+                "sl_only" => Ok(ConstraintMode::SlOnly),
+                "equal_sl_vm" => Ok(ConstraintMode::EqualSlVm),
+                other => Err(serde::DeError(format!("unknown constraint mode `{other}`"))),
+            },
+            other => Err(serde::DeError(format!(
+                "expected a constraint-mode name, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A prediction request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PredictionRequest {
     /// The query to size.
     pub query: QueryProfile,
@@ -249,8 +286,7 @@ impl WorkloadPredictor {
         alloc: &Allocation,
     ) -> Result<f64, SmartpickError> {
         let (known, _similarity, _known_query) = self.resolve(query)?;
-        let features =
-            QueryFeatures::for_allocation(known.code, query.input_gb, alloc, &self.env);
+        let features = QueryFeatures::for_allocation(known.code, query.input_gb, alloc, &self.env);
         Ok(self.forest.predict(&features.to_vec()))
     }
 
@@ -318,7 +354,11 @@ pub(crate) fn approximate_workload(query: &QueryProfile, env: &CloudEnv) -> Unif
     }
     UniformWorkload {
         tasks,
-        task_secs_on_vm: if tasks == 0 { 0.0 } else { total_secs / tasks as f64 },
+        task_secs_on_vm: if tasks == 0 {
+            0.0
+        } else {
+            total_secs / tasks as f64
+        },
     }
 }
 

@@ -70,7 +70,10 @@ fn determination_round_trip() {
     let outcome = outcome();
     let det: Determination = round_trip(&outcome.determination);
     assert_eq!(det.allocation, outcome.determination.allocation);
-    assert_eq!(det.predicted_seconds, outcome.determination.predicted_seconds);
+    assert_eq!(
+        det.predicted_seconds,
+        outcome.determination.predicted_seconds
+    );
     assert_eq!(det.predicted_cost, outcome.determination.predicted_cost);
     assert_eq!(det.et_list, outcome.determination.et_list);
     assert_eq!(det.evaluations, outcome.determination.evaluations);
@@ -84,11 +87,17 @@ fn query_outcome_round_trip() {
     let outcome = outcome();
     assert!(outcome.retrain.is_some(), "retrain arm must be exercised");
     let back: QueryOutcome = round_trip(&outcome);
-    assert_eq!(back.determination.allocation, outcome.determination.allocation);
+    assert_eq!(
+        back.determination.allocation,
+        outcome.determination.allocation
+    );
     assert_eq!(back.report.query_id, outcome.report.query_id);
     assert_eq!(back.report.seconds(), outcome.report.seconds());
     assert_eq!(back.report.cost, outcome.report.cost);
-    assert_eq!(back.report.stage_completions, outcome.report.stage_completions);
+    assert_eq!(
+        back.report.stage_completions,
+        outcome.report.stage_completions
+    );
     assert_eq!(back.retrain, outcome.retrain);
     // A cloned outcome is an independent value (Clone satellite).
     let cloned = outcome.clone();

@@ -97,9 +97,7 @@ fn registering_a_query_makes_it_known() {
     assert_eq!(wp.code_of("tpcds-q62"), Some(code));
     // Re-registration is idempotent.
     assert_eq!(wp.register_query(&alien), code);
-    let det = wp
-        .determine(&PredictionRequest::new(alien, 9))
-        .unwrap();
+    let det = wp.determine(&PredictionRequest::new(alien, 9)).unwrap();
     assert!(det.known_query);
 }
 

@@ -113,7 +113,11 @@ impl Allocation {
 
 impl fmt::Display for Allocation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{nVM={}, nSL={}, {}}}", self.n_vm, self.n_sl, self.relay)
+        write!(
+            f,
+            "{{nVM={}, nSL={}, {}}}",
+            self.n_vm, self.n_sl, self.relay
+        )
     }
 }
 

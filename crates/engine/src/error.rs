@@ -28,7 +28,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             EngineError::Starved => {
-                write!(f, "all instances terminated while tasks remained (starvation)")
+                write!(
+                    f,
+                    "all instances terminated while tasks remained (starvation)"
+                )
             }
             EngineError::Cloud(e) => write!(f, "cloud simulation error: {e}"),
         }

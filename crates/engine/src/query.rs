@@ -28,7 +28,7 @@ impl QueryClass {
 
 /// One stage of a query: a set of independent tasks that all must finish
 /// before dependent stages start.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StageProfile {
     /// Stage label (`map-0`, `shuffle-1`, …).
     pub name: String,
@@ -46,7 +46,7 @@ pub struct StageProfile {
 }
 
 /// A query: named DAG of stages plus its SQL text and input size.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct QueryProfile {
     /// Stable identifier, e.g. `tpcds-q11`.
     pub id: String,
@@ -132,7 +132,10 @@ impl QueryProfile {
         }
         for (i, stage) in self.stages.iter().enumerate() {
             if stage.tasks == 0 {
-                return Err(format!("stage {} of {} has zero tasks", stage.name, self.id));
+                return Err(format!(
+                    "stage {} of {} has zero tasks",
+                    stage.name, self.id
+                ));
             }
             for &d in &stage.deps {
                 if d >= i {

@@ -152,14 +152,7 @@ pub fn simulate_query_with_listener(
                         running.insert(id, 0);
                         // Relay: this VM's paired SL retires now.
                         if let Some(&sl) = relay_pair.get(&id) {
-                            retire(
-                                &mut cluster,
-                                sl,
-                                now,
-                                &mut free_slots,
-                                &running,
-                                listener,
-                            )?;
+                            retire(&mut cluster, sl, now, &mut free_slots, &running, listener)?;
                         }
                     }
                     // Drained while still booting (paired VM beat it up):
@@ -213,7 +206,14 @@ pub fn simulate_query_with_listener(
                 if cluster.instance(instance)?.state == InstanceState::Draining
                     && running[&instance] == 0
                 {
-                    retire(&mut cluster, instance, now, &mut free_slots, &running, listener)?;
+                    retire(
+                        &mut cluster,
+                        instance,
+                        now,
+                        &mut free_slots,
+                        &running,
+                        listener,
+                    )?;
                 }
             }
             Event::SegueTimeout => {
@@ -239,7 +239,11 @@ pub fn simulate_query_with_listener(
         let mut assignable: Vec<InstanceId> = free_slots
             .iter()
             .filter(|(id, &slots)| {
-                slots > 0 && cluster.instance(**id).map(|i| i.accepts_tasks()).unwrap_or(false)
+                slots > 0
+                    && cluster
+                        .instance(**id)
+                        .map(|i| i.accepts_tasks())
+                        .unwrap_or(false)
             })
             .map(|(&id, _)| id)
             .collect();
@@ -262,12 +266,15 @@ pub fn simulate_query_with_listener(
                     first_task_start = Some(start);
                 }
                 let dur = task_duration(&query.stages[stage], inst.itype.kind, env, &mut rng);
-                events.push(start + dur, Event::TaskEnd {
-                    instance: id,
-                    stage,
-                    task,
-                    started_at: start,
-                });
+                events.push(
+                    start + dur,
+                    Event::TaskEnd {
+                        instance: id,
+                        stage,
+                        task,
+                        started_at: start,
+                    },
+                );
                 *free_slots.get_mut(&id).expect("listed => registered") -= 1;
                 *running.get_mut(&id).expect("listed => registered") += 1;
             }
@@ -395,14 +402,8 @@ mod tests {
     fn all_tasks_complete_and_stages_ordered() {
         let q = QueryProfile::uniform("t", 4, 15, 1_500.0, 8.0, 2.0);
         let mut listener = CountingListener::default();
-        let r = simulate_query_with_listener(
-            &q,
-            &Allocation::new(2, 2),
-            &env(),
-            7,
-            &mut listener,
-        )
-        .unwrap();
+        let r = simulate_query_with_listener(&q, &Allocation::new(2, 2), &env(), 7, &mut listener)
+            .unwrap();
         assert_eq!(listener.tasks_ended, q.total_tasks());
         assert_eq!(listener.stages_completed, 4);
         assert_eq!(listener.queries_completed, 1);

@@ -3,11 +3,9 @@
 //! the uniform builder produces.
 
 use smartpick_cloudsim::{CloudEnv, Provider};
-use smartpick_engine::listener::{CountingListener, QueryListener, TaskEndEvent};
-use smartpick_engine::{
-    simulate_query_with_listener, Allocation, QueryProfile, StageProfile,
-};
 use smartpick_cloudsim::{InstanceId, InstanceKind, SimTime};
+use smartpick_engine::listener::{CountingListener, QueryListener, TaskEndEvent};
+use smartpick_engine::{simulate_query_with_listener, Allocation, QueryProfile, StageProfile};
 
 fn stage(name: &str, tasks: usize, deps: Vec<usize>) -> StageProfile {
     StageProfile {
@@ -61,9 +59,8 @@ fn diamond_joins_wait_for_both_branches() {
     let q = diamond();
     assert!(q.validate().is_ok());
     let mut listener = StageStarts::default();
-    let report =
-        simulate_query_with_listener(&q, &Allocation::new(2, 2), &env, 5, &mut listener)
-            .expect("run succeeds");
+    let report = simulate_query_with_listener(&q, &Allocation::new(2, 2), &env, 5, &mut listener)
+        .expect("run succeeds");
     assert_eq!(report.tasks_on_sl + report.tasks_on_vm, 12 + 8 + 8 + 6);
 
     // Branches start only after the scan completes; the join only after
@@ -79,7 +76,8 @@ fn diamond_joins_wait_for_both_branches() {
 #[test]
 fn wide_fan_in_counts_every_parent() {
     // Five independent scans feeding one reduce.
-    let mut stages: Vec<StageProfile> = (0..5).map(|i| stage(&format!("s{i}"), 4, vec![])).collect();
+    let mut stages: Vec<StageProfile> =
+        (0..5).map(|i| stage(&format!("s{i}"), 4, vec![])).collect();
     stages.push(stage("reduce", 3, (0..5).collect()));
     let q = QueryProfile {
         id: "fanin".into(),
@@ -89,9 +87,8 @@ fn wide_fan_in_counts_every_parent() {
     };
     let env = CloudEnv::new(Provider::Aws);
     let mut listener = CountingListener::default();
-    let report =
-        simulate_query_with_listener(&q, &Allocation::sl_only(3), &env, 2, &mut listener)
-            .expect("run succeeds");
+    let report = simulate_query_with_listener(&q, &Allocation::sl_only(3), &env, 2, &mut listener)
+        .expect("run succeeds");
     assert_eq!(listener.stages_completed, 6);
     assert_eq!(report.tasks_on_sl, 5 * 4 + 3);
     // The reduce completed last.

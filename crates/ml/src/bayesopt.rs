@@ -44,9 +44,7 @@ impl Acquisition {
     pub fn score(&self, mean: f64, var: f64, best: f64) -> f64 {
         let sigma = var.sqrt().max(1e-12);
         match *self {
-            Acquisition::ProbabilityOfImprovement { xi } => {
-                norm_cdf((mean - best - xi) / sigma)
-            }
+            Acquisition::ProbabilityOfImprovement { xi } => norm_cdf((mean - best - xi) / sigma),
             Acquisition::ExpectedImprovement { xi } => {
                 let z = (mean - best - xi) / sigma;
                 (mean - best - xi) * norm_cdf(z) + sigma * norm_pdf(z)
@@ -165,11 +163,11 @@ impl BayesianOptimizer {
         let mut stale = 0usize;
 
         let probe = |idx: usize,
-                         probes: &mut Vec<Probe>,
-                         best_index: &mut usize,
-                         best_objective: &mut f64,
-                         stale: &mut usize,
-                         objective: &mut dyn FnMut(&[f64]) -> f64| {
+                     probes: &mut Vec<Probe>,
+                     best_index: &mut usize,
+                     best_objective: &mut f64,
+                     stale: &mut usize,
+                     objective: &mut dyn FnMut(&[f64]) -> f64| {
             let x = candidates[idx].clone();
             let y = objective(&x);
             probes.push(Probe {
@@ -352,10 +350,7 @@ mod tests {
         let bo = BayesianOptimizer::new(BoParams::default());
         let res = bo.maximize(&candidates, 2, |x| -x[0]);
         assert_eq!(res.probes.len(), res.evaluations);
-        assert!(res
-            .probes
-            .iter()
-            .any(|p| p.objective == res.best_objective));
+        assert!(res.probes.iter().any(|p| p.objective == res.best_objective));
     }
 
     #[test]

@@ -27,10 +27,16 @@ impl fmt::Display for MlError {
         match self {
             MlError::EmptyDataset => write!(f, "cannot fit a model on an empty dataset"),
             MlError::DimensionMismatch { expected, actual } => {
-                write!(f, "feature dimension mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {actual}"
+                )
             }
             MlError::NotPositiveDefinite => {
-                write!(f, "kernel matrix is not positive definite; increase noise variance")
+                write!(
+                    f,
+                    "kernel matrix is not positive definite; increase noise variance"
+                )
             }
             MlError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }

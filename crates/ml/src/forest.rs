@@ -106,7 +106,9 @@ impl RandomForest {
         let mut rng = StdRng::seed_from_u64(seed);
         for t in 0..n_new {
             let indices: Vec<usize> = if self.params.bootstrap {
-                (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect()
+                (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect()
             } else {
                 (0..data.len()).collect()
             };

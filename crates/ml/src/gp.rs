@@ -184,7 +184,10 @@ mod tests {
         let (_, near) = gp.posterior(&[2.0]);
         let (_, far) = gp.posterior(&[30.0]);
         assert!(far > near, "far variance {far} <= near {near}");
-        assert!((far - 1.0).abs() < 1e-6, "far variance should revert to prior");
+        assert!(
+            (far - 1.0).abs() < 1e-6,
+            "far variance should revert to prior"
+        );
     }
 
     #[test]

@@ -51,11 +51,7 @@ pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
     assert!(!truth.is_empty(), "empty input");
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = truth
-        .iter()
-        .zip(pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
     if ss_tot <= 1e-12 {
         0.0
     } else {
@@ -73,11 +69,7 @@ pub fn regression_std_error(truth: &[f64], pred: &[f64]) -> f64 {
     if n <= 2 {
         return rmse(truth, pred);
     }
-    let sse: f64 = truth
-        .iter()
-        .zip(pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let sse: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
     (sse / (n - 2) as f64).sqrt()
 }
 
@@ -102,7 +94,12 @@ pub fn paper_accuracy_percent(truth: &[f64], pred: &[f64]) -> f64 {
 
 /// Histogram of absolute residuals with fixed-width bins, as
 /// `(bin_upper_edge, count)` — the data behind the paper's Figure 4.
-pub fn residual_histogram(truth: &[f64], pred: &[f64], bin_width: f64, bins: usize) -> Vec<(f64, usize)> {
+pub fn residual_histogram(
+    truth: &[f64],
+    pred: &[f64],
+    bin_width: f64,
+    bins: usize,
+) -> Vec<(f64, usize)> {
     assert!(bin_width > 0.0 && bins > 0, "invalid histogram shape");
     let mut counts = vec![0usize; bins];
     for (t, p) in truth.iter().zip(pred) {

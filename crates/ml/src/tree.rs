@@ -176,7 +176,11 @@ impl<'a> Builder<'a> {
         let best = features
             .iter()
             .filter_map(|&f| self.best_split_on(idx, f))
-            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+            .min_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
 
         let Some(best) = best else {
             return self.leaf(idx);
@@ -235,7 +239,10 @@ impl RegressionTree {
         }
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f64>> = indices.iter().map(|&i| data.features()[i].clone()).collect();
+        let xs: Vec<Vec<f64>> = indices
+            .iter()
+            .map(|&i| data.features()[i].clone())
+            .collect();
         let ys: Vec<f64> = indices.iter().map(|&i| data.targets()[i]).collect();
         let mut builder = Builder {
             xs: &xs,
@@ -271,7 +278,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

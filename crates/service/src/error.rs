@@ -17,9 +17,12 @@ pub enum ServiceError {
     UnknownTenant(String),
     /// A tenant with this id is already registered.
     TenantExists(String),
-    /// The shared update queue is at capacity (service-wide backpressure).
+    /// The tenant's update-queue shard is at capacity (backpressure on
+    /// the retrain worker that owns this tenant; other shards may still
+    /// have room).
     QueueFull {
-        /// The configured queue capacity that was hit.
+        /// The per-shard capacity that was hit
+        /// (`queue_capacity / retrain_workers`, rounded up).
         capacity: usize,
     },
     /// The tenant has too many unapplied run reports in flight

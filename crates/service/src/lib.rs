@@ -16,11 +16,11 @@
 //! * [`registry`] *(private)* — the sharded tenant registry: N shards of
 //!   `parking_lot::RwLock<HashMap<TenantId, slot>>`, hash-routed, so
 //!   tenant lookup scales without a global lock.
-//! * [`worker`] — the batched update queue and background retrain worker
-//!   (the §4.2 monitor thread, made real); [`CompletedRun`] is the unit
-//!   of feedback.
-//! * [`queue`] *(private)* — the bounded MPSC queue providing
-//!   service-wide backpressure.
+//! * [`worker`] — the batched update queues and background retrain
+//!   workers (the §4.2 monitor thread, made real and sharded by tenant
+//!   hash); [`CompletedRun`] is the unit of feedback.
+//! * [`queue`] *(private)* — the bounded MPSC queues providing
+//!   service-wide backpressure, one shard per retrain worker.
 //! * [`stats`] — per-tenant counters, queue depth, snapshot age, and a
 //!   fixed-bucket p50/p99 latency histogram.
 //! * [`error`] — typed [`ServiceError`] rejections (admission control
@@ -29,9 +29,11 @@
 //! Reads are **snapshot-based**: each tenant publishes an immutable
 //! `Arc<WorkloadPredictor>`; `predict`/`determine` clone the `Arc` and
 //! run the whole RF+BO search with no lock held, so predictions never
-//! block behind a retrain. Writes are **batched**: completed-run reports
-//! flow through the bounded queue to one worker thread that applies them
-//! per tenant copy-on-write and republishes the snapshot.
+//! block behind a retrain. Writes are **batched and sharded**:
+//! completed-run reports flow through bounded tenant-hash-sharded queues
+//! to N worker threads that apply them per tenant copy-on-write and
+//! republish the snapshot — a tenant's reports stay FIFO on its shard
+//! while distinct tenants retrain in parallel.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -45,5 +47,5 @@ pub mod worker;
 
 pub use error::ServiceError;
 pub use service::{ServiceConfig, SmartpickService};
-pub use stats::{LatencyHistogram, LatencySummary, ServiceStats, TenantStats};
+pub use stats::{LatencyHistogram, LatencySummary, ServiceStats, TenantStats, WorkerShardStats};
 pub use worker::CompletedRun;

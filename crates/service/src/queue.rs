@@ -1,4 +1,4 @@
-//! The bounded MPSC update queue feeding the retrain worker.
+//! The bounded MPSC update queues feeding the retrain workers.
 //!
 //! `std::sync::mpsc` hides its depth, and the vendored `parking_lot` shim
 //! has no `Condvar`, so this is a small purpose-built queue over
@@ -7,9 +7,14 @@
 //! path), a blocking consumer, an exact [`BoundedQueue::len`] for the
 //! queue-depth stat, and close semantics for shutdown (producers are
 //! rejected, the consumer drains what is left and then sees end-of-queue).
+//!
+//! [`ShardedQueue`] splays the service's update traffic across N such
+//! queues — one per retrain worker — by tenant hash: every tenant's
+//! reports land on exactly one shard (preserving the tenant's FIFO
+//! order), while distinct tenants on distinct shards retrain in parallel.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Why a push was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,10 +86,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self
-                .not_full
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -143,6 +145,85 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// N tenant-hash-sharded [`BoundedQueue`]s, one per retrain worker.
+///
+/// The total configured capacity is divided evenly across shards
+/// (rounded up, minimum one slot each), so configuring a service for
+/// `queue_capacity` reports admits roughly that many regardless of the
+/// worker count.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue<T> {
+    shards: Box<[Arc<BoundedQueue<T>>]>,
+    shard_capacity: usize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Creates `shards` queues sharing `total_capacity` slots.
+    pub(crate) fn new(shards: usize, total_capacity: usize) -> Self {
+        assert!(shards > 0, "at least one queue shard required");
+        let shard_capacity = total_capacity.div_ceil(shards).max(1);
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| Arc::new(BoundedQueue::new(shard_capacity)))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// The per-shard capacity (what a `QueueFull` rejection reports).
+    pub(crate) fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Number of shards (= retrain workers).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a tenant hash routes to.
+    pub(crate) fn shard_of(&self, tenant_hash: u64) -> usize {
+        (tenant_hash as usize) % self.shards.len()
+    }
+
+    /// A cloneable handle to one shard (for its worker thread).
+    pub(crate) fn shard(&self, idx: usize) -> Arc<BoundedQueue<T>> {
+        Arc::clone(&self.shards[idx])
+    }
+
+    /// Non-blocking push onto a specific shard.
+    pub(crate) fn try_push(&self, shard: usize, item: T) -> Result<(), PushRejected> {
+        self.shards[shard].try_push(item)
+    }
+
+    /// Blocking push onto a specific shard (control messages only).
+    pub(crate) fn push_blocking(&self, shard: usize, item: T) -> Result<(), PushRejected> {
+        self.shards[shard].push_blocking(item)
+    }
+
+    /// Per-shard depths, indexed by shard.
+    pub(crate) fn depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Total reports waiting across all shards.
+    pub(crate) fn total_len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether [`ShardedQueue::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        // Shards are only ever closed together, so one speaks for all.
+        self.shards[0].is_closed()
+    }
+
+    /// Closes every shard.
+    pub(crate) fn close(&self) {
+        for shard in self.shards.iter() {
+            shard.close();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +268,30 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         q.close();
         assert_eq!(q.push_blocking(2), Err(PushRejected::Closed));
+    }
+
+    #[test]
+    fn sharded_queue_routes_and_splits_capacity() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(4, 10);
+        assert_eq!(q.shard_count(), 4);
+        assert_eq!(q.shard_capacity(), 3, "10 slots over 4 shards, rounded up");
+        // Same hash, same shard, always.
+        assert_eq!(q.shard_of(42), q.shard_of(42));
+        q.try_push(1, 7).unwrap();
+        q.try_push(1, 8).unwrap();
+        q.try_push(2, 9).unwrap();
+        assert_eq!(q.depths(), vec![0, 2, 1, 0]);
+        assert_eq!(q.total_len(), 3);
+        q.try_push(1, 10).unwrap();
+        assert_eq!(q.try_push(1, 11), Err(PushRejected::Full));
+        // Shard 1 is full, but other shards still admit.
+        q.try_push(0, 12).unwrap();
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(3, 13), Err(PushRejected::Closed));
+        // Consumers drain what was admitted before the close.
+        assert_eq!(q.shard(1).pop(), Some(7));
     }
 
     #[test]

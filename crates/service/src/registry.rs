@@ -75,6 +75,16 @@ impl TenantState {
     }
 }
 
+/// The tenant hash every sharded structure routes by — the registry's
+/// shards and the retrain workers' queue shards use this same function,
+/// so "which worker retrains tenant X" is as stable and uniform as
+/// "which registry shard holds tenant X".
+pub(crate) fn tenant_hash(id: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    id.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// One registry shard: an independently locked slice of the tenant map.
 type Shard = RwLock<HashMap<String, Arc<TenantState>>>;
 
@@ -93,9 +103,7 @@ impl ShardedRegistry {
     }
 
     fn shard(&self, id: &str) -> &Shard {
-        let mut hasher = DefaultHasher::new();
-        id.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        &self.shards[(tenant_hash(id) as usize) % self.shards.len()]
     }
 
     /// Inserts a new tenant; rejects duplicates.

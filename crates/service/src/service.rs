@@ -14,9 +14,11 @@ use smartpick_core::wp::{
 use smartpick_engine::QueryProfile;
 
 use crate::error::ServiceError;
-use crate::queue::{BoundedQueue, PushRejected};
-use crate::registry::{ShardedRegistry, TenantState};
-use crate::stats::{LatencyHistogram, ServiceStats, TenantCounters, TenantStats};
+use crate::queue::{PushRejected, ShardedQueue};
+use crate::registry::{tenant_hash, ShardedRegistry, TenantState};
+use crate::stats::{
+    LatencyHistogram, ServiceStats, ShardCounters, TenantCounters, TenantStats, WorkerShardStats,
+};
 use crate::worker::{run_worker, CompletedRun, WorkerMsg};
 
 /// Tunables for a [`SmartpickService`].
@@ -24,13 +26,18 @@ use crate::worker::{run_worker, CompletedRun, WorkerMsg};
 pub struct ServiceConfig {
     /// Registry shards (tenants are hash-routed across them).
     pub shards: usize,
-    /// Capacity of the shared update queue (service-wide backpressure).
+    /// Total capacity of the update queues (service-wide backpressure),
+    /// divided evenly across the worker shards.
     pub queue_capacity: usize,
     /// Max unapplied reports one tenant may have in flight.
     pub tenant_pending_cap: usize,
-    /// Max reports the worker applies per batch before republishing
+    /// Max reports a worker applies per batch before republishing
     /// snapshots.
     pub retrain_batch_max: usize,
+    /// Background retrain workers. Each owns one tenant-hash-sharded
+    /// slice of the update queue, so retrains for distinct tenants
+    /// proceed in parallel while each tenant's reports stay ordered.
+    pub retrain_workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +47,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             tenant_pending_cap: 64,
             retrain_batch_max: 32,
+            retrain_workers: 2,
         }
     }
 }
@@ -51,13 +59,15 @@ impl Default for ServiceConfig {
 /// registry** (hash-routed `RwLock<HashMap>` shards, held only for an
 /// `Arc` clone); `predict`/`determine` run against each tenant's
 /// **immutable model snapshot** (`Arc<WorkloadPredictor>`), so reads
-/// never block behind a writer; completed runs are fed through a
-/// **bounded update queue** to one background **retrain worker** that
-/// batches them per tenant, applies them to the owning driver under its
-/// per-tenant mutex, and republishes the snapshot — the paper's §4.2
-/// monitor thread. **Admission control** (queue capacity + per-tenant
-/// pending quotas) sheds training feedback under overload instead of
-/// ever failing or delaying the read path.
+/// never block behind a writer; completed runs are fed through **bounded,
+/// tenant-hash-sharded update queues** to N background **retrain
+/// workers** (one per shard) that batch them per tenant, apply them to
+/// the owning driver under its per-tenant mutex, and republish the
+/// snapshot — the paper's §4.2 monitor thread, sharded the same way as
+/// the registry so distinct tenants retrain in parallel while each
+/// tenant's reports stay FIFO. **Admission control** (queue capacity +
+/// per-tenant pending quotas) sheds training feedback under overload
+/// instead of ever failing or delaying the read path.
 ///
 /// # Example
 ///
@@ -87,8 +97,9 @@ impl Default for ServiceConfig {
 #[derive(Debug)]
 pub struct SmartpickService {
     registry: ShardedRegistry,
-    queue: Arc<BoundedQueue<WorkerMsg>>,
-    worker: Option<JoinHandle<()>>,
+    queues: ShardedQueue<WorkerMsg>,
+    workers: Vec<JoinHandle<()>>,
+    shard_counters: Box<[Arc<ShardCounters>]>,
     config: ServiceConfig,
     epoch: Instant,
     predict_latency: LatencyHistogram,
@@ -98,7 +109,7 @@ pub struct SmartpickService {
 }
 
 impl SmartpickService {
-    /// Starts a service (and its retrain worker thread) with `config`.
+    /// Starts a service (and its retrain worker threads) with `config`.
     ///
     /// # Panics
     ///
@@ -114,20 +125,31 @@ impl SmartpickService {
             config.retrain_batch_max > 0,
             "retrain_batch_max must be positive"
         );
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        assert!(
+            config.retrain_workers > 0,
+            "retrain_workers must be positive"
+        );
+        let queues = ShardedQueue::new(config.retrain_workers, config.queue_capacity);
+        let shard_counters: Box<[Arc<ShardCounters>]> = (0..config.retrain_workers)
+            .map(|_| Arc::new(ShardCounters::default()))
+            .collect();
         let epoch = Instant::now();
-        let worker = {
-            let queue = Arc::clone(&queue);
-            let batch_max = config.retrain_batch_max;
-            std::thread::Builder::new()
-                .name("smartpickd-retrain".to_owned())
-                .spawn(move || run_worker(queue, batch_max, epoch))
-                .expect("spawn retrain worker")
-        };
+        let workers = (0..config.retrain_workers)
+            .map(|i| {
+                let shard_queue = queues.shard(i);
+                let counters = Arc::clone(&shard_counters[i]);
+                let batch_max = config.retrain_batch_max;
+                std::thread::Builder::new()
+                    .name(format!("smartpickd-retrain-{i}"))
+                    .spawn(move || run_worker(shard_queue, batch_max, epoch, counters))
+                    .expect("spawn retrain worker")
+            })
+            .collect();
         SmartpickService {
             registry: ShardedRegistry::new(config.shards),
-            queue,
-            worker: Some(worker),
+            queues,
+            workers,
+            shard_counters,
             config,
             epoch,
             predict_latency: LatencyHistogram::new(),
@@ -161,7 +183,7 @@ impl SmartpickService {
         id: impl Into<String>,
         driver: Smartpick,
     ) -> Result<(), ServiceError> {
-        if self.queue.is_closed() {
+        if self.queues.is_closed() {
             return Err(ServiceError::Stopped);
         }
         let id = id.into();
@@ -367,7 +389,8 @@ impl SmartpickService {
             tenant: Arc::clone(state),
             run: Box::new(run),
         };
-        match self.queue.try_push(msg) {
+        let shard = self.worker_shard_of(&state.id);
+        match self.queues.try_push(shard, msg) {
             Ok(()) => {
                 state
                     .counters
@@ -380,7 +403,7 @@ impl SmartpickService {
                 state.counters.rejections.fetch_add(1, Ordering::Relaxed);
                 Err(match rejected {
                     PushRejected::Full => ServiceError::QueueFull {
-                        capacity: self.config.queue_capacity,
+                        capacity: self.queues.shard_capacity(),
                     },
                     PushRejected::Closed => ServiceError::Stopped,
                 })
@@ -388,27 +411,66 @@ impl SmartpickService {
         }
     }
 
+    /// The retrain-worker shard `tenant` routes to (same hash as the
+    /// registry's shard routing).
+    fn worker_shard_of(&self, tenant: &str) -> usize {
+        self.queues.shard_of(tenant_hash(tenant))
+    }
+
     /// Blocks until every report enqueued before this call has been
-    /// applied and its tenant's snapshot republished. Returns `false` if
-    /// the service is already shut down.
+    /// applied and its tenant's snapshot republished — on every worker
+    /// shard. Returns `false` if the service is already shut down.
     pub fn flush(&self) -> bool {
-        let (ack, done) = sync_channel(1);
-        // The blocking push parks on the queue's not-full condvar, so a
-        // flush against a saturated queue sleeps instead of spinning
-        // against the very worker it is waiting on.
-        if self.queue.push_blocking(WorkerMsg::Flush(ack)).is_err() {
-            return false;
+        // One flush token per shard; the blocking pushes park on each
+        // queue's not-full condvar, so a flush against a saturated queue
+        // sleeps instead of spinning against the very workers it is
+        // waiting on.
+        let mut pending = Vec::with_capacity(self.queues.shard_count());
+        for shard in 0..self.queues.shard_count() {
+            let (ack, done) = sync_channel(1);
+            if self
+                .queues
+                .push_blocking(shard, WorkerMsg::Flush(ack))
+                .is_err()
+            {
+                return false;
+            }
+            pending.push(done);
         }
-        done.recv().is_ok()
+        pending.into_iter().all(|done| done.recv().is_ok())
     }
 
     // ---------------------------------------------------------------
     // Observability
     // ---------------------------------------------------------------
 
-    /// Reports currently waiting in the update queue.
+    /// Reports currently waiting across all update-queue shards.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.queues.total_len()
+    }
+
+    /// Per-worker-shard queue depths, indexed by shard.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.queues.depths()
+    }
+
+    /// Runs `f` against a tenant's driver under its per-tenant lock — an
+    /// admin/debug window into training-side state (history, billing,
+    /// retrain counts) the snapshot read path never exposes. Blocks any
+    /// retrain-worker apply for that tenant while `f` runs, so keep `f`
+    /// short.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] if not registered.
+    pub fn inspect_tenant<R>(
+        &self,
+        tenant: &str,
+        f: impl FnOnce(&Smartpick) -> R,
+    ) -> Result<R, ServiceError> {
+        let state = self.registry.get(tenant)?;
+        let driver = state.driver.lock();
+        Ok(f(&driver))
     }
 
     /// A point-in-time view of one tenant.
@@ -425,10 +487,25 @@ impl SmartpickService {
     /// include the folded-in history of deregistered tenants, so they are
     /// monotonic across tenant churn.
     pub fn stats(&self) -> ServiceStats {
+        let depths = self.queues.depths();
+        let worker_shards: Vec<WorkerShardStats> = self
+            .shard_counters
+            .iter()
+            .zip(&depths)
+            .enumerate()
+            .map(|(shard, (c, &depth))| WorkerShardStats {
+                shard,
+                depth,
+                reports_applied: c.reports_applied.load(Ordering::Relaxed),
+                retrains: c.retrains.load(Ordering::Relaxed),
+                batches: c.batches.load(Ordering::Relaxed),
+            })
+            .collect();
         let r = &self.retired;
         let mut stats = ServiceStats {
             tenants: self.registry.len(),
-            queue_depth: self.queue.len(),
+            queue_depth: depths.iter().sum(),
+            worker_shards,
             predictions: r.predictions.load(Ordering::Relaxed),
             executions: r.executions.load(Ordering::Relaxed),
             reports_enqueued: r.reports_enqueued.load(Ordering::Relaxed),
@@ -455,6 +532,7 @@ impl SmartpickService {
         let published = state.published_at_us.load(Ordering::Relaxed);
         TenantStats {
             tenant: state.id.clone(),
+            worker_shard: self.worker_shard_of(&state.id),
             predictions: state.counters.predictions.load(Ordering::Relaxed),
             executions: state.counters.executions.load(Ordering::Relaxed),
             reports_enqueued: state.counters.reports_enqueued.load(Ordering::Relaxed),
@@ -472,11 +550,12 @@ impl SmartpickService {
     // Lifecycle
     // ---------------------------------------------------------------
 
-    /// Shuts the service down: stops admitting work, lets the worker
-    /// drain the queue, and joins it. Idempotent; also runs on drop.
+    /// Shuts the service down: stops admitting work, lets every worker
+    /// drain its queue shard, and joins them all. Idempotent; also runs
+    /// on drop.
     pub fn shutdown(&mut self) {
-        self.queue.close();
-        if let Some(worker) = self.worker.take() {
+        self.queues.close();
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }

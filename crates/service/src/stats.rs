@@ -93,7 +93,7 @@ impl LatencyHistogram {
 }
 
 /// A point-in-time latency digest.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct LatencySummary {
     /// Samples recorded.
     pub count: u64,
@@ -139,11 +139,38 @@ impl TenantCounters {
     }
 }
 
+/// Per-worker-shard counters: how much retrain work each worker has
+/// applied (relaxed atomics, owned by the service, written by exactly one
+/// worker thread each).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub(crate) reports_applied: AtomicU64,
+    pub(crate) retrains: AtomicU64,
+    pub(crate) batches: AtomicU64,
+}
+
+/// A point-in-time view of one retrain worker's queue shard.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerShardStats {
+    /// The shard index (= worker index; tenants route here by hash).
+    pub shard: usize,
+    /// Reports waiting in this shard's queue right now.
+    pub depth: usize,
+    /// Reports this worker has applied.
+    pub reports_applied: u64,
+    /// Retrains this worker's applies fired.
+    pub retrains: u64,
+    /// Batches this worker has processed.
+    pub batches: u64,
+}
+
 /// A point-in-time view of one tenant's counters and snapshot state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TenantStats {
     /// The tenant id.
     pub tenant: String,
+    /// The retrain-worker shard this tenant's reports route to.
+    pub worker_shard: usize,
     /// Predictions served from snapshots.
     pub predictions: u64,
     /// Queries executed through the service.
@@ -168,12 +195,15 @@ pub struct TenantStats {
 }
 
 /// A point-in-time view of the whole service.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// Registered tenants.
     pub tenants: usize,
-    /// Reports sitting in the update queue right now.
+    /// Reports sitting in the update queues right now (all shards).
     pub queue_depth: usize,
+    /// Per-worker-shard depths and applied counts (one entry per
+    /// configured retrain worker).
+    pub worker_shards: Vec<WorkerShardStats>,
     /// Sum of per-tenant predictions.
     pub predictions: u64,
     /// Sum of per-tenant executions.

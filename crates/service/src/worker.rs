@@ -1,12 +1,16 @@
-//! The background retrain worker — the paper's §4.2 "independent monitor
-//! thread", made real.
+//! The background retrain workers — the paper's §4.2 "independent monitor
+//! thread", made real and sharded.
 //!
-//! One worker thread per service drains the bounded update queue in
-//! batches, groups completed-run reports by owning tenant, applies each
-//! batch to that tenant's driver under its (per-tenant) mutex, and
-//! republishes the tenant's prediction snapshot once per batch. Readers
-//! never wait on any of this: they predict against the snapshot published
-//! by the previous batch.
+//! The service runs N worker threads ([`crate::ServiceConfig`]'s
+//! `retrain_workers`); each owns one tenant-hash-sharded slice of the
+//! update queue and drains it in batches, groups completed-run reports by
+//! owning tenant, applies each batch to that tenant's driver under its
+//! (per-tenant) mutex, and republishes the tenant's prediction snapshot
+//! once per batch. A tenant's reports always land on the same shard (same
+//! hash routing as the registry), so per-tenant ordering is preserved
+//! while distinct tenants retrain in parallel. Readers never wait on any
+//! of this: they predict against the snapshot published by the previous
+//! batch.
 
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
@@ -18,10 +22,11 @@ use smartpick_engine::{QueryProfile, RunReport};
 
 use crate::queue::BoundedQueue;
 use crate::registry::TenantState;
+use crate::stats::ShardCounters;
 
 /// One completed run a client (or the service's own `submit`) feeds back
 /// into the training loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CompletedRun {
     /// The query that ran.
     pub query: QueryProfile,
@@ -47,11 +52,17 @@ pub(crate) enum WorkerMsg {
     Flush(SyncSender<()>),
 }
 
-/// The worker loop: runs until the queue is closed and drained.
-pub(crate) fn run_worker(queue: Arc<BoundedQueue<WorkerMsg>>, batch_max: usize, epoch: Instant) {
+/// The worker loop: runs until its queue shard is closed and drained.
+pub(crate) fn run_worker(
+    queue: Arc<BoundedQueue<WorkerMsg>>,
+    batch_max: usize,
+    epoch: Instant,
+    shard: Arc<ShardCounters>,
+) {
     while let Some(first) = queue.pop() {
         let mut batch = vec![first];
         batch.extend(queue.drain_up_to(batch_max.saturating_sub(1)));
+        shard.batches.fetch_add(1, Ordering::Relaxed);
 
         // Group jobs by tenant, preserving per-tenant FIFO order.
         let mut flushes: Vec<SyncSender<()>> = Vec::new();
@@ -69,7 +80,7 @@ pub(crate) fn run_worker(queue: Arc<BoundedQueue<WorkerMsg>>, batch_max: usize, 
         }
 
         for (tenant, runs) in groups {
-            apply_batch(&tenant, &runs, epoch);
+            apply_batch(&tenant, &runs, epoch, &shard);
         }
 
         // Jobs enqueued before each flush are now applied (FIFO queue,
@@ -82,20 +93,33 @@ pub(crate) fn run_worker(queue: Arc<BoundedQueue<WorkerMsg>>, batch_max: usize, 
 
 /// Applies one tenant's batch under its driver lock, then republishes the
 /// snapshot exactly once.
-fn apply_batch(tenant: &TenantState, runs: &[Box<CompletedRun>], epoch: Instant) {
+fn apply_batch(
+    tenant: &TenantState,
+    runs: &[Box<CompletedRun>],
+    epoch: Instant,
+    shard: &ShardCounters,
+) {
     let mut driver = tenant.driver.lock();
     for run in runs {
         match driver.apply_report(&run.query, &run.determination, &run.report) {
             Ok(retrain) => {
-                tenant.counters.reports_applied.fetch_add(1, Ordering::Relaxed);
+                tenant
+                    .counters
+                    .reports_applied
+                    .fetch_add(1, Ordering::Relaxed);
+                shard.reports_applied.fetch_add(1, Ordering::Relaxed);
                 if retrain.is_some() {
                     tenant.counters.retrains.fetch_add(1, Ordering::Relaxed);
+                    shard.retrains.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Err(_) => {
                 // A failed apply (e.g. a retrain hiccup) must not take the
                 // worker down; it is surfaced through the stats instead.
-                tenant.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+                tenant
+                    .counters
+                    .apply_failures
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         tenant.counters.pending.fetch_sub(1, Ordering::Relaxed);

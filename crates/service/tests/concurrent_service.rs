@@ -61,10 +61,13 @@ fn concurrent_mixed_tenants_with_live_retrains() {
         queue_capacity: 256,
         tenant_pending_cap: 64,
         retrain_batch_max: 8,
+        retrain_workers: 2,
     }));
     let tpl = template(1e-6);
     for t in 0..TENANTS {
-        service.register_fork(format!("tenant-{t}"), &tpl, 100 + t).unwrap();
+        service
+            .register_fork(format!("tenant-{t}"), &tpl, 100 + t)
+            .unwrap();
     }
 
     let handles: Vec<_> = (0..THREADS)
@@ -132,10 +135,7 @@ fn concurrent_mixed_tenants_with_live_retrains() {
     assert_eq!(stats.queue_depth, 0);
     // The tiny trigger means the worker really was retraining under the
     // readers the whole time.
-    assert!(
-        stats.retrains > 0,
-        "retrains must have fired: {stats:?}"
-    );
+    assert!(stats.retrains > 0, "retrains must have fired: {stats:?}");
     assert_eq!(stats.predict_latency.count, predictions + submissions);
     assert!(stats.predict_latency.p99_us >= stats.predict_latency.p50_us);
 
@@ -154,6 +154,7 @@ fn quota_backpressure_sheds_feedback_not_queries() {
         queue_capacity: 512,
         tenant_pending_cap: 2,
         retrain_batch_max: 4,
+        retrain_workers: 1,
     });
     // Default 50 s trigger, but the run below is forced to mispredict by
     // 500 s, so every *applied* report costs the worker a full retrain —
@@ -191,7 +192,9 @@ fn quota_backpressure_sheds_feedback_not_queries() {
     assert!(accepted > 0, "some reports must get through");
 
     // Shedding never breaks the read path.
-    service.predict("hog", &PredictionRequest::new(q, 3)).unwrap();
+    service
+        .predict("hog", &PredictionRequest::new(q, 3))
+        .unwrap();
 
     service.flush();
     let ts = service.tenant_stats("hog").unwrap();
@@ -239,7 +242,10 @@ fn lifecycle_register_deregister_shutdown() {
             "a",
             CompletedRun {
                 query: q.clone(),
-                determination: tpl.snapshot().determine(&PredictionRequest::new(q, 2)).unwrap(),
+                determination: tpl
+                    .snapshot()
+                    .determine(&PredictionRequest::new(q, 2))
+                    .unwrap(),
                 report: smartpick_core::rm::ResourceManager::new(CloudEnv::new(Provider::Aws))
                     .execute(
                         &tpcds::query(82, 100.0).unwrap(),

@@ -1,12 +1,20 @@
-//! Property test for the sharded tenant registry: concurrent
-//! register/predict/report from 8 threads across 64 tenants never loses
-//! an update and never panics.
+//! Property tests for the sharded tenant registry and the sharded
+//! retrain workers.
 //!
-//! Each case draws one RNG seed per thread; threads derive their own op
-//! streams from it. After joining and flushing, the service's counters
-//! must exactly equal the per-thread success tallies — an accepted
-//! report that never gets applied, a double-registered tenant, or a
-//! dropped prediction count all falsify the property.
+//! `concurrent_registry_ops_lose_nothing`: concurrent
+//! register/predict/report from 8 threads across 64 tenants never loses
+//! an update and never panics. Each case draws one RNG seed per thread;
+//! threads derive their own op streams from it. After joining and
+//! flushing, the service's counters must exactly equal the per-thread
+//! success tallies — an accepted report that never gets applied, a
+//! double-registered tenant, or a dropped prediction count all falsify
+//! the property.
+//!
+//! `sharded_workers_preserve_per_tenant_report_order`: with 4 retrain
+//! workers, reports for distinct tenants are applied by distinct
+//! workers (visible in the per-shard stats) while each tenant's reports
+//! are applied in exactly the order its producer enqueued them (visible
+//! in the tenant driver's history).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -95,6 +103,7 @@ proptest! {
             queue_capacity: 4096,
             tenant_pending_cap: 4096,
             retrain_batch_max: 16,
+            retrain_workers: 4,
         }));
         let tally = Arc::new(Tally::default());
 
@@ -161,6 +170,112 @@ proptest! {
                 proptest::TestCaseError::fail(format!("lost tenant {id}: {e}"))
             })?;
             prop_assert_eq!(ts.pending_reports, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_workers_preserve_per_tenant_report_order(
+        offsets in prop::collection::vec(0u64..1000, THREADS),
+    ) {
+        const WORKERS: usize = 4;
+        const TENANTS_PER_THREAD: usize = 2;
+        const REPORTS_PER_TENANT: usize = 12;
+
+        let service = Arc::new(SmartpickService::new(ServiceConfig {
+            shards: 8,
+            queue_capacity: 4096,
+            tenant_pending_cap: 4096,
+            retrain_batch_max: 4,
+            retrain_workers: WORKERS,
+        }));
+        // Each thread owns disjoint tenants, so per-tenant enqueue order
+        // is well defined; the worker must never reorder it.
+        for t in 0..THREADS {
+            for k in 0..TENANTS_PER_THREAD {
+                let tenant = format!("tenant-{t}-{k}");
+                service.register_fork(&tenant, template(), (t * 31 + k) as u64).unwrap();
+            }
+        }
+        let base = canned_run();
+        let predicted = base.determination.predicted_seconds;
+
+        let handles: Vec<_> = offsets
+            .iter()
+            .enumerate()
+            .map(|(t, &offset)| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    // Interleave the thread's tenants so their sequences
+                    // are in flight concurrently, not back to back.
+                    for seq in 0..REPORTS_PER_TENANT {
+                        for k in 0..TENANTS_PER_THREAD {
+                            let tenant = format!("tenant-{t}-{k}");
+                            let mut run = canned_run().clone();
+                            // Stamp the sequence number into the runtime
+                            // (millisecond steps: far below the 50 s
+                            // retrain trigger, so applies stay cheap, but
+                            // exactly recoverable from the history).
+                            run.report.completion =
+                                smartpick_cloudsim::SimDuration::from_secs_f64(
+                                    predicted + (offset as f64) * 1e-6 + (seq as f64) * 1e-3,
+                                );
+                            service.report_run(&tenant, run).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no producer thread may panic");
+        }
+        prop_assert!(service.flush());
+
+        // Per-tenant ordering: the history must hold every report, in
+        // exactly the enqueued sequence.
+        for t in 0..THREADS {
+            for k in 0..TENANTS_PER_THREAD {
+                let tenant = format!("tenant-{t}-{k}");
+                let seconds: Vec<f64> = service
+                    .inspect_tenant(&tenant, |driver| {
+                        driver
+                            .history()
+                            .snapshot()
+                            .iter()
+                            .map(|r| r.actual_seconds)
+                            .collect()
+                    })
+                    .unwrap();
+                prop_assert_eq!(seconds.len(), REPORTS_PER_TENANT);
+                for (seq, window) in seconds.windows(2).enumerate() {
+                    prop_assert!(
+                        window[0] < window[1],
+                        "tenant {} applied out of order at seq {}: {:?}",
+                        tenant, seq, seconds
+                    );
+                }
+            }
+        }
+
+        // Distinct tenants really were applied by distinct workers, and
+        // the per-shard books add up.
+        let stats = service.stats();
+        let applied: Vec<u64> = stats.worker_shards.iter().map(|s| s.reports_applied).collect();
+        prop_assert_eq!(applied.len(), WORKERS);
+        prop_assert_eq!(
+            applied.iter().sum::<u64>(),
+            (THREADS * TENANTS_PER_THREAD * REPORTS_PER_TENANT) as u64
+        );
+        prop_assert!(
+            applied.iter().filter(|&&a| a > 0).count() >= 2,
+            "16 tenants over 4 worker shards must exercise at least two: {:?}",
+            applied
+        );
+        // Every tenant's advertised shard matches a worker that did work.
+        for id in service.tenants() {
+            let ts = service.tenant_stats(&id).unwrap();
+            prop_assert!(ts.worker_shard < WORKERS);
+            prop_assert!(applied[ts.worker_shard] > 0);
+            prop_assert_eq!(ts.reports_applied, REPORTS_PER_TENANT as u64);
         }
     }
 }

@@ -7,14 +7,82 @@ use crate::lexer::{tokenize, Token};
 /// SQL keywords and aggregate functions that are never table or column
 /// names.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "JOIN", "INNER", "OUTER", "LEFT",
-    "RIGHT", "FULL", "CROSS", "ON", "AS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE",
-    "IS", "NULL", "DISTINCT", "UNION", "ALL", "ANY", "CASE", "WHEN", "THEN", "ELSE", "END",
-    "LIMIT", "OFFSET", "ASC", "DESC", "WITH", "OVER", "PARTITION", "ROWS", "PRECEDING",
-    "FOLLOWING", "CURRENT", "ROW", "SUM", "AVG", "COUNT", "MIN", "MAX", "STDDEV", "ABS", "ROUND",
-    "CAST", "COALESCE", "SUBSTR", "SUBSTRING", "EXTRACT", "YEAR", "MONTH", "DAY", "DATE",
-    "INTERVAL", "RANK", "DENSE_RANK", "ROW_NUMBER", "TOP", "INTO", "VALUES", "INSERT", "UPDATE",
-    "DELETE", "CREATE", "TABLE", "VIEW",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "HAVING",
+    "JOIN",
+    "INNER",
+    "OUTER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "CROSS",
+    "ON",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "EXISTS",
+    "BETWEEN",
+    "LIKE",
+    "IS",
+    "NULL",
+    "DISTINCT",
+    "UNION",
+    "ALL",
+    "ANY",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "LIMIT",
+    "OFFSET",
+    "ASC",
+    "DESC",
+    "WITH",
+    "OVER",
+    "PARTITION",
+    "ROWS",
+    "PRECEDING",
+    "FOLLOWING",
+    "CURRENT",
+    "ROW",
+    "SUM",
+    "AVG",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "STDDEV",
+    "ABS",
+    "ROUND",
+    "CAST",
+    "COALESCE",
+    "SUBSTR",
+    "SUBSTRING",
+    "EXTRACT",
+    "YEAR",
+    "MONTH",
+    "DAY",
+    "DATE",
+    "INTERVAL",
+    "RANK",
+    "DENSE_RANK",
+    "ROW_NUMBER",
+    "TOP",
+    "INTO",
+    "VALUES",
+    "INSERT",
+    "UPDATE",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "VIEW",
 ];
 
 fn is_keyword(upper: &str) -> bool {

@@ -66,9 +66,9 @@ mod tests {
     fn ranking_orders_best_first() {
         let probe = [1.0, 1.0, 0.0, 100.0];
         let known = vec![
-            vec![1.0, 1.0, 0.0, 500.0],  // same shape, different magnitude axis
-            vec![1.0, 1.0, 0.0, 101.0],  // nearly identical
-            vec![0.0, 0.0, 5.0, 0.0],    // orthogonal-ish
+            vec![1.0, 1.0, 0.0, 500.0], // same shape, different magnitude axis
+            vec![1.0, 1.0, 0.0, 101.0], // nearly identical
+            vec![0.0, 0.0, 5.0, 0.0],   // orthogonal-ish
         ];
         let ranked = rank_by_similarity(&probe, &known);
         assert_eq!(ranked[0].0, 1);

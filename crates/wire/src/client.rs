@@ -1,0 +1,245 @@
+//! The typed blocking client: one method per request.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use smartpick_core::wp::{Determination, PredictionRequest};
+use smartpick_engine::QueryProfile;
+use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
+
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{Request, Response};
+
+/// A blocking connection to a [`crate::WireServer`].
+///
+/// Calls are strictly request/response on one socket — issue them from
+/// one thread, or open one client per thread (connections are cheap;
+/// the server handles each on its own thread up to its cap).
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    max_frame_len: usize,
+}
+
+impl WireClient {
+    /// Connects, blocking until accepted or refused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(WireClient::over(stream))
+    }
+
+    /// Connects with a connect deadline (read/write stay unbounded until
+    /// [`WireClient::set_io_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures, including the elapsed deadline.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Ok(WireClient::over(stream))
+    }
+
+    fn over(stream: TcpStream) -> WireClient {
+        // Request/response ping-pong is Nagle's worst case: without
+        // nodelay, the 5-byte header waits out delayed ACKs and a
+        // loopback RTT balloons from microseconds to ~100 ms.
+        let _ = stream.set_nodelay(true);
+        WireClient {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+
+    /// Bounds every subsequent read and write (`None` = block forever).
+    /// An expired deadline surfaces as [`WireError::Io`]; the connection
+    /// should be considered dead afterwards (a late response would
+    /// desynchronise the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Caps how large a response frame this client will accept.
+    pub fn set_max_frame_len(&mut self, max: usize) {
+        assert!(max > 0, "max_frame_len must be positive");
+        self.max_frame_len = max;
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Registers `tenant` as a fork (seeded with `seed`) of the server's
+    /// template driver.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; duplicate ids are a `tenant_exists` rejection.
+    pub fn register_tenant(
+        &mut self,
+        tenant: impl Into<String>,
+        seed: u64,
+    ) -> Result<(), WireError> {
+        let request = Request::RegisterTenant {
+            tenant: tenant.into(),
+            seed,
+        };
+        match self.call(&request)? {
+            Response::Registered => Ok(()),
+            other => Err(unexpected("registered", &other)),
+        }
+    }
+
+    /// Runs a full [`PredictionRequest`] against `tenant`'s snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn predict(
+        &mut self,
+        tenant: impl Into<String>,
+        request: PredictionRequest,
+    ) -> Result<Determination, WireError> {
+        let request = Request::Predict {
+            tenant: tenant.into(),
+            request,
+        };
+        match self.call(&request)? {
+            Response::Determination(d) => Ok(d),
+            other => Err(unexpected("determination", &other)),
+        }
+    }
+
+    /// Convenience prediction: hybrid search with the tenant's knob.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn determine(
+        &mut self,
+        tenant: impl Into<String>,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<Determination, WireError> {
+        let request = Request::Determine {
+            tenant: tenant.into(),
+            query: query.clone(),
+            seed,
+        };
+        match self.call(&request)? {
+            Response::Determination(d) => Ok(d),
+            other => Err(unexpected("determination", &other)),
+        }
+    }
+
+    /// Feeds one completed run back into `tenant`'s training loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; backpressure sheds are retryable rejections.
+    pub fn report_run(
+        &mut self,
+        tenant: impl Into<String>,
+        run: CompletedRun,
+    ) -> Result<(), WireError> {
+        let request = Request::ReportRun {
+            tenant: tenant.into(),
+            run: Box::new(run),
+        };
+        match self.call(&request)? {
+            Response::ReportAccepted => Ok(()),
+            other => Err(unexpected("report_accepted", &other)),
+        }
+    }
+
+    /// Blocks until every report accepted so far is applied and the
+    /// snapshots republished.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed => Ok(()),
+            other => Err(unexpected("flushed", &other)),
+        }
+    }
+
+    /// A point-in-time view of one tenant.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn tenant_stats(&mut self, tenant: impl Into<String>) -> Result<TenantStats, WireError> {
+        let request = Request::TenantStats {
+            tenant: tenant.into(),
+        };
+        match self.call(&request)? {
+            Response::TenantStats(s) => Ok(s),
+            other => Err(unexpected("tenant_stats", &other)),
+        }
+    }
+
+    /// A point-in-time view of the whole service.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn service_stats(&mut self) -> Result<ServiceStats, WireError> {
+        match self.call(&Request::ServiceStats)? {
+            Response::ServiceStats(s) => Ok(s),
+            other => Err(unexpected("service_stats", &other)),
+        }
+    }
+
+    /// One request/response exchange; server-side rejections become
+    /// [`WireError::Rejected`].
+    fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
+        write_frame(&mut self.stream, json.as_bytes())?;
+        let payload = read_frame(&mut self.stream, self.max_frame_len).map_err(|e| match e {
+            FrameError::Eof => WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameError::Io(e) => WireError::Io(e),
+            other => WireError::Protocol(other.to_string()),
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
+        let response: Response = serde_json::from_str(text)
+            .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?;
+        if let Response::Error(r) = response {
+            return Err(WireError::Rejected {
+                kind: r.kind,
+                message: r.message,
+                retryable: r.retryable,
+            });
+        }
+        Ok(response)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> WireError {
+    WireError::Protocol(format!("expected `{wanted}` response, got {got:?}"))
+}

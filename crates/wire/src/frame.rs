@@ -1,0 +1,175 @@
+//! The frame layer: how request/response payloads travel over TCP.
+//!
+//! Every frame is a version byte, a big-endian `u32` payload length, and
+//! that many payload bytes (UTF-8 JSON):
+//!
+//! ```text
+//! +---------+-------------------------+------------------------+
+//! | u8 ver  | u32 payload length (BE) | payload (JSON, UTF-8)  |
+//! +---------+-------------------------+------------------------+
+//!   1 byte            4 bytes              `length` bytes
+//! ```
+//!
+//! The version byte guards against talking to the wrong protocol
+//! generation (a mismatch poisons all subsequent framing, so the
+//! connection is closed); the length prefix is checked against a
+//! configurable maximum *before* any payload byte is read, so an
+//! adversarial or corrupt length can never make the server allocate or
+//! read unbounded memory.
+
+use std::io::{self, Read, Write};
+
+/// The current protocol generation carried in every frame's first byte.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on a frame's payload length (1 MiB) — far above any
+/// legitimate envelope (a `Determination` with its full `ET_l` list is a
+/// few tens of KiB) while bounding what a bad peer can make us buffer.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly on a frame boundary (peer hung up).
+    Eof,
+    /// A socket-level failure, including mid-frame truncation.
+    Io(io::Error),
+    /// The peer speaks a different protocol generation.
+    VersionMismatch {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The length prefix exceeds the configured cap; the payload was not
+    /// read.
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+        /// The configured cap it exceeded.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "peer closed the connection"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::VersionMismatch { got } => write!(
+                f,
+                "protocol version mismatch: got {got}, want {PROTOCOL_VERSION}"
+            ),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: version byte, length prefix, payload.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    let mut header = [0u8; 5];
+    header[0] = PROTOCOL_VERSION;
+    header[1..5].copy_from_slice(&len.to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, enforcing the version byte and `max_len`.
+///
+/// The length prefix is validated before any payload byte is read, so an
+/// oversized claim costs nothing but the 5 header bytes.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on a clean close before a frame starts;
+/// [`FrameError::VersionMismatch`] / [`FrameError::Oversized`] on
+/// protocol violations; [`FrameError::Io`] otherwise (including
+/// truncation mid-frame).
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let mut version = [0u8; 1];
+    // A clean EOF is only legitimate before the first header byte.
+    // (Constant-stack EINTR retry; `read_exact` below handles its own.)
+    loop {
+        match r.read(&mut version) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if version[0] != PROTOCOL_VERSION {
+        return Err(FrameError::VersionMismatch { got: version[0] });
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes).map_err(FrameError::Io)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn version_byte_is_enforced() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024),
+            Err(FrameError::VersionMismatch { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_before_payload() {
+        let mut buf = vec![PROTOCOL_VERSION];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        // No payload bytes present at all: the cap must trip first.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 64),
+            Err(FrameError::Oversized { max: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_io_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(7); // header + 2 of 5 payload bytes
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! # smartpick-wire
+//!
+//! The network front-end for **smartpickd**: the paper ships Workload
+//! Prediction as a standalone server other serverless data-analytics
+//! systems call over Thrift RPC (§5); this crate is that serving
+//! boundary for [`smartpick_service::SmartpickService`] — a
+//! length-prefixed JSON-over-TCP protocol, a capped thread-per-connection
+//! [`WireServer`], and a typed blocking [`WireClient`].
+//!
+//! ## Frame format
+//!
+//! ```text
+//! +---------+-------------------------+------------------------+
+//! | u8 ver  | u32 payload length (BE) | payload (JSON, UTF-8)  |
+//! +---------+-------------------------+------------------------+
+//! ```
+//!
+//! See [`frame`] for the version byte and the max-frame-size guard,
+//! [`proto`] for the request/response envelopes, and [`error`] for the
+//! typed failures. One bad frame never kills the listener: request-level
+//! garbage gets an error response on a still-usable connection;
+//! framing-level garbage (bad version, oversized length) gets an error
+//! response and a close of that one connection.
+//!
+//! One number-model caveat: the vendored serde shim stores every JSON
+//! number as `f64`, so integers above 2⁵³ (seeds, very large counters)
+//! lose precision on the wire. Keep wire seeds below 2⁵³ when exact
+//! wire/in-process reproducibility matters.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use smartpick_cloudsim::{CloudEnv, Provider};
+//! use smartpick_core::driver::Smartpick;
+//! use smartpick_core::properties::SmartpickProperties;
+//! use smartpick_service::SmartpickService;
+//! use smartpick_wire::{WireClient, WireServer, WireServerConfig};
+//! use smartpick_workloads::tpcds;
+//!
+//! let training: Vec<_> = tpcds::TRAINING_QUERIES
+//!     .iter()
+//!     .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+//!     .collect();
+//! let template = Smartpick::train(
+//!     CloudEnv::new(Provider::Aws),
+//!     SmartpickProperties::default(),
+//!     &training,
+//!     42,
+//! )?;
+//! let service = Arc::new(SmartpickService::with_defaults());
+//! let server = WireServer::bind(
+//!     "127.0.0.1:0",
+//!     Arc::clone(&service),
+//!     template,
+//!     WireServerConfig::default(),
+//! )?;
+//!
+//! let mut client = WireClient::connect(server.local_addr())?;
+//! client.register_tenant("acme", 7)?;
+//! let query = tpcds::query(11, 100.0).expect("catalog query");
+//! let det = client.determine("acme", &query, 99)?;
+//! println!("{} predicted {:.1}s", det.allocation, det.predicted_seconds);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::WireClient;
+pub use error::{ErrorKind, WireError};
+pub use frame::{DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use proto::{Rejection, Request, Response};
+pub use server::{WireServer, WireServerConfig};

@@ -1,0 +1,496 @@
+//! The TCP front-end: a listener embedding a [`SmartpickService`].
+//!
+//! Connection model: one acceptor thread plus one handler thread per
+//! connection, capped at [`WireServerConfig::max_connections`] — a
+//! connection over the cap gets a `busy` error frame and an immediate
+//! close instead of an unbounded thread. Handler threads poll a shared
+//! shutdown flag between reads (socket read timeouts keep the poll
+//! cheap), and [`WireServer::shutdown`] unblocks the acceptor by dialing
+//! its own listen address, so a graceful stop never hangs on `accept`.
+//!
+//! Error containment: one connection's bad frame can never take another
+//! connection (or the listener) down. A frame that parses as JSON but
+//! not as a request gets a `bad_request` error response and the
+//! connection stays usable; a frame whose *framing* is untrustworthy
+//! (wrong version byte, oversized length prefix, non-JSON bytes) gets a
+//! `protocol` error response and then the connection is closed, because
+//! resynchronising a byte stream after a framing violation is guesswork.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smartpick_core::driver::Smartpick;
+use smartpick_service::{ServiceError, SmartpickService};
+
+use crate::error::ErrorKind;
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::proto::{Rejection, Request, Response};
+
+/// Tunables for a [`WireServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireServerConfig {
+    /// Concurrent connections served; the next one is told `busy`.
+    pub max_connections: usize,
+    /// Per-frame payload cap enforced before the payload is read.
+    pub max_frame_len: usize,
+    /// How often an idle handler wakes to check the shutdown flag (the
+    /// socket read timeout).
+    pub poll_interval: Duration,
+    /// Close a connection that has sent no bytes for this long (`None`
+    /// = never). Idle connections hold slots against
+    /// `max_connections`, so without a deadline a peer that connects
+    /// and goes silent pins a slot forever — the cheapest way to
+    /// exhaust the serving boundary.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            max_connections: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            poll_interval: Duration::from_millis(50),
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+/// State shared by the acceptor and every handler thread.
+#[derive(Debug)]
+struct Shared {
+    service: Arc<SmartpickService>,
+    /// The trained driver `register_tenant` requests fork from: the wire
+    /// cannot carry a model, so kick-start training happens server-side
+    /// once and tenants are stamped out as cheap copy-on-write forks.
+    template: Smartpick,
+    config: WireServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP front-end over a [`SmartpickService`].
+///
+/// Binds, serves until [`WireServer::shutdown`] (also run on drop), and
+/// exposes the bound address — bind to port 0 to let the OS pick an
+/// ephemeral one (how the integration tests run real sockets in
+/// parallel).
+#[derive(Debug)]
+pub struct WireServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` and starts serving `service`, registering wire
+    /// tenants as forks of `template`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<SmartpickService>,
+        template: Smartpick,
+        config: WireServerConfig,
+    ) -> io::Result<WireServer> {
+        assert!(
+            config.max_connections > 0,
+            "max_connections must be positive"
+        );
+        assert!(config.max_frame_len > 0, "max_frame_len must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            template,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("smartpick-wire-accept".to_owned())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn wire acceptor")
+        };
+        Ok(WireServer {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound listen address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<SmartpickService> {
+        &self.shared.service
+    }
+
+    /// Stops accepting, wakes every handler, and joins all server
+    /// threads. Idempotent; also runs on drop. The embedded
+    /// [`SmartpickService`] is *not* shut down — it may be shared.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            // Unblock the blocking `accept` with a throwaway connection.
+            // A wildcard bind address (0.0.0.0 / ::) is not connectable
+            // on every platform — dial loopback of the same family.
+            let mut dial = self.local_addr;
+            if dial.ip().is_unspecified() {
+                dial.set_ip(match dial {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            match TcpStream::connect_timeout(&dial, Duration::from_secs(1)) {
+                // The acceptor has an unblocking connection inbound (or
+                // just processed one): it will see the flag and return.
+                Ok(_) => {
+                    let _ = acceptor.join();
+                }
+                // Could not reach our own listener (exotic network
+                // config): leak the acceptor thread rather than hang
+                // shutdown/drop forever waiting on a blocked `accept`.
+                Err(_) => drop(acceptor),
+            }
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .shared
+                .handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            // Transient accept failures (per-connection resets) must not
+            // stop the listener.
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection cap: reject over-cap connections with a retryable
+        // busy frame instead of queueing unbounded handler threads. The
+        // send + drain runs on a throwaway thread: a peer that neither
+        // reads nor closes must stall only its own rejection, never the
+        // acceptor (which has to keep handing freed slots to
+        // well-behaved clients).
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            let shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("smartpick-wire-busy".to_owned())
+                .spawn(move || {
+                    let mut stream = stream;
+                    // Bound the rejection write too: a peer that never
+                    // reads must not pin this thread.
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                    let sent = send_response(
+                        &mut stream,
+                        &Response::Error(Rejection {
+                            kind: ErrorKind::Busy,
+                            message: format!(
+                                "server at its {}-connection cap; retry later",
+                                shared.config.max_connections
+                            ),
+                            retryable: true,
+                        }),
+                    );
+                    if sent.is_ok() {
+                        drain_briefly(&stream, &shared);
+                    }
+                });
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let handler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("smartpick-wire-conn".to_owned())
+                .spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                })
+        };
+        let mut handlers = shared.handlers.lock().unwrap_or_else(|e| e.into_inner());
+        // Reap finished handlers so the registry tracks live connections,
+        // not every connection ever served (dropping a finished handle
+        // just releases it).
+        handlers.retain(|h| !h.is_finished());
+        match handler {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => {
+                // Could not spawn: undo the reservation; the connection
+                // drops, which the client sees as an I/O error.
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Wraps a stream so reads park politely: socket timeouts are retried
+/// (they exist only so this loop can poll the shutdown flag), shutdown
+/// surfaces as a distinct error `read_exact` will not swallow, and a
+/// peer silent past the idle deadline is cut off so it cannot pin a
+/// connection-cap slot forever.
+struct PollingReader<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+    last_byte_at: Instant,
+}
+
+impl Read for PollingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "server shutting down",
+                ));
+            }
+            if let Some(idle) = self.shared.config.idle_timeout {
+                if self.last_byte_at.elapsed() >= idle {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "connection idle past the deadline",
+                    ));
+                }
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                Ok(n) if n > 0 => {
+                    self.last_byte_at = Instant::now();
+                    return Ok(n);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Responses are single small writes on a ping-pong protocol —
+    // Nagle's worst case; without nodelay every round-trip stalls on
+    // delayed ACKs.
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the shutdown-poll interval, not a client
+    // deadline: PollingReader turns expiries into another check of the
+    // flag.
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    // Writes get the idle deadline directly: a peer that stops *reading*
+    // (full send buffer) would otherwise block `write_all` forever,
+    // pinning a cap slot past every read-side defense and hanging
+    // shutdown's join on this handler.
+    if stream
+        .set_write_timeout(shared.config.idle_timeout)
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = PollingReader {
+        stream: &stream,
+        shared,
+        last_byte_at: Instant::now(),
+    };
+    loop {
+        let payload = match read_frame(&mut reader, shared.config.max_frame_len) {
+            Ok(payload) => payload,
+            Err(FrameError::Eof) => return,
+            // Framing violations get one best-effort error frame, then
+            // the connection closes: after a bad version byte or length
+            // prefix the stream position is untrustworthy.
+            Err(e @ (FrameError::VersionMismatch { .. } | FrameError::Oversized { .. })) => {
+                let sent = send_response(
+                    &mut writer,
+                    &Response::Error(Rejection {
+                        kind: ErrorKind::Protocol,
+                        message: e.to_string(),
+                        retryable: false,
+                    }),
+                );
+                if sent.is_ok() {
+                    drain_briefly(&stream, shared);
+                }
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let response = respond_to(&payload, shared);
+        let fatal = matches!(
+            &response,
+            Response::Error(r) if r.kind == ErrorKind::Protocol
+        );
+        match send_response(&mut writer, &response) {
+            Ok(()) if fatal => {
+                drain_briefly(&stream, shared);
+                return;
+            }
+            Ok(()) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes one payload and executes it — every failure becomes an error
+/// *response*, never a handler panic or a dead listener.
+fn respond_to(payload: &[u8], shared: &Shared) -> Response {
+    let text = match std::str::from_utf8(payload) {
+        Ok(text) => text,
+        Err(e) => {
+            return Response::Error(Rejection {
+                kind: ErrorKind::Protocol,
+                message: format!("frame payload is not UTF-8: {e}"),
+                retryable: false,
+            })
+        }
+    };
+    // Not-JSON is a framing-level violation (close); JSON of the wrong
+    // shape is a request-level one (connection stays usable).
+    let value: serde::Value = match serde_json::from_str(text) {
+        Ok(value) => value,
+        Err(e) => {
+            return Response::Error(Rejection {
+                kind: ErrorKind::Protocol,
+                message: format!("frame payload is not JSON: {e}"),
+                retryable: false,
+            })
+        }
+    };
+    let request = match <Request as serde::Deserialize>::from_value(&value) {
+        Ok(request) => request,
+        Err(e) => {
+            return Response::Error(Rejection {
+                kind: ErrorKind::BadRequest,
+                message: format!("unrecognised request: {e}"),
+                retryable: false,
+            })
+        }
+    };
+    execute(request, shared)
+}
+
+fn execute(request: Request, shared: &Shared) -> Response {
+    let service = &shared.service;
+    let result = match request {
+        Request::Ping => return Response::Pong,
+        Request::Flush => {
+            return if service.flush() {
+                Response::Flushed
+            } else {
+                service_error(&ServiceError::Stopped)
+            }
+        }
+        Request::RegisterTenant { tenant, seed } => service
+            .register_fork(tenant, &shared.template, seed)
+            .map(|()| Response::Registered),
+        Request::Predict { tenant, request } => service
+            .predict(&tenant, &request)
+            .map(Response::Determination),
+        Request::Determine {
+            tenant,
+            query,
+            seed,
+        } => service
+            .determine(&tenant, &query, seed)
+            .map(Response::Determination),
+        Request::ReportRun { tenant, run } => service
+            .report_run(&tenant, *run)
+            .map(|()| Response::ReportAccepted),
+        Request::TenantStats { tenant } => service.tenant_stats(&tenant).map(Response::TenantStats),
+        Request::ServiceStats => Ok(Response::ServiceStats(service.stats())),
+    };
+    result.unwrap_or_else(|e| service_error(&e))
+}
+
+/// Discards inbound bytes for a few poll intervals (or until the peer
+/// closes) before a server-side close. Closing a socket with unread
+/// received bytes sends a reset that can discard a just-written error
+/// frame before the peer reads it — the drain makes "error response,
+/// then close" reliable even when the peer was mid-write.
+fn drain_briefly(mut stream: &TcpStream, shared: &Shared) {
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let deadline = Instant::now() + 4 * shared.config.poll_interval;
+    let mut scratch = [0u8; 4096];
+    while Instant::now() < deadline && !shared.shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // peer closed: the error frame was consumed
+            Ok(_) => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn service_error(e: &ServiceError) -> Response {
+    Response::Error(Rejection {
+        kind: ErrorKind::of_service_error(e),
+        message: e.to_string(),
+        retryable: e.is_retryable(),
+    })
+}
+
+fn send_response(w: &mut impl Write, response: &Response) -> io::Result<()> {
+    let json = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}

@@ -322,7 +322,12 @@ mod tests {
     fn sql_parses_to_nontrivial_metadata() {
         for q in all_queries(100.0) {
             let meta = smartpick_sqlmeta::extract(&q.sql);
-            assert!(meta.table_count() >= 2, "{}: {} tables", q.id, meta.table_count());
+            assert!(
+                meta.table_count() >= 2,
+                "{}: {} tables",
+                q.id,
+                meta.table_count()
+            );
             assert!(meta.column_count() >= 3, "{}", q.id);
         }
     }

@@ -53,7 +53,12 @@ const SPECS: &[Spec] = &[
               AND n.regionkey = r.regionkey AND r.name = 'ASIA' \
               GROUP BY n.name ORDER BY revenue DESC",
         scans: &[(80, 2_600.0), (35, 2_200.0)],
-        reduces: &[(50, 2_600.0, 12.0), (30, 2_400.0, 10.0), (14, 2_200.0, 6.0), (5, 1_800.0, 3.0)],
+        reduces: &[
+            (50, 2_600.0, 12.0),
+            (30, 2_400.0, 10.0),
+            (14, 2_200.0, 6.0),
+            (5, 1_800.0, 3.0),
+        ],
     },
 ];
 

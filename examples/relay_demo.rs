@@ -6,7 +6,9 @@
 //! cargo run --release --example relay_demo
 //! ```
 
-use smartpick::cloudsim::{CloudEnv, CostKind, InstanceId, InstanceKind, Provider, SimDuration, SimTime};
+use smartpick::cloudsim::{
+    CloudEnv, CostKind, InstanceId, InstanceKind, Provider, SimDuration, SimTime,
+};
 use smartpick::engine::listener::QueryListener;
 use smartpick::engine::{simulate_query_with_listener, Allocation, EngineError, RelayPolicy};
 use smartpick::workloads::tpcds;

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 for op in 0..10u64 {
                     let tenant = ["acme", "globex", "initech"][((t + op) % 3) as usize];
                     let q = tpcds::TRAINING_QUERIES[(op % 4) as usize];
-                    let query =
-                        tpcds::query(q, 100.0).ok_or_else(|| format!("no catalog q{q}"))?;
+                    let query = tpcds::query(q, 100.0).ok_or_else(|| format!("no catalog q{q}"))?;
                     let outcome = service
                         .submit(tenant, &query, t * 1000 + op)
                         .map_err(|e| e.to_string())?;
@@ -71,11 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = service.stats();
     println!(
         "\nservice: {} tenants, {} predictions, {} executions, {} reports applied, {} retrains",
-        stats.tenants,
-        stats.predictions,
-        stats.executions,
-        stats.reports_applied,
-        stats.retrains,
+        stats.tenants, stats.predictions, stats.executions, stats.reports_applied, stats.retrains,
     );
     println!(
         "read latency: p50 {} us, p99 {} us over {} reads",

@@ -31,7 +31,10 @@ fn main() -> Result<(), SmartpickError> {
     );
 
     let query = tpcds::query(11, 100.0).expect("catalog query");
-    println!("{:<8} {:>14} {:>12} {:>12} {:>12}", "knob", "allocation", "predicted", "actual", "cost");
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>12}",
+        "knob", "allocation", "predicted", "actual", "cost"
+    );
     for knob in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
         let det = predictor.determine(&PredictionRequest {
             query: query.clone(),

@@ -1,11 +1,41 @@
-# Development entry points. `just verify` is the tier-1 gate CI runs.
+# Development entry points. `just ci` mirrors the CI workflow gates
+# exactly (the workflow jobs call these same recipes, so local and CI
+# cannot drift) and is the pre-push command. `just verify` is the
+# classic tier-1 gate.
 
 # Build release, run the full test suite, lint, and compile benches.
-verify:
+verify: build-test lint bench-compile
+
+# Everything CI runs, locally — the pre-push command.
+ci: build-test lint fmt-check bench-compile figures-smoke
+
+# CI job: release build + the full test suite.
+build-test:
     cargo build --release
     cargo test -q
+
+# CI job: clippy over every target, warnings denied.
+lint:
     cargo clippy --all-targets -- -D warnings
+
+# CI job: repo-wide formatting gate.
+fmt-check:
+    cargo fmt --all -- --check
+
+# Apply repo-wide formatting.
+fmt:
+    cargo fmt --all
+
+# CI job: compile every criterion harness.
+bench-compile:
     cargo bench --no-run
+
+# CI job: the paper-reproduction binaries still build and run
+# (fig1 + table1 as canaries, so the figure binaries cannot rot).
+figures-smoke:
+    cargo build --release -p smartpick_bench --bins
+    ./target/release/fig1
+    ./target/release/table1
 
 # Fast feedback: debug build + tests.
 check:
@@ -21,8 +51,13 @@ bench:
 service-bench:
     cargo bench --bench service_throughput
 
-# Reproduce all paper figure/table binaries (release).
+# Wire round-trip overhead: ping vs in-process vs over-wire determine.
+wire-bench:
+    cargo bench --bench wire_rtt
+
+# Reproduce all paper figure/table binaries (release). Fails fast: a
+# panicking figure binary fails the recipe (and the CI smoke job).
 figures:
     cargo build --release -p smartpick_bench --bins
     for bin in fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table1 table5 sec7_families; do \
-        echo "== $bin"; ./target/release/$bin; done
+        echo "== $bin"; ./target/release/$bin || exit 1; done

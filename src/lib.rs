@@ -13,8 +13,10 @@
 //! * [`engine`] — the Spark-like DAG execution engine.
 //! * [`ml`] — Random Forest / Gaussian Process / Bayesian Optimizer.
 //! * [`service`] — "smartpickd": the concurrent multi-tenant prediction
-//!   service (sharded tenant registry, snapshot reads, batched retrain
-//!   worker).
+//!   service (sharded tenant registry, snapshot reads, sharded retrain
+//!   workers).
+//! * [`wire`] — the framed JSON-over-TCP front-end and typed blocking
+//!   client for smartpickd.
 //! * [`sqlmeta`] — SQL metadata extraction and cosine similarity.
 //! * [`workloads`] — TPC-DS / TPC-H / WordCount profiles.
 //! * [`baselines`] — Cocoa, SplitServe, CherryPick, OptimusCloud, LIBRA.
@@ -45,4 +47,5 @@ pub use smartpick_engine as engine;
 pub use smartpick_ml as ml;
 pub use smartpick_service as service;
 pub use smartpick_sqlmeta as sqlmeta;
+pub use smartpick_wire as wire;
 pub use smartpick_workloads as workloads;

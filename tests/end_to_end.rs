@@ -77,13 +77,20 @@ fn new_workload_triggers_retrain_and_converges() {
     let first = sp.submit(&wc).expect("submit succeeds");
     assert!(!first.determination.known_query, "WC starts alien");
     // WC behaves nothing like TPC-DS: expect a big error and a retrain.
-    assert!(first.retrain.is_some(), "error {}", first.prediction_error());
+    assert!(
+        first.retrain.is_some(),
+        "error {}",
+        first.prediction_error()
+    );
 
     // After retraining WC is a first-class known query.
     let mut last_error = f64::INFINITY;
     for _ in 0..3 {
         let outcome = sp.submit(&wc).expect("submit succeeds");
-        assert!(outcome.determination.known_query, "WC is known after retrain");
+        assert!(
+            outcome.determination.known_query,
+            "WC is known after retrain"
+        );
         last_error = outcome.prediction_error();
     }
     assert!(

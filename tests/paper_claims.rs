@@ -67,7 +67,11 @@ fn mean_run(
 #[test]
 fn table1_sl_unit_cost_ratio() {
     let env = CloudEnv::new(Provider::Aws);
-    let ratio = env.catalog().worker_sl().hourly_equivalent_price().dollars()
+    let ratio = env
+        .catalog()
+        .worker_sl()
+        .hourly_equivalent_price()
+        .dollars()
         / env.catalog().worker_vm().hourly_price.dollars();
     assert!((5.5..6.0).contains(&ratio), "ratio {ratio}");
 }
@@ -82,7 +86,9 @@ fn fig5_hybrid_beats_extremes_and_relay_saves_money() {
     let vm_alloc = VmOnly.decide(&plain, &query, 1).unwrap();
     let sl_alloc = SlOnly.decide(&plain, &query, 1).unwrap();
     let sp_alloc = SmartpickPolicy::plain().decide(&plain, &query, 1).unwrap();
-    let spr_alloc = SmartpickPolicy::with_relay().decide(&relay, &query, 1).unwrap();
+    let spr_alloc = SmartpickPolicy::with_relay()
+        .decide(&relay, &query, 1)
+        .unwrap();
 
     let (vm_t, _) = mean_run(&env, &query, &vm_alloc, 10);
     let (sl_t, sl_c) = mean_run(&env, &query, &sl_alloc, 20);
@@ -92,7 +98,10 @@ fn fig5_hybrid_beats_extremes_and_relay_saves_money() {
     assert!(sp_t < vm_t, "Smartpick {sp_t:.1}s vs VM-only {vm_t:.1}s");
     assert!(sp_t < sl_t, "Smartpick {sp_t:.1}s vs SL-only {sl_t:.1}s");
     // Relay: similar time (bounded slowdown), lower cost than SL-only.
-    assert!(spr_t < vm_t * 1.05, "Smartpick-r {spr_t:.1}s vs VM-only {vm_t:.1}s");
+    assert!(
+        spr_t < vm_t * 1.05,
+        "Smartpick-r {spr_t:.1}s vs VM-only {vm_t:.1}s"
+    );
     assert!(spr_c < sl_c, "Smartpick-r {spr_c:.4} vs SL-only {sl_c:.4}");
 }
 
@@ -115,7 +124,9 @@ fn fig7_splitserve_costs_more_than_smartpick_r() {
     let (env, plain, relay) = predictors(Provider::Aws);
     let query = tpcds::query(11, 100.0).unwrap();
 
-    let spr_alloc = SmartpickPolicy::with_relay().decide(&relay, &query, 2).unwrap();
+    let spr_alloc = SmartpickPolicy::with_relay()
+        .decide(&relay, &query, 2)
+        .unwrap();
     let ss_alloc = SplitServe::default().decide(&plain, &query, 2).unwrap();
 
     let (spr_t, spr_c) = mean_run(&env, &query, &spr_alloc, 50);
@@ -171,13 +182,7 @@ fn fig8_knob_monotonically_relaxes_cost() {
 fn relay_cuts_serverless_bill() {
     let env = CloudEnv::new(Provider::Aws);
     let query = tpcds::query(74, 100.0).unwrap();
-    let plain = simulate_query(
-        &query,
-        &smartpick::engine::Allocation::new(5, 5),
-        &env,
-        9,
-    )
-    .unwrap();
+    let plain = simulate_query(&query, &smartpick::engine::Allocation::new(5, 5), &env, 9).unwrap();
     let relay = simulate_query(
         &query,
         &smartpick::engine::Allocation::new(5, 5).with_relay(RelayPolicy::Relay),

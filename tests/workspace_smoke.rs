@@ -31,14 +31,9 @@ fn train_predict_plan_round_trip() {
         max_sl: 4,
         ..TrainOptions::default()
     };
-    let (mut system, report) = Smartpick::train_with_options(
-        env,
-        SmartpickProperties::default(),
-        &training,
-        &opts,
-        7,
-    )
-    .expect("training succeeds");
+    let (mut system, report) =
+        Smartpick::train_with_options(env, SmartpickProperties::default(), &training, &opts, 7)
+            .expect("training succeeds");
     assert!(report.n_train > 0, "training produced samples");
 
     // Predict: a standalone determination for a known query.

@@ -109,7 +109,11 @@ impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
         Criterion {
-            mode: if test_mode { Mode::TestOnce } else { Mode::Measure },
+            mode: if test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
         }
     }
 }
@@ -240,7 +244,9 @@ mod tests {
 
     #[test]
     fn measures_something() {
-        let mut c = Criterion { mode: Mode::Measure };
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
         let mut group = c.benchmark_group("shim");
         let mut ran = 0u64;
         group.bench_function(BenchmarkId::new("count", 1), |b| {

@@ -141,14 +141,14 @@ macro_rules! impl_strategy_tuple {
         }
     )*};
 }
-impl_strategy_tuple!(
-    (A / 0)
-    (A / 0, B / 1)
-    (A / 0, B / 1, C / 2)
-    (A / 0, B / 1, C / 2, D / 3)
-    (A / 0, B / 1, C / 2, D / 3, E / 4)
-    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
-);
+impl_strategy_tuple!((A / 0)(A / 0, B / 1)(A / 0, B / 1, C / 2)(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3
+)(A / 0, B / 1, C / 2, D / 3, E / 4)(
+    A / 0, B / 1, C / 2, D / 3, E / 4, F / 5
+));
 
 /// Collection sizes accepted by [`collection::vec`].
 #[derive(Debug, Clone)]
@@ -333,11 +333,7 @@ fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
 fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
     let mut out = String::new();
     for (atom, lo, hi) in parse_pattern(pattern) {
-        let reps = if lo == hi {
-            lo
-        } else {
-            rng.gen_range(lo..=hi)
-        };
+        let reps = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
         for _ in 0..reps {
             match &atom {
                 Atom::Literal(c) => out.push(*c),
@@ -499,9 +495,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
 }

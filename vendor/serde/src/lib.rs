@@ -51,6 +51,32 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+/// A [`Value`] is its own (de)serialisation — lets callers parse to the
+/// raw tree first and decide on a shape afterwards.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up `key` in an object's pairs (derive-macro helper).
 pub fn obj_get<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
     pairs
@@ -160,5 +186,28 @@ impl<T: Deserialize> Deserialize for Option<T> {
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+}
+
+/// Serialises as fractional seconds (f64) — sub-nanosecond precision for
+/// the sub-hour durations the workspace ships over the wire.
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Num(self.as_secs_f64())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // try_from guards the whole domain (negative, NaN, and
+            // finite-but-over-u64::MAX seconds) without panicking on
+            // hostile input.
+            Value::Num(secs) => std::time::Duration::try_from_secs_f64(*secs)
+                .map_err(|e| DeError(format!("invalid Duration seconds {secs}: {e}"))),
+            other => Err(DeError(format!(
+                "expected non-negative seconds for Duration, got {other:?}"
+            ))),
+        }
     }
 }

@@ -17,11 +17,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let pushes: String = parsed
         .fields
         .iter()
-        .map(|f| {
-            format!(
-                "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
-            )
-        })
+        .map(|f| format!("m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"))
         .collect();
     format!(
         "impl ::serde::Serialize for {name} {{\n\
@@ -49,9 +45,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         .fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(::serde::obj_get(pairs, \"{f}\")?)?,"
-            )
+            format!("{f}: ::serde::Deserialize::from_value(::serde::obj_get(pairs, \"{f}\")?)?,")
         })
         .collect();
     format!(
@@ -80,7 +74,9 @@ struct ParsedStruct {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("literal parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
 }
 
 /// Parses `#[attrs] vis struct Name { #[attrs] vis field: Ty, ... }`,

@@ -198,9 +198,10 @@ impl<'a> Parser<'a> {
                     return Ok(out);
                 }
                 b'\\' => {
-                    let esc = rest.get(1).copied().ok_or_else(|| {
-                        Error("unterminated escape".to_string())
-                    })?;
+                    let esc = rest
+                        .get(1)
+                        .copied()
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
                     self.pos += 2;
                     match esc {
                         b'"' => out.push('"'),
