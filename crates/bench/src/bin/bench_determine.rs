@@ -1,0 +1,124 @@
+//! Records the `determine_latency` before/after matrix into
+//! `BENCH_determine.json` — the priced prediction-latency budget the
+//! README's Performance table quotes and CI guards for parseability.
+//!
+//! For every grid × forest configuration the binary measures the median
+//! in-process `determine()` latency of the pre-vectorization reference
+//! path (grid rebuilt per call, per-probe feature `Vec`s, `enum`-node
+//! tree walks, GP surrogate) and of the shipping vectorized path
+//! (cached grid + flat-forest batch pre-evaluation, or the priced lazy
+//! fallback), then writes both numbers and their ratio.
+//!
+//! Usage: `cargo run --release -p smartpick_bench --bin bench_determine
+//! [output-path]` (default `BENCH_determine.json` in the working
+//! directory). `SMARTPICK_BENCH_ITERS` overrides the per-path iteration
+//! count (default 120).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use smartpick_bench::{determine_lab, DETERMINE_CONFIGS};
+use smartpick_core::wp::{PredictionRequest, WorkloadPredictionService};
+use smartpick_core::WorkloadPredictor;
+use smartpick_workloads::tpcds;
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn measure(
+    predictor: &WorkloadPredictor,
+    iters: usize,
+    mut run: impl FnMut(&WorkloadPredictor, u64),
+) -> f64 {
+    // Warm-up, then one timed sample per call so the median is robust to
+    // scheduler noise.
+    for seed in 0..10 {
+        run(predictor, seed);
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for seed in 0..iters {
+        let t = Instant::now();
+        run(predictor, 1000 + seed as u64);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median_us(&mut samples)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_determine.json".to_owned());
+    let iters: usize = std::env::var("SMARTPICK_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+
+    println!("determine() latency: reference vs vectorized ({iters} iterations, median)");
+    smartpick_bench::rule(76);
+    println!(
+        "{:<10} {:>6} {:>12} {:>14} {:>14} {:>9}",
+        "grid", "trees", "candidates", "reference µs", "vectorized µs", "speedup"
+    );
+    smartpick_bench::rule(76);
+
+    let query = tpcds::query(82, 100.0).expect("catalog query");
+    let mut rows = String::new();
+    for (i, (grid, trees)) in DETERMINE_CONFIGS.iter().copied().enumerate() {
+        let predictor = determine_lab(grid, trees, 5).expect("training succeeds");
+        let candidates = {
+            // Hybrid grid size under the training floor min_total = 4.
+            let g = u64::from(grid) + 1;
+            (g * g - 10) as usize
+        };
+        let reference_us = measure(&predictor, iters, |p, seed| {
+            let det = p
+                .determine_reference(&PredictionRequest::new(query.clone(), seed))
+                .expect("determination succeeds");
+            std::hint::black_box(det.allocation);
+        });
+        let vectorized_us = measure(&predictor, iters, |p, seed| {
+            let det = p
+                .determine(&PredictionRequest::new(query.clone(), seed))
+                .expect("determination succeeds");
+            std::hint::black_box(det.allocation);
+        });
+        let speedup = reference_us / vectorized_us;
+        println!(
+            "{:<10} {:>6} {:>12} {:>14.1} {:>14.1} {:>8.1}x",
+            format!("{grid}x{grid}"),
+            trees,
+            candidates,
+            reference_us,
+            vectorized_us,
+            speedup
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"grid\": \"{grid}x{grid}\", \"trees\": {trees}, \"candidates\": {candidates}, \
+             \"baseline_us\": {reference_us:.1}, \"vectorized_us\": {vectorized_us:.1}, \
+             \"speedup\": {speedup:.2}}}"
+        );
+    }
+    smartpick_bench::rule(76);
+
+    let json = format!(
+        "{{\n  \"bench\": \"determine_latency\",\n  \"unit\": \"microseconds (median per \
+         in-process determine() call)\",\n  \"baseline\": \"determine_reference: per-call grid \
+         rebuild, per-probe feature Vec, enum-node tree walks, GP surrogate search\",\n  \
+         \"vectorized\": \"cached candidate grid + flat-forest tree-outer batch pre-evaluation \
+         consumed by the BO loop; priced lazy GP fallback for oversized sweeps\",\n  \
+         \"iterations\": {iters},\n  \"configs\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_determine.json");
+    println!("wrote {out_path}");
+}

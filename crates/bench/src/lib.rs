@@ -123,6 +123,52 @@ pub fn training_queries(input_gb: f64) -> Vec<QueryProfile> {
         .collect()
 }
 
+/// Trains a predictor sized for the `determine_latency` benchmarks: a
+/// `grid`×`grid` search space over a `trees`-tree forest, with a quick
+/// training recipe (latency benchmarks don't need statistical quality).
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn determine_lab(
+    grid: u32,
+    trees: usize,
+    seed: u64,
+) -> Result<WorkloadPredictor, SmartpickError> {
+    use smartpick_ml::forest::ForestParams;
+    let env = CloudEnv::new(Provider::Aws);
+    let queries: Vec<QueryProfile> = [82u32, 68]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 6,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: trees,
+            ..ForestParams::default()
+        },
+        max_vm: grid,
+        max_sl: grid,
+        ..TrainOptions::default()
+    };
+    train_predictor(&env, &queries, &opts, seed).map(|(p, _)| p)
+}
+
+/// The `(grid, forest-size)` matrix the `determine_latency` group and
+/// `bench_determine` binary both measure.
+pub const DETERMINE_CONFIGS: [(u32, usize); 9] = [
+    (8, 10),
+    (8, 50),
+    (8, 100),
+    (16, 10),
+    (16, 50),
+    (16, 100),
+    (32, 10),
+    (32, 50),
+    (32, 100),
+];
+
 /// Mean completion time and cost of executing one allocation repeatedly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSummary {

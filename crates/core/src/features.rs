@@ -24,6 +24,12 @@ use smartpick_engine::Allocation;
 /// Number of feature columns (excluding the `query-duration` label).
 pub const N_FEATURES: usize = 10;
 
+/// Column index of the `query-code` feature in vector order.
+pub const QUERY_CODE_COL: usize = 0;
+
+/// Column index of the `input-size` feature in vector order.
+pub const INPUT_BYTES_COL: usize = 3;
+
 /// Feature column names in vector order.
 pub const FEATURE_NAMES: [&str; N_FEATURES] = [
     "query-code",
@@ -81,7 +87,7 @@ impl QueryFeatures {
             query_code,
             n_vm: alloc.n_vm,
             n_sl: alloc.n_sl,
-            input_bytes: input_gb * 1024.0 * 1024.0 * 1024.0,
+            input_bytes: Self::input_gb_to_bytes(input_gb),
             start_epoch: 0.0,
             total_memory_mib: total_memory,
             available_memory_mib: total_memory,
@@ -113,9 +119,17 @@ impl QueryFeatures {
         self
     }
 
-    /// The row as an ML feature vector, in [`FEATURE_NAMES`] order.
-    pub fn to_vec(&self) -> Vec<f64> {
-        vec![
+    /// The `input-size` feature's byte value for an input size in GB —
+    /// the one conversion every feature builder (scalar and batched)
+    /// must share so rows stay bit-identical across paths.
+    pub fn input_gb_to_bytes(input_gb: f64) -> f64 {
+        input_gb * 1024.0 * 1024.0 * 1024.0
+    }
+
+    /// The row as a fixed-size array in [`FEATURE_NAMES`] order — the
+    /// allocation-free form the prediction hot path consumes.
+    pub fn to_array(&self) -> [f64; N_FEATURES] {
+        [
             self.query_code,
             self.n_vm as f64,
             self.n_sl as f64,
@@ -127,6 +141,22 @@ impl QueryFeatures {
             self.num_waiting_apps,
             self.total_available_cores,
         ]
+    }
+
+    /// Writes the row into a caller-provided `N_FEATURES`-wide slice (one
+    /// row of a batched candidate matrix), allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly `N_FEATURES` wide.
+    pub fn write_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), N_FEATURES, "row width mismatch");
+        out.copy_from_slice(&self.to_array());
+    }
+
+    /// The row as an ML feature vector, in [`FEATURE_NAMES`] order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.to_array().to_vec()
     }
 
     /// Feature names as owned strings (dataset column headers).
@@ -175,6 +205,26 @@ mod tests {
         let env = CloudEnv::new(Provider::Aws);
         let _ = QueryFeatures::for_allocation(0.0, 1.0, &Allocation::new(1, 0), &env)
             .with_contention(0, 1.5);
+    }
+
+    #[test]
+    fn array_vec_and_write_into_agree() {
+        let env = CloudEnv::new(Provider::Aws);
+        let f = QueryFeatures::for_allocation(4.0, 250.0, &Allocation::new(3, 5), &env)
+            .with_start_epoch(123.0)
+            .with_contention(2, 0.75);
+        let arr = f.to_array();
+        assert_eq!(arr.to_vec(), f.to_vec());
+        let mut row = [0.0; N_FEATURES];
+        f.write_into(&mut row);
+        assert_eq!(row, arr);
+        assert_eq!(arr[QUERY_CODE_COL], 4.0);
+        assert_eq!(
+            arr[INPUT_BYTES_COL],
+            QueryFeatures::input_gb_to_bytes(250.0)
+        );
+        assert_eq!(FEATURE_NAMES[QUERY_CODE_COL], "query-code");
+        assert_eq!(FEATURE_NAMES[INPUT_BYTES_COL], "input-size");
     }
 
     #[test]

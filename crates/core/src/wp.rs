@@ -14,17 +14,20 @@
 //! (Cocoa, SplitServe) can call (§5, §6.3.2); [`ConstraintMode`]
 //! implements those integrations' restricted searches.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use smartpick_cloudsim::rngutil::sample_normal;
 use smartpick_cloudsim::{CloudEnv, Money};
 use smartpick_engine::{Allocation, QueryProfile, RelayPolicy};
-use smartpick_ml::bayesopt::{BayesianOptimizer, BoParams};
+use smartpick_ml::bayesopt::{BayesianOptimizer, BoParams, BoResult};
 use smartpick_ml::forest::RandomForest;
 
 use crate::error::SmartpickError;
-use crate::features::QueryFeatures;
+use crate::features::{QueryFeatures, INPUT_BYTES_COL, N_FEATURES, QUERY_CODE_COL};
 use crate::planner::{Planner, UniformWorkload};
 use crate::similarity::SimilarityChecker;
 use crate::tradeoff::{choose_with_knob, EtEntry};
@@ -151,12 +154,88 @@ pub trait WorkloadPredictionService {
     fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError>;
 }
 
+/// One constraint mode's precompiled search space: the BO candidate
+/// coordinates plus the row-major Table-3 feature matrix template the
+/// batched forest evaluation consumes. The template rows are complete
+/// except for the two query-dependent columns (`query-code`,
+/// `input-size`), which `determine()` fills in per request — everything
+/// else (instances, memory, cores) depends only on the grid and the
+/// environment, so it is computed exactly once per trained predictor.
+#[derive(Debug)]
+struct CandidateGrid {
+    /// `[n_vm, n_sl]` per candidate, in the same nested-loop order the
+    /// pre-cache implementation generated.
+    candidates: Vec<Vec<f64>>,
+    /// `candidates.len() × N_FEATURES` row-major feature rows with the
+    /// query columns zeroed.
+    feature_template: Vec<f64>,
+}
+
+impl CandidateGrid {
+    fn build(env: &CloudEnv, coords: Vec<(u32, u32)>) -> CandidateGrid {
+        let mut candidates = Vec::with_capacity(coords.len());
+        let mut feature_template = vec![0.0; coords.len() * N_FEATURES];
+        for ((n_vm, n_sl), row) in coords
+            .iter()
+            .copied()
+            .zip(feature_template.chunks_exact_mut(N_FEATURES))
+        {
+            candidates.push(vec![n_vm as f64, n_sl as f64]);
+            QueryFeatures::for_allocation(0.0, 0.0, &Allocation::new(n_vm, n_sl), env)
+                .write_into(row);
+        }
+        CandidateGrid {
+            candidates,
+            feature_template,
+        }
+    }
+}
+
+/// The four constraint modes' grids, precompiled at assembly time and
+/// shared by every clone/snapshot of the predictor (the bounds they are
+/// keyed on — `max_vm`, `max_sl`, `min_total` — are fixed for the life
+/// of a trained predictor).
+#[derive(Debug)]
+struct CandidateGrids {
+    hybrid: CandidateGrid,
+    vm_only: CandidateGrid,
+    sl_only: CandidateGrid,
+    equal_sl_vm: CandidateGrid,
+}
+
+impl CandidateGrids {
+    fn build(env: &CloudEnv, max_vm: u32, max_sl: u32, min_total: u32) -> CandidateGrids {
+        let coords = |constraint| grid_coords(max_vm, max_sl, min_total, constraint);
+        CandidateGrids {
+            hybrid: CandidateGrid::build(env, coords(ConstraintMode::Hybrid)),
+            vm_only: CandidateGrid::build(env, coords(ConstraintMode::VmOnly)),
+            sl_only: CandidateGrid::build(env, coords(ConstraintMode::SlOnly)),
+            equal_sl_vm: CandidateGrid::build(env, coords(ConstraintMode::EqualSlVm)),
+        }
+    }
+
+    fn get(&self, constraint: ConstraintMode) -> &CandidateGrid {
+        match constraint {
+            ConstraintMode::Hybrid => &self.hybrid,
+            ConstraintMode::VmOnly => &self.vm_only,
+            ConstraintMode::SlOnly => &self.sl_only,
+            ConstraintMode::EqualSlVm => &self.equal_sl_vm,
+        }
+    }
+}
+
 /// The trained predictor: Random Forest + BO + Similarity Checker.
 #[derive(Debug, Clone)]
 pub struct WorkloadPredictor {
     env: CloudEnv,
     forest: RandomForest,
     known: Vec<KnownQuery>,
+    /// Query id → index into `known`, maintained alongside it so id
+    /// resolution is a hash lookup instead of a linear scan.
+    index: HashMap<String, usize>,
+    /// Precompiled per-constraint search spaces (immutable; shared by
+    /// clones, so a retrained copy-on-write predictor reuses them).
+    grids: Arc<CandidateGrids>,
     sc: SimilarityChecker,
     planner: Planner,
     /// Whether the model was trained on relay runs (Smartpick-r).
@@ -191,11 +270,23 @@ impl WorkloadPredictor {
         max_sl: u32,
         min_total: u32,
     ) -> Self {
+        let index = known
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.id.clone(), i))
+            .collect();
         WorkloadPredictor {
             planner: Planner::new(env.clone()),
+            grids: Arc::new(CandidateGrids::build(
+                &env,
+                max_vm,
+                max_sl,
+                min_total.max(1),
+            )),
             env,
             forest,
             known,
+            index,
             sc,
             relay_aware,
             stderr,
@@ -254,10 +345,11 @@ impl WorkloadPredictor {
     /// Registers a previously alien query as known (after retraining has
     /// incorporated it, §4.2). Returns its new code.
     pub fn register_query(&mut self, query: &QueryProfile) -> f64 {
-        if let Some(k) = self.known.iter().find(|k| k.id == query.id) {
-            return k.code;
+        if let Some(&i) = self.index.get(&query.id) {
+            return self.known[i].code;
         }
         let code = self.known.len() as f64;
+        self.index.insert(query.id.clone(), self.known.len());
         self.known.push(KnownQuery {
             id: query.id.clone(),
             code,
@@ -270,7 +362,7 @@ impl WorkloadPredictor {
 
     /// Looks up a known query's code by id.
     pub fn code_of(&self, query_id: &str) -> Option<f64> {
-        self.known.iter().find(|k| k.id == query_id).map(|k| k.code)
+        self.index.get(query_id).map(|&i| self.known[i].code)
     }
 
     /// Predicts the completion time (seconds) of `query` under a specific
@@ -287,47 +379,64 @@ impl WorkloadPredictor {
     ) -> Result<f64, SmartpickError> {
         let (known, _similarity, _known_query) = self.resolve(query)?;
         let features = QueryFeatures::for_allocation(known.code, query.input_gb, alloc, &self.env);
-        Ok(self.forest.predict(&features.to_vec()))
+        Ok(self.forest.predict(&features.to_array()))
     }
 
-    /// Resolves a query to a known query: directly if known, via the
-    /// Similarity Checker otherwise.
+    /// Resolves a query to a known query: directly if known (an id→index
+    /// hash lookup), via the Similarity Checker otherwise.
     fn resolve(&self, query: &QueryProfile) -> Result<(&KnownQuery, f64, bool), SmartpickError> {
-        if let Some(k) = self.known.iter().find(|k| k.id == query.id) {
-            return Ok((k, 1.0, true));
+        if let Some(&i) = self.index.get(&query.id) {
+            return Ok((&self.known[i], 1.0, true));
         }
         let matched = self
             .sc
             .closest(query)
             .ok_or_else(|| SmartpickError::UnknownQuery(query.id.clone()))?;
         let k = self
-            .known
-            .iter()
-            .find(|k| k.id == matched.query_id)
+            .index
+            .get(&matched.query_id)
+            .map(|&i| &self.known[i])
             .ok_or_else(|| SmartpickError::UnknownQuery(query.id.clone()))?;
         Ok((k, matched.similarity, false))
     }
 
-    /// The candidate `{nVM, nSL}` grid for a constraint mode.
-    fn candidates(&self, constraint: ConstraintMode) -> Vec<Vec<f64>> {
-        let mut out = Vec::new();
-        for n_vm in 0..=self.max_vm {
-            for n_sl in 0..=self.max_sl {
-                if n_vm + n_sl < self.min_total.max(1) {
-                    continue;
-                }
-                let keep = match constraint {
-                    ConstraintMode::Hybrid => true,
-                    ConstraintMode::VmOnly => n_sl == 0,
-                    ConstraintMode::SlOnly => n_vm == 0,
-                    ConstraintMode::EqualSlVm => n_vm == n_sl && n_vm > 0,
-                };
-                if keep {
-                    out.push(vec![n_vm as f64, n_sl as f64]);
-                }
-            }
-        }
-        out
+    /// Rebuilds the candidate `{nVM, nSL}` grid for a constraint mode
+    /// from scratch — what every `determine()` call did before the grids
+    /// were precompiled; kept for [`WorkloadPredictor::determine_reference`].
+    /// Enumerates through the same [`grid_coords`] the precompiled grids
+    /// use, so the two paths can never search different candidate sets.
+    fn candidates_rebuilt(&self, constraint: ConstraintMode) -> Vec<Vec<f64>> {
+        grid_coords(self.max_vm, self.max_sl, self.min_total, constraint)
+            .into_iter()
+            .map(|(n_vm, n_sl)| vec![n_vm as f64, n_sl as f64])
+            .collect()
+    }
+
+    /// One GP-guided probe is worth roughly this many flat tree-walks:
+    /// the surrogate iteration's acquisition sweep does a posterior
+    /// (RBF row against every observed probe + a triangular solve) per
+    /// pooled candidate, which measures at ~10–20 tree-walks apiece.
+    /// Priced at the conservative end of that band so a borderline grid
+    /// never sweeps itself slower than the lazy search it replaced.
+    const GP_PROBE_PRICE_WALKS: usize = 10;
+
+    /// Prices the two Equation 2 search strategies for an
+    /// `n_candidates`-point grid and reports whether the batch sweep is
+    /// the cheaper spend of the prediction-latency budget.
+    ///
+    /// Batch sweep: one flat tree-walk per (candidate, tree) pair. Lazy
+    /// GP search: up to `max_evals` surrogate iterations, each scoring
+    /// an `acq_subsample`-candidate pool at
+    /// [`Self::GP_PROBE_PRICE_WALKS`] walks per score.
+    fn batch_sweep_is_cheaper(&self, n_candidates: usize) -> bool {
+        let batch_walks = n_candidates * self.forest.n_trees();
+        let pool = self
+            .bo
+            .acq_subsample
+            .unwrap_or(n_candidates)
+            .min(n_candidates);
+        let gp_walks = self.bo.max_evals * pool * Self::GP_PROBE_PRICE_WALKS;
+        batch_walks <= gp_walks
     }
 
     /// The relay policy the determination should carry.
@@ -338,50 +447,18 @@ impl WorkloadPredictor {
             RelayPolicy::None
         }
     }
-}
 
-/// Approximates a query DAG as a uniform workload for the planner's cost
-/// model: total tasks at the mean per-task VM time.
-pub(crate) fn approximate_workload(query: &QueryProfile, env: &CloudEnv) -> UniformWorkload {
-    let perf = env.perf();
-    let mut total_secs = 0.0;
-    let mut tasks = 0usize;
-    for s in &query.stages {
-        let per_task = s.cpu_ms_per_task / 1000.0 / perf.vm_speed_factor()
-            + perf.storage_read_secs(s.input_mib_per_task + s.shuffle_mib_per_task);
-        total_secs += per_task * s.tasks as f64;
-        tasks += s.tasks;
-    }
-    UniformWorkload {
-        tasks,
-        task_secs_on_vm: if tasks == 0 {
-            0.0
-        } else {
-            total_secs / tasks as f64
-        },
-    }
-}
-
-impl WorkloadPredictionService for WorkloadPredictor {
-    fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError> {
-        let (known, similarity, known_query) = self.resolve(&request.query)?;
-        let code = known.code;
-        let matched_id = known.id.clone();
-
-        let candidates = self.candidates(request.constraint);
-        let mut noise_rng = StdRng::seed_from_u64(request.seed ^ NOISE_SEED_MIX);
-        let bo = BayesianOptimizer::new(self.bo.clone());
-
-        // Equation 2: maximise −(RF_t + δ).
-        let result = bo.maximize(&candidates, request.seed, |x| {
-            let alloc = Allocation::new(x[0] as u32, x[1] as u32);
-            let features =
-                QueryFeatures::for_allocation(code, request.query.input_gb, &alloc, &self.env);
-            let rf_t = self.forest.predict(&features.to_vec());
-            let delta = sample_normal(&mut noise_rng, 0.0, self.noise_sigma);
-            -(rf_t + delta)
-        });
-
+    /// Turns a finished search into a [`Determination`]: builds `ET_l`
+    /// with planner costs, applies the §3.3 knob, and stamps the match
+    /// metadata. Shared by the vectorized and reference paths.
+    fn finish(
+        &self,
+        result: BoResult,
+        knob: f64,
+        known_query: bool,
+        matched_query: String,
+        match_similarity: f64,
+    ) -> Determination {
         // Build ET_l from the probes, with planner costs.
         let et_list: Vec<EtEntry> = result
             .probes
@@ -409,7 +486,7 @@ impl WorkloadPredictionService for WorkloadPredictor {
 
         // Knob (§3.3): traverse ET_l for a cheaper in-tolerance entry.
         let (allocation, predicted_seconds, predicted_cost) =
-            match choose_with_knob(&et_list, t_best, c_best, request.knob) {
+            match choose_with_knob(&et_list, t_best, c_best, knob) {
                 Some(i) => {
                     let e = &et_list[i];
                     (e.allocation, e.est_seconds, e.est_cost)
@@ -417,16 +494,164 @@ impl WorkloadPredictionService for WorkloadPredictor {
                 None => (best_alloc, t_best, c_best),
             };
 
-        Ok(Determination {
+        Determination {
             allocation,
             predicted_seconds,
             predicted_cost,
             et_list,
             evaluations: result.evaluations,
             known_query,
-            matched_query: matched_id,
-            match_similarity: similarity,
-        })
+            matched_query,
+            match_similarity,
+        }
+    }
+
+    /// The original scalar `determine()` implementation: the candidate
+    /// grid is rebuilt on every call, each BO probe allocates a feature
+    /// `Vec` and walks the forest's `enum`-node trees, and the GP
+    /// surrogate guides probe selection. Kept verbatim as the
+    /// pre-vectorization baseline the `determine_latency` benchmark and
+    /// the equivalence tests measure [`WorkloadPredictionService::determine`]
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartpickError::UnknownQuery`] when the query cannot be
+    /// matched.
+    pub fn determine_reference(
+        &self,
+        request: &PredictionRequest,
+    ) -> Result<Determination, SmartpickError> {
+        let (known, similarity, known_query) = self.resolve(&request.query)?;
+        let code = known.code;
+        let matched_id = known.id.clone();
+
+        let candidates = self.candidates_rebuilt(request.constraint);
+        let mut noise_rng = StdRng::seed_from_u64(request.seed ^ NOISE_SEED_MIX);
+        let bo = BayesianOptimizer::new(self.bo.clone());
+
+        // Equation 2: maximise −(RF_t + δ).
+        let result = bo.maximize(&candidates, request.seed, |x| {
+            let alloc = Allocation::new(x[0] as u32, x[1] as u32);
+            let features =
+                QueryFeatures::for_allocation(code, request.query.input_gb, &alloc, &self.env);
+            let rf_t = self.forest.predict_reference(&features.to_vec());
+            let delta = sample_normal(&mut noise_rng, 0.0, self.noise_sigma);
+            -(rf_t + delta)
+        });
+
+        Ok(self.finish(result, request.knob, known_query, matched_id, similarity))
+    }
+}
+
+/// Enumerates the candidate `{nVM, nSL}` coordinates for one constraint
+/// mode, in the canonical nested-loop order. The single source of truth
+/// for the search space: the precompiled [`CandidateGrids`] and the
+/// reference path's per-call rebuild both go through here.
+fn grid_coords(
+    max_vm: u32,
+    max_sl: u32,
+    min_total: u32,
+    constraint: ConstraintMode,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for n_vm in 0..=max_vm {
+        for n_sl in 0..=max_sl {
+            if n_vm + n_sl < min_total.max(1) {
+                continue;
+            }
+            let keep = match constraint {
+                ConstraintMode::Hybrid => true,
+                ConstraintMode::VmOnly => n_sl == 0,
+                ConstraintMode::SlOnly => n_vm == 0,
+                ConstraintMode::EqualSlVm => n_vm == n_sl && n_vm > 0,
+            };
+            if keep {
+                out.push((n_vm, n_sl));
+            }
+        }
+    }
+    out
+}
+
+/// Approximates a query DAG as a uniform workload for the planner's cost
+/// model: total tasks at the mean per-task VM time.
+pub(crate) fn approximate_workload(query: &QueryProfile, env: &CloudEnv) -> UniformWorkload {
+    let perf = env.perf();
+    let mut total_secs = 0.0;
+    let mut tasks = 0usize;
+    for s in &query.stages {
+        let per_task = s.cpu_ms_per_task / 1000.0 / perf.vm_speed_factor()
+            + perf.storage_read_secs(s.input_mib_per_task + s.shuffle_mib_per_task);
+        total_secs += per_task * s.tasks as f64;
+        tasks += s.tasks;
+    }
+    UniformWorkload {
+        tasks,
+        task_secs_on_vm: if tasks == 0 {
+            0.0
+        } else {
+            total_secs / tasks as f64
+        },
+    }
+}
+
+impl WorkloadPredictionService for WorkloadPredictor {
+    /// The vectorized `determine()` with a **priced latency budget**:
+    /// both Equation 2 search strategies are priced in flat-tree-walk
+    /// equivalents and the cheaper one runs.
+    ///
+    /// * **Batch sweep** (small grids, the common case): Equation 1 is
+    ///   batch-evaluated over the *entire* precompiled candidate grid in
+    ///   one tree-outer pass through the flat forest, and the search
+    ///   consumes the precomputed `RF_t` values — same seeded initial
+    ///   design, δ observation noise, `ET_l` recording and §3.1
+    ///   termination rule, but probes cost an array lookup and the
+    ///   model's true grid optimum is guaranteed to be among them.
+    /// * **Lazy GP search** (grids big enough that sweeping them costs
+    ///   more than the surrogate loop): the paper's GP-guided probing,
+    ///   but over the cached grid, with stack-allocated feature rows and
+    ///   flat-tree probes.
+    fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError> {
+        let (known, similarity, known_query) = self.resolve(&request.query)?;
+        let code = known.code;
+        let matched_id = known.id.clone();
+
+        let grid = self.grids.get(request.constraint);
+        let mut noise_rng = StdRng::seed_from_u64(request.seed ^ NOISE_SEED_MIX);
+        let bo = BayesianOptimizer::new(self.bo.clone());
+
+        let result = if self.batch_sweep_is_cheaper(grid.candidates.len()) {
+            // Fill the two query-dependent columns of the cached feature
+            // template, then batch-evaluate RF_t for every candidate.
+            let mut features = grid.feature_template.clone();
+            let input_bytes = QueryFeatures::input_gb_to_bytes(request.query.input_gb);
+            for row in features.chunks_exact_mut(N_FEATURES) {
+                row[QUERY_CODE_COL] = code;
+                row[INPUT_BYTES_COL] = input_bytes;
+            }
+            let mut objective = vec![0.0; grid.candidates.len()];
+            self.forest.predict_batch_into(&features, &mut objective);
+            // Equation 2 maximises −(RF_t + δ): negate in place, add δ
+            // per probe below.
+            for v in &mut objective {
+                *v = -*v;
+            }
+            bo.maximize_precomputed(&grid.candidates, &objective, request.seed, |_| {
+                -sample_normal(&mut noise_rng, 0.0, self.noise_sigma)
+            })
+        } else {
+            bo.maximize(&grid.candidates, request.seed, |x| {
+                let alloc = Allocation::new(x[0] as u32, x[1] as u32);
+                let features =
+                    QueryFeatures::for_allocation(code, request.query.input_gb, &alloc, &self.env);
+                let rf_t = self.forest.predict(&features.to_array());
+                let delta = sample_normal(&mut noise_rng, 0.0, self.noise_sigma);
+                -(rf_t + delta)
+            })
+        };
+
+        Ok(self.finish(result, request.knob, known_query, matched_id, similarity))
     }
 }
 

@@ -120,6 +120,81 @@ fn predictions_scale_with_instance_count() {
 }
 
 #[test]
+fn batch_sweep_probes_include_the_grid_optimum() {
+    // The vectorized path pre-evaluates the whole grid, so the model's
+    // true argmin over the candidate set must always be among the probes
+    // (the first greedy probe) — a guarantee the GP surrogate never made.
+    let wp = predictor();
+    let q = tpcds::query(11, 100.0).unwrap();
+    let det = wp
+        .determine(&PredictionRequest::new(q.clone(), 31))
+        .unwrap();
+    // Exhaustively find the model's best candidate.
+    let (max_vm, max_sl) = wp.search_bounds();
+    let mut best = f64::INFINITY;
+    let mut best_alloc = smartpick_engine::Allocation::new(0, 0);
+    for n_vm in 0..=max_vm {
+        for n_sl in 0..=max_sl {
+            if n_vm + n_sl < 4 {
+                continue;
+            }
+            let alloc = smartpick_engine::Allocation::new(n_vm, n_sl);
+            let t = wp.predict_seconds(&q, &alloc).unwrap();
+            if t < best {
+                best = t;
+                best_alloc = alloc;
+            }
+        }
+    }
+    assert!(
+        det.et_list
+            .iter()
+            .any(|e| e.allocation.n_vm == best_alloc.n_vm && e.allocation.n_sl == best_alloc.n_sl),
+        "ET_l must contain the grid optimum {best_alloc}"
+    );
+    // And the chosen prediction sits within the δ-noise band of it.
+    assert!(det.predicted_seconds <= best + 1.0);
+}
+
+#[test]
+fn vectorized_and_reference_paths_agree_on_the_model() {
+    // Both paths consume the same forest: every probe in either path's
+    // ET_l must equal the scalar model prediction for its allocation,
+    // up to the δ observation noise (σ = 0.25, so 6σ bounds it).
+    let wp = predictor();
+    let q = tpcds::query(49, 100.0).unwrap();
+    for det in [
+        wp.determine(&PredictionRequest::new(q.clone(), 5)).unwrap(),
+        wp.determine_reference(&PredictionRequest::new(q.clone(), 5))
+            .unwrap(),
+    ] {
+        for e in &det.et_list {
+            let alloc = smartpick_engine::Allocation::new(e.allocation.n_vm, e.allocation.n_sl);
+            let model = wp.predict_seconds(&q, &alloc).unwrap();
+            assert!(
+                (e.est_seconds - model).abs() < 1.5,
+                "probe {} drifted from the model: {} vs {model}",
+                e.allocation,
+                e.est_seconds
+            );
+        }
+    }
+}
+
+#[test]
+fn determinations_are_deterministic_given_seed() {
+    let wp = predictor();
+    let q = tpcds::query(82, 100.0).unwrap();
+    let a = wp
+        .determine(&PredictionRequest::new(q.clone(), 77))
+        .unwrap();
+    let b = wp.determine(&PredictionRequest::new(q, 77)).unwrap();
+    assert_eq!(a.allocation, b.allocation);
+    assert_eq!(a.predicted_seconds, b.predicted_seconds);
+    assert_eq!(a.et_list, b.et_list);
+}
+
+#[test]
 fn relay_aware_predictor_emits_relay_allocations() {
     let env = CloudEnv::new(Provider::Aws);
     let queries: Vec<_> = [82u32, 74]

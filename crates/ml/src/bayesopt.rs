@@ -258,6 +258,132 @@ impl BayesianOptimizer {
             evaluations,
         }
     }
+
+    /// Maximises an objective whose *mean* value at every candidate is
+    /// already known — the fast path for callers that batch-evaluate
+    /// their model over the whole candidate set up front (Smartpick's
+    /// vectorized `determine()`).
+    ///
+    /// The GP surrogate earns its O(n³) keep only while objective
+    /// evaluations are scarce; with `values[i]` precomputed there is
+    /// nothing left to learn, so the surrogate-guided phase degenerates
+    /// to probing unvisited candidates in descending mean order
+    /// (exploitation with zero posterior uncertainty). Everything else in
+    /// the loop's contract is preserved: the same seeded shuffled initial
+    /// design of `n_init` random probes, per-probe observation noise via
+    /// `noise` (called once per probe, in probe order, so callers can
+    /// stream a seeded RNG through it), every probe recorded for `ET_l`,
+    /// candidates probed at most once, and the paper's termination rule
+    /// (no ≥`improvement_rel_tol` relative improvement for `patience`
+    /// consecutive probes, capped at `max_evals`).
+    ///
+    /// The probe objective is `values[i] + noise(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `values` has a different
+    /// length.
+    pub fn maximize_precomputed(
+        &self,
+        candidates: &[Vec<f64>],
+        values: &[f64],
+        seed: u64,
+        mut noise: impl FnMut(usize) -> f64,
+    ) -> BoResult {
+        assert!(!candidates.is_empty(), "candidate set must be non-empty");
+        assert_eq!(
+            candidates.len(),
+            values.len(),
+            "one precomputed value per candidate required"
+        );
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut unprobed: Vec<usize> = (0..candidates.len()).collect();
+        unprobed.shuffle(&mut rng);
+
+        let mut probed = vec![false; candidates.len()];
+        let mut probes: Vec<Probe> = Vec::new();
+        let mut best_index = 0usize;
+        let mut best_objective = f64::NEG_INFINITY;
+        let mut stale = 0usize;
+
+        let mut probe = |idx: usize,
+                         probes: &mut Vec<Probe>,
+                         best_index: &mut usize,
+                         best_objective: &mut f64,
+                         stale: &mut usize| {
+            let y = values[idx] + noise(idx);
+            probes.push(Probe {
+                candidate_index: idx,
+                x: candidates[idx].clone(),
+                objective: y,
+            });
+            let improved = if best_objective.is_finite() {
+                let scale = best_objective.abs().max(1e-9);
+                (y - *best_objective) / scale >= self.params.improvement_rel_tol
+            } else {
+                true
+            };
+            if y > *best_objective {
+                *best_objective = y;
+                *best_index = idx;
+            }
+            if improved {
+                *stale = 0;
+            } else {
+                *stale += 1;
+            }
+        };
+
+        // Phase 1: the same random initial design as `maximize`.
+        let n_init = p.n_init.min(candidates.len()).max(1);
+        for _ in 0..n_init {
+            let idx = unprobed.pop().expect("n_init bounded by candidate count");
+            probed[idx] = true;
+            probe(
+                idx,
+                &mut probes,
+                &mut best_index,
+                &mut best_objective,
+                &mut stale,
+            );
+        }
+
+        // Phase 2: consume candidates best-mean-first. One descending
+        // sort replaces every GP fit + acquisition sweep.
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            values[b]
+                .partial_cmp(&values[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for idx in order {
+            if probes.len() >= p.max_evals || stale >= p.patience {
+                break;
+            }
+            if probed[idx] {
+                continue;
+            }
+            probed[idx] = true;
+            probe(
+                idx,
+                &mut probes,
+                &mut best_index,
+                &mut best_objective,
+                &mut stale,
+            );
+        }
+
+        let evaluations = probes.len();
+        BoResult {
+            best_x: candidates[best_index].clone(),
+            best_index,
+            best_objective,
+            probes,
+            evaluations,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -370,5 +496,92 @@ mod tests {
     fn empty_candidates_panic() {
         let bo = BayesianOptimizer::new(BoParams::default());
         let _ = bo.maximize(&[], 0, |_| 0.0);
+    }
+
+    #[test]
+    fn precomputed_probes_the_true_argmax_first() {
+        let candidates = grid_2d(12);
+        let values: Vec<f64> = candidates
+            .iter()
+            .map(|x| -((x[0] - 7.0).powi(2) + (x[1] - 4.0).powi(2)))
+            .collect();
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let res = bo.maximize_precomputed(&candidates, &values, 11, |_| 0.0);
+        // With zero noise the first greedy probe is the grid argmax, so
+        // the best candidate is exact — no surrogate approximation.
+        assert_eq!(res.best_x, vec![7.0, 4.0]);
+        assert!(res.evaluations < candidates.len());
+        // The argmax is always among the recorded probes (ET_l).
+        assert!(res
+            .probes
+            .iter()
+            .any(|p| p.candidate_index == res.best_index));
+    }
+
+    #[test]
+    fn precomputed_termination_rule_still_applies() {
+        let candidates = grid_2d(20);
+        let params = BoParams {
+            n_init: 4,
+            max_evals: 400,
+            ..BoParams::default()
+        };
+        let bo = BayesianOptimizer::new(params);
+        let values = vec![1.0; candidates.len()];
+        let res = bo.maximize_precomputed(&candidates, &values, 3, |_| 0.0);
+        assert!(res.evaluations <= 4 + 10 + 1, "evals {}", res.evaluations);
+    }
+
+    #[test]
+    fn precomputed_probes_are_unique_and_deterministic() {
+        let candidates = grid_2d(6);
+        let values: Vec<f64> = candidates.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let bo = BayesianOptimizer::new(BoParams {
+            max_evals: 36,
+            patience: 100,
+            ..BoParams::default()
+        });
+        let noisy = |i: usize| (i % 3) as f64 * 0.01;
+        let a = bo.maximize_precomputed(&candidates, &values, 9, noisy);
+        let b = bo.maximize_precomputed(&candidates, &values, 9, noisy);
+        assert_eq!(a.probes, b.probes);
+        let mut seen: Vec<usize> = a.probes.iter().map(|p| p.candidate_index).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "a candidate was probed twice");
+        // Every candidate got probed (max_evals covers the whole grid,
+        // values strictly improve so patience never fires early).
+        assert_eq!(a.evaluations, 36);
+    }
+
+    #[test]
+    fn precomputed_noise_is_sampled_once_per_probe_in_order() {
+        let candidates = grid_2d(4);
+        let values = vec![0.0; candidates.len()];
+        let bo = BayesianOptimizer::new(BoParams {
+            n_init: 2,
+            max_evals: 5,
+            patience: 100,
+            ..BoParams::default()
+        });
+        let mut calls = Vec::new();
+        let res = bo.maximize_precomputed(&candidates, &values, 1, |i| {
+            calls.push(i);
+            calls.len() as f64
+        });
+        assert_eq!(res.evaluations, 5);
+        let order: Vec<usize> = res.probes.iter().map(|p| p.candidate_index).collect();
+        assert_eq!(calls, order, "noise stream must follow probe order");
+        // The recorded objective carries the noise term.
+        assert_eq!(res.probes[0].objective, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn precomputed_length_mismatch_panics() {
+        let candidates = grid_2d(3);
+        let bo = BayesianOptimizer::new(BoParams::default());
+        let _ = bo.maximize_precomputed(&candidates, &[1.0], 0, |_| 0.0);
     }
 }

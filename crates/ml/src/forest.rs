@@ -157,17 +157,83 @@ impl RandomForest {
         sum / self.trees.len() as f64
     }
 
+    /// Predicts via the original recursive `enum`-node walk — the
+    /// pre-compilation reference path, kept as the equivalence oracle and
+    /// the benchmark baseline for the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn predict_reference(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let sum: f64 = self.trees.iter().map(|t| t.predict_reference(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
     /// Predicts every row of `xs`.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
 
+    /// Predicts every row of the row-major matrix `xs` (stride =
+    /// [`RandomForest::n_features`]) into `out`, allocation-free and
+    /// **tree-outer**: each tree's flat arrays are walked across the
+    /// entire batch before the next tree is touched, so one tree's
+    /// layout stays hot in cache for all candidates. Accumulation runs
+    /// in the same tree order as [`RandomForest::predict`], so results
+    /// are bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not `out.len()` rows of `n_features` columns.
+    pub fn predict_batch_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len() * self.n_features,
+            "matrix shape mismatch"
+        );
+        out.fill(0.0);
+        for tree in &self.trees {
+            tree.accumulate_batch(xs, out);
+        }
+        let n = self.trees.len() as f64;
+        for o in out {
+            *o /= n;
+        }
+    }
+
+    /// Allocating convenience over [`RandomForest::predict_batch_into`]
+    /// for a row-major flat candidate matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not a whole number of `n_features`-wide rows.
+    pub fn predict_batch_flat(&self, xs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            xs.len() % self.n_features.max(1),
+            0,
+            "matrix width mismatch"
+        );
+        let rows = xs.len().checked_div(self.n_features).unwrap_or(0);
+        let mut out = vec![0.0; rows];
+        self.predict_batch_into(xs, &mut out);
+        out
+    }
+
     /// Ensemble mean and standard deviation across trees for one input —
-    /// a cheap uncertainty proxy.
+    /// a cheap uncertainty proxy. Runs Welford's online update over the
+    /// per-tree predictions, so no intermediate `Vec` is collected.
     pub fn predict_with_std(&self, x: &[f64]) -> (f64, f64) {
-        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
-        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for (i, tree) in self.trees.iter().enumerate() {
+            let p = tree.predict(x);
+            let delta = p - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (p - mean);
+        }
+        let var = m2 / self.trees.len() as f64;
         (mean, var.sqrt())
     }
 
@@ -344,5 +410,26 @@ mod tests {
         let f = RandomForest::fit(&d, &ForestParams::default(), 5).unwrap();
         let (mean, std) = f.predict_with_std(&[5.0, 0.0]);
         assert!(mean.is_finite() && std >= 0.0);
+        // Welford's mean agrees with the ensemble mean to numerical noise.
+        assert!((mean - f.predict(&[5.0, 0.0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_flat_matches_scalar_bitwise() {
+        let d = wave_data(150);
+        let f = RandomForest::fit(&d, &ForestParams::default(), 5).unwrap();
+        // 13 rows exercises the 4-wide blocks plus a remainder.
+        let rows: Vec<[f64; 2]> = (0..13).map(|i| [i as f64 * 0.83, (i % 4) as f64]).collect();
+        let xs: Vec<f64> = rows.iter().flatten().copied().collect();
+        let out = f.predict_batch_flat(&xs);
+        assert_eq!(out.len(), rows.len());
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), f.predict(row).to_bits());
+            assert_eq!(got.to_bits(), f.predict_reference(row).to_bits());
+        }
+        // The into-variant reuses a caller buffer without reallocating.
+        let mut buf = vec![f64::NAN; rows.len()];
+        f.predict_batch_into(&xs, &mut buf);
+        assert_eq!(buf, out);
     }
 }

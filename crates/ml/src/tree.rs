@@ -47,6 +47,102 @@ enum Node {
     },
 }
 
+/// Sentinel in [`FlatTree::feature`] marking a leaf slot.
+const LEAF: u16 = u16::MAX;
+
+/// The fitted tree compiled into a flat struct-of-arrays layout.
+///
+/// Node *i* is a leaf when `feature[i] == LEAF`, in which case
+/// `threshold[i]` holds the leaf value inline. Otherwise `children[i]` is
+/// the left-child index and the right child sits at `children[i] + 1`:
+/// the compiler renumbers nodes so siblings are always adjacent, which
+/// keeps a root-to-leaf walk on three parallel arrays instead of chasing
+/// an enum through a pointer-sized tag per node.
+#[derive(Debug, Clone)]
+struct FlatTree {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    children: Vec<u32>,
+}
+
+impl FlatTree {
+    /// Compiles the builder's `Node` tree (root at index 0) into the flat
+    /// layout. Values are copied verbatim, so flat traversal is
+    /// bit-identical to the recursive enum walk.
+    fn compile(nodes: &[Node]) -> FlatTree {
+        let n = nodes.len();
+        let mut flat = FlatTree {
+            feature: vec![0; n],
+            threshold: vec![0.0; n],
+            children: vec![0; n],
+        };
+        // Worklist of (enum index, flat index); children are allocated in
+        // adjacent pairs so only the left index needs storing.
+        let mut next_free = 1u32;
+        let mut work = vec![(0usize, 0u32)];
+        while let Some((src, dst)) = work.pop() {
+            let dst_usize = dst as usize;
+            match nodes[src] {
+                Node::Leaf { value } => {
+                    flat.feature[dst_usize] = LEAF;
+                    flat.threshold[dst_usize] = value;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    flat.feature[dst_usize] =
+                        u16::try_from(feature).expect("feature index fits u16");
+                    flat.threshold[dst_usize] = threshold;
+                    flat.children[dst_usize] = next_free;
+                    work.push((left, next_free));
+                    work.push((right, next_free + 1));
+                    next_free += 2;
+                }
+            }
+        }
+        debug_assert_eq!(next_free as usize, n);
+        flat
+    }
+
+    /// Advances one walk by a single node: descends `i` for a split and
+    /// returns `false`, or returns `true` when `i` rests on a leaf.
+    #[inline]
+    fn step(&self, x: &[f64], i: &mut usize) -> bool {
+        let f = self.feature[*i];
+        if f == LEAF {
+            return true;
+        }
+        let left = self.children[*i] as usize;
+        *i = if x[f as usize] <= self.threshold[*i] {
+            left
+        } else {
+            left + 1
+        };
+        false
+    }
+
+    /// Walks the flat arrays to a leaf.
+    #[inline]
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.threshold[i];
+            }
+            let left = self.children[i] as usize;
+            i = if x[f as usize] <= self.threshold[i] {
+                left
+            } else {
+                left + 1
+            };
+        }
+    }
+}
+
 /// A fitted CART regression tree.
 ///
 /// # Example
@@ -67,7 +163,12 @@ enum Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RegressionTree {
+    /// The as-built node tree; kept as the reference implementation the
+    /// flat layout is proven bit-identical against (see
+    /// [`RegressionTree::predict_reference`]).
     nodes: Vec<Node>,
+    /// The inference-path compilation of `nodes` (see [`FlatTree`]).
+    flat: FlatTree,
     n_features: usize,
     /// Total variance reduction contributed by each feature (unnormalised
     /// impurity importance).
@@ -254,19 +355,38 @@ impl RegressionTree {
         let all: Vec<usize> = (0..xs.len()).collect();
         let root = builder.build(&all, 0, &mut rng);
         debug_assert_eq!(root, 0);
+        assert!(
+            data.n_features() < LEAF as usize,
+            "feature count must fit below the u16 leaf sentinel"
+        );
         Ok(RegressionTree {
+            flat: FlatTree::compile(&builder.nodes),
             nodes: builder.nodes,
             n_features: data.n_features(),
             importance: builder.importance,
         })
     }
 
-    /// Predicts the target for one feature vector.
+    /// Predicts the target for one feature vector by walking the flat
+    /// struct-of-arrays compilation — bit-identical to
+    /// [`RegressionTree::predict_reference`], just cache-friendly.
     ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong width.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        self.flat.predict(x)
+    }
+
+    /// Predicts by walking the original `enum`-node tree — the
+    /// pointer-chasing pre-compilation path, kept as the equivalence
+    /// oracle (and benchmark baseline) for the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn predict_reference(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_features, "feature width mismatch");
         let mut node = 0;
         loop {
@@ -285,6 +405,68 @@ impl RegressionTree {
                     };
                 }
             }
+        }
+    }
+
+    /// Accumulates this tree's prediction for every row of the row-major
+    /// matrix `xs` (stride = the tree's feature count) into `out`
+    /// (`out[r] += predict(row r)`), walking the flat arrays so one
+    /// tree's layout stays hot in cache across the whole batch. Rows are
+    /// processed in independent blocks so the walks overlap in the
+    /// pipeline instead of serialising on load latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not `out.len()` rows of `n_features`.
+    pub fn accumulate_batch(&self, xs: &[f64], out: &mut [f64]) {
+        let nf = self.n_features;
+        assert_eq!(xs.len(), out.len() * nf, "matrix shape mismatch");
+        if nf == 0 {
+            // A zero-width tree is necessarily a single leaf.
+            for o in out {
+                *o += self.flat.predict(&[]);
+            }
+            return;
+        }
+        let mut rows = xs.chunks_exact(nf * 4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (quad, o) in rows.by_ref().zip(outs.by_ref()) {
+            // Four independent root-to-leaf walks in flight at once.
+            let (a, rest) = quad.split_at(nf);
+            let (b, rest) = rest.split_at(nf);
+            let (c, d) = rest.split_at(nf);
+            let mut ia = 0usize;
+            let mut ib = 0usize;
+            let mut ic = 0usize;
+            let mut id = 0usize;
+            let mut da = false;
+            let mut db = false;
+            let mut dc = false;
+            let mut dd = false;
+            loop {
+                if !da {
+                    da = self.flat.step(a, &mut ia);
+                }
+                if !db {
+                    db = self.flat.step(b, &mut ib);
+                }
+                if !dc {
+                    dc = self.flat.step(c, &mut ic);
+                }
+                if !dd {
+                    dd = self.flat.step(d, &mut id);
+                }
+                if da && db && dc && dd {
+                    break;
+                }
+            }
+            o[0] += self.flat.threshold[ia];
+            o[1] += self.flat.threshold[ib];
+            o[2] += self.flat.threshold[ic];
+            o[3] += self.flat.threshold[id];
+        }
+        for (row, o) in rows.remainder().chunks_exact(nf).zip(outs.into_remainder()) {
+            *o += self.flat.predict(row);
         }
     }
 
@@ -391,5 +573,29 @@ mod tests {
         let d = step_data();
         let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
         let _ = t.predict(&[1.0]);
+    }
+
+    #[test]
+    fn flat_walk_matches_reference_bitwise() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        for i in 0..120 {
+            let x = [i as f64 - 10.0, (i % 9) as f64];
+            assert_eq!(t.predict(&x).to_bits(), t.predict_reference(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn accumulate_batch_matches_scalar_walks() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+        // 11 rows: exercises both the 4-wide blocks and the remainder.
+        let rows: Vec<[f64; 2]> = (0..11).map(|i| [i as f64 * 9.5, (i % 5) as f64]).collect();
+        let xs: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut out = vec![0.0; rows.len()];
+        t.accumulate_batch(&xs, &mut out);
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), t.predict(row).to_bits());
+        }
     }
 }

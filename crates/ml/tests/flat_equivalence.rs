@@ -1,0 +1,174 @@
+//! Property-based proof that the flat struct-of-arrays compilation and
+//! the tree-outer batch path produce **bit-identical** predictions to the
+//! original recursive `enum`-node walk — across random datasets, probe
+//! grids, and forest sizes, including the degenerate shapes (single-leaf
+//! trees, one-sample datasets; a zero-tree "empty forest" is
+//! unconstructible by design and stays an error).
+
+use proptest::prelude::*;
+
+use smartpick_ml::dataset::Dataset;
+use smartpick_ml::forest::{ForestParams, RandomForest};
+use smartpick_ml::tree::{RegressionTree, TreeParams};
+use smartpick_ml::MlError;
+
+fn dataset(width: usize, points: &[(Vec<f64>, f64)]) -> Dataset {
+    let mut d = Dataset::new((0..width).map(|i| format!("f{i}")).collect());
+    for (x, y) in points {
+        d.push(x.clone(), *y);
+    }
+    d
+}
+
+/// A row-major probe matrix spanning the training range and beyond.
+fn probe_grid(width: usize, n_rows: usize, spread: f64) -> Vec<f64> {
+    let mut xs = Vec::with_capacity(width * n_rows);
+    for r in 0..n_rows {
+        for c in 0..width {
+            // Deterministic but irregular coverage, including negatives
+            // and values outside the training hull.
+            let v = ((r * 31 + c * 17) % 97) as f64 / 97.0;
+            xs.push((v - 0.5) * 2.0 * spread);
+        }
+    }
+    xs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single trees: the flat walk is bit-identical to the recursive
+    /// reference walk everywhere, not just on training points.
+    #[test]
+    fn tree_flat_walk_is_bit_identical(
+        width in 1usize..5,
+        raw in prop::collection::vec((prop::collection::vec(-50.0f64..50.0, 4), -100.0f64..100.0), 1..40),
+        max_depth in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let points: Vec<(Vec<f64>, f64)> =
+            raw.iter().map(|(x, y)| (x[..width].to_vec(), *y)).collect();
+        let d = dataset(width, &points);
+        let params = TreeParams { max_depth, ..TreeParams::default() };
+        let tree = RegressionTree::fit(&d, &params, seed).unwrap();
+        let grid = probe_grid(width, 23, 80.0);
+        for row in grid.chunks_exact(width) {
+            prop_assert_eq!(
+                tree.predict(row).to_bits(),
+                tree.predict_reference(row).to_bits()
+            );
+        }
+    }
+
+    /// Forests: scalar, reference, and tree-outer batch paths agree
+    /// bit-for-bit over a whole probe grid, across forest sizes and the
+    /// single-leaf degenerate (max_depth = 0).
+    #[test]
+    fn forest_batch_path_is_bit_identical(
+        width in 1usize..5,
+        raw in prop::collection::vec((prop::collection::vec(-50.0f64..50.0, 4), -100.0f64..100.0), 1..30),
+        n_trees in 1usize..12,
+        max_depth in 0usize..10,
+        rows in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let points: Vec<(Vec<f64>, f64)> =
+            raw.iter().map(|(x, y)| (x[..width].to_vec(), *y)).collect();
+        let d = dataset(width, &points);
+        let params = ForestParams {
+            n_trees,
+            tree: TreeParams { max_depth, ..TreeParams::default() },
+            ..ForestParams::default()
+        };
+        let forest = RandomForest::fit(&d, &params, seed).unwrap();
+        let grid = probe_grid(width, rows, 120.0);
+
+        // Batch (tree-outer, flat) vs scalar (flat) vs reference (enum).
+        let batch = forest.predict_batch_flat(&grid);
+        prop_assert_eq!(batch.len(), rows);
+        for (row, got) in grid.chunks_exact(width).zip(&batch) {
+            prop_assert_eq!(got.to_bits(), forest.predict(row).to_bits());
+            prop_assert_eq!(got.to_bits(), forest.predict_reference(row).to_bits());
+        }
+
+        // The buffer-reusing variant agrees with the allocating one.
+        let mut buf = vec![f64::NAN; rows];
+        forest.predict_batch_into(&grid, &mut buf);
+        prop_assert_eq!(&buf, &batch);
+
+        // And the legacy Vec-of-rows batch stays consistent too.
+        let rows_vec: Vec<Vec<f64>> =
+            grid.chunks_exact(width).map(|r| r.to_vec()).collect();
+        let legacy = forest.predict_batch(&rows_vec);
+        prop_assert_eq!(legacy, batch);
+    }
+
+    /// Warm-start retraining (the ensemble-mutating path) preserves the
+    /// equivalence: extended and pruned forests still agree across paths.
+    #[test]
+    fn equivalence_survives_warm_start_and_eviction(
+        raw in prop::collection::vec((-50.0f64..50.0, -100.0f64..100.0), 2..25),
+        extend in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let points: Vec<(Vec<f64>, f64)> =
+            raw.iter().map(|&(x, y)| (vec![x], y)).collect();
+        let d = dataset(1, &points);
+        let params = ForestParams { n_trees: 4, ..ForestParams::default() };
+        let mut forest = RandomForest::fit(&d, &params, seed).unwrap();
+        forest.warm_start_extend(&d, extend, seed ^ 0xA5).unwrap();
+        forest.retire_oldest(2, 1);
+        let grid = probe_grid(1, 17, 90.0);
+        let batch = forest.predict_batch_flat(&grid);
+        for (row, got) in grid.chunks_exact(1).zip(&batch) {
+            prop_assert_eq!(got.to_bits(), forest.predict_reference(row).to_bits());
+        }
+    }
+}
+
+/// The "empty forest" case: a zero-tree ensemble cannot be built, so the
+/// batch path never has to divide by zero — the constructor rejects it.
+#[test]
+fn empty_forest_is_unconstructible() {
+    let mut d = Dataset::new(vec!["x".into()]);
+    d.push(vec![1.0], 2.0);
+    let params = ForestParams {
+        n_trees: 0,
+        ..ForestParams::default()
+    };
+    assert!(matches!(
+        RandomForest::fit(&d, &params, 0),
+        Err(MlError::InvalidParameter(_))
+    ));
+}
+
+/// An empty probe matrix is a no-op for every batch entry point.
+#[test]
+fn empty_batch_is_a_noop() {
+    let mut d = Dataset::new(vec!["x".into()]);
+    for i in 0..6 {
+        d.push(vec![i as f64], i as f64);
+    }
+    let forest = RandomForest::fit(&d, &ForestParams::default(), 3).unwrap();
+    assert!(forest.predict_batch_flat(&[]).is_empty());
+    let mut out: Vec<f64> = Vec::new();
+    forest.predict_batch_into(&[], &mut out);
+    assert!(out.is_empty());
+}
+
+/// A one-sample dataset compiles to a single-leaf tree whose flat walk
+/// returns the constant bit-identically.
+#[test]
+fn single_leaf_tree_is_flat_identical() {
+    let mut d = Dataset::new(vec!["x".into()]);
+    d.push(vec![0.25], 7.125);
+    let tree = RegressionTree::fit(&d, &TreeParams::default(), 0).unwrap();
+    assert_eq!(tree.node_count(), 1);
+    for probe in [-1e9, 0.0, 0.25, 1e9] {
+        assert_eq!(
+            tree.predict(&[probe]).to_bits(),
+            tree.predict_reference(&[probe]).to_bits()
+        );
+        assert_eq!(tree.predict(&[probe]), 7.125);
+    }
+}

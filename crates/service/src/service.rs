@@ -38,6 +38,11 @@ pub struct ServiceConfig {
     /// slice of the update queue, so retrains for distinct tenants
     /// proceed in parallel while each tenant's reports stay ordered.
     pub retrain_workers: usize,
+    /// Snapshot-staleness SLO: a prediction served from a snapshot older
+    /// than this is *flagged* (never shed) — it counts into
+    /// [`TenantStats::stale_predictions`] and trips
+    /// [`TenantStats::snapshot_stale`]. `None` disables the check.
+    pub max_snapshot_age: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +53,7 @@ impl Default for ServiceConfig {
             tenant_pending_cap: 64,
             retrain_batch_max: 32,
             retrain_workers: 2,
+            max_snapshot_age: None,
         }
     }
 }
@@ -259,10 +265,32 @@ impl SmartpickService {
     ) -> Result<Determination, ServiceError> {
         let start = Instant::now();
         let snapshot = state.read_snapshot();
+        let stale = self.snapshot_is_stale(state);
         let determination = snapshot.determine(request)?;
+        // Staleness SLO: flag (never delay or shed) predictions served
+        // from a snapshot past the configured age bound. Counted only
+        // for predictions actually served, so the counter can never
+        // exceed `predictions`.
+        if stale {
+            state
+                .counters
+                .stale_predictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
         state.counters.predictions.fetch_add(1, Ordering::Relaxed);
         self.predict_latency.record(start.elapsed());
         Ok(determination)
+    }
+
+    /// Whether `state`'s current snapshot is older than the configured
+    /// [`ServiceConfig::max_snapshot_age`] (always `false` when unset).
+    fn snapshot_is_stale(&self, state: &TenantState) -> bool {
+        let Some(max_age) = self.config.max_snapshot_age else {
+            return false;
+        };
+        let published = state.published_at_us.load(Ordering::Relaxed);
+        let age_us = self.now_us().saturating_sub(published);
+        age_us > max_age.as_micros() as u64
     }
 
     /// Convenience [`SmartpickService::predict`]: hybrid search with the
@@ -513,6 +541,7 @@ impl SmartpickService {
             retrains: r.retrains.load(Ordering::Relaxed),
             rejections: r.rejections.load(Ordering::Relaxed),
             apply_failures: r.apply_failures.load(Ordering::Relaxed),
+            stale_predictions: r.stale_predictions.load(Ordering::Relaxed),
             predict_latency: self.predict_latency.summary(),
         };
         self.registry.for_each(|state| {
@@ -524,15 +553,24 @@ impl SmartpickService {
             stats.retrains += t.retrains;
             stats.rejections += t.rejections;
             stats.apply_failures += t.apply_failures;
+            stats.stale_predictions += t.stale_predictions;
         });
         stats
     }
 
     fn stats_of(&self, state: &TenantState) -> TenantStats {
         let published = state.published_at_us.load(Ordering::Relaxed);
+        let snapshot_age = Duration::from_micros(self.now_us().saturating_sub(published));
         TenantStats {
             tenant: state.id.clone(),
             worker_shard: self.worker_shard_of(&state.id),
+            // Derived from the same age sample reported below, so the
+            // flag and the age can never disagree within one view.
+            snapshot_stale: self
+                .config
+                .max_snapshot_age
+                .is_some_and(|max| snapshot_age > max),
+            stale_predictions: state.counters.stale_predictions.load(Ordering::Relaxed),
             predictions: state.counters.predictions.load(Ordering::Relaxed),
             executions: state.counters.executions.load(Ordering::Relaxed),
             reports_enqueued: state.counters.reports_enqueued.load(Ordering::Relaxed),
@@ -542,7 +580,7 @@ impl SmartpickService {
             apply_failures: state.counters.apply_failures.load(Ordering::Relaxed),
             pending_reports: state.counters.pending.load(Ordering::Relaxed),
             snapshot_generation: state.generation.load(Ordering::Relaxed),
-            snapshot_age: Duration::from_micros(self.now_us().saturating_sub(published)),
+            snapshot_age,
         }
     }
 

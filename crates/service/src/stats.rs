@@ -115,6 +115,8 @@ pub(crate) struct TenantCounters {
     pub(crate) retrains: AtomicU64,
     pub(crate) rejections: AtomicU64,
     pub(crate) apply_failures: AtomicU64,
+    /// Predictions served from a snapshot past the staleness bound.
+    pub(crate) stale_predictions: AtomicU64,
     /// Reports accepted but not yet applied (quota accounting).
     pub(crate) pending: AtomicUsize,
 }
@@ -133,6 +135,7 @@ impl TenantCounters {
             (&self.retrains, &into.retrains),
             (&self.rejections, &into.rejections),
             (&self.apply_failures, &into.apply_failures),
+            (&self.stale_predictions, &into.stale_predictions),
         ] {
             to.fetch_add(from.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -185,6 +188,9 @@ pub struct TenantStats {
     pub rejections: u64,
     /// Reports whose apply failed in the worker.
     pub apply_failures: u64,
+    /// Predictions served from a snapshot older than the configured
+    /// `max_snapshot_age` (never shed, only counted).
+    pub stale_predictions: u64,
     /// Reports accepted but not yet applied.
     pub pending_reports: usize,
     /// How many snapshots have been published (0 = still the registration
@@ -192,6 +198,9 @@ pub struct TenantStats {
     pub snapshot_generation: u64,
     /// Time since the tenant's snapshot was last (re)published.
     pub snapshot_age: Duration,
+    /// Whether `snapshot_age` currently exceeds the configured
+    /// `max_snapshot_age` bound (always `false` when the bound is unset).
+    pub snapshot_stale: bool,
 }
 
 /// A point-in-time view of the whole service.
@@ -218,6 +227,8 @@ pub struct ServiceStats {
     pub rejections: u64,
     /// Sum of per-tenant apply failures.
     pub apply_failures: u64,
+    /// Sum of per-tenant stale-snapshot predictions.
+    pub stale_predictions: u64,
     /// Snapshot-read (`predict`/`determine`) latency digest.
     pub predict_latency: LatencySummary,
 }

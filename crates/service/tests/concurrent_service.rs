@@ -62,6 +62,7 @@ fn concurrent_mixed_tenants_with_live_retrains() {
         tenant_pending_cap: 64,
         retrain_batch_max: 8,
         retrain_workers: 2,
+        ..ServiceConfig::default()
     }));
     let tpl = template(1e-6);
     for t in 0..TENANTS {
@@ -155,6 +156,7 @@ fn quota_backpressure_sheds_feedback_not_queries() {
         tenant_pending_cap: 2,
         retrain_batch_max: 4,
         retrain_workers: 1,
+        ..ServiceConfig::default()
     });
     // Default 50 s trigger, but the run below is forced to mispredict by
     // 500 s, so every *applied* report costs the worker a full retrain —

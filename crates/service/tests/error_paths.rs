@@ -72,6 +72,7 @@ fn queue_full_sheds_with_documented_error_and_counter() {
         tenant_pending_cap: 10_000,
         retrain_batch_max: 1,
         retrain_workers: 1,
+        ..ServiceConfig::default()
     });
     let tpl = template(50.0);
     let slow = run_with_error(&tpl, 500.0);
@@ -152,6 +153,7 @@ fn shutdown_with_pending_reports_drains_deterministically() {
         tenant_pending_cap: 128,
         retrain_batch_max: 4,
         retrain_workers: 2,
+        ..ServiceConfig::default()
     });
     let tpl = template(50.0);
     let fast = run_with_error(&tpl, 0.0);
@@ -193,6 +195,7 @@ fn per_shard_stats_expose_parallel_workers() {
         tenant_pending_cap: 64,
         retrain_batch_max: 8,
         retrain_workers: 4,
+        ..ServiceConfig::default()
     });
     let tpl = template(50.0);
     let fast = run_with_error(&tpl, 0.0);

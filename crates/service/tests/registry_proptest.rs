@@ -104,7 +104,8 @@ proptest! {
             tenant_pending_cap: 4096,
             retrain_batch_max: 16,
             retrain_workers: 4,
-        }));
+        ..ServiceConfig::default()
+    }));
         let tally = Arc::new(Tally::default());
 
         let handles: Vec<_> = seeds
@@ -187,7 +188,8 @@ proptest! {
             tenant_pending_cap: 4096,
             retrain_batch_max: 4,
             retrain_workers: WORKERS,
-        }));
+        ..ServiceConfig::default()
+    }));
         // Each thread owns disjoint tenants, so per-tenant enqueue order
         // is well defined; the worker must never reorder it.
         for t in 0..THREADS {

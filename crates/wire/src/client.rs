@@ -9,7 +9,7 @@ use smartpick_engine::QueryProfile;
 use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
 
 use crate::error::WireError;
-use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{read_frame_into, write_frame_buffered, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::proto::{Request, Response};
 
 /// A blocking connection to a [`crate::WireServer`].
@@ -17,10 +17,21 @@ use crate::proto::{Request, Response};
 /// Calls are strictly request/response on one socket — issue them from
 /// one thread, or open one client per thread (connections are cheap;
 /// the server handles each on its own thread up to its cap).
+///
+/// The client keeps reusable encode/decode scratch buffers, so a
+/// steady-state call allocates nothing for framing: the request JSON is
+/// rendered into a held `String`, framed through a held `Vec<u8>`, and
+/// the response payload lands in a third held buffer.
 #[derive(Debug)]
 pub struct WireClient {
     stream: TcpStream,
     max_frame_len: usize,
+    /// Request-JSON scratch, reused across calls.
+    encode_buf: String,
+    /// Outbound frame assembly scratch, reused across calls.
+    frame_buf: Vec<u8>,
+    /// Inbound payload scratch, reused across calls.
+    read_buf: Vec<u8>,
 }
 
 impl WireClient {
@@ -53,6 +64,9 @@ impl WireClient {
         WireClient {
             stream,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            encode_buf: String::new(),
+            frame_buf: Vec::new(),
+            read_buf: Vec::new(),
         }
     }
 
@@ -214,18 +228,24 @@ impl WireClient {
     /// One request/response exchange; server-side rejections become
     /// [`WireError::Rejected`].
     fn call(&mut self, request: &Request) -> Result<Response, WireError> {
-        let json = serde_json::to_string(request)
+        serde_json::to_string_into(request, &mut self.encode_buf)
             .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
-        write_frame(&mut self.stream, json.as_bytes())?;
-        let payload = read_frame(&mut self.stream, self.max_frame_len).map_err(|e| match e {
-            FrameError::Eof => WireError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
-            FrameError::Io(e) => WireError::Io(e),
-            other => WireError::Protocol(other.to_string()),
+        write_frame_buffered(
+            &mut self.stream,
+            self.encode_buf.as_bytes(),
+            &mut self.frame_buf,
+        )?;
+        read_frame_into(&mut self.stream, self.max_frame_len, &mut self.read_buf).map_err(|e| {
+            match e {
+                FrameError::Eof => WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )),
+                FrameError::Io(e) => WireError::Io(e),
+                other => WireError::Protocol(other.to_string()),
+            }
         })?;
-        let text = std::str::from_utf8(&payload)
+        let text = std::str::from_utf8(&self.read_buf)
             .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
         let response: Response = serde_json::from_str(text)
             .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?;

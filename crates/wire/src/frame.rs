@@ -73,18 +73,47 @@ impl std::error::Error for FrameError {}
 ///
 /// Propagates write failures.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 5];
+    fill_header(&mut header, payload)?;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Writes one frame via a caller-owned scratch buffer: the header and
+/// payload are assembled in `scratch` (cleared first, allocation reused
+/// across frames) and sent with a single `write_all`. Connection loops
+/// use this so steady-state framing allocates nothing and costs one
+/// syscall per frame instead of two.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame_buffered(
+    w: &mut impl Write,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let mut header = [0u8; 5];
+    fill_header(&mut header, payload)?;
+    scratch.clear();
+    scratch.reserve(header.len() + payload.len());
+    scratch.extend_from_slice(&header);
+    scratch.extend_from_slice(payload);
+    w.write_all(scratch)?;
+    w.flush()
+}
+
+fn fill_header(header: &mut [u8; 5], payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
             "frame payload exceeds u32 length",
         )
     })?;
-    let mut header = [0u8; 5];
     header[0] = PROTOCOL_VERSION;
     header[1..5].copy_from_slice(&len.to_be_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()
+    Ok(())
 }
 
 /// Reads one frame's payload, enforcing the version byte and `max_len`.
@@ -99,6 +128,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// protocol violations; [`FrameError::Io`] otherwise (including
 /// truncation mid-frame).
 pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, max_len, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one frame's payload into `payload` (cleared first, allocation
+/// reused across frames) — the scratch-buffer twin of [`read_frame`]
+/// for connection loops that must not allocate per frame. On error the
+/// buffer contents are unspecified.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_frame_into(
+    r: &mut impl Read,
+    max_len: usize,
+    payload: &mut Vec<u8>,
+) -> Result<(), FrameError> {
     let mut version = [0u8; 1];
     // A clean EOF is only legitimate before the first header byte.
     // (Constant-stack EINTR retry; `read_exact` below handles its own.)
@@ -119,9 +166,10 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameErr
     if len > max_len {
         return Err(FrameError::Oversized { len, max: max_len });
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(FrameError::Io)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload).map_err(FrameError::Io)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -138,6 +186,31 @@ mod tests {
         assert_eq!(read_frame(&mut r, 1024).unwrap(), b"{\"op\":\"ping\"}");
         assert_eq!(read_frame(&mut r, 1024).unwrap(), b"");
         assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn buffered_write_and_reused_read_match_the_simple_path() {
+        let mut plain = Vec::new();
+        write_frame(&mut plain, b"abc").unwrap();
+        write_frame(&mut plain, b"defgh").unwrap();
+        let mut buffered = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_buffered(&mut buffered, b"abc", &mut scratch).unwrap();
+        write_frame_buffered(&mut buffered, b"defgh", &mut scratch).unwrap();
+        assert_eq!(plain, buffered, "byte streams must be identical");
+
+        let mut r = Cursor::new(buffered);
+        let mut payload = Vec::new();
+        read_frame_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!(payload, b"abc");
+        let cap_before = payload.capacity();
+        read_frame_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!(payload, b"defgh");
+        assert!(payload.capacity() >= cap_before);
+        assert!(matches!(
+            read_frame_into(&mut r, 1024, &mut payload),
+            Err(FrameError::Eof)
+        ));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use smartpick_core::driver::Smartpick;
 use smartpick_service::{ServiceError, SmartpickService};
 
 use crate::error::ErrorKind;
-use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{read_frame_into, write_frame_buffered, FrameError, DEFAULT_MAX_FRAME_LEN};
 use crate::proto::{Rejection, Request, Response};
 
 /// Tunables for a [`WireServer`].
@@ -227,6 +227,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                             ),
                             retryable: true,
                         }),
+                        &mut EncodeScratch::default(),
                     );
                     if sent.is_ok() {
                         drain_briefly(&stream, &shared);
@@ -340,9 +341,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         shared,
         last_byte_at: Instant::now(),
     };
+    // Per-connection scratch buffers: steady-state frame decode/encode
+    // reuses these allocations instead of a fresh Vec per frame.
+    let mut payload = Vec::new();
+    let mut scratch = EncodeScratch::default();
     loop {
-        let payload = match read_frame(&mut reader, shared.config.max_frame_len) {
-            Ok(payload) => payload,
+        match read_frame_into(&mut reader, shared.config.max_frame_len, &mut payload) {
+            Ok(()) => {}
             Err(FrameError::Eof) => return,
             // Framing violations get one best-effort error frame, then
             // the connection closes: after a bad version byte or length
@@ -355,6 +360,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         message: e.to_string(),
                         retryable: false,
                     }),
+                    &mut scratch,
                 );
                 if sent.is_ok() {
                     drain_briefly(&stream, shared);
@@ -368,7 +374,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             &response,
             Response::Error(r) if r.kind == ErrorKind::Protocol
         );
-        match send_response(&mut writer, &response) {
+        match send_response(&mut writer, &response, &mut scratch) {
             Ok(()) if fatal => {
                 drain_briefly(&stream, shared);
                 return;
@@ -489,8 +495,20 @@ fn service_error(e: &ServiceError) -> Response {
     })
 }
 
-fn send_response(w: &mut impl Write, response: &Response) -> io::Result<()> {
-    let json = serde_json::to_string(response)
+/// Reusable response-encode state: the rendered JSON and the assembled
+/// frame each live in a buffer that survives across frames.
+#[derive(Debug, Default)]
+struct EncodeScratch {
+    json: String,
+    frame: Vec<u8>,
+}
+
+fn send_response(
+    w: &mut impl Write,
+    response: &Response,
+    scratch: &mut EncodeScratch,
+) -> io::Result<()> {
+    serde_json::to_string_into(response, &mut scratch.json)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    write_frame(w, json.as_bytes())
+    write_frame_buffered(w, scratch.json.as_bytes(), &mut scratch.frame)
 }

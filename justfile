@@ -31,11 +31,13 @@ bench-compile:
     cargo bench --no-run
 
 # CI job: the paper-reproduction binaries still build and run
-# (fig1 + table1 as canaries, so the figure binaries cannot rot).
+# (fig1 + table1 as canaries, so the figure binaries cannot rot), and
+# the recorded determine-latency budget still parses.
 figures-smoke:
     cargo build --release -p smartpick_bench --bins
     ./target/release/fig1
     ./target/release/table1
+    cargo test -q -p smartpick_bench --test bench_determine_json
 
 # Fast feedback: debug build + tests.
 check:
@@ -54,6 +56,17 @@ service-bench:
 # Wire round-trip overhead: ping vs in-process vs over-wire determine.
 wire-bench:
     cargo bench --bench wire_rtt
+
+# determine() hot path: vectorized vs the pre-vectorization reference
+# across grid sizes 8/16/32 and forest sizes 10/50/100.
+bench-determine:
+    cargo bench --bench determine_latency
+
+# Regenerate BENCH_determine.json (median in-process determine()
+# latency, both paths; quoted by the README Performance table).
+bench-determine-record:
+    cargo build --release -p smartpick_bench --bin bench_determine
+    ./target/release/bench_determine
 
 # Reproduce all paper figure/table binaries (release). Fails fast: a
 # panicking figure binary fails the recipe (and the CI smoke job).

@@ -35,6 +35,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialises `value` into `out`, clearing it first and reusing its
+/// allocation — the scratch-buffer twin of [`to_string`] for encode
+/// loops that must not allocate per message.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    print_value(&value.to_value(), out);
+    Ok(())
+}
+
 /// Parses JSON text and rebuilds a `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
