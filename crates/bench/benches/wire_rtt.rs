@@ -13,6 +13,19 @@
 //! `determine_over_wire − determine_in_process` is the serving-boundary
 //! tax the Cloudflow-style prediction-serving argument is about; `ping`
 //! shows how much of it is protocol rather than payload.
+//!
+//! Two further groups quantify the v2 serving upgrades, each timing the
+//! *same* logical work — N determines of one query with advancing
+//! seeds — three ways:
+//!
+//! * `wire_pipelined` — N strictly blocking round trips
+//!   (`determine_xN_sequential`) vs N requests submitted before the
+//!   first response is read (`determine_xN_pipelined`): what request-id
+//!   multiplexing buys by overlapping client framing, server compute,
+//!   and socket latency.
+//! * `wire_batch_determine` — the same N shipped as **one**
+//!   `determine_batch` frame (`determine_xN_batched`): framing, JSON,
+//!   snapshot acquisition, and the forest pass amortised batch-wide.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -22,9 +35,10 @@ use smartpick_cloudsim::{CloudEnv, Provider};
 use smartpick_core::driver::Smartpick;
 use smartpick_core::properties::SmartpickProperties;
 use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{ConstraintMode, PredictionRequest};
 use smartpick_ml::forest::ForestParams;
 use smartpick_service::{ServiceConfig, SmartpickService};
-use smartpick_wire::{WireClient, WireServer, WireServerConfig};
+use smartpick_wire::{Response, WireClient, WireServer, WireServerConfig};
 use smartpick_workloads::tpcds;
 
 fn trained_driver() -> Smartpick {
@@ -101,5 +115,87 @@ fn bench_wire_rtt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire_rtt);
+fn bench_wire_pipelined_and_batch(c: &mut Criterion) {
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let template = trained_driver();
+    service
+        .register_fork("bench", &template, 7)
+        .expect("register tenant");
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        template,
+        WireServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let query = tpcds::query(82, 100.0).expect("catalog query");
+    let mut seed = 0u64;
+
+    let mut group = c.benchmark_group("wire_pipelined");
+    for n in [8u64, 32] {
+        group.bench_function(format!("determine_x{n}_sequential"), |b| {
+            b.iter(|| {
+                for _ in 0..n {
+                    seed += 1;
+                    black_box(
+                        client
+                            .determine("bench", &query, seed)
+                            .expect("sequential determine"),
+                    );
+                }
+            });
+        });
+        group.bench_function(format!("determine_x{n}_pipelined"), |b| {
+            b.iter(|| {
+                for _ in 0..n {
+                    seed += 1;
+                    client
+                        .submit_determine("bench", &query, seed)
+                        .expect("submit");
+                }
+                for _ in 0..n {
+                    let (_, response) = client.recv().expect("recv");
+                    match response {
+                        Response::Determination(d) => {
+                            black_box(d);
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wire_batch_determine");
+    for n in [8u64, 32] {
+        group.bench_function(format!("determine_x{n}_batched"), |b| {
+            b.iter(|| {
+                let requests: Vec<PredictionRequest> = (0..n)
+                    .map(|_| {
+                        seed += 1;
+                        PredictionRequest {
+                            query: query.clone(),
+                            knob: 0.0,
+                            constraint: ConstraintMode::Hybrid,
+                            seed,
+                        }
+                    })
+                    .collect();
+                black_box(
+                    client
+                        .determine_many("bench", requests)
+                        .expect("batched determine"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_rtt, bench_wire_pipelined_and_batch);
 criterion_main!(benches);

@@ -152,6 +152,23 @@ pub trait WorkloadPredictionService {
     /// Implementations return [`SmartpickError::UnknownQuery`] when the
     /// query cannot be matched to any known workload.
     fn determine(&self, request: &PredictionRequest) -> Result<Determination, SmartpickError>;
+
+    /// Determines every request in one call, in request order. The
+    /// contract is *result-identical to N sequential [`Self::determine`]
+    /// calls* (each request keeps its own seed/knob/constraint);
+    /// implementations may amortise model evaluation across the batch,
+    /// which is exactly what the wire front-end's batched endpoint buys.
+    ///
+    /// # Errors
+    ///
+    /// Fails the whole batch on the first unmatchable query, before any
+    /// partial results are produced.
+    fn determine_batch(
+        &self,
+        requests: &[PredictionRequest],
+    ) -> Result<Vec<Determination>, SmartpickError> {
+        requests.iter().map(|r| self.determine(r)).collect()
+    }
 }
 
 /// One constraint mode's precompiled search space: the BO candidate
@@ -652,6 +669,95 @@ impl WorkloadPredictionService for WorkloadPredictor {
         };
 
         Ok(self.finish(result, request.knob, known_query, matched_id, similarity))
+    }
+
+    /// The batched determine: all sweep-eligible requests' candidate
+    /// grids are staged into **one** concatenated row-major feature
+    /// matrix and priced by a single tree-outer
+    /// [`RandomForest::predict_batch_into`] pass — each tree's flat
+    /// arrays are walked once per *batch* instead of once per request —
+    /// then every request's search consumes its own slice of the
+    /// precomputed objective with its own seeded δ-noise stream.
+    /// Bit-identical to N sequential [`Self::determine`] calls (batch
+    /// row evaluation is row-independent; the per-request RNG streams
+    /// are derived exactly as in the scalar path). Requests whose grid
+    /// is too big for the sweep keep the lazy GP search, per request.
+    fn determine_batch(
+        &self,
+        requests: &[PredictionRequest],
+    ) -> Result<Vec<Determination>, SmartpickError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve every query up front so an unmatchable one fails the
+        // whole batch before any search work is spent.
+        let mut resolved = Vec::with_capacity(requests.len());
+        for r in requests {
+            let (known, similarity, known_query) = self.resolve(&r.query)?;
+            resolved.push((known.code, known.id.clone(), similarity, known_query));
+        }
+
+        // Stage sweep-eligible requests into the shared feature matrix.
+        let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(requests.len());
+        let mut features: Vec<f64> = Vec::new();
+        let mut rows = 0usize;
+        for (r, (code, ..)) in requests.iter().zip(&resolved) {
+            let grid = self.grids.get(r.constraint);
+            let n = grid.candidates.len();
+            if !self.batch_sweep_is_cheaper(n) {
+                spans.push(None);
+                continue;
+            }
+            spans.push(Some((rows, n)));
+            let at = features.len();
+            features.extend_from_slice(&grid.feature_template);
+            let input_bytes = QueryFeatures::input_gb_to_bytes(r.query.input_gb);
+            for row in features[at..].chunks_exact_mut(N_FEATURES) {
+                row[QUERY_CODE_COL] = *code;
+                row[INPUT_BYTES_COL] = input_bytes;
+            }
+            rows += n;
+        }
+        let mut objective = vec![0.0; rows];
+        if rows > 0 {
+            self.forest.predict_batch_into(&features, &mut objective);
+            // Equation 2 maximises −(RF_t + δ): negate once for the whole
+            // batch, add δ per probe below.
+            for v in &mut objective {
+                *v = -*v;
+            }
+        }
+
+        let mut out = Vec::with_capacity(requests.len());
+        for ((request, span), (code, matched_id, similarity, known_query)) in
+            requests.iter().zip(&spans).zip(resolved)
+        {
+            let grid = self.grids.get(request.constraint);
+            let mut noise_rng = StdRng::seed_from_u64(request.seed ^ NOISE_SEED_MIX);
+            let bo = BayesianOptimizer::new(self.bo.clone());
+            let result = match span {
+                Some((offset, n)) => bo.maximize_precomputed(
+                    &grid.candidates,
+                    &objective[*offset..offset + n],
+                    request.seed,
+                    |_| -sample_normal(&mut noise_rng, 0.0, self.noise_sigma),
+                ),
+                None => bo.maximize(&grid.candidates, request.seed, |x| {
+                    let alloc = Allocation::new(x[0] as u32, x[1] as u32);
+                    let features = QueryFeatures::for_allocation(
+                        code,
+                        request.query.input_gb,
+                        &alloc,
+                        &self.env,
+                    );
+                    let rf_t = self.forest.predict(&features.to_array());
+                    let delta = sample_normal(&mut noise_rng, 0.0, self.noise_sigma);
+                    -(rf_t + delta)
+                }),
+            };
+            out.push(self.finish(result, request.knob, known_query, matched_id, similarity));
+        }
+        Ok(out)
     }
 }
 

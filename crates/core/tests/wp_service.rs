@@ -220,3 +220,52 @@ fn relay_aware_predictor_emits_relay_allocations() {
         assert_eq!(det.allocation.relay, smartpick_engine::RelayPolicy::Relay);
     }
 }
+
+#[test]
+fn determine_batch_is_bit_identical_to_sequential_determines() {
+    let wp = predictor();
+    // Mixed queries (known + alien), constraint modes, knobs, and seeds:
+    // every request must come back exactly as its own sequential
+    // determine() would have answered it.
+    let mut requests = Vec::new();
+    let mut k = 0u64;
+    for qnum in [11u32, 49, 82, 62] {
+        for constraint in [
+            ConstraintMode::Hybrid,
+            ConstraintMode::VmOnly,
+            ConstraintMode::SlOnly,
+            ConstraintMode::EqualSlVm,
+        ] {
+            k += 1;
+            requests.push(PredictionRequest {
+                query: tpcds::query(qnum, 100.0).unwrap(),
+                knob: (k % 4) as f64 * 0.1,
+                constraint,
+                seed: 1000 + k,
+            });
+        }
+    }
+    let batch = wp.determine_batch(&requests).unwrap();
+    assert_eq!(batch.len(), requests.len());
+    for (request, got) in requests.iter().zip(&batch) {
+        let want = wp.determine(request).unwrap();
+        assert_eq!(got.allocation, want.allocation);
+        assert_eq!(
+            got.predicted_seconds.to_bits(),
+            want.predicted_seconds.to_bits(),
+            "{:?}",
+            request.constraint
+        );
+        assert_eq!(got.predicted_cost, want.predicted_cost);
+        assert_eq!(got.et_list, want.et_list);
+        assert_eq!(got.evaluations, want.evaluations);
+        assert_eq!(got.known_query, want.known_query);
+        assert_eq!(got.matched_query, want.matched_query);
+        assert_eq!(
+            got.match_similarity.to_bits(),
+            want.match_similarity.to_bits()
+        );
+    }
+    // The empty batch is a no-op, not an error.
+    assert!(wp.determine_batch(&[]).unwrap().is_empty());
+}

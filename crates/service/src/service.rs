@@ -293,6 +293,46 @@ impl SmartpickService {
         age_us > max_age.as_micros() as u64
     }
 
+    /// Answers every request in one batched snapshot read: the tenant is
+    /// resolved once, **one** snapshot `Arc` is cloned out, and the
+    /// whole batch is priced by a single tree-outer forest pass
+    /// (`WorkloadPredictor::determine_batch`), so N queries cost one
+    /// registry hop + one snapshot acquisition instead of N of each.
+    /// Results are identical to N sequential [`SmartpickService::predict`]
+    /// calls with the same requests against an unchanged snapshot, and
+    /// the tenant's prediction counter advances by N.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`], or a core prediction failure —
+    /// the batch fails whole, before any partial results.
+    pub fn determine_batch(
+        &self,
+        tenant: &str,
+        requests: &[PredictionRequest],
+    ) -> Result<Vec<Determination>, ServiceError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let state = self.registry.get(tenant)?;
+        let start = Instant::now();
+        let snapshot = state.read_snapshot();
+        let stale = self.snapshot_is_stale(&state);
+        let determinations = snapshot.determine_batch(requests)?;
+        let n = requests.len() as u64;
+        if stale {
+            state
+                .counters
+                .stale_predictions
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        state.counters.predictions.fetch_add(n, Ordering::Relaxed);
+        // One latency sample for the whole batch: the histogram tracks
+        // serving operations, and the batch is served as one.
+        self.predict_latency.record(start.elapsed());
+        Ok(determinations)
+    }
+
     /// Convenience [`SmartpickService::predict`]: hybrid search with the
     /// tenant's configured knob.
     ///

@@ -1,4 +1,8 @@
-//! The typed blocking client: one method per request.
+//! The typed client: blocking one-method-per-request calls (v1 frames,
+//! answered in order) plus the pipelined v2 surface — a non-blocking
+//! [`WireClient::submit`]/[`WireClient::recv`] pair, the batched
+//! [`WireClient::determine_many`], and [`WireClient::split`] into
+//! independently-owned send/receive halves for cross-thread pipelining.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -9,14 +13,23 @@ use smartpick_engine::QueryProfile;
 use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
 
 use crate::error::WireError;
-use crate::frame::{read_frame_into, write_frame_buffered, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{
+    read_frame_any_into, read_frame_into, write_frame_buffered, write_frame_v2_buffered,
+    FrameError, DEFAULT_MAX_FRAME_LEN,
+};
 use crate::proto::{Request, Response};
 
-/// A blocking connection to a [`crate::WireServer`].
+/// A connection to a [`crate::WireServer`].
 ///
-/// Calls are strictly request/response on one socket — issue them from
-/// one thread, or open one client per thread (connections are cheap;
-/// the server handles each on its own thread up to its cap).
+/// The typed convenience methods ([`WireClient::ping`],
+/// [`WireClient::determine`], …) are strictly blocking request/response
+/// in legacy v1 frames. The pipelined surface —
+/// [`WireClient::submit`] / [`WireClient::recv`] — speaks v2: every
+/// submitted request gets a `u64` id, many can be in flight at once, and
+/// responses arrive tagged with the id they answer (possibly out of
+/// order). Don't interleave a blocking call while pipelined requests are
+/// outstanding: the blocking call would read a v2 response frame and
+/// fail; drain with `recv` first.
 ///
 /// The client keeps reusable encode/decode scratch buffers, so a
 /// steady-state call allocates nothing for framing: the request JSON is
@@ -32,6 +45,8 @@ pub struct WireClient {
     frame_buf: Vec<u8>,
     /// Inbound payload scratch, reused across calls.
     read_buf: Vec<u8>,
+    /// The next pipelined request id.
+    next_id: u64,
 }
 
 impl WireClient {
@@ -67,6 +82,7 @@ impl WireClient {
             encode_buf: String::new(),
             frame_buf: Vec::new(),
             read_buf: Vec::new(),
+            next_id: 0,
         }
     }
 
@@ -225,6 +241,114 @@ impl WireClient {
         }
     }
 
+    /// Runs N full [`PredictionRequest`]s against `tenant` in **one**
+    /// wire round trip, answered from one server-side snapshot read —
+    /// results are identical to issuing each request through
+    /// [`WireClient::predict`] individually (each keeps its own
+    /// knob/constraint/seed), but framing, JSON, and snapshot
+    /// acquisition are paid once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; the batch fails whole (no partial results).
+    pub fn determine_many(
+        &mut self,
+        tenant: impl Into<String>,
+        requests: Vec<PredictionRequest>,
+    ) -> Result<Vec<Determination>, WireError> {
+        let request = Request::DetermineBatch {
+            tenant: tenant.into(),
+            requests,
+        };
+        match self.call(&request)? {
+            Response::Determinations(ds) => Ok(ds),
+            other => Err(unexpected("determinations", &other)),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Pipelining (protocol v2)
+    // ---------------------------------------------------------------
+
+    /// Submits `request` without waiting for its response: the request
+    /// is framed as v2 with a fresh id (returned) and the call comes
+    /// back as soon as the bytes are written. Pair with
+    /// [`WireClient::recv`]; any number of submissions may be in flight
+    /// (the server rejects over-cap ones with a retryable `busy`
+    /// response carrying their id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode and socket write failures.
+    pub fn submit(&mut self, request: &Request) -> Result<u64, WireError> {
+        submit_on(
+            &mut self.stream,
+            &mut self.encode_buf,
+            &mut self.frame_buf,
+            &mut self.next_id,
+            request,
+        )
+    }
+
+    /// [`WireClient::submit`] for the common determine: hybrid search
+    /// with the tenant's knob.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::submit`].
+    pub fn submit_determine(
+        &mut self,
+        tenant: impl Into<String>,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<u64, WireError> {
+        self.submit(&Request::Determine {
+            tenant: tenant.into(),
+            query: query.clone(),
+            seed,
+        })
+    }
+
+    /// Receives the next pipelined response: blocks for one v2 frame and
+    /// returns `(id, response)`. Responses may arrive in any order;
+    /// match them to submissions by id. Server-side rejections are
+    /// returned as [`Response::Error`] *values* (not `Err`) so the
+    /// caller still learns which request they answer.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing failures, or a v1 (un-numbered) frame arriving
+    /// while pipelining — which means a blocking call was interleaved
+    /// with outstanding submissions.
+    pub fn recv(&mut self) -> Result<(u64, Response), WireError> {
+        recv_on(&mut self.stream, self.max_frame_len, &mut self.read_buf)
+    }
+
+    /// Splits the connection into independently-owned send and receive
+    /// halves, so one thread (or several, behind a lock) can keep
+    /// submitting while another drains responses. Ids keep counting from
+    /// this client's sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket duplication failure.
+    pub fn split(self) -> Result<(WireSender, WireReceiver), WireError> {
+        let read_stream = self.stream.try_clone()?;
+        Ok((
+            WireSender {
+                stream: self.stream,
+                encode_buf: self.encode_buf,
+                frame_buf: self.frame_buf,
+                next_id: self.next_id,
+            },
+            WireReceiver {
+                stream: read_stream,
+                max_frame_len: self.max_frame_len,
+                read_buf: self.read_buf,
+            },
+        ))
+    }
+
     /// One request/response exchange; server-side rejections become
     /// [`WireError::Rejected`].
     fn call(&mut self, request: &Request) -> Result<Response, WireError> {
@@ -258,6 +382,114 @@ impl WireClient {
         }
         Ok(response)
     }
+}
+
+/// The send half of a [`WireClient::split`] connection: owns the write
+/// side and the id sequence.
+#[derive(Debug)]
+pub struct WireSender {
+    stream: TcpStream,
+    encode_buf: String,
+    frame_buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl WireSender {
+    /// See [`WireClient::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode and socket write failures.
+    pub fn submit(&mut self, request: &Request) -> Result<u64, WireError> {
+        submit_on(
+            &mut self.stream,
+            &mut self.encode_buf,
+            &mut self.frame_buf,
+            &mut self.next_id,
+            request,
+        )
+    }
+
+    /// See [`WireClient::submit_determine`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireSender::submit`].
+    pub fn submit_determine(
+        &mut self,
+        tenant: impl Into<String>,
+        query: &QueryProfile,
+        seed: u64,
+    ) -> Result<u64, WireError> {
+        self.submit(&Request::Determine {
+            tenant: tenant.into(),
+            query: query.clone(),
+            seed,
+        })
+    }
+}
+
+/// The receive half of a [`WireClient::split`] connection.
+#[derive(Debug)]
+pub struct WireReceiver {
+    stream: TcpStream,
+    max_frame_len: usize,
+    read_buf: Vec<u8>,
+}
+
+impl WireReceiver {
+    /// See [`WireClient::recv`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireClient::recv`].
+    pub fn recv(&mut self) -> Result<(u64, Response), WireError> {
+        recv_on(&mut self.stream, self.max_frame_len, &mut self.read_buf)
+    }
+}
+
+/// Encodes and writes one pipelined (v2) request frame, assigning the
+/// next id (shared by [`WireClient::submit`] and [`WireSender::submit`]).
+fn submit_on(
+    stream: &mut TcpStream,
+    encode_buf: &mut String,
+    frame_buf: &mut Vec<u8>,
+    next_id: &mut u64,
+    request: &Request,
+) -> Result<u64, WireError> {
+    let id = *next_id;
+    *next_id += 1;
+    serde_json::to_string_into(request, encode_buf)
+        .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
+    write_frame_v2_buffered(stream, id, encode_buf.as_bytes(), frame_buf)?;
+    Ok(id)
+}
+
+/// Reads one v2 response frame and decodes its envelope (shared by
+/// [`WireClient::recv`] and [`WireReceiver::recv`]).
+fn recv_on(
+    stream: &mut TcpStream,
+    max_frame_len: usize,
+    read_buf: &mut Vec<u8>,
+) -> Result<(u64, Response), WireError> {
+    let header = read_frame_any_into(stream, max_frame_len, read_buf).map_err(|e| match e {
+        FrameError::Eof => WireError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )),
+        FrameError::Io(e) => WireError::Io(e),
+        other => WireError::Protocol(other.to_string()),
+    })?;
+    let Some(id) = header.id else {
+        return Err(WireError::Protocol(
+            "un-numbered (v1) response while pipelining — blocking call interleaved?".to_owned(),
+        ));
+    };
+    let text = std::str::from_utf8(read_buf)
+        .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
+    let response: Response = serde_json::from_str(text)
+        .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?;
+    Ok((id, response))
 }
 
 fn unexpected(wanted: &str, got: &Response) -> WireError {

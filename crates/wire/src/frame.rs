@@ -1,17 +1,26 @@
 //! The frame layer: how request/response payloads travel over TCP.
 //!
-//! Every frame is a version byte, a big-endian `u32` payload length, and
-//! that many payload bytes (UTF-8 JSON):
+//! Two frame generations coexist on the same socket. A **v1** frame is a
+//! version byte, a big-endian `u32` payload length, and that many payload
+//! bytes (UTF-8 JSON); a **v2** frame additionally carries a big-endian
+//! `u64` request id between the version byte and the length, so many
+//! requests can be in flight on one connection and every response names
+//! the request it answers:
 //!
 //! ```text
-//! +---------+-------------------------+------------------------+
-//! | u8 ver  | u32 payload length (BE) | payload (JSON, UTF-8)  |
-//! +---------+-------------------------+------------------------+
-//!   1 byte            4 bytes              `length` bytes
+//! v1:  +---------+-------------------------+------------------------+
+//!      | u8 = 1  | u32 payload length (BE) | payload (JSON, UTF-8)  |
+//!      +---------+-------------------------+------------------------+
+//!        1 byte            4 bytes              `length` bytes
+//!
+//! v2:  +---------+---------------------+-------------------------+------------------------+
+//!      | u8 = 2  | u64 request id (BE) | u32 payload length (BE) | payload (JSON, UTF-8)  |
+//!      +---------+---------------------+-------------------------+------------------------+
+//!        1 byte         8 bytes                  4 bytes              `length` bytes
 //! ```
 //!
 //! The version byte guards against talking to the wrong protocol
-//! generation (a mismatch poisons all subsequent framing, so the
+//! generation (an unknown version poisons all subsequent framing, so the
 //! connection is closed); the length prefix is checked against a
 //! configurable maximum *before* any payload byte is read, so an
 //! adversarial or corrupt length can never make the server allocate or
@@ -19,13 +28,29 @@
 
 use std::io::{self, Read, Write};
 
-/// The current protocol generation carried in every frame's first byte.
+/// The legacy protocol generation: one un-numbered frame per
+/// request/response turn, answered strictly in order.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The pipelined protocol generation: every frame carries a `u64`
+/// request id, so responses can arrive out of order and a single
+/// connection can keep many requests in flight.
+pub const PROTOCOL_V2: u8 = 2;
 
 /// Default cap on a frame's payload length (1 MiB) — far above any
 /// legitimate envelope (a `Determination` with its full `ET_l` list is a
 /// few tens of KiB) while bounding what a bad peer can make us buffer.
 pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// The decoded header of one inbound frame: which protocol generation it
+/// used and, for v2 frames, the request id it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The version byte ([`PROTOCOL_VERSION`] or [`PROTOCOL_V2`]).
+    pub version: u8,
+    /// The request id (`Some` iff the frame is v2).
+    pub id: Option<u64>,
+}
 
 /// Why a frame could not be read.
 #[derive(Debug)]
@@ -56,7 +81,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
             FrameError::VersionMismatch { got } => write!(
                 f,
-                "protocol version mismatch: got {got}, want {PROTOCOL_VERSION}"
+                "protocol version mismatch: got {got}, want {PROTOCOL_VERSION} or {PROTOCOL_V2}"
             ),
             FrameError::Oversized { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
@@ -105,15 +130,53 @@ pub fn write_frame_buffered(
 }
 
 fn fill_header(header: &mut [u8; 5], payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len()).map_err(|_| {
+    let len = payload_len(payload)?;
+    header[0] = PROTOCOL_VERSION;
+    header[1..5].copy_from_slice(&len.to_be_bytes());
+    Ok(())
+}
+
+fn payload_len(payload: &[u8]) -> io::Result<u32> {
+    u32::try_from(payload.len()).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
             "frame payload exceeds u32 length",
         )
-    })?;
-    header[0] = PROTOCOL_VERSION;
-    header[1..5].copy_from_slice(&len.to_be_bytes());
-    Ok(())
+    })
+}
+
+/// Writes one v2 frame: version byte, request id, length prefix, payload.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame_v2(w: &mut impl Write, id: u64, payload: &[u8]) -> io::Result<()> {
+    let mut scratch = Vec::new();
+    write_frame_v2_buffered(w, id, payload, &mut scratch)
+}
+
+/// Writes one v2 frame via a caller-owned scratch buffer (cleared first,
+/// allocation reused across frames; single `write_all`) — the pipelined
+/// twin of [`write_frame_buffered`].
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame_v2_buffered(
+    w: &mut impl Write,
+    id: u64,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let len = payload_len(payload)?;
+    scratch.clear();
+    scratch.reserve(13 + payload.len());
+    scratch.push(PROTOCOL_V2);
+    scratch.extend_from_slice(&id.to_be_bytes());
+    scratch.extend_from_slice(&len.to_be_bytes());
+    scratch.extend_from_slice(payload);
+    w.write_all(scratch)?;
+    w.flush()
 }
 
 /// Reads one frame's payload, enforcing the version byte and `max_len`.
@@ -146,6 +209,35 @@ pub fn read_frame_into(
     max_len: usize,
     payload: &mut Vec<u8>,
 ) -> Result<(), FrameError> {
+    let header = read_frame_core(r, max_len, payload, false)?;
+    debug_assert_eq!(header.version, PROTOCOL_VERSION);
+    Ok(())
+}
+
+/// Reads one frame of *either* generation into `payload` (cleared first,
+/// allocation reused) and reports which kind arrived — what a v2 server
+/// (and a pipelined client) read with, since v1 peers must keep working
+/// on the same listener. On error the buffer contents are unspecified.
+///
+/// # Errors
+///
+/// See [`read_frame`]; a version byte that is neither
+/// [`PROTOCOL_VERSION`] nor [`PROTOCOL_V2`] is a
+/// [`FrameError::VersionMismatch`].
+pub fn read_frame_any_into(
+    r: &mut impl Read,
+    max_len: usize,
+    payload: &mut Vec<u8>,
+) -> Result<FrameHeader, FrameError> {
+    read_frame_core(r, max_len, payload, true)
+}
+
+fn read_frame_core(
+    r: &mut impl Read,
+    max_len: usize,
+    payload: &mut Vec<u8>,
+    accept_v2: bool,
+) -> Result<FrameHeader, FrameError> {
     let mut version = [0u8; 1];
     // A clean EOF is only legitimate before the first header byte.
     // (Constant-stack EINTR retry; `read_exact` below handles its own.)
@@ -157,9 +249,15 @@ pub fn read_frame_into(
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    if version[0] != PROTOCOL_VERSION {
-        return Err(FrameError::VersionMismatch { got: version[0] });
-    }
+    let id = match version[0] {
+        PROTOCOL_VERSION => None,
+        PROTOCOL_V2 if accept_v2 => {
+            let mut id_bytes = [0u8; 8];
+            r.read_exact(&mut id_bytes).map_err(FrameError::Io)?;
+            Some(u64::from_be_bytes(id_bytes))
+        }
+        got => return Err(FrameError::VersionMismatch { got }),
+    };
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes).map_err(FrameError::Io)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
@@ -169,7 +267,10 @@ pub fn read_frame_into(
     payload.clear();
     payload.resize(len, 0);
     r.read_exact(payload).map_err(FrameError::Io)?;
-    Ok(())
+    Ok(FrameHeader {
+        version: version[0],
+        id,
+    })
 }
 
 #[cfg(test)]
@@ -210,6 +311,62 @@ mod tests {
         assert!(matches!(
             read_frame_into(&mut r, 1024, &mut payload),
             Err(FrameError::Eof)
+        ));
+    }
+
+    #[test]
+    fn v2_frames_round_trip_with_ids_mixed_with_v1() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_v2(&mut buf, 7, b"{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"legacy").unwrap();
+        write_frame_v2_buffered(&mut buf, u64::MAX, b"", &mut scratch).unwrap();
+
+        let mut r = Cursor::new(buf);
+        let mut payload = Vec::new();
+        let h = read_frame_any_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!((h.version, h.id), (PROTOCOL_V2, Some(7)));
+        assert_eq!(payload, b"{\"op\":\"ping\"}");
+        let h = read_frame_any_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!((h.version, h.id), (PROTOCOL_VERSION, None));
+        assert_eq!(payload, b"legacy");
+        let h = read_frame_any_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!((h.version, h.id), (PROTOCOL_V2, Some(u64::MAX)));
+        assert_eq!(payload, b"");
+        assert!(matches!(
+            read_frame_any_into(&mut r, 1024, &mut payload),
+            Err(FrameError::Eof)
+        ));
+    }
+
+    #[test]
+    fn v1_only_reader_rejects_v2_frames() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 3, b"x").unwrap();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 1024),
+            Err(FrameError::VersionMismatch { got: PROTOCOL_V2 })
+        ));
+    }
+
+    #[test]
+    fn v2_truncated_id_is_io_and_oversized_still_trips_before_payload() {
+        // Header cut inside the id field: Io, not Eof.
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 0x0102_0304_0506_0708, b"abc").unwrap();
+        buf.truncate(5);
+        let mut payload = Vec::new();
+        assert!(matches!(
+            read_frame_any_into(&mut Cursor::new(buf), 1024, &mut payload),
+            Err(FrameError::Io(_))
+        ));
+        // Oversized v2 claim with no payload bytes present: cap trips first.
+        let mut buf = vec![PROTOCOL_V2];
+        buf.extend_from_slice(&9u64.to_be_bytes());
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_frame_any_into(&mut Cursor::new(buf), 64, &mut payload),
+            Err(FrameError::Oversized { max: 64, .. })
         ));
     }
 

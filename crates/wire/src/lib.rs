@@ -4,23 +4,40 @@
 //! Prediction as a standalone server other serverless data-analytics
 //! systems call over Thrift RPC (§5); this crate is that serving
 //! boundary for [`smartpick_service::SmartpickService`] — a
-//! length-prefixed JSON-over-TCP protocol, a capped thread-per-connection
-//! [`WireServer`], and a typed blocking [`WireClient`].
+//! length-prefixed JSON-over-TCP protocol (pipelined and multiplexed in
+//! its v2 generation), a capped thread-per-connection [`WireServer`]
+//! whose reads and writes are decoupled per connection, and a typed
+//! [`WireClient`] with both blocking calls and a non-blocking
+//! `submit`/`recv` pipelining surface.
 //!
 //! ## Frame format
 //!
 //! ```text
-//! +---------+-------------------------+------------------------+
-//! | u8 ver  | u32 payload length (BE) | payload (JSON, UTF-8)  |
-//! +---------+-------------------------+------------------------+
+//! v1:  +---------+-------------------------+------------------------+
+//!      | u8 = 1  | u32 payload length (BE) | payload (JSON, UTF-8)  |
+//!      +---------+-------------------------+------------------------+
+//!
+//! v2:  +---------+---------------------+-------------------------+-----------+
+//!      | u8 = 2  | u64 request id (BE) | u32 payload length (BE) | payload   |
+//!      +---------+---------------------+-------------------------+-----------+
 //! ```
+//!
+//! Both generations coexist on one socket: v1 frames are answered
+//! strictly in order (legacy clients keep working unchanged), while v2
+//! frames let one connection keep many requests in flight — responses
+//! come back in completion order, each naming the request id it answers,
+//! with a per-connection in-flight cap answered by a retryable `busy`
+//! rejection. `determine_batch` additionally ships N prediction requests
+//! in *one* frame, answered from one server-side snapshot read.
 //!
 //! See [`frame`] for the version byte and the max-frame-size guard,
 //! [`proto`] for the request/response envelopes, and [`error`] for the
 //! typed failures. One bad frame never kills the listener: request-level
 //! garbage gets an error response on a still-usable connection;
 //! framing-level garbage (bad version, oversized length) gets an error
-//! response and a close of that one connection.
+//! response and a close of that one connection. A v2 frame with a
+//! garbage *payload* only fails its own request id — length framing
+//! keeps the stream in sync.
 //!
 //! One number-model caveat: the vendored serde shim stores every JSON
 //! number as `f64`, so integers above 2⁵³ (seeds, very large counters)
@@ -73,8 +90,8 @@ pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::WireClient;
+pub use client::{WireClient, WireReceiver, WireSender};
 pub use error::{ErrorKind, WireError};
-pub use frame::{DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use frame::{FrameHeader, DEFAULT_MAX_FRAME_LEN, PROTOCOL_V2, PROTOCOL_VERSION};
 pub use proto::{Rejection, Request, Response};
 pub use server::{WireServer, WireServerConfig};

@@ -44,6 +44,15 @@ pub enum Request {
         /// Seed for the stochastic parts of the search.
         seed: u64,
     },
+    /// N full [`PredictionRequest`]s against `tenant`, answered from one
+    /// snapshot read in one frame — the batched form that amortises
+    /// framing, JSON, and snapshot acquisition across the whole batch.
+    DetermineBatch {
+        /// The tenant to predict for.
+        tenant: String,
+        /// The prediction requests (each with its own knob/constraint/seed).
+        requests: Vec<PredictionRequest>,
+    },
     /// Feeds one completed run back into `tenant`'s training loop.
     ReportRun {
         /// The tenant the run belongs to.
@@ -72,6 +81,9 @@ pub enum Response {
     Registered,
     /// A prediction result (answers `Predict` and `Determine`).
     Determination(Determination),
+    /// One prediction result per batched request, in request order
+    /// (answers `DetermineBatch`).
+    Determinations(Vec<Determination>),
     /// The run report was accepted into the update queue.
     ReportAccepted,
     /// All pending reports were applied.
@@ -140,6 +152,11 @@ impl serde::Serialize for Request {
                 push(&mut m, "query", query.to_value());
                 push(&mut m, "seed", seed.to_value());
             }
+            Request::DetermineBatch { tenant, requests } => {
+                m = tagged("op", "determine_batch");
+                push(&mut m, "tenant", tenant.to_value());
+                push(&mut m, "requests", requests.to_value());
+            }
             Request::ReportRun { tenant, run } => {
                 m = tagged("op", "report_run");
                 push(&mut m, "tenant", tenant.to_value());
@@ -177,6 +194,10 @@ impl serde::Deserialize for Request {
                 query: field(pairs, "query")?,
                 seed: field(pairs, "seed")?,
             },
+            "determine_batch" => Request::DetermineBatch {
+                tenant: field(pairs, "tenant")?,
+                requests: field(pairs, "requests")?,
+            },
             "report_run" => Request::ReportRun {
                 tenant: field(pairs, "tenant")?,
                 run: field(pairs, "run")?,
@@ -200,6 +221,10 @@ impl serde::Serialize for Response {
             Response::Determination(d) => {
                 m = tagged("kind", "determination");
                 push(&mut m, "determination", d.to_value());
+            }
+            Response::Determinations(ds) => {
+                m = tagged("kind", "determinations");
+                push(&mut m, "determinations", ds.to_value());
             }
             Response::ReportAccepted => m = tagged("kind", "report_accepted"),
             Response::Flushed => m = tagged("kind", "flushed"),
@@ -232,6 +257,7 @@ impl serde::Deserialize for Response {
             "pong" => Response::Pong,
             "registered" => Response::Registered,
             "determination" => Response::Determination(field(pairs, "determination")?),
+            "determinations" => Response::Determinations(field(pairs, "determinations")?),
             "report_accepted" => Response::ReportAccepted,
             "flushed" => Response::Flushed,
             "tenant_stats" => Response::TenantStats(field(pairs, "stats")?),

@@ -1,24 +1,41 @@
 //! The TCP front-end: a listener embedding a [`SmartpickService`].
 //!
-//! Connection model: one acceptor thread plus one handler thread per
-//! connection, capped at [`WireServerConfig::max_connections`] — a
-//! connection over the cap gets a `busy` error frame and an immediate
-//! close instead of an unbounded thread. Handler threads poll a shared
-//! shutdown flag between reads (socket read timeouts keep the poll
-//! cheap), and [`WireServer::shutdown`] unblocks the acceptor by dialing
-//! its own listen address, so a graceful stop never hangs on `accept`.
+//! Connection model: one acceptor thread plus, per connection, a
+//! **reader** (the handler thread), a **writer** fed by a bounded
+//! response queue, and — once the peer sends its first pipelined (v2)
+//! frame — a small lazy pool of executor threads. Reading is decoupled
+//! from writing, so a single connection can keep many v2 requests in
+//! flight: the reader admits each one against a per-connection in-flight
+//! cap (over-cap requests get a retryable `busy` rejection carrying
+//! their id), executors run them concurrently, and the writer frames
+//! responses in completion order with the id naming which request each
+//! answers. Legacy v1 frames carry no id and are executed inline on the
+//! reader, so they are answered strictly in request order, exactly as
+//! before. Connections are capped at
+//! [`WireServerConfig::max_connections`] — one over the cap gets a
+//! `busy` error frame and an immediate close instead of an unbounded
+//! thread. Handler threads poll a shared shutdown flag between reads
+//! (socket read timeouts keep the poll cheap), and
+//! [`WireServer::shutdown`] unblocks the acceptor by dialing its own
+//! listen address, so a graceful stop never hangs on `accept`.
 //!
 //! Error containment: one connection's bad frame can never take another
-//! connection (or the listener) down. A frame that parses as JSON but
+//! connection (or the listener) down. A v1 frame that parses as JSON but
 //! not as a request gets a `bad_request` error response and the
-//! connection stays usable; a frame whose *framing* is untrustworthy
+//! connection stays usable; a v1 frame whose *framing* is untrustworthy
 //! (wrong version byte, oversized length prefix, non-JSON bytes) gets a
 //! `protocol` error response and then the connection is closed, because
 //! resynchronising a byte stream after a framing violation is guesswork.
+//! A **v2** frame's length-delimited framing stays trustworthy even when
+//! its payload is garbage, and its id lets the error name exactly the
+//! request it answers — so any v2 payload problem (non-UTF-8, non-JSON,
+//! unknown op) is a per-request `bad_request` on a still-usable
+//! connection; only version/length violations remain fatal.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,7 +44,10 @@ use smartpick_core::driver::Smartpick;
 use smartpick_service::{ServiceError, SmartpickService};
 
 use crate::error::ErrorKind;
-use crate::frame::{read_frame_into, write_frame_buffered, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{
+    read_frame_any_into, write_frame_buffered, write_frame_v2_buffered, FrameError,
+    DEFAULT_MAX_FRAME_LEN,
+};
 use crate::proto::{Rejection, Request, Response};
 
 /// Tunables for a [`WireServer`].
@@ -46,6 +66,15 @@ pub struct WireServerConfig {
     /// and goes silent pins a slot forever — the cheapest way to
     /// exhaust the serving boundary.
     pub idle_timeout: Option<Duration>,
+    /// Per-connection cap on pipelined (v2) requests in flight — queued
+    /// or executing. A request over the cap is answered immediately with
+    /// a retryable `busy` rejection carrying its id; admitted work is
+    /// never affected.
+    pub max_in_flight: usize,
+    /// Executor threads a connection spins up to run pipelined requests
+    /// concurrently. Spawned lazily on the first v2 frame, so pure-v1
+    /// connections cost exactly what they used to.
+    pub pipeline_workers: usize,
 }
 
 impl Default for WireServerConfig {
@@ -55,6 +84,8 @@ impl Default for WireServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(50),
             idle_timeout: Some(Duration::from_secs(300)),
+            max_in_flight: 64,
+            pipeline_workers: 4,
         }
     }
 }
@@ -104,6 +135,11 @@ impl WireServer {
             "max_connections must be positive"
         );
         assert!(config.max_frame_len > 0, "max_frame_len must be positive");
+        assert!(config.max_in_flight > 0, "max_in_flight must be positive");
+        assert!(
+            config.pipeline_workers > 0,
+            "pipeline_workers must be positive"
+        );
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -308,7 +344,7 @@ impl Read for PollingReader<'_> {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // Responses are single small writes on a ping-pong protocol —
     // Nagle's worst case; without nodelay every round-trip stalls on
     // delayed ACKs.
@@ -332,57 +368,311 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     {
         return;
     }
-    let mut writer = match stream.try_clone() {
+    let writer_stream = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    // The reader→writer decoupling: responses flow through a bounded
+    // queue to a dedicated writer thread, so a slow response write never
+    // stops the reader admitting more pipelined requests, and executor
+    // completions (any order) are framed without racing each other.
+    let dead = Arc::new(AtomicBool::new(false));
+    let (resp_tx, resp_rx) = sync_channel::<ResponseMsg>(shared.config.max_in_flight + 2);
+    let writer = {
+        let dead = Arc::clone(&dead);
+        match std::thread::Builder::new()
+            .name("smartpick-wire-write".to_owned())
+            .spawn(move || writer_loop(writer_stream, resp_rx, &dead))
+        {
+            Ok(handle) => handle,
+            Err(_) => return,
+        }
+    };
+    // Pipelined (v2) requests in flight: queued or executing.
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut executors: Option<ExecutorPool> = None;
+
     let mut reader = PollingReader {
         stream: &stream,
         shared,
         last_byte_at: Instant::now(),
     };
-    // Per-connection scratch buffers: steady-state frame decode/encode
-    // reuses these allocations instead of a fresh Vec per frame.
+    // Per-connection scratch buffer: steady-state frame decode reuses
+    // this allocation instead of a fresh Vec per frame.
     let mut payload = Vec::new();
-    let mut scratch = EncodeScratch::default();
+    // Whether the connection must close after the queued responses flush
+    // (v1 framing violations only).
+    let mut fatal = false;
     loop {
-        match read_frame_into(&mut reader, shared.config.max_frame_len, &mut payload) {
-            Ok(()) => {}
-            Err(FrameError::Eof) => return,
-            // Framing violations get one best-effort error frame, then
-            // the connection closes: after a bad version byte or length
-            // prefix the stream position is untrustworthy.
-            Err(e @ (FrameError::VersionMismatch { .. } | FrameError::Oversized { .. })) => {
-                let sent = send_response(
-                    &mut writer,
-                    &Response::Error(Rejection {
-                        kind: ErrorKind::Protocol,
-                        message: e.to_string(),
-                        retryable: false,
-                    }),
-                    &mut scratch,
-                );
-                if sent.is_ok() {
-                    drain_briefly(&stream, shared);
+        if dead.load(Ordering::SeqCst) {
+            break;
+        }
+        let header =
+            match read_frame_any_into(&mut reader, shared.config.max_frame_len, &mut payload) {
+                Ok(header) => header,
+                Err(FrameError::Eof) => break,
+                // Framing violations get one best-effort error frame, then
+                // the connection closes: after a bad version byte or length
+                // prefix the stream position is untrustworthy.
+                Err(e @ (FrameError::VersionMismatch { .. } | FrameError::Oversized { .. })) => {
+                    let _ = queue_response(
+                        shared,
+                        &dead,
+                        &resp_tx,
+                        ResponseMsg {
+                            id: None,
+                            response: Response::Error(Rejection {
+                                kind: ErrorKind::Protocol,
+                                message: e.to_string(),
+                                retryable: false,
+                            }),
+                        },
+                    );
+                    fatal = true;
+                    break;
                 }
-                return;
+                Err(FrameError::Io(_)) => break,
+            };
+        match header.id {
+            // v1: executed inline on the reader, so legacy requests are
+            // answered strictly in request order.
+            None => {
+                let response = respond_to(&payload, shared);
+                let protocol_err = matches!(
+                    &response,
+                    Response::Error(r) if r.kind == ErrorKind::Protocol
+                );
+                if !queue_response(shared, &dead, &resp_tx, ResponseMsg { id: None, response }) {
+                    break;
+                }
+                if protocol_err {
+                    fatal = true;
+                    break;
+                }
             }
-            Err(FrameError::Io(_)) => return,
-        };
-        let response = respond_to(&payload, shared);
-        let fatal = matches!(
-            &response,
-            Response::Error(r) if r.kind == ErrorKind::Protocol
-        );
-        match send_response(&mut writer, &response, &mut scratch) {
-            Ok(()) if fatal => {
-                drain_briefly(&stream, shared);
-                return;
-            }
-            Ok(()) => {}
-            Err(_) => return,
+            // v2: the length-delimited framing stays trustworthy even
+            // when the payload is garbage, and the id names exactly the
+            // request an error answers — so payload problems are
+            // per-request `bad_request`s, never a close.
+            Some(id) => match decode_request(&payload) {
+                Err(message) => {
+                    let delivered = queue_response(
+                        shared,
+                        &dead,
+                        &resp_tx,
+                        ResponseMsg {
+                            id: Some(id),
+                            response: Response::Error(Rejection {
+                                kind: ErrorKind::BadRequest,
+                                message,
+                                retryable: false,
+                            }),
+                        },
+                    );
+                    if !delivered {
+                        break;
+                    }
+                }
+                Ok(request) => {
+                    // Reserve an in-flight slot (compensating add, the
+                    // same pattern as the service's pending quotas).
+                    let cap = shared.config.max_in_flight;
+                    let prior = in_flight.fetch_add(1, Ordering::SeqCst);
+                    let mut admitted = false;
+                    if prior < cap {
+                        if executors.is_none() {
+                            // A failed pool start (OS thread exhaustion)
+                            // degrades to a retryable busy below — never
+                            // a panic, which would unwind past the
+                            // acceptor's connection-cap release and leak
+                            // the slot forever.
+                            executors = ExecutorPool::start(shared, &resp_tx, &in_flight, &dead);
+                        }
+                        admitted = executors
+                            .as_ref()
+                            .is_some_and(|pool| pool.req_tx.try_send((id, request)).is_ok());
+                    }
+                    if !admitted {
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        let delivered = queue_response(
+                            shared,
+                            &dead,
+                            &resp_tx,
+                            ResponseMsg {
+                                id: Some(id),
+                                response: Response::Error(Rejection {
+                                    kind: ErrorKind::Busy,
+                                    message: format!(
+                                        "connection at its {cap}-request in-flight cap; retry later"
+                                    ),
+                                    retryable: true,
+                                }),
+                            },
+                        );
+                        if !delivered {
+                            break;
+                        }
+                    }
+                }
+            },
         }
     }
+    // Teardown in dependency order: stop feeding executors and let them
+    // finish in-flight work, then close the response queue so the writer
+    // drains and exits, then (for v1 framing violations) linger briefly
+    // so the error frame survives the close.
+    if let Some(pool) = executors.take() {
+        pool.join();
+    }
+    drop(resp_tx);
+    let _ = writer.join();
+    if fatal && !dead.load(Ordering::SeqCst) {
+        drain_briefly(&stream, shared);
+    }
+}
+
+/// One queued outbound response: the v2 request id it answers (`None` =
+/// answer in a v1 frame), and the response itself. JSON encoding and
+/// framing happen on the writer thread, off the reader and executors.
+struct ResponseMsg {
+    id: Option<u64>,
+    response: Response,
+}
+
+/// The per-connection writer: frames queued responses in arrival order,
+/// v1 or v2 as each message dictates. On a write failure it flags the
+/// connection dead and keeps *draining* the queue (discarding) so no
+/// executor ever blocks on a send to a dead socket.
+fn writer_loop(mut stream: TcpStream, rx: Receiver<ResponseMsg>, dead: &AtomicBool) {
+    let mut scratch = EncodeScratch::default();
+    let mut broken = false;
+    while let Ok(msg) = rx.recv() {
+        if broken {
+            continue;
+        }
+        let sent = match msg.id {
+            Some(id) => send_response_v2(&mut stream, id, &msg.response, &mut scratch),
+            None => send_response(&mut stream, &msg.response, &mut scratch),
+        };
+        if sent.is_err() {
+            broken = true;
+            dead.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The lazy per-connection executor pool that runs pipelined requests
+/// concurrently: a bounded request queue fans out to
+/// [`WireServerConfig::pipeline_workers`] threads, each answering into
+/// the shared response queue with its request's id.
+struct ExecutorPool {
+    req_tx: SyncSender<(u64, Request)>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ExecutorPool {
+    /// Returns `None` when not a single executor thread could be
+    /// spawned (OS thread exhaustion): the caller then answers with a
+    /// retryable `busy` instead of panicking. A partially spawned pool
+    /// (some threads) is fine — it just has less parallelism.
+    fn start(
+        shared: &Arc<Shared>,
+        resp_tx: &SyncSender<ResponseMsg>,
+        in_flight: &Arc<AtomicUsize>,
+        dead: &Arc<AtomicBool>,
+    ) -> Option<ExecutorPool> {
+        let (req_tx, req_rx) = sync_channel::<(u64, Request)>(shared.config.max_in_flight);
+        let req_rx = Arc::new(Mutex::new(req_rx));
+        let mut workers = Vec::with_capacity(shared.config.pipeline_workers);
+        for i in 0..shared.config.pipeline_workers {
+            let shared = Arc::clone(shared);
+            let resp_tx = resp_tx.clone();
+            let in_flight = Arc::clone(in_flight);
+            let dead = Arc::clone(dead);
+            let req_rx = Arc::clone(&req_rx);
+            let worker = std::thread::Builder::new()
+                .name(format!("smartpick-wire-exec-{i}"))
+                .spawn(move || loop {
+                    // The mutex guards *dequeueing* only (workers
+                    // take turns waiting on the channel); execution
+                    // below runs unlocked and in parallel.
+                    let msg = req_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    let Ok((id, request)) = msg else { return };
+                    let response = execute(request, &shared);
+                    // Release the slot *before* queueing the answer,
+                    // so a client that reacts to the response can
+                    // never be told `busy` for a slot this very
+                    // request was still holding.
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let delivered = queue_response(
+                        &shared,
+                        &dead,
+                        &resp_tx,
+                        ResponseMsg {
+                            id: Some(id),
+                            response,
+                        },
+                    );
+                    if !delivered {
+                        return;
+                    }
+                });
+            if let Ok(worker) = worker {
+                workers.push(worker);
+            }
+        }
+        if workers.is_empty() {
+            return None;
+        }
+        Some(ExecutorPool { req_tx, workers })
+    }
+
+    /// Stops feeding the pool and joins every worker (in-flight requests
+    /// finish and answer first).
+    fn join(self) {
+        drop(self.req_tx);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Queues one response for the writer, polling the shutdown and
+/// connection-dead flags whenever the bounded queue is full — so a peer
+/// that stops reading (stalling the writer) can never park the reader
+/// or an executor in an uninterruptible `send` past server shutdown.
+/// Returns `false` when the message cannot (or should no longer) be
+/// delivered.
+fn queue_response(
+    shared: &Shared,
+    dead: &AtomicBool,
+    tx: &SyncSender<ResponseMsg>,
+    mut msg: ResponseMsg,
+) -> bool {
+    loop {
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(back)) => {
+                if shared.shutdown.load(Ordering::SeqCst) || dead.load(Ordering::SeqCst) {
+                    return false;
+                }
+                std::thread::sleep(shared.config.poll_interval);
+                msg = back;
+            }
+        }
+    }
+}
+
+/// Decodes one v2 payload; the error string becomes the `bad_request`
+/// message for that request id.
+fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| format!("frame payload is not UTF-8: {e}"))?;
+    let value: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("frame payload is not JSON: {e}"))?;
+    <Request as serde::Deserialize>::from_value(&value)
+        .map_err(|e| format!("unrecognised request: {e}"))
 }
 
 /// Decodes one payload and executes it — every failure becomes an error
@@ -447,6 +737,9 @@ fn execute(request: Request, shared: &Shared) -> Response {
         } => service
             .determine(&tenant, &query, seed)
             .map(Response::Determination),
+        Request::DetermineBatch { tenant, requests } => service
+            .determine_batch(&tenant, &requests)
+            .map(Response::Determinations),
         Request::ReportRun { tenant, run } => service
             .report_run(&tenant, *run)
             .map(|()| Response::ReportAccepted),
@@ -511,4 +804,17 @@ fn send_response(
     serde_json::to_string_into(response, &mut scratch.json)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     write_frame_buffered(w, scratch.json.as_bytes(), &mut scratch.frame)
+}
+
+/// The v2 twin of [`send_response`]: frames the response with the
+/// request id it answers.
+fn send_response_v2(
+    w: &mut impl Write,
+    id: u64,
+    response: &Response,
+    scratch: &mut EncodeScratch,
+) -> io::Result<()> {
+    serde_json::to_string_into(response, &mut scratch.json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame_v2_buffered(w, id, scratch.json.as_bytes(), &mut scratch.frame)
 }

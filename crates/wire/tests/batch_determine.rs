@@ -1,0 +1,164 @@
+//! Batched determine over the wire: `determine_many` must be
+//! result-identical to N sequential calls against a frozen snapshot,
+//! `TenantStats` must count all N predictions, and the batch endpoint's
+//! error paths must fail whole and typed.
+
+use std::sync::Arc;
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{ConstraintMode, PredictionRequest};
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{ServiceConfig, SmartpickService};
+use smartpick_wire::{ErrorKind, WireClient, WireError, WireServer, WireServerConfig};
+use smartpick_workloads::tpcds;
+
+fn template() -> Smartpick {
+    let queries: Vec<_> = [82u32, 68]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 5,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        },
+        // Wide enough that every constraint mode (notably SlOnly, whose
+        // grid must clear the min_total floor) has candidates.
+        max_vm: 5,
+        max_sl: 5,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        11,
+    )
+    .unwrap()
+    .0
+}
+
+fn server() -> WireServer {
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    WireServer::bind(
+        "127.0.0.1:0",
+        service,
+        template(),
+        WireServerConfig::default(),
+    )
+    .expect("bind ephemeral port")
+}
+
+fn requests() -> Vec<PredictionRequest> {
+    let constraints = [
+        ConstraintMode::Hybrid,
+        ConstraintMode::VmOnly,
+        ConstraintMode::SlOnly,
+        ConstraintMode::EqualSlVm,
+    ];
+    (0..8u64)
+        .map(|i| PredictionRequest {
+            query: tpcds::query(if i % 2 == 0 { 82 } else { 68 }, 100.0).unwrap(),
+            knob: (i % 3) as f64 * 0.15,
+            constraint: constraints[i as usize % constraints.len()],
+            seed: 900 + i,
+        })
+        .collect()
+}
+
+#[test]
+fn wire_batch_equals_sequential_and_counts_every_prediction() {
+    let server = server();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    client.register_tenant("acme", 7).unwrap();
+    let requests = requests();
+
+    // Sequential baseline against the frozen registration snapshot (no
+    // reports are fed back, so the snapshot cannot move underneath us).
+    let sequential: Vec<String> = requests
+        .iter()
+        .map(|r| serde_json::to_string(&client.predict("acme", r.clone()).unwrap()).unwrap())
+        .collect();
+    let after_sequential = client.tenant_stats("acme").unwrap();
+    assert_eq!(after_sequential.predictions, requests.len() as u64);
+    assert_eq!(after_sequential.snapshot_generation, 0, "snapshot frozen");
+
+    // One frame, N requests, N determinations — identical in order.
+    let batch = client.determine_many("acme", requests.clone()).unwrap();
+    assert_eq!(batch.len(), requests.len());
+    for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            &serde_json::to_string(got).unwrap(),
+            want,
+            "request {i} must answer identically batched and sequential"
+        );
+    }
+
+    // TenantStats counts all N batched predictions.
+    let after_batch = client.tenant_stats("acme").unwrap();
+    assert_eq!(
+        after_batch.predictions,
+        2 * requests.len() as u64,
+        "the batch must count one prediction per request"
+    );
+
+    // Service-wide aggregates see them too.
+    let stats = client.service_stats().unwrap();
+    assert_eq!(stats.predictions, 2 * requests.len() as u64);
+}
+
+#[test]
+fn empty_batch_is_a_cheap_no_op() {
+    let server = server();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    client.register_tenant("acme", 7).unwrap();
+    let before = client.tenant_stats("acme").unwrap().predictions;
+    let batch = client.determine_many("acme", Vec::new()).unwrap();
+    assert!(batch.is_empty());
+    assert_eq!(client.tenant_stats("acme").unwrap().predictions, before);
+}
+
+#[test]
+fn batch_against_unknown_tenant_fails_whole_and_typed() {
+    let server = server();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    match client.determine_many("ghost", requests()) {
+        Err(WireError::Rejected {
+            kind, retryable, ..
+        }) => {
+            assert_eq!(kind, ErrorKind::UnknownTenant);
+            assert!(!retryable);
+        }
+        other => panic!("expected unknown-tenant rejection, got {other:?}"),
+    }
+    // The connection stays usable after the rejection.
+    client.ping().unwrap();
+}
+
+#[test]
+fn in_process_service_batch_matches_its_own_sequential_path() {
+    // The same equivalence directly on the service (no socket): one
+    // snapshot read for the whole batch, same results, N counted.
+    let service = Arc::new(SmartpickService::with_defaults());
+    service.register_fork("acme", &template(), 3).unwrap();
+    let requests = requests();
+    let sequential: Vec<String> = requests
+        .iter()
+        .map(|r| serde_json::to_string(&service.predict("acme", r).unwrap()).unwrap())
+        .collect();
+    let batch = service.determine_batch("acme", &requests).unwrap();
+    for (got, want) in batch.iter().zip(&sequential) {
+        assert_eq!(&serde_json::to_string(got).unwrap(), want);
+    }
+    let stats = service.tenant_stats("acme").unwrap();
+    assert_eq!(stats.predictions, 2 * requests.len() as u64);
+}

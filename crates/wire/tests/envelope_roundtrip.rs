@@ -1,0 +1,235 @@
+//! Property tests for the request/response envelopes: every variant —
+//! including the new batch ones — survives encode → decode → encode
+//! with a byte-identical JSON rendering, and unknown tags decode to a
+//! clean error (the server turns that into a `bad_request`), never a
+//! panic or a desynchronised stream.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{ConstraintMode, Determination, PredictionRequest};
+use smartpick_engine::{QueryProfile, RunReport};
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{CompletedRun, ServiceConfig, ServiceStats, SmartpickService, TenantStats};
+use smartpick_wire::{ErrorKind, Rejection, Request, Response};
+
+/// Heavyweight payload values (a real determination, run report, and
+/// stats views), built once and cloned into generated variants.
+struct Fixture {
+    query: QueryProfile,
+    determination: Determination,
+    report: RunReport,
+    tenant_stats: TenantStats,
+    service_stats: ServiceStats,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let queries: Vec<_> = [82u32, 68].iter().map(|&q| tpcds_query(q)).collect();
+        let opts = TrainOptions {
+            configs_per_query: 5,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 10,
+                ..ForestParams::default()
+            },
+            max_vm: 3,
+            max_sl: 3,
+            ..TrainOptions::default()
+        };
+        let template = Smartpick::train_with_options(
+            CloudEnv::new(Provider::Aws),
+            SmartpickProperties::default(),
+            &queries,
+            &opts,
+            11,
+        )
+        .unwrap()
+        .0;
+        let service = Arc::new(SmartpickService::new(ServiceConfig {
+            retrain_workers: 2,
+            ..ServiceConfig::default()
+        }));
+        service.register_fork("fixture", &template, 7).unwrap();
+        let query = tpcds_query(82);
+        let determination = service.determine("fixture", &query, 99).unwrap();
+        let report = template
+            .shared_resource_manager()
+            .execute(&query, &determination.allocation, 23)
+            .unwrap();
+        service
+            .report_run(
+                "fixture",
+                CompletedRun {
+                    query: query.clone(),
+                    determination: determination.clone(),
+                    report: report.clone(),
+                },
+            )
+            .unwrap();
+        assert!(service.flush());
+        let mut tenant_stats = service.tenant_stats("fixture").unwrap();
+        let mut service_stats = service.stats();
+        // Pin the age to a value exactly representable as f64 seconds so
+        // the JSON identity below is about the envelope, not about
+        // nanosecond rounding at the edge of the f64 wire number model.
+        tenant_stats.snapshot_age = Duration::from_millis(250);
+        service_stats.predict_latency.mean_us = 123.5;
+        Fixture {
+            query,
+            determination,
+            report,
+            tenant_stats,
+            service_stats,
+        }
+    })
+}
+
+fn tpcds_query(n: u32) -> QueryProfile {
+    smartpick_workloads::tpcds::query(n, 100.0).unwrap()
+}
+
+const CONSTRAINTS: [ConstraintMode; 4] = [
+    ConstraintMode::Hybrid,
+    ConstraintMode::VmOnly,
+    ConstraintMode::SlOnly,
+    ConstraintMode::EqualSlVm,
+];
+
+const KINDS: [ErrorKind; 9] = [
+    ErrorKind::UnknownTenant,
+    ErrorKind::TenantExists,
+    ErrorKind::QueueFull,
+    ErrorKind::QuotaExceeded,
+    ErrorKind::Stopped,
+    ErrorKind::Core,
+    ErrorKind::BadRequest,
+    ErrorKind::Protocol,
+    ErrorKind::Busy,
+];
+
+fn prediction_request(knob: f64, constraint: usize, seed: u64) -> PredictionRequest {
+    PredictionRequest {
+        query: fixture().query.clone(),
+        knob,
+        constraint: CONSTRAINTS[constraint % CONSTRAINTS.len()],
+        seed,
+    }
+}
+
+/// Encode → decode → encode must reproduce the first rendering exactly.
+fn assert_json_round_trip<T: serde::Serialize + serde::Deserialize>(value: &T) {
+    let first = serde_json::to_string(value).expect("encodes");
+    let decoded: T = serde_json::from_str(&first).expect("decodes");
+    let second = serde_json::to_string(&decoded).expect("re-encodes");
+    assert_eq!(first, second, "round trip must be identity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request variant — including the batched one — is identity
+    /// under encode → decode. Seeds stay below 2^53, the documented
+    /// exactness bound of the JSON number model.
+    #[test]
+    fn request_envelopes_are_json_identities(
+        variant in 0usize..9,
+        tenant in "[a-z][a-z0-9_]{0,11}",
+        seed in 0u64..(1u64 << 53),
+        knob in 0.0f64..1.0,
+        constraint in 0usize..4,
+        batch in 1usize..5,
+    ) {
+        let fix = fixture();
+        let request = match variant {
+            0 => Request::Ping,
+            1 => Request::RegisterTenant { tenant, seed },
+            2 => Request::Predict {
+                tenant,
+                request: prediction_request(knob, constraint, seed),
+            },
+            3 => Request::Determine {
+                tenant,
+                query: fix.query.clone(),
+                seed,
+            },
+            4 => Request::DetermineBatch {
+                tenant,
+                requests: (0..batch)
+                    .map(|i| prediction_request(knob, constraint + i, seed + i as u64))
+                    .collect(),
+            },
+            5 => Request::ReportRun {
+                tenant,
+                run: Box::new(CompletedRun {
+                    query: fix.query.clone(),
+                    determination: fix.determination.clone(),
+                    report: fix.report.clone(),
+                }),
+            },
+            6 => Request::Flush,
+            7 => Request::TenantStats { tenant },
+            _ => Request::ServiceStats,
+        };
+        assert_json_round_trip(&request);
+    }
+
+    /// Every response variant — including the batched one — is identity
+    /// under encode → decode.
+    #[test]
+    fn response_envelopes_are_json_identities(
+        variant in 0usize..9,
+        kind in 0usize..9,
+        message in "\\PC{0,40}",
+        flip in 0u32..2,
+        batch in 0usize..4,
+    ) {
+        let fix = fixture();
+        let response = match variant {
+            0 => Response::Pong,
+            1 => Response::Registered,
+            2 => Response::Determination(fix.determination.clone()),
+            3 => Response::Determinations(vec![fix.determination.clone(); batch]),
+            4 => Response::ReportAccepted,
+            5 => Response::Flushed,
+            6 => Response::TenantStats(fix.tenant_stats.clone()),
+            7 => Response::ServiceStats(fix.service_stats.clone()),
+            _ => Response::Error(Rejection {
+                kind: KINDS[kind],
+                message,
+                retryable: flip == 1,
+            }),
+        };
+        assert_json_round_trip(&response);
+    }
+
+    /// An unknown tag decodes to a clean error — the server answers
+    /// `bad_request` and the connection survives; it never panics.
+    #[test]
+    fn unknown_tags_decode_to_errors(op in "[a-z_]{1,12}") {
+        const REQUEST_OPS: [&str; 9] = [
+            "ping", "register_tenant", "predict", "determine",
+            "determine_batch", "report_run", "flush", "tenant_stats",
+            "service_stats",
+        ];
+        const RESPONSE_KINDS: [&str; 9] = [
+            "pong", "registered", "determination", "determinations",
+            "report_accepted", "flushed", "tenant_stats", "service_stats",
+            "error",
+        ];
+        prop_assume!(!REQUEST_OPS.contains(&op.as_str()));
+        let request_text = format!("{{\"op\":\"{op}\"}}");
+        let request_rejected = serde_json::from_str::<Request>(&request_text).is_err();
+        prop_assert!(request_rejected, "`{}` must not decode", request_text);
+        prop_assume!(!RESPONSE_KINDS.contains(&op.as_str()));
+        let response_text = format!("{{\"kind\":\"{op}\"}}");
+        let response_rejected = serde_json::from_str::<Response>(&response_text).is_err();
+        prop_assert!(response_rejected, "`{}` must not decode", response_text);
+    }
+}

@@ -1,0 +1,309 @@
+//! Multiplexing correctness for the pipelined (v2) protocol: many
+//! interleaved in-flight requests on one connection, every response
+//! matched to its request id; fault injection (a malformed mid-stream
+//! frame errors only its own id); the in-flight cap's retryable `busy`
+//! rejection; and v1/v2 interop on a single socket.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{ServiceConfig, SmartpickService};
+use smartpick_wire::{
+    ErrorKind, Request, Response, WireClient, WireServer, WireServerConfig, PROTOCOL_V2,
+};
+use smartpick_workloads::tpcds;
+
+fn template() -> Smartpick {
+    let queries: Vec<_> = [82u32, 68]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).unwrap())
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 5,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        },
+        max_vm: 3,
+        max_sl: 3,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        11,
+    )
+    .unwrap()
+    .0
+}
+
+fn server_with(config: WireServerConfig) -> WireServer {
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    WireServer::bind("127.0.0.1:0", service, template(), config).expect("bind ephemeral port")
+}
+
+fn det_json(d: &smartpick_core::wp::Determination) -> String {
+    serde_json::to_string(d).unwrap()
+}
+
+/// 64 interleaved in-flight determines from 4 threads on ONE connection:
+/// every response must match its request id and be identical to the same
+/// query issued sequentially.
+#[test]
+fn sixty_four_interleaved_in_flight_determines_match_sequential() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 16;
+    let server = server_with(WireServerConfig::default());
+    let query = tpcds::query(82, 100.0).unwrap();
+
+    // Sequential oracle on its own (blocking, v1) connection, against
+    // the same frozen registration snapshot.
+    let mut oracle = WireClient::connect(server.local_addr()).unwrap();
+    oracle.register_tenant("acme", 7).unwrap();
+    let expected: HashMap<u64, String> = (0..THREADS * PER_THREAD)
+        .map(|seed| {
+            (
+                seed,
+                det_json(&oracle.determine("acme", &query, seed).unwrap()),
+            )
+        })
+        .collect();
+
+    // One pipelined connection, split: 4 submitter threads share the
+    // send half behind a lock; the main thread drains the receive half.
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    let (sender, mut receiver) = client.split().unwrap();
+    let sender = Arc::new(Mutex::new(sender));
+    let submitted = Arc::new(Mutex::new(HashMap::<u64, u64>::new())); // id -> seed
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let sender = Arc::clone(&sender);
+            let submitted = Arc::clone(&submitted);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let seed = t * PER_THREAD + i;
+                    let id = sender
+                        .lock()
+                        .unwrap()
+                        .submit_determine("acme", &query, seed)
+                        .unwrap();
+                    submitted.lock().unwrap().insert(id, seed);
+                }
+            })
+        })
+        .collect();
+
+    let mut answered = HashMap::new();
+    for _ in 0..THREADS * PER_THREAD {
+        let (id, response) = receiver.recv().unwrap();
+        match response {
+            Response::Determination(d) => {
+                assert!(
+                    answered.insert(id, det_json(&d)).is_none(),
+                    "duplicate response for id {id}"
+                );
+            }
+            other => panic!("id {id}: unexpected response {other:?}"),
+        }
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let submitted = submitted.lock().unwrap();
+    assert_eq!(submitted.len(), (THREADS * PER_THREAD) as usize);
+    for (id, seed) in submitted.iter() {
+        assert_eq!(
+            answered.get(id).expect("every id answered"),
+            expected.get(seed).expect("oracle has every seed"),
+            "id {id} (seed {seed}) must equal its sequential determine"
+        );
+    }
+}
+
+/// Writes one raw v2 frame.
+fn write_v2_frame(stream: &mut TcpStream, id: u64, payload: &[u8]) {
+    stream.write_all(&[PROTOCOL_V2]).unwrap();
+    stream.write_all(&id.to_be_bytes()).unwrap();
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+}
+
+/// Reads one raw v2 frame, returning (id, payload-as-text).
+fn read_v2_frame(stream: &mut TcpStream) -> (u64, String) {
+    let mut header = [0u8; 13];
+    stream.read_exact(&mut header).unwrap();
+    assert_eq!(header[0], PROTOCOL_V2, "response must be a v2 frame");
+    let id = u64::from_be_bytes(header[1..9].try_into().unwrap());
+    let len = u32::from_be_bytes(header[9..13].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    (id, String::from_utf8(payload).unwrap())
+}
+
+/// Fault injection: a malformed v2 frame mid-stream (unknown op, and
+/// even non-JSON bytes) errors only its own id — the requests around it
+/// answer normally and the connection stays usable.
+#[test]
+fn malformed_mid_stream_frame_errors_only_its_own_id() {
+    let server = server_with(WireServerConfig::default());
+    WireClient::connect(server.local_addr())
+        .unwrap()
+        .register_tenant("acme", 7)
+        .unwrap();
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let determine = serde_json::to_string(&Request::Determine {
+        tenant: "acme".into(),
+        query: tpcds::query(82, 100.0).unwrap(),
+        seed: 5,
+    })
+    .unwrap();
+
+    write_v2_frame(&mut raw, 1, determine.as_bytes());
+    write_v2_frame(&mut raw, 2, b"{\"op\":\"self_destruct\"}");
+    write_v2_frame(&mut raw, 3, b"\x01\x02 not json at all");
+    write_v2_frame(&mut raw, 4, determine.as_bytes());
+
+    let mut replies = HashMap::new();
+    for _ in 0..4 {
+        let (id, text) = read_v2_frame(&mut raw);
+        assert!(replies.insert(id, text).is_none(), "duplicate id {id}");
+    }
+    assert!(
+        replies[&1].contains("\"kind\":\"determination\""),
+        "id 1: {}",
+        replies[&1]
+    );
+    assert!(
+        replies[&2].contains("bad_request"),
+        "id 2 must fail alone: {}",
+        replies[&2]
+    );
+    assert!(
+        replies[&3].contains("bad_request"),
+        "id 3 must fail alone: {}",
+        replies[&3]
+    );
+    assert_eq!(
+        replies[&1], replies[&4],
+        "same determine around the fault must answer identically"
+    );
+
+    // The connection survived all of it.
+    write_v2_frame(&mut raw, 9, b"{\"op\":\"ping\"}");
+    let (id, text) = read_v2_frame(&mut raw);
+    assert_eq!(id, 9);
+    assert!(text.contains("pong"), "reply: {text}");
+}
+
+/// Submissions over the per-connection in-flight cap get an immediate,
+/// retryable `busy` rejection carrying their id; admitted work is
+/// unaffected and every id is answered exactly once.
+#[test]
+fn over_cap_submissions_get_retryable_busy_with_their_id() {
+    const SUBMITS: usize = 48;
+    let server = server_with(WireServerConfig {
+        max_in_flight: 1,
+        pipeline_workers: 1,
+        ..WireServerConfig::default()
+    });
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    client.register_tenant("acme", 7).unwrap();
+    let query = tpcds::query(82, 100.0).unwrap();
+
+    let mut ids = Vec::new();
+    for seed in 0..SUBMITS as u64 {
+        ids.push(client.submit_determine("acme", &query, seed).unwrap());
+    }
+    let mut determinations = 0usize;
+    let mut busy = 0usize;
+    let mut seen = HashMap::new();
+    for _ in 0..SUBMITS {
+        let (id, response) = client.recv().unwrap();
+        assert!(seen.insert(id, ()).is_none(), "duplicate id {id}");
+        match response {
+            Response::Determination(_) => determinations += 1,
+            Response::Error(r) => {
+                assert_eq!(r.kind, ErrorKind::Busy, "only busy rejections expected");
+                assert!(r.retryable, "busy must be retryable");
+                busy += 1;
+            }
+            other => panic!("id {id}: unexpected response {other:?}"),
+        }
+    }
+    for id in ids {
+        assert!(seen.contains_key(&id), "id {id} never answered");
+    }
+    assert!(determinations >= 1, "admitted work must complete");
+    assert!(
+        busy >= 1,
+        "with a 1-deep in-flight cap and {SUBMITS} rapid submissions, \
+         some must be turned away ({determinations} determinations)"
+    );
+    // A busy rejection is retryable: resubmitting now (nothing in
+    // flight) succeeds.
+    let id = client.submit_determine("acme", &query, 1).unwrap();
+    let (rid, response) = client.recv().unwrap();
+    assert_eq!(rid, id);
+    assert!(matches!(response, Response::Determination(_)));
+}
+
+/// v1 (legacy blocking) and v2 (pipelined) traffic interoperate on one
+/// socket: the v2 server answers each in its own framing, as long as
+/// blocking calls are not interleaved with outstanding submissions.
+#[test]
+fn v1_and_v2_interop_on_one_connection() {
+    let server = server_with(WireServerConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let query = tpcds::query(82, 100.0).unwrap();
+
+    // v1 blocking calls first (the legacy client behaviour, unchanged).
+    client.ping().unwrap();
+    client.register_tenant("acme", 7).unwrap();
+    let sequential = client.determine("acme", &query, 42).unwrap();
+
+    // Pipelined v2 burst on the same connection.
+    let ids: Vec<u64> = (0..4)
+        .map(|i| client.submit_determine("acme", &query, 40 + i).unwrap())
+        .collect();
+    let mut by_id = HashMap::new();
+    for _ in 0..ids.len() {
+        let (id, response) = client.recv().unwrap();
+        match response {
+            Response::Determination(d) => {
+                by_id.insert(id, d);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // The pipelined determine with the same seed equals the blocking one.
+    assert_eq!(
+        det_json(&by_id[&ids[2]]),
+        det_json(&sequential),
+        "seed 42 must answer identically through both framings"
+    );
+
+    // Back to v1 blocking calls once the pipeline is drained.
+    let stats = client.tenant_stats("acme").unwrap();
+    assert_eq!(stats.predictions, 5);
+    client.ping().unwrap();
+}

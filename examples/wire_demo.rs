@@ -12,8 +12,9 @@ use std::sync::Arc;
 use smartpick::cloudsim::{CloudEnv, Provider};
 use smartpick::core::driver::Smartpick;
 use smartpick::core::properties::SmartpickProperties;
+use smartpick::core::wp::{ConstraintMode, PredictionRequest};
 use smartpick::service::{CompletedRun, ServiceConfig, SmartpickService};
-use smartpick::wire::{WireClient, WireServer, WireServerConfig};
+use smartpick::wire::{Response, WireClient, WireServer, WireServerConfig};
 use smartpick::workloads::tpcds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,6 +59,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "determine {} -> {} predicted {:.1}s at {}",
         query.id, det.allocation, det.predicted_seconds, det.predicted_cost,
+    );
+
+    // Pipelining (protocol v2): four determinations in flight on this
+    // one connection; responses come back tagged with their request id.
+    let ids: Vec<u64> = (0..4)
+        .map(|i| client.submit_determine("acme", &query, 100 + i))
+        .collect::<Result<_, _>>()?;
+    for _ in &ids {
+        let (id, response) = client.recv()?;
+        if let Response::Determination(d) = response {
+            println!(
+                "pipelined #{id} -> {} in {:.1}s",
+                d.allocation, d.predicted_seconds
+            );
+        }
+    }
+
+    // Batched determine: one frame carries all requests, answered from a
+    // single server-side snapshot read.
+    let batch: Vec<PredictionRequest> = (0..3u64)
+        .map(|i| PredictionRequest {
+            query: query.clone(),
+            knob: 0.0,
+            constraint: ConstraintMode::Hybrid,
+            seed: 200 + i,
+        })
+        .collect();
+    let determinations = client.determine_many("acme", batch)?;
+    println!(
+        "determine_many answered {} requests in one round trip",
+        determinations.len()
     );
 
     // The demo stands in for the data-analytics engine: execute locally,

@@ -53,7 +53,10 @@ bench:
 service-bench:
     cargo bench --bench service_throughput
 
-# Wire round-trip overhead: ping vs in-process vs over-wire determine.
+# Wire serving-boundary cost: the `wire_rtt` group (ping vs in-process
+# vs over-wire determine) plus `wire_pipelined` (N blocking round trips
+# vs N requests in flight on one connection) and `wire_batch_determine`
+# (the same N shipped as one determine_batch frame).
 wire-bench:
     cargo bench --bench wire_rtt
 

@@ -60,16 +60,20 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 }
 
 fn print_value(v: &Value, out: &mut String) {
+    use std::fmt::Write;
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
         Value::Num(n) => {
+            // `write!` straight into the output: numbers dominate large
+            // payloads, and a `format!` here would allocate a throwaway
+            // String per number. (Infallible for String writers.)
             if n.is_finite() {
                 if n.fract() == 0.0 && n.abs() < 1e15 {
-                    out.push_str(&format!("{}", *n as i64));
+                    let _ = write!(out, "{}", *n as i64);
                 } else {
-                    out.push_str(&format!("{n}"));
+                    let _ = write!(out, "{n}");
                 }
             } else {
                 // JSON has no NaN/inf; upstream serde_json emits null.
@@ -103,6 +107,7 @@ fn print_value(v: &Value, out: &mut String) {
 }
 
 fn print_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -111,7 +116,9 @@ fn print_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -259,12 +266,18 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar.
-                    let text = std::str::from_utf8(rest)
+                    // Bulk-copy the run up to the next quote or escape:
+                    // one UTF-8 validation per run instead of one scan
+                    // of the whole remaining input per character (which
+                    // made large frames quadratic to parse).
+                    let run = rest
+                        .iter()
+                        .position(|&c| c == b'"' || c == b'\\')
+                        .unwrap_or(rest.len());
+                    let text = std::str::from_utf8(&rest[..run])
                         .map_err(|_| Error("invalid utf-8 in string".to_string()))?;
-                    let c = text.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(text);
+                    self.pos += run;
                 }
             }
         }
