@@ -1,0 +1,491 @@
+//! A lightweight Rust lexer: just enough structure for invariant linting.
+//!
+//! The same shape as `crates/sqlmeta/src/lexer.rs` (hand-rolled scanner
+//! over a `Vec<char>`), extended with what Rust source needs that SQL
+//! does not: nested block comments, raw/byte string literals, the
+//! char-literal/lifetime ambiguity, and line numbers on every token so
+//! findings can point somewhere clickable.
+//!
+//! The lexer is deliberately total: any byte soup produces *some* token
+//! stream and never panics (property-tested in
+//! `tests/lexer_proptest.rs`). Unterminated strings and comments end at
+//! end of input.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `MutexGuard`).
+    Ident,
+    /// A numeric literal (`42`, `0xFF`, `1_000u64`, `2.5`).
+    Num,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`);
+    /// `text` holds the contents without quotes/hashes.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// One punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == c.to_string().as_bytes()
+    }
+}
+
+/// One comment (line or block) with its 1-based starting line.
+///
+/// `lint:allow(...)` directives ride in comments, so the lexer keeps
+/// them rather than discarding them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text without the `//` / `/* */` delimiters (doc
+    /// markers `/` and `!` are still present).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether any code token precedes the comment on its line (a
+    /// trailing comment annotates its own line; a standalone one
+    /// annotates the next line of code).
+    pub trailing: bool,
+}
+
+/// A fully lexed source file: code tokens and comments, separately.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source. Total: never panics, consumes all input.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    // The line the most recent code token landed on, for trailing-comment
+    // detection.
+    let mut last_code_line: u32 = 0;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                trailing: last_code_line == start_line,
+            });
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Rust block comments nest.
+            let start_line = line;
+            let trailing = last_code_line == start_line;
+            let mut text = String::new();
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                trailing,
+            });
+        } else if c == 'r' && matches!(chars.get(i + 1), Some(&'"') | Some(&'#')) {
+            let start_line = line;
+            if let Some(next) = lex_raw_string(&chars, i + 1, &mut line, start_line, &mut out) {
+                i = next;
+                last_code_line = out.tokens.last().map_or(last_code_line, |t| t.line);
+            } else {
+                // `r#foo` raw identifier, or a stray `r#`: lex `r` as the
+                // start of an identifier instead.
+                let (tok, next) = lex_ident(&chars, i, line);
+                last_code_line = line;
+                out.tokens.push(tok);
+                i = next;
+            }
+        } else if c == 'b'
+            && (chars.get(i + 1) == Some(&'"')
+                || chars.get(i + 1) == Some(&'\'')
+                || (chars.get(i + 1) == Some(&'r')
+                    && matches!(chars.get(i + 2), Some(&'"') | Some(&'#'))))
+        {
+            // Byte string/char: delegate to the underlying literal form.
+            match chars[i + 1] {
+                '"' => i = lex_quoted_string(&chars, i + 1, &mut line, &mut out),
+                '\'' => i = lex_char_or_lifetime(&chars, i + 1, line, &mut out),
+                _ => {
+                    let start_line = line;
+                    if let Some(next) =
+                        lex_raw_string(&chars, i + 2, &mut line, start_line, &mut out)
+                    {
+                        i = next;
+                    } else {
+                        let (tok, next) = lex_ident(&chars, i, line);
+                        out.tokens.push(tok);
+                        i = next;
+                    }
+                }
+            }
+            last_code_line = line;
+        } else if c == '"' {
+            i = lex_quoted_string(&chars, i, &mut line, &mut out);
+            last_code_line = out.tokens.last().map_or(line, |t| t.line);
+        } else if c == '\'' {
+            i = lex_char_or_lifetime(&chars, i, line, &mut out);
+            last_code_line = line;
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len() {
+                let d = chars[i];
+                if is_ident_continue(d) {
+                    i += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    // `1.5` consumes the dot; `1..5` leaves it for the
+                    // range operator.
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            last_code_line = line;
+        } else if is_ident_start(c) {
+            let (tok, next) = lex_ident(&chars, i, line);
+            out.tokens.push(tok);
+            i = next;
+            last_code_line = line;
+        } else {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            last_code_line = line;
+            i += 1;
+        }
+    }
+    out
+}
+
+fn lex_ident(chars: &[char], start: usize, line: u32) -> (Tok, usize) {
+    let mut i = start;
+    while i < chars.len() && is_ident_continue(chars[i]) {
+        i += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Ident,
+            text: chars[start..i].iter().collect(),
+            line,
+        },
+        i,
+    )
+}
+
+/// Lexes `"..."` with `\`-escapes, starting at the opening quote.
+/// Returns the index after the closing quote (or end of input).
+fn lex_quoted_string(chars: &[char], start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let start_line = *line;
+    let mut text = String::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Keep the escaped char verbatim; its exact value never
+                // matters to a lint rule.
+                if let Some(&next) = chars.get(i + 1) {
+                    if next == '\n' {
+                        *line += 1;
+                    }
+                    text.push(next);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            ch => {
+                if ch == '\n' {
+                    *line += 1;
+                }
+                text.push(ch);
+                i += 1;
+            }
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line: start_line,
+    });
+    i
+}
+
+/// Lexes a raw string starting at the first `#` or `"` (after the `r`).
+/// Returns `None` if this is not actually a raw string head (e.g. a raw
+/// identifier `r#fn`), leaving the caller to re-lex.
+fn lex_raw_string(
+    chars: &[char],
+    mut i: usize,
+    line: &mut u32,
+    start_line: u32,
+    out: &mut Lexed,
+) -> Option<usize> {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    let mut text = String::new();
+    while i < chars.len() {
+        if chars[i] == '"' {
+            // A closing quote must be followed by exactly `hashes` hashes.
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                return Some(j);
+            }
+        }
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        text.push(chars[i]);
+        i += 1;
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Str,
+        text,
+        line: start_line,
+    });
+    Some(i)
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime), starting at
+/// the `'`. Returns the index after the lexeme.
+fn lex_char_or_lifetime(chars: &[char], start: usize, line: u32, out: &mut Lexed) -> usize {
+    let next = chars.get(start + 1).copied();
+    match next {
+        // Escaped char literal: `'\n'`, `'\''`, `'\u{1F600}'`.
+        Some('\\') => {
+            let mut text = String::new();
+            let mut i = start + 1;
+            while i < chars.len() && chars[i] != '\'' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+            });
+            (i + 1).min(chars.len())
+        }
+        // `'x'` exactly: a one-char literal (including `'_'`).
+        Some(ch) if chars.get(start + 2) == Some(&'\'') => {
+            out.tokens.push(Tok {
+                kind: TokKind::Char,
+                text: ch.to_string(),
+                line,
+            });
+            start + 3
+        }
+        // `'ident` with no closing quote: a lifetime.
+        Some(ch) if is_ident_start(ch) => {
+            let mut i = start + 1;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[start + 1..i].iter().collect(),
+                line,
+            });
+            i
+        }
+        // A non-ident char that isn't a closed literal (`'('`-less soup):
+        // degrade to punctuation rather than guessing.
+        _ => {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: "'".to_owned(),
+                line,
+            });
+            start + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    x.lock();\n}");
+        assert!(l.tokens[0].is_ident("fn"));
+        let lock = l.tokens.iter().find(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+        let close = l.tokens.last().unwrap();
+        assert!(close.is_punct('}'));
+        assert_eq!(close.line, 3);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // The contents of a string literal must not lex as idents.
+        assert_eq!(idents(r#"let s = "x.unwrap() panic!";"#), vec!["let", "s"]);
+        assert_eq!(idents("let s = r#\"a.lock()\"#;"), vec!["let", "s"]);
+        assert_eq!(idents("let b = b\"recv()\";"), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let l = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("a[1..5]; b[0]; let f = 2.5f64; let h = 0xFF;");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "5", "0", "2.5f64", "0xFF"]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "b'",
+            "let x = '",
+            "r#",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Rule: `bounded-channels-only`.
+//!
+//! `mpsc::channel()` is unbounded: a slow consumer lets the queue grow
+//! until the process dies of memory pressure, exactly the failure the
+//! admission-controlled `ShardedQueue` exists to prevent. Long-lived
+//! service and wire state must use `sync_channel(n)` or the queue.
+//! The rule flags `mpsc::channel(` paths and, when a file has imported
+//! the function (`use std::sync::mpsc::channel`), bare `channel(` calls.
+
+use crate::lexer::Tok;
+use crate::rules::{Context, Finding, Rule};
+use crate::source::{FileKind, SourceFile};
+
+pub struct BoundedChannels;
+
+pub const NAME: &str = "bounded-channels-only";
+
+const SCOPED_CRATES: &[&str] = &["service", "wire"];
+
+impl Rule for BoundedChannels {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "long-lived service state must use bounded channels (sync_channel/ShardedQueue)"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Src || !SCOPED_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.tokens;
+        let imported_bare = imports_bare_channel(toks);
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !t.is_ident("channel") || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            let qualified = i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks
+                    .get(i.wrapping_sub(3))
+                    .is_some_and(|p| p.is_ident("mpsc"));
+            let bare = !qualified
+                && imported_bare
+                && (i == 0 || !toks[i - 1].is_punct(':') && !toks[i - 1].is_punct('.'));
+            if qualified || bare {
+                out.push(Finding::new(
+                    NAME,
+                    file,
+                    t.line,
+                    "`mpsc::channel()` is unbounded; use `sync_channel(n)` or `ShardedQueue`"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the file `use`s `mpsc::channel` by name (so bare `channel(`
+/// calls refer to the unbounded constructor).
+fn imports_bare_channel(toks: &[Tok]) -> bool {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("use") {
+            continue;
+        }
+        // Scan the use statement for `mpsc :: ... channel`.
+        let mut saw_mpsc = false;
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct(';') {
+            if toks[j].is_ident("mpsc") {
+                saw_mpsc = true;
+            } else if saw_mpsc && toks[j].is_ident("channel") {
+                return true;
+            }
+            j += 1;
+        }
+    }
+    false
+}

@@ -1,0 +1,71 @@
+//! Rule: `poison-recovery`.
+//!
+//! A `std::sync::Mutex` poisons when a holder panics; calling
+//! `.lock().unwrap()` then propagates that one panic to every other
+//! thread touching the lock — one dead worker becomes a dead server.
+//! The workspace idiom (queue.rs, server.rs) is to take the data anyway:
+//! `lock().unwrap_or_else(|e| e.into_inner())`. This rule flags bare
+//! `.lock().unwrap()` / `.lock().expect(...)` everywhere in non-test
+//! source. parking_lot locks return guards directly (no `Result`), so
+//! they never match the pattern and need no special-casing.
+
+use crate::lexer::Tok;
+use crate::rules::{Context, Finding, Rule};
+use crate::source::{FileKind, SourceFile};
+
+pub struct PoisonRecovery;
+
+pub const NAME: &str = "poison-recovery";
+
+impl Rule for PoisonRecovery {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "std Mutex locks must recover from poisoning via unwrap_or_else(|e| e.into_inner())"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Src {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !is_lock_call(toks, i) {
+                continue;
+            }
+            // `.lock()` found at i..i+4; what follows?
+            let Some(dot) = toks.get(i + 4) else { continue };
+            if !dot.is_punct('.') {
+                continue;
+            }
+            let Some(m) = toks.get(i + 5) else { continue };
+            let bare_unwrap = m.is_ident("unwrap")
+                && toks.get(i + 6).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 7).is_some_and(|t| t.is_punct(')'));
+            let bare_expect =
+                m.is_ident("expect") && toks.get(i + 6).is_some_and(|t| t.is_punct('('));
+            if (bare_unwrap || bare_expect) && !file.is_test_line(m.line) {
+                out.push(Finding::new(
+                    NAME,
+                    file,
+                    m.line,
+                    format!(
+                        "`.lock().{}(...)` propagates poisoning; use \
+                         `.lock().unwrap_or_else(|e| e.into_inner())`",
+                        m.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether tokens at `i` spell `. lock ( )`.
+fn is_lock_call(toks: &[Tok], i: usize) -> bool {
+    toks[i].is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_ident("lock"))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+}

@@ -1,0 +1,313 @@
+//! The per-file source model rules operate on.
+//!
+//! A [`SourceFile`] is the lexed token stream plus everything the rule
+//! engine needs to judge a finding: which crate and target kind the file
+//! belongs to, which line ranges are test code (`#[cfg(test)]` modules
+//! and `#[test]` functions — the panic-safety rules exempt those), and
+//! the parsed `lint:allow` directives with the line each one covers.
+
+use std::path::PathBuf;
+
+use crate::allow::{parse_allow, AllowDirective, MalformedAllow, ParsedAllow};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Which cargo target kind a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library / binary source under `src/`.
+    Src,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Criterion harnesses under `benches/`.
+    Bench,
+    /// Runnable examples under `examples/`.
+    Example,
+}
+
+/// One analyzed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root (what findings print).
+    pub rel: String,
+    /// The crate the file belongs to (`service`, `wire`, …;
+    /// `smartpick` for the umbrella crate's own targets).
+    pub crate_name: String,
+    /// Which target kind the file is part of.
+    pub kind: FileKind,
+    /// The code tokens.
+    pub tokens: Vec<Tok>,
+    /// Well-formed allow directives, `covers_line` already resolved.
+    pub allows: Vec<AllowDirective>,
+    /// Directives that failed to parse (reported as findings).
+    pub malformed_allows: Vec<MalformedAllow>,
+    /// Sorted, disjoint line ranges (inclusive) that are test code.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes and models `content` as `rel` within `crate_name`/`kind`.
+    pub fn parse(
+        path: PathBuf,
+        rel: String,
+        crate_name: String,
+        kind: FileKind,
+        content: &str,
+    ) -> SourceFile {
+        let lexed = lex(content);
+        let mut allows = Vec::new();
+        let mut malformed_allows = Vec::new();
+        for comment in &lexed.comments {
+            match parse_allow(comment) {
+                ParsedAllow::NotADirective => {}
+                ParsedAllow::Malformed(m) => malformed_allows.push(m),
+                ParsedAllow::Ok(mut d) => {
+                    if !d.trailing && !d.file_scope {
+                        // A standalone directive covers the next line
+                        // that actually holds code.
+                        d.covers_line = lexed
+                            .tokens
+                            .iter()
+                            .map(|t| t.line)
+                            .find(|&l| l > d.line)
+                            .unwrap_or(d.line);
+                    }
+                    allows.push(d);
+                }
+            }
+        }
+        let test_spans = find_test_spans(&lexed.tokens);
+        SourceFile {
+            path,
+            rel,
+            crate_name,
+            kind,
+            tokens: lexed.tokens,
+            allows,
+            malformed_allows,
+            test_spans,
+        }
+    }
+
+    /// Convenience constructor for tests and fixtures.
+    pub fn parse_str(rel: &str, crate_name: &str, kind: FileKind, content: &str) -> SourceFile {
+        SourceFile::parse(
+            PathBuf::from(rel),
+            rel.to_owned(),
+            crate_name.to_owned(),
+            kind,
+            content,
+        )
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module or `#[test]`
+    /// function (or the whole file is a test/bench target).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self.kind == FileKind::Bench
+            || self
+                .test_spans
+                .iter()
+                .any(|&(start, end)| start <= line && line <= end)
+    }
+
+    /// The allow directive (if any) that covers `rule` at `line`.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        self.allows
+            .iter()
+            .find(|d| d.rule == rule && (d.file_scope || d.covers_line == line))
+    }
+}
+
+/// Finds the inclusive line spans of test-only items: anything annotated
+/// `#[cfg(test)]` (typically `mod tests { ... }`) or `#[test]`.
+fn find_test_spans(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (is_test_attr, after_attr) = classify_attribute(tokens, i + 2);
+            if is_test_attr {
+                if let Some((start, end)) = item_span(tokens, after_attr) {
+                    spans.push((tokens[i].line, end.max(start)));
+                }
+            }
+            i = after_attr;
+        } else {
+            i += 1;
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+/// Inspects one attribute body starting just after `#[`. Returns whether
+/// it marks a test item (`test`, `cfg(test)`, `cfg(any(test, ...))`) and
+/// the index just past the closing `]`.
+fn classify_attribute(tokens: &[Tok], start: usize) -> (bool, usize) {
+    let mut depth = 1usize; // the `[` already consumed
+    let mut i = start;
+    let mut is_cfg = false;
+    let mut mentions_test = false;
+    let mut first = true;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if t.kind == TokKind::Ident {
+            if first {
+                // `#[test]`, `#[tokio::test]` end with the ident `test`
+                // as the attribute path; `#[cfg(...)]` gates on it.
+                is_cfg = t.text == "cfg";
+            }
+            if t.text == "test" {
+                mentions_test = true;
+            }
+            first = false;
+        }
+        i += 1;
+    }
+    // `#[test]` exactly (possibly a pathed `::test`), or `#[cfg(... test ...)]`.
+    let is_test = mentions_test && (is_cfg || attribute_path_is_test(tokens, start));
+    (is_test, i)
+}
+
+/// Whether the attribute path (tokens from `start` up to `(` or `]`)
+/// ends in the ident `test` — `#[test]`, `#[rstest::test]`.
+fn attribute_path_is_test(tokens: &[Tok], start: usize) -> bool {
+    let mut last_ident: Option<&str> = None;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct(']') {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            last_ident = Some(&t.text);
+        }
+        i += 1;
+    }
+    last_ident == Some("test")
+}
+
+/// The line span of the item following its attributes: skips further
+/// `#[...]` attributes, then either runs to the `;` of a braceless item
+/// or brace-matches the item body.
+fn item_span(tokens: &[Tok], mut i: usize) -> Option<(u32, u32)> {
+    // Skip any further attributes (`#[cfg(test)] #[allow(...)] mod t {`).
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (_, after) = classify_attribute(tokens, i + 2);
+        i = after;
+    }
+    let start_line = tokens.get(i)?.line;
+    // Find the item's opening `{` or terminating `;`.
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(';') {
+            return Some((start_line, t.line));
+        }
+        if t.is_punct('{') {
+            let end = matching_brace(tokens, i)?;
+            return Some((start_line, tokens[end].line));
+        }
+        i += 1;
+    }
+    Some((start_line, tokens.last()?.line))
+}
+
+/// The index of the `}` matching the `{` at `open`. `None` if unbalanced.
+pub fn matching_brace(tokens: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse_str("crates/x/src/lib.rs", "x", FileKind::Src, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let f = file(
+            "fn prod() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { y.unwrap(); }\n\
+             }\n\
+             fn prod2() {}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(7));
+    }
+
+    #[test]
+    fn standalone_test_fn_span() {
+        let f = file("fn a() {}\n#[test]\nfn t() {\n  boom();\n}\nfn b() {}\n");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn attribute_stacks_are_skipped() {
+        let f = file("#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n  fn x() {}\n}\n");
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn test_kind_files_are_all_test() {
+        let f = SourceFile::parse_str("crates/x/tests/t.rs", "x", FileKind::Test, "fn f() {}");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn allow_targeting_trailing_and_standalone() {
+        let f = file(
+            "fn f() {\n\
+             x(); // lint:allow(some-rule, reason = \"same line\")\n\
+             // lint:allow(other-rule, reason = \"next line\")\n\
+             y();\n\
+             }\n",
+        );
+        assert!(f.allow_for("some-rule", 2).is_some());
+        assert!(f.allow_for("some-rule", 4).is_none());
+        assert!(f.allow_for("other-rule", 4).is_some());
+        assert!(f.allow_for("other-rule", 3).is_none());
+    }
+
+    #[test]
+    fn file_scope_allow_covers_everything() {
+        let f = file("//! lint:allow-file(some-rule, reason = \"whole file\")\nfn f() {}\n");
+        assert!(f.allow_for("some-rule", 1).is_some());
+        assert!(f.allow_for("some-rule", 999).is_some());
+        assert!(f.allow_for("other", 1).is_none());
+    }
+
+    #[test]
+    fn malformed_allows_are_collected() {
+        let f = file("// lint:allow(no-reason-given)\nfn f() {}\n");
+        assert_eq!(f.malformed_allows.len(), 1);
+    }
+}

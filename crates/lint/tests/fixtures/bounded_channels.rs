@@ -1,0 +1,37 @@
+//! Fixture for the `bounded-channels-only` rule. Never compiled — lexed
+//! by `rules_fixtures.rs` as if it were `crates/service/src/...`.
+
+use std::sync::mpsc::{channel, sync_channel};
+
+fn positive_qualified() {
+    let (tx, rx) = std::sync::mpsc::channel(); // POSITIVE: unbounded
+    let _ = (tx, rx);
+}
+
+fn positive_bare_import() {
+    let (tx, rx) = channel(); // POSITIVE: unbounded via `use mpsc::channel`
+    let _ = (tx, rx);
+}
+
+fn negative_sync_channel() {
+    let (tx, rx) = sync_channel(8); // negative: bounded
+    let _ = (tx, rx);
+}
+
+fn negative_method_named_channel(mux: &Multiplexer) {
+    let _ = mux.channel(); // negative: a method, not the mpsc constructor
+}
+
+fn allowlisted() {
+    // lint:allow(bounded-channels-only, reason = "fixture: demonstrates suppression")
+    let (tx, rx) = std::sync::mpsc::channel();
+    let _ = (tx, rx);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u32>(); // negative: test region
+    }
+}

@@ -1,0 +1,48 @@
+//! Fixture for the `guard-across-blocking` rule. Never compiled — lexed
+//! by `rules_fixtures.rs` as if it were `crates/service/src/...`.
+
+fn positive_named_guard(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    tx.send(*g).ok(); // POSITIVE: guard `g` live across send
+}
+
+fn positive_temporary_guard(rx: &std::sync::Mutex<Receiver<u32>>) -> Result<u32, RecvError> {
+    rx.lock().unwrap_or_else(|e| e.into_inner()).recv() // POSITIVE: temp guard across recv
+}
+
+fn negative_guard_dropped_first(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let v = *g;
+    drop(g);
+    tx.send(v).ok(); // negative: guard released above
+}
+
+fn negative_scope_ended(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let g = m.lock().unwrap_or_else(|e| e.into_inner());
+        *g
+    };
+    tx.send(v).ok(); // negative: guard scope closed
+}
+
+fn negative_condvar_wait(q: &Queue) {
+    let mut inner = q.mutex.lock().unwrap_or_else(|e| e.into_inner());
+    while inner.is_empty() {
+        // negative: Condvar::wait releases the guard while parked
+        inner = q.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn allowlisted(rx: &std::sync::Mutex<Receiver<u32>>) -> Result<u32, RecvError> {
+    // lint:allow(guard-across-blocking, reason = "fixture: workers take turns on recv by design")
+    rx.lock().unwrap_or_else(|e| e.into_inner()).recv()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+        let g = m.lock().unwrap_or_else(|e| e.into_inner());
+        tx.send(*g).ok(); // negative: test region
+    }
+}

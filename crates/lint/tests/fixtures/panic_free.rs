@@ -1,0 +1,56 @@
+//! Fixture for the `panic-free-server-paths` rule. Never compiled —
+//! lexed by `rules_fixtures.rs` as if it were `crates/service/src/...`.
+
+fn positive_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // POSITIVE
+}
+
+fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // POSITIVE
+}
+
+fn positive_panic(flag: bool) {
+    if flag {
+        panic!("server thread down"); // POSITIVE
+    }
+}
+
+fn positive_runtime_index(v: &[u32], i: usize) -> u32 {
+    v[i] // POSITIVE
+}
+
+fn negative_literal_index(v: &[u32; 4]) -> u32 {
+    v[0] + v[1] // negative: literal indices are bounds-checked by construction
+}
+
+fn negative_range_slice(header: &[u8; 5]) -> &[u8] {
+    &header[1..5] // negative: literal range
+}
+
+fn negative_get(v: &[u32], i: usize) -> Option<&u32> {
+    v.get(i) // negative: fallible access
+}
+
+fn negative_slice_types(buf: &mut [u8], init: [u8; 4]) -> usize {
+    buf.len() + init.len() // negative: `[` in type position is not indexing
+}
+
+fn negative_assert(n: usize) {
+    assert!(n > 0, "n must be positive"); // negative: fail-fast validation is permitted
+}
+
+fn allowlisted_index(v: &[u32], i: usize) -> u32 {
+    v[i % v.len()] // lint:allow(panic-free-server-paths, reason = "fixture: index is modulo len")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        let _ = x.unwrap(); // negative: test region
+        let v = vec![1, 2, 3];
+        let i = 2;
+        let _ = v[i]; // negative: test region
+    }
+}

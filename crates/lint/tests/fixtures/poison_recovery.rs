@@ -1,0 +1,30 @@
+//! Fixture for the `poison-recovery` rule. Never compiled — lexed by
+//! `rules_fixtures.rs` as if it were `crates/service/src/...`.
+
+fn positive_bare_unwrap(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // POSITIVE
+}
+
+fn positive_bare_expect(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned") // POSITIVE
+}
+
+fn negative_recovery_idiom(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner()) // negative: the workspace idiom
+}
+
+fn negative_parking_lot(m: &parking_lot::Mutex<u32>) -> u32 {
+    *m.lock() // negative: parking_lot guards are not Results
+}
+
+fn allowlisted(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // lint:allow(poison-recovery, reason = "fixture: demonstrates suppression")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt(m: &std::sync::Mutex<u32>) {
+        let _ = m.lock().unwrap(); // negative: test region
+    }
+}

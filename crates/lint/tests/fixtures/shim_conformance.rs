@@ -1,0 +1,15 @@
+//! Fixture for the `shim-conformance` rule. Never compiled — lexed by
+//! `rules_fixtures.rs` against the repo's real `vendor/` export sets.
+
+use serde::{Serialize, Value}; // negative: both exported by the shim
+use serde::DoesNotExist; // POSITIVE: fantasy item
+use serde_json::to_string; // negative: exported
+use parking_lot::{Mutex, RwLock}; // negative: both exported
+use proptest::prelude::*; // negative: glob imports are not checked
+use serde::FantasyItem as Renamed; // POSITIVE: pre-alias name is checked
+use std::collections::HashMap; // negative: std is out of scope
+use serde::AnotherFantasy; // lint:allow(shim-conformance, reason = "fixture: demonstrates suppression")
+
+fn touch() {
+    let _ = (Serialize::to_value, Value::Null, to_string, Mutex::new, RwLock::new, HashMap::<u8, u8>::new);
+}

@@ -1,0 +1,46 @@
+//! Property tests: the lexer and the whole per-file pipeline must be
+//! total — arbitrary input, including token soup full of unterminated
+//! strings and comments, must never panic.
+
+use proptest::prelude::*;
+
+use smartpick_lint::engine::run_file;
+use smartpick_lint::lexer::lex;
+use smartpick_lint::rules::Context;
+use smartpick_lint::source::{FileKind, SourceFile};
+
+proptest! {
+    /// Lexing is total over arbitrary unicode strings.
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,400}") {
+        let _ = lex(&s);
+    }
+
+    /// Token soup assembled from Rust-ish fragments — quotes, hashes,
+    /// half-open comments, directives — never panics the lexer, and
+    /// every token it produces carries an in-range line number.
+    #[test]
+    fn rusty_soup_never_panics(
+        picks in prop::collection::vec(0usize..22, 0..60)
+    ) {
+        const FRAGMENTS: [&str; 22] = [
+            "r#\"", "\"", "'", "//", "/*", "*/", "b'", "lint:allow(", ")",
+            "\n", ".lock()", ".unwrap()", "[", "]", "{", "}", "0x", "1..5",
+            "ident", "#[cfg(test)]", "mod", "\\",
+        ];
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let lexed = lex(&src);
+        let max_line = src.lines().count().max(1) as u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= max_line);
+        }
+    }
+
+    /// The full per-file pipeline (test spans, allow parsing, every
+    /// rule) is total over arbitrary input.
+    #[test]
+    fn pipeline_never_panics(s in "\\PC{0,300}") {
+        let file = SourceFile::parse_str("crates/service/src/x.rs", "service", FileKind::Src, &s);
+        let _ = run_file(&file, &Context::default());
+    }
+}

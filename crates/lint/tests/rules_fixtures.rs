@@ -1,0 +1,122 @@
+//! Fixture tests: every rule has a positive case proving it fires, a
+//! negative case proving it stays quiet, and an allowlisted case proving
+//! `lint:allow` suppresses it (while keeping the finding in the report).
+//!
+//! The fixture `.rs` files are never compiled — they are lexed exactly
+//! the way the engine lexes workspace sources, posing as
+//! `crates/service/src/<fixture>.rs` so the crate-scoped rules apply.
+
+use std::path::Path;
+
+use smartpick_lint::engine::run_file;
+use smartpick_lint::rules::{collect_vendor_exports, Context, Finding};
+use smartpick_lint::source::{FileKind, SourceFile};
+
+fn lint_fixture(name: &str, src: &str, ctx: &Context) -> Vec<Finding> {
+    let rel = format!("crates/service/src/{name}.rs");
+    let file = SourceFile::parse_str(&rel, "service", FileKind::Src, src);
+    run_file(&file, ctx)
+}
+
+/// Findings for `rule`, split into (unallowed lines, allowed lines).
+fn split(findings: &[Finding], rule: &str) -> (Vec<u32>, Vec<u32>) {
+    let mut unallowed = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings.iter().filter(|f| f.rule == rule) {
+        if f.allowed {
+            allowed.push(f.line);
+        } else {
+            unallowed.push(f.line);
+        }
+    }
+    (unallowed, allowed)
+}
+
+/// Lines of the fixture marked `POSITIVE` — the expected unallowed set.
+fn positive_lines(src: &str) -> Vec<u32> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("POSITIVE"))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+#[test]
+fn guard_across_blocking_fixture() {
+    let src = include_str!("fixtures/guard_across_blocking.rs");
+    let findings = lint_fixture("guard_across_blocking", src, &Context::default());
+    let (unallowed, allowed) = split(&findings, "guard-across-blocking");
+    assert_eq!(unallowed, positive_lines(src), "{findings:#?}");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn panic_free_fixture() {
+    let src = include_str!("fixtures/panic_free.rs");
+    let findings = lint_fixture("panic_free", src, &Context::default());
+    let (unallowed, allowed) = split(&findings, "panic-free-server-paths");
+    assert_eq!(unallowed, positive_lines(src), "{findings:#?}");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn poison_recovery_fixture() {
+    let src = include_str!("fixtures/poison_recovery.rs");
+    let findings = lint_fixture("poison_recovery", src, &Context::default());
+    let (unallowed, allowed) = split(&findings, "poison-recovery");
+    assert_eq!(unallowed, positive_lines(src), "{findings:#?}");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn bounded_channels_fixture() {
+    let src = include_str!("fixtures/bounded_channels.rs");
+    let findings = lint_fixture("bounded_channels", src, &Context::default());
+    let (unallowed, allowed) = split(&findings, "bounded-channels-only");
+    assert_eq!(unallowed, positive_lines(src), "{findings:#?}");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn shim_conformance_fixture() {
+    let vendor = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("vendor");
+    let ctx = Context {
+        vendor_exports: collect_vendor_exports(&vendor),
+    };
+    assert!(
+        ctx.vendor_exports.contains_key("serde"),
+        "vendor scan found: {:?}",
+        ctx.vendor_exports.keys().collect::<Vec<_>>()
+    );
+    let src = include_str!("fixtures/shim_conformance.rs");
+    let findings = lint_fixture("shim_conformance", src, &ctx);
+    let (unallowed, allowed) = split(&findings, "shim-conformance");
+    assert_eq!(unallowed, positive_lines(src), "{findings:#?}");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn rules_out_of_scope_crates_stay_quiet() {
+    // The panic-safety rules are scoped to server crates: the same
+    // violations in (say) the figures tooling are not findings.
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let file = SourceFile::parse_str("crates/bench/src/lib.rs", "bench", FileKind::Src, src);
+    let findings = run_file(&file, &Context::default());
+    assert!(
+        findings.iter().all(|f| f.rule != "panic-free-server-paths"),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn malformed_and_unknown_allows_are_findings() {
+    let src = "// lint:allow(poison-recovery)\n\
+               // lint:allow(no-such-rule, reason = \"typo\")\n\
+               fn f() {}\n";
+    let findings = lint_fixture("malformed", src, &Context::default());
+    let (unallowed, _) = split(&findings, "malformed-allow");
+    assert_eq!(unallowed, vec![1, 2], "{findings:#?}");
+}

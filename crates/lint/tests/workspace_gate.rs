@@ -1,0 +1,25 @@
+//! The tier-1 gate: the whole workspace must lint clean. Any unallowed
+//! finding fails the ordinary `cargo test` run — the same check CI runs
+//! via `just lint-smartpick`.
+
+use std::path::Path;
+
+use smartpick_lint::{load_workspace, run};
+
+#[test]
+fn workspace_has_no_unallowed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let ws = load_workspace(&root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks broken: only {} files found",
+        ws.files.len()
+    );
+    let report = run(&ws);
+    assert_eq!(
+        report.summary.unallowed,
+        0,
+        "unallowed lint findings:\n{}",
+        report.render_human()
+    );
+}

@@ -140,14 +140,18 @@ impl SmartpickService {
             .map(|_| Arc::new(ShardCounters::default()))
             .collect();
         let epoch = Instant::now();
-        let workers = (0..config.retrain_workers)
-            .map(|i| {
+        #[allow(clippy::expect_used)] // mirrored by the lint:allow below
+        let workers = shard_counters
+            .iter()
+            .enumerate()
+            .map(|(i, counters)| {
                 let shard_queue = queues.shard(i);
-                let counters = Arc::clone(&shard_counters[i]);
+                let counters = Arc::clone(counters);
                 let batch_max = config.retrain_batch_max;
                 std::thread::Builder::new()
                     .name(format!("smartpickd-retrain-{i}"))
                     .spawn(move || run_worker(shard_queue, batch_max, epoch, counters))
+                    // lint:allow(panic-free-server-paths, reason = "startup-time spawn in new(); failing fast here is documented under # Panics and no request is in flight yet")
                     .expect("spawn retrain worker")
             })
             .collect();

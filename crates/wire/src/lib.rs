@@ -83,6 +83,13 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+// Clippy agrees with smartpick-lint's panic-free-server-paths rule:
+// non-test code must not panic; exceptions carry an explicit
+// `#[allow]` next to their `lint:allow` so both tools share one list.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod client;
 pub mod error;

@@ -123,7 +123,7 @@ impl WireServer {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures and acceptor-thread spawn failures.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<SmartpickService>,
@@ -154,8 +154,7 @@ impl WireServer {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("smartpick-wire-accept".to_owned())
-                .spawn(move || accept_loop(listener, shared))
-                .expect("spawn wire acceptor")
+                .spawn(move || accept_loop(listener, shared))?
         };
         Ok(WireServer {
             local_addr,
@@ -596,6 +595,7 @@ impl ExecutorPool {
                     // The mutex guards *dequeueing* only (workers
                     // take turns waiting on the channel); execution
                     // below runs unlocked and in parallel.
+                    // lint:allow(guard-across-blocking, reason = "the lock exists to make workers take turns on recv; it guards nothing but the dequeue itself and is dropped before execution")
                     let msg = req_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     let Ok((id, request)) = msg else { return };
                     let response = execute(request, &shared);

@@ -7,7 +7,7 @@
 verify: build-test lint bench-compile
 
 # Everything CI runs, locally — the pre-push command.
-ci: build-test lint fmt-check bench-compile figures-smoke
+ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick
 
 # CI job: release build + the full test suite.
 build-test:
@@ -17,6 +17,12 @@ build-test:
 # CI job: clippy over every target, warnings denied.
 lint:
     cargo clippy --all-targets -- -D warnings
+
+# CI job: smartpick-lint, the in-repo static analyzer (concurrency and
+# panic-safety invariants; see README "Static analysis"). Refreshes
+# lint-report.json so finding counts are diffable across PRs.
+lint-smartpick:
+    cargo run --release -p lint --bin smartpick-lint -- --json lint-report.json
 
 # CI job: repo-wide formatting gate.
 fmt-check:
