@@ -26,6 +26,13 @@
 //! * `wire_batch_determine` — the same N shipped as **one**
 //!   `determine_batch` frame (`determine_xN_batched`): framing, JSON,
 //!   snapshot acquisition, and the forest pass amortised batch-wide.
+//!
+//! `scrape_under_load` guards the observability tax: `scrape_idle` and
+//! `health` price the telemetry surface itself, and
+//! `determine_while_scraping` re-times the over-wire determine with a
+//! background thread scraping continuously — compare it against
+//! `wire_rtt/determine_over_wire` to read off the instrumentation cost
+//! (the PR's budget: under 5%).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -197,5 +204,67 @@ fn bench_wire_pipelined_and_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire_rtt, bench_wire_pipelined_and_batch);
+fn bench_scrape_under_load(c: &mut Criterion) {
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let template = trained_driver();
+    service
+        .register_fork("bench", &template, 7)
+        .expect("register tenant");
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        template,
+        WireServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let query = tpcds::query(82, 100.0).expect("catalog query");
+    let mut seed = 0u64;
+
+    let mut group = c.benchmark_group("scrape_under_load");
+    // The telemetry surface itself, over the wire.
+    group.bench_function("scrape_idle", |b| {
+        b.iter(|| black_box(client.scrape(32).expect("scrape")));
+    });
+    group.bench_function("health", |b| {
+        b.iter(|| black_box(client.health().expect("health")));
+    });
+    // The hot path while a scraper hammers the registry from another
+    // connection: compare against wire_rtt/determine_over_wire for the
+    // instrumentation + contention cost.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = server.local_addr();
+        std::thread::spawn(move || {
+            let mut scraper = WireClient::connect(addr).expect("connect scraper");
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                black_box(scraper.scrape(32).expect("background scrape"));
+            }
+        })
+    };
+    group.bench_function("determine_while_scraping", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                client
+                    .determine("bench", &query, seed)
+                    .expect("determine under scrape load"),
+            )
+        });
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    scraper.join().expect("scraper thread");
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire_rtt,
+    bench_wire_pipelined_and_batch,
+    bench_scrape_under_load
+);
 criterion_main!(benches);

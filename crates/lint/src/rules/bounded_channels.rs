@@ -3,7 +3,7 @@
 //! `mpsc::channel()` is unbounded: a slow consumer lets the queue grow
 //! until the process dies of memory pressure, exactly the failure the
 //! admission-controlled `ShardedQueue` exists to prevent. Long-lived
-//! service and wire state must use `sync_channel(n)` or the queue.
+//! service, wire, and obs state must use `sync_channel(n)` or the queue.
 //! The rule flags `mpsc::channel(` paths and, when a file has imported
 //! the function (`use std::sync::mpsc::channel`), bare `channel(` calls.
 
@@ -15,7 +15,7 @@ pub struct BoundedChannels;
 
 pub const NAME: &str = "bounded-channels-only";
 
-const SCOPED_CRATES: &[&str] = &["service", "wire"];
+const SCOPED_CRATES: &[&str] = &["service", "wire", "obs"];
 
 impl Rule for BoundedChannels {
     fn name(&self) -> &'static str {

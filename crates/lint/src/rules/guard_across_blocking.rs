@@ -38,7 +38,7 @@ const BLOCKING_METHODS: &[&str] = &[
 const BLOCKING_PREFIXES: &[&str] = &["read_frame", "write_frame"];
 
 /// Crates whose long-lived server threads the rule watches.
-const SCOPED_CRATES: &[&str] = &["service", "wire", "core"];
+const SCOPED_CRATES: &[&str] = &["service", "wire", "core", "obs"];
 
 #[derive(Debug)]
 struct LiveGuard {

@@ -2,8 +2,9 @@
 //!
 //! A panic on a long-lived server thread (wire reader/writer, executor,
 //! retrain worker) silently kills that thread — the process stays up
-//! while its capacity shrinks. Non-test code in `service`, `wire`, and
-//! `core`'s driver module must not call `unwrap()`/`expect()`, invoke
+//! while its capacity shrinks. Non-test code in `service`, `wire`,
+//! `obs`, and `core`'s driver module must not call
+//! `unwrap()`/`expect()`, invoke
 //! `panic!`/`unreachable!`/`todo!`/`unimplemented!`, or index a
 //! collection with a runtime value (use `.get()` or a justified allow).
 //! `assert!` config validation is permitted: failing fast at startup is
@@ -107,7 +108,7 @@ fn in_scope(file: &SourceFile) -> bool {
         return false;
     }
     match file.crate_name.as_str() {
-        "service" | "wire" => true,
+        "service" | "wire" | "obs" => true,
         "core" => file.rel.ends_with("src/driver.rs"),
         _ => false,
     }

@@ -99,6 +99,35 @@ fn shim_conformance_fixture() {
 }
 
 #[test]
+fn obs_crate_is_in_scope_for_the_concurrency_rules() {
+    // The obs crate serves the same hot paths as service/wire: the
+    // panic-safety and concurrency rules must fire there too.
+    let src = "fn sample(xs: &[u64], i: usize) -> u64 { xs[i] }\n\
+               fn wait(g: std::sync::MutexGuard<u32>, rx: &std::sync::mpsc::Receiver<u32>) {\n\
+               let _x = *g;\n\
+               let _ = rx.recv();\n\
+               }\n";
+    let file = SourceFile::parse_str("crates/obs/src/fixture.rs", "obs", FileKind::Src, src);
+    let findings = run_file(&file, &Context::default());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "panic-free-server-paths" && !f.allowed),
+        "{findings:#?}"
+    );
+    let unbounded = "use std::sync::mpsc::channel;\n\
+                     fn f() { let (_tx, _rx) = channel(); }\n";
+    let file = SourceFile::parse_str("crates/obs/src/chan.rs", "obs", FileKind::Src, unbounded);
+    let findings = run_file(&file, &Context::default());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "bounded-channels-only" && !f.allowed),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn rules_out_of_scope_crates_stay_quiet() {
     // The panic-safety rules are scoped to server crates: the same
     // violations in (say) the figures tooling are not findings.

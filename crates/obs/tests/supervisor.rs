@@ -1,0 +1,192 @@
+//! Supervisor behaviour against toy workers: restart-with-backoff,
+//! strict fail-fast, retry-budget exhaustion, and clean exits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use smartpick_obs::{
+    EventKind, Observability, RestartPolicy, Supervisor, SupervisorConfig, WorkerState,
+};
+
+/// What a toy worker should do next.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    Panic,
+    Exit,
+}
+
+/// A supervised pool of toy workers, each parked on a shared command
+/// channel — `send(Cmd::Panic)` kills exactly one live worker.
+struct Rig {
+    supervisor: Supervisor,
+    obs: Arc<Observability>,
+    tx: Sender<Cmd>,
+    spawned: Arc<AtomicU64>,
+}
+
+fn rig(workers: usize, policy: RestartPolicy) -> Rig {
+    let obs = Observability::shared(64);
+    let (tx, rx) = channel::<Cmd>();
+    let rx = Arc::new(Mutex::new(rx));
+    let spawned = Arc::new(AtomicU64::new(0));
+    let spawn = {
+        let rx = Arc::clone(&rx);
+        let spawned = Arc::clone(&spawned);
+        Box::new(move |shard: usize, attempt: u64| {
+            let rx: Arc<Mutex<Receiver<Cmd>>> = Arc::clone(&rx);
+            spawned.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("toy-{shard}-{attempt}"))
+                .spawn(move || {
+                    // One command decides this worker's whole life: panic
+                    // on demand, or exit cleanly. Bind before matching so
+                    // the mutex guard drops first — panicking with it
+                    // held would poison the channel for the replacement.
+                    let cmd = rx.lock().unwrap().recv();
+                    if let Ok(Cmd::Panic) = cmd {
+                        panic!("toy worker told to panic")
+                    }
+                })
+                .ok()
+        })
+    };
+    let config = SupervisorConfig {
+        policy,
+        poll: Duration::from_millis(2),
+    };
+    let supervisor = Supervisor::start(workers, config, spawn, Arc::clone(&obs), "toy");
+    Rig {
+        supervisor,
+        obs,
+        tx,
+        spawned,
+    }
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn panicked_worker_is_restarted_and_recorded() {
+    let mut r = rig(
+        1,
+        RestartPolicy::Restart {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    assert!(r.supervisor.healthy());
+    r.tx.send(Cmd::Panic).unwrap();
+    wait_until(|| r.supervisor.restarts() == 1, "the restart");
+    wait_until(
+        || r.supervisor.status()[0].state == WorkerState::Alive,
+        "the slot to come back alive",
+    );
+    let status = &r.supervisor.status()[0];
+    assert_eq!(status.restarts, 1);
+    assert_eq!(
+        status.last_panic.as_deref(),
+        Some("toy worker told to panic")
+    );
+    assert!(r.supervisor.healthy());
+    assert_eq!(r.spawned.load(Ordering::Relaxed), 2, "initial + 1 restart");
+
+    // The incident is on the record: a panic event, a restart event, and
+    // both counters.
+    let kinds: Vec<EventKind> = r.obs.events().recent(16).iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::WorkerPanic));
+    assert!(kinds.contains(&EventKind::WorkerRestarted));
+    let scrape = r.obs.scrape(0);
+    assert_eq!(scrape.counter("toy.panics"), 1);
+    assert_eq!(scrape.counter("toy.restarts"), 1);
+
+    // The restarted worker still serves: a clean exit marks it Done.
+    r.tx.send(Cmd::Exit).unwrap();
+    wait_until(
+        || r.supervisor.status()[0].state == WorkerState::Done,
+        "the clean exit",
+    );
+    r.supervisor.shutdown();
+}
+
+#[test]
+fn strict_policy_fails_the_shard_on_first_panic() {
+    let mut r = rig(1, RestartPolicy::Strict);
+    r.tx.send(Cmd::Panic).unwrap();
+    wait_until(
+        || r.supervisor.status()[0].state == WorkerState::Failed,
+        "the strict failure",
+    );
+    assert!(!r.supervisor.healthy());
+    assert_eq!(r.supervisor.restarts(), 0);
+    assert_eq!(r.spawned.load(Ordering::Relaxed), 1, "no respawn");
+    let kinds: Vec<EventKind> = r.obs.events().recent(16).iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::WorkerPanic));
+    assert!(kinds.contains(&EventKind::WorkerFailed));
+    assert!(!kinds.contains(&EventKind::WorkerRestarted));
+    r.supervisor.shutdown();
+}
+
+#[test]
+fn retry_budget_exhaustion_fails_the_shard() {
+    let mut r = rig(
+        1,
+        RestartPolicy::Restart {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    for _ in 0..3 {
+        r.tx.send(Cmd::Panic).unwrap();
+        // Each panic must be noticed before the next is sent, or a
+        // single worker incarnation would absorb several commands.
+        let seen = r.obs.events().recent(64).len();
+        wait_until(
+            || r.obs.events().recent(64).len() > seen,
+            "the panic to be processed",
+        );
+    }
+    wait_until(
+        || r.supervisor.status()[0].state == WorkerState::Failed,
+        "the budget to run out",
+    );
+    assert_eq!(r.supervisor.restarts(), 2);
+    assert!(!r.supervisor.healthy());
+    let scrape = r.obs.scrape(0);
+    assert_eq!(scrape.counter("toy.panics"), 3);
+    assert_eq!(scrape.counter("toy.restarts"), 2);
+    r.supervisor.shutdown();
+}
+
+#[test]
+fn clean_exits_are_done_not_failed_across_many_shards() {
+    let mut r = rig(
+        3,
+        RestartPolicy::Restart {
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    for _ in 0..3 {
+        r.tx.send(Cmd::Exit).unwrap();
+    }
+    wait_until(
+        || {
+            r.supervisor
+                .status()
+                .iter()
+                .all(|s| s.state == WorkerState::Done)
+        },
+        "all shards to finish",
+    );
+    assert!(r.supervisor.healthy(), "done is healthy, failed is not");
+    assert_eq!(r.supervisor.restarts(), 0);
+    r.supervisor.shutdown();
+}

@@ -21,10 +21,21 @@
 //!   hash); [`CompletedRun`] is the unit of feedback.
 //! * [`queue`] *(private)* — the bounded MPSC queues providing
 //!   service-wide backpressure, one shard per retrain worker.
-//! * [`stats`] — per-tenant counters, queue depth, snapshot age, and a
-//!   fixed-bucket p50/p99 latency histogram.
+//! * [`stats`] — the public stats shapes ([`ServiceStats`],
+//!   [`TenantStats`], [`WorkerShardStats`]) over `smartpick_obs`-backed
+//!   counters; per-tenant counters live under `tenant.<id>.*` and
+//!   service totals under `service.*` in the shared metrics registry.
 //! * [`error`] — typed [`ServiceError`] rejections (admission control
 //!   rejections are marked retryable).
+//!
+//! Observability is built in: every counter lives in a shared
+//! [`smartpick_obs::Observability`] bundle, structured events go to its
+//! bounded ring, [`SmartpickService::scrape`] returns the lot as one
+//! versioned envelope, and [`SmartpickService::health`] answers
+//! liveness/readiness. Retrain workers run under a
+//! [`smartpick_obs::Supervisor`] with a configurable restart policy —
+//! a panicked worker's in-flight batch is re-queued before the restart,
+//! so accepted feedback survives worker crashes.
 //!
 //! Reads are **snapshot-based**: each tenant publishes an immutable
 //! `Arc<WorkloadPredictor>`; `predict`/`determine` clone the `Arc` and

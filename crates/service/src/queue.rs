@@ -122,6 +122,26 @@ impl<T> BoundedQueue<T> {
         items
     }
 
+    /// Re-enqueues `items` at the *front* of the queue, preserving their
+    /// order ahead of everything queued behind them.
+    ///
+    /// This is the worker-panic rescue path: the items were already
+    /// admitted (and counted against capacity/quota) once, so readmission
+    /// deliberately ignores the capacity bound — the queue may transiently
+    /// exceed it by at most one worker batch — and ignores `closed`, so a
+    /// restarted worker can still drain rescued work during shutdown.
+    pub(crate) fn requeue_front(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        for item in items.into_iter().rev() {
+            inner.items.push_front(item);
+        }
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
     /// Current depth.
     pub(crate) fn len(&self) -> usize {
         self.lock().items.len()
@@ -295,6 +315,27 @@ mod tests {
         assert_eq!(q.try_push(3, 13), Err(PushRejected::Closed));
         // Consumers drain what was admitted before the close.
         assert_eq!(q.shard(1).pop(), Some(7));
+    }
+
+    #[test]
+    fn requeue_front_preserves_order_and_ignores_caps() {
+        let q = BoundedQueue::new(2);
+        q.try_push(3).unwrap();
+        q.try_push(4).unwrap();
+        // Rescue two "already admitted" items ahead of the queue, past
+        // the capacity bound.
+        q.requeue_front(vec![1, 2]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        // Rescue still works after close (shutdown-time worker panic);
+        // the consumer drains it before seeing end-of-queue.
+        q.close();
+        q.requeue_front(vec![0]);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

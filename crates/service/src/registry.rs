@@ -10,13 +10,14 @@
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use smartpick_core::driver::Smartpick;
 use smartpick_core::rm::ResourceManager;
 use smartpick_core::wp::WorkloadPredictor;
+use smartpick_obs::MetricsRegistry;
 
 use crate::error::ServiceError;
 use crate::stats::TenantCounters;
@@ -39,25 +40,36 @@ pub(crate) struct TenantState {
     pub(crate) rm: Arc<ResourceManager>,
     /// The tenant's configured cost–performance knob ε.
     pub(crate) knob: f64,
-    /// Hot-path counters.
+    /// Hot-path counters, registered under `tenant.<id>.*`.
     pub(crate) counters: TenantCounters,
     /// Snapshots published so far (0 = registration snapshot).
     pub(crate) generation: AtomicU64,
     /// Publication instant, µs since the service epoch.
     pub(crate) published_at_us: AtomicU64,
+    /// Whether a `StalenessFlagged` event has been emitted for the
+    /// current stale episode (reset on every snapshot republish, so each
+    /// episode yields one event, not one per prediction).
+    pub(crate) stale_flagged: AtomicBool,
 }
 
 impl TenantState {
-    pub(crate) fn new(id: String, driver: Smartpick, now_us: u64) -> Self {
+    pub(crate) fn new(
+        id: String,
+        driver: Smartpick,
+        now_us: u64,
+        metrics: &MetricsRegistry,
+    ) -> Self {
+        let counters = TenantCounters::register(metrics, &format!("tenant.{id}"));
         TenantState {
             snapshot: RwLock::new(driver.snapshot()),
             rm: driver.shared_resource_manager(),
             knob: driver.properties().knob,
             driver: Mutex::new(driver),
             id,
-            counters: TenantCounters::default(),
+            counters,
             generation: AtomicU64::new(0),
             published_at_us: AtomicU64::new(now_us),
+            stale_flagged: AtomicBool::new(false),
         }
     }
 
@@ -72,6 +84,9 @@ impl TenantState {
         *self.snapshot.write() = snapshot;
         self.generation.fetch_add(1, Ordering::Relaxed);
         self.published_at_us.store(now_us, Ordering::Relaxed);
+        // A fresh snapshot ends any stale episode; the next one gets its
+        // own event.
+        self.stale_flagged.store(false, Ordering::Relaxed);
     }
 }
 
@@ -135,11 +150,6 @@ impl ShardedRegistry {
             .ok_or_else(|| ServiceError::UnknownTenant(id.to_owned()))
     }
 
-    /// Registered tenant count.
-    pub(crate) fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
-    }
-
     /// All tenant ids (sorted, for stable output).
     pub(crate) fn ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self
@@ -149,18 +159,6 @@ impl ShardedRegistry {
             .collect();
         ids.sort();
         ids
-    }
-
-    /// Visits every tenant without holding more than one shard lock at a
-    /// time.
-    pub(crate) fn for_each(&self, mut f: impl FnMut(&Arc<TenantState>)) {
-        for shard in self.shards.iter() {
-            // Clone the Arcs out so `f` runs without the shard lock.
-            let slots: Vec<_> = shard.read().values().cloned().collect();
-            for slot in &slots {
-                f(slot);
-            }
-        }
     }
 }
 
@@ -181,7 +179,6 @@ mod tests {
         for id in ["a", "tenant-42", "z"] {
             assert!(std::ptr::eq(r.shard(id), r.shard(id)));
         }
-        assert_eq!(r.len(), 0);
         assert!(r.ids().is_empty());
         assert!(matches!(
             r.get("missing"),

@@ -2,9 +2,8 @@
 //! Smartpick per tenant.
 
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smartpick_core::driver::{QueryOutcome, Smartpick};
@@ -12,14 +11,16 @@ use smartpick_core::wp::{
     ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService,
 };
 use smartpick_engine::QueryProfile;
+use smartpick_obs::{
+    event, EventKind, Gauge, HealthReport, LatencyHistogram, Observability, RestartPolicy,
+    ScrapeEnvelope, SpawnFn, Supervisor, SupervisorConfig, WorkerHealth, WorkerState, WorkerStatus,
+};
 
 use crate::error::ServiceError;
 use crate::queue::{PushRejected, ShardedQueue};
 use crate::registry::{tenant_hash, ShardedRegistry, TenantState};
-use crate::stats::{
-    LatencyHistogram, ServiceStats, ShardCounters, TenantCounters, TenantStats, WorkerShardStats,
-};
-use crate::worker::{run_worker, CompletedRun, WorkerMsg};
+use crate::stats::{ServiceStats, ShardCounters, TenantCounters, TenantStats, WorkerShardStats};
+use crate::worker::{run_worker, CompletedRun, WorkerCtx, WorkerMsg};
 
 /// Tunables for a [`SmartpickService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +44,18 @@ pub struct ServiceConfig {
     /// [`TenantStats::stale_predictions`] and trips
     /// [`TenantStats::snapshot_stale`]. `None` disables the check.
     pub max_snapshot_age: Option<Duration>,
+    /// What the supervisor does when a retrain worker panics.
+    pub restart_policy: RestartPolicy,
+    /// How often the supervisor checks for dead workers.
+    pub supervisor_poll: Duration,
+    /// A worker shard with queued reports and no batch completed within
+    /// this deadline is reported *stalled* by
+    /// [`SmartpickService::health`] (and makes the service unready).
+    pub stall_deadline: Duration,
+    /// How many events the in-memory event ring retains (ignored when
+    /// the service is built over an existing [`Observability`] via
+    /// [`SmartpickService::with_observability`]).
+    pub event_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +67,13 @@ impl Default for ServiceConfig {
             retrain_batch_max: 32,
             retrain_workers: 2,
             max_snapshot_age: None,
+            restart_policy: RestartPolicy::Restart {
+                max_retries: 3,
+                backoff: Duration::from_millis(50),
+            },
+            supervisor_poll: Duration::from_millis(20),
+            stall_deadline: Duration::from_secs(5),
+            event_capacity: 256,
         }
     }
 }
@@ -74,6 +94,15 @@ impl Default for ServiceConfig {
 /// tenant's reports stay FIFO. **Admission control** (queue capacity +
 /// per-tenant pending quotas) sheds training feedback under overload
 /// instead of ever failing or delaying the read path.
+///
+/// Observability: every hot-path counter lives in a shared
+/// [`Observability`] bundle (metrics registry + event log) under
+/// `service.*` / `tenant.<id>.*` names; [`SmartpickService::scrape`]
+/// returns the whole thing as one envelope and
+/// [`SmartpickService::health`] answers liveness/readiness. Retrain
+/// workers run under a [`Supervisor`] applying the configured
+/// [`RestartPolicy`] when one panics — with the panicked worker's
+/// unapplied batch re-queued first, so no accepted report is lost.
 ///
 /// # Example
 ///
@@ -104,14 +133,19 @@ impl Default for ServiceConfig {
 pub struct SmartpickService {
     registry: ShardedRegistry,
     queues: ShardedQueue<WorkerMsg>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Supervisor,
     shard_counters: Box<[Arc<ShardCounters>]>,
     config: ServiceConfig,
     epoch: Instant,
-    predict_latency: LatencyHistogram,
-    /// Counters folded in from deregistered tenants, so service-wide
-    /// aggregates stay monotonic across tenant churn.
-    retired: TenantCounters,
+    obs: Arc<Observability>,
+    /// Service-wide totals, incremented on the hot path alongside the
+    /// per-tenant counters so [`SmartpickService::stats`] never walks the
+    /// registry.
+    totals: Arc<TenantCounters>,
+    predict_latency: Arc<LatencyHistogram>,
+    tenants_gauge: Arc<Gauge>,
+    queue_depth_gauge: Arc<Gauge>,
+    shard_depth_gauges: Box<[Arc<Gauge>]>,
 }
 
 impl SmartpickService {
@@ -119,8 +153,20 @@ impl SmartpickService {
     ///
     /// # Panics
     ///
-    /// Panics if any `config` field is zero.
+    /// Panics if any `config` count/capacity field is zero.
     pub fn new(config: ServiceConfig) -> Self {
+        let obs = Arc::new(Observability::new(config.event_capacity));
+        SmartpickService::with_observability(config, obs)
+    }
+
+    /// Starts a service over an existing [`Observability`] bundle, so
+    /// other layers of the process (e.g. the wire server) feed the same
+    /// scrape. See [`SmartpickService::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `config` count/capacity field is zero.
+    pub fn with_observability(config: ServiceConfig, obs: Arc<Observability>) -> Self {
         assert!(config.shards > 0, "shards must be positive");
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
         assert!(
@@ -136,34 +182,69 @@ impl SmartpickService {
             "retrain_workers must be positive"
         );
         let queues = ShardedQueue::new(config.retrain_workers, config.queue_capacity);
+        let metrics = obs.metrics();
         let shard_counters: Box<[Arc<ShardCounters>]> = (0..config.retrain_workers)
-            .map(|_| Arc::new(ShardCounters::default()))
+            .map(|i| Arc::new(ShardCounters::register(metrics, i)))
             .collect();
+        let shard_depth_gauges: Box<[Arc<Gauge>]> = (0..config.retrain_workers)
+            .map(|i| metrics.gauge(&format!("service.worker.{i}.queue_depth")))
+            .collect();
+        let totals = Arc::new(TenantCounters::register(metrics, "service"));
+        let predict_latency = metrics.histogram("service.predict_latency");
+        let tenants_gauge = metrics.gauge("service.tenants");
+        let queue_depth_gauge = metrics.gauge("service.queue_depth");
         let epoch = Instant::now();
-        #[allow(clippy::expect_used)] // mirrored by the lint:allow below
-        let workers = shard_counters
-            .iter()
-            .enumerate()
-            .map(|(i, counters)| {
-                let shard_queue = queues.shard(i);
-                let counters = Arc::clone(counters);
-                let batch_max = config.retrain_batch_max;
+
+        // Workers are spawned (and respawned after panics) through the
+        // supervisor; a spawn failure marks its shard failed — visible in
+        // health() — instead of panicking the caller.
+        let spawn: SpawnFn = {
+            let shard_queues: Vec<_> = (0..config.retrain_workers)
+                .map(|i| queues.shard(i))
+                .collect();
+            let shard_counters = shard_counters.clone();
+            let totals = Arc::clone(&totals);
+            let obs = Arc::clone(&obs);
+            let batch_max = config.retrain_batch_max;
+            Box::new(move |shard, attempt| {
+                let queue = Arc::clone(shard_queues.get(shard)?);
+                let ctx = WorkerCtx {
+                    shard,
+                    counters: Arc::clone(shard_counters.get(shard)?),
+                    totals: Arc::clone(&totals),
+                    obs: Arc::clone(&obs),
+                    epoch,
+                };
                 std::thread::Builder::new()
-                    .name(format!("smartpickd-retrain-{i}"))
-                    .spawn(move || run_worker(shard_queue, batch_max, epoch, counters))
-                    // lint:allow(panic-free-server-paths, reason = "startup-time spawn in new(); failing fast here is documented under # Panics and no request is in flight yet")
-                    .expect("spawn retrain worker")
+                    .name(format!("smartpickd-retrain-{shard}.{attempt}"))
+                    .spawn(move || run_worker(queue, batch_max, ctx))
+                    .ok()
             })
-            .collect();
+        };
+        let supervisor = Supervisor::start(
+            config.retrain_workers,
+            SupervisorConfig {
+                policy: config.restart_policy,
+                poll: config.supervisor_poll,
+            },
+            spawn,
+            Arc::clone(&obs),
+            "service.worker",
+        );
+
         SmartpickService {
             registry: ShardedRegistry::new(config.shards),
             queues,
-            workers,
+            supervisor,
             shard_counters,
             config,
             epoch,
-            predict_latency: LatencyHistogram::new(),
-            retired: TenantCounters::default(),
+            obs,
+            totals,
+            predict_latency,
+            tenants_gauge,
+            queue_depth_gauge,
+            shard_depth_gauges,
         }
     }
 
@@ -175,6 +256,12 @@ impl SmartpickService {
     /// The configuration the service was started with.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The shared observability bundle (metrics registry + event log)
+    /// this service reports into.
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.obs
     }
 
     // ---------------------------------------------------------------
@@ -197,8 +284,17 @@ impl SmartpickService {
             return Err(ServiceError::Stopped);
         }
         let id = id.into();
-        self.registry
-            .insert(TenantState::new(id, driver, self.now_us()))
+        self.registry.insert(TenantState::new(
+            id.clone(),
+            driver,
+            self.now_us(),
+            self.obs.metrics(),
+        ))?;
+        self.tenants_gauge.inc();
+        self.obs
+            .events()
+            .publish(event(EventKind::TenantRegistered).tenant(id));
+        Ok(())
     }
 
     /// Registers a tenant forked from `template` (shares the trained
@@ -219,18 +315,22 @@ impl SmartpickService {
     }
 
     /// Removes a tenant. In-flight reports already accepted for it are
-    /// still applied (the worker holds its own handle) but no new work is
-    /// admitted. Its counters are folded into the service-wide totals so
-    /// [`SmartpickService::stats`] aggregates never run backwards; applies
-    /// that complete *after* the fold are the one sliver the aggregates
-    /// can miss.
+    /// still applied (the worker holds its own handle) and still count
+    /// into the service-wide totals — those are incremented live on the
+    /// hot path, so aggregates never run backwards across tenant churn.
+    /// The tenant's `tenant.<id>.*` metrics are unregistered from the
+    /// scrape.
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownTenant`] if not registered.
     pub fn deregister_tenant(&self, id: &str) -> Result<(), ServiceError> {
-        let state = self.registry.remove(id)?;
-        state.counters.fold_into(&self.retired);
+        let _state = self.registry.remove(id)?;
+        self.obs.metrics().remove_prefix(&format!("tenant.{id}."));
+        self.tenants_gauge.dec();
+        self.obs
+            .events()
+            .publish(event(EventKind::TenantDeregistered).tenant(id));
         Ok(())
     }
 
@@ -276,14 +376,27 @@ impl SmartpickService {
         // for predictions actually served, so the counter can never
         // exceed `predictions`.
         if stale {
-            state
-                .counters
-                .stale_predictions
-                .fetch_add(1, Ordering::Relaxed);
+            self.note_stale_serve(state, 1);
         }
-        state.counters.predictions.fetch_add(1, Ordering::Relaxed);
+        state.counters.predictions.inc();
+        self.totals.predictions.inc();
         self.predict_latency.record(start.elapsed());
         Ok(determination)
+    }
+
+    /// Counts `n` stale serves and emits one `StalenessFlagged` event per
+    /// stale episode (not per prediction — the ring is for incidents, not
+    /// samples).
+    fn note_stale_serve(&self, state: &TenantState, n: u64) {
+        state.counters.stale_predictions.add(n);
+        self.totals.stale_predictions.add(n);
+        if !state.stale_flagged.swap(true, Ordering::Relaxed) {
+            self.obs.events().publish(
+                event(EventKind::StalenessFlagged)
+                    .tenant(&state.id)
+                    .detail("snapshot older than max_snapshot_age; serving continues"),
+            );
+        }
     }
 
     /// Whether `state`'s current snapshot is older than the configured
@@ -325,12 +438,10 @@ impl SmartpickService {
         let determinations = snapshot.determine_batch(requests)?;
         let n = requests.len() as u64;
         if stale {
-            state
-                .counters
-                .stale_predictions
-                .fetch_add(n, Ordering::Relaxed);
+            self.note_stale_serve(&state, n);
         }
-        state.counters.predictions.fetch_add(n, Ordering::Relaxed);
+        state.counters.predictions.add(n);
+        self.totals.predictions.add(n);
         // One latency sample for the whole batch: the histogram tracks
         // serving operations, and the batch is served as one.
         self.predict_latency.record(start.elapsed());
@@ -401,7 +512,8 @@ impl SmartpickService {
             .rm
             .execute(query, &determination.allocation, seed ^ EXEC_SEED_MIX)
             .map_err(smartpick_core::SmartpickError::from)?;
-        state.counters.executions.fetch_add(1, Ordering::Relaxed);
+        state.counters.executions.inc();
+        self.totals.executions.inc();
         // Feedback is best-effort under load: a shed report costs model
         // freshness, not correctness.
         let _ = self.enqueue_report(
@@ -449,7 +561,7 @@ impl SmartpickService {
         let prior = state.counters.pending.fetch_add(1, Ordering::Relaxed);
         if prior >= cap {
             state.counters.pending.fetch_sub(1, Ordering::Relaxed);
-            state.counters.rejections.fetch_add(1, Ordering::Relaxed);
+            self.note_shed(state, "tenant pending quota exceeded");
             return Err(ServiceError::QuotaExceeded {
                 tenant: state.id.clone(),
                 pending: prior,
@@ -464,23 +576,35 @@ impl SmartpickService {
         let shard = self.worker_shard_of(&state.id);
         match self.queues.try_push(shard, msg) {
             Ok(()) => {
-                state
-                    .counters
-                    .reports_enqueued
-                    .fetch_add(1, Ordering::Relaxed);
+                state.counters.reports_enqueued.inc();
+                self.totals.reports_enqueued.inc();
                 Ok(())
             }
             Err(rejected) => {
                 state.counters.pending.fetch_sub(1, Ordering::Relaxed);
-                state.counters.rejections.fetch_add(1, Ordering::Relaxed);
                 Err(match rejected {
-                    PushRejected::Full => ServiceError::QueueFull {
-                        capacity: self.queues.shard_capacity(),
-                    },
-                    PushRejected::Closed => ServiceError::Stopped,
+                    PushRejected::Full => {
+                        self.note_shed(state, "update queue full");
+                        ServiceError::QueueFull {
+                            capacity: self.queues.shard_capacity(),
+                        }
+                    }
+                    PushRejected::Closed => {
+                        self.note_shed(state, "service stopped");
+                        ServiceError::Stopped
+                    }
                 })
             }
         }
+    }
+
+    /// Counts one shed report and puts it on the event record.
+    fn note_shed(&self, state: &TenantState, why: &str) {
+        state.counters.rejections.inc();
+        self.totals.rejections.inc();
+        self.obs
+            .events()
+            .publish(event(EventKind::FeedbackShed).tenant(&state.id).detail(why));
     }
 
     /// The retrain-worker shard `tenant` routes to (same hash as the
@@ -491,8 +615,12 @@ impl SmartpickService {
 
     /// Blocks until every report enqueued before this call has been
     /// applied and its tenant's snapshot republished — on every worker
-    /// shard. Returns `false` if the service is already shut down.
+    /// shard. Returns `false` if the service is already shut down or a
+    /// worker shard has failed permanently (its queue would never drain).
     pub fn flush(&self) -> bool {
+        if self.failed_shards().next().is_some() {
+            return false;
+        }
         // One flush token per shard; the blocking pushes park on each
         // queue's not-full condvar, so a flush against a saturated queue
         // sleeps instead of spinning against the very workers it is
@@ -509,7 +637,37 @@ impl SmartpickService {
             }
             pending.push(done);
         }
-        pending.into_iter().all(|done| done.recv().is_ok())
+        // A worker can die *while* we wait (its restart re-queues and
+        // eventually acks our token), or die for good (policy gives up) —
+        // poll with a timeout so a permanently failed shard turns into
+        // `false` instead of a hang.
+        pending.into_iter().enumerate().all(|(shard, done)| loop {
+            match done.recv_timeout(Duration::from_millis(50)) {
+                Ok(()) => break true,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shard_has_failed(shard) {
+                        break false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break false,
+            }
+        })
+    }
+
+    /// Shards the supervisor has given up on.
+    fn failed_shards(&self) -> impl Iterator<Item = usize> {
+        self.supervisor
+            .status()
+            .into_iter()
+            .filter(|s| s.state == WorkerState::Failed)
+            .map(|s| s.shard)
+    }
+
+    fn shard_has_failed(&self, shard: usize) -> bool {
+        self.supervisor
+            .status()
+            .get(shard)
+            .is_some_and(|s| s.state == WorkerState::Failed)
     }
 
     // ---------------------------------------------------------------
@@ -555,9 +713,13 @@ impl SmartpickService {
         Ok(self.stats_of(&state))
     }
 
-    /// A point-in-time aggregate view of the whole service. Aggregates
-    /// include the folded-in history of deregistered tenants, so they are
-    /// monotonic across tenant churn.
+    /// A point-in-time aggregate view of the whole service.
+    ///
+    /// Aggregates are read from the service-wide total counters the hot
+    /// path increments alongside the per-tenant ones — a handful of
+    /// relaxed atomic loads. This call never takes a registry shard lock,
+    /// so it cannot contend with `predict`/`determine`, and the totals
+    /// include the full history of deregistered tenants by construction.
     pub fn stats(&self) -> ServiceStats {
         let depths = self.queues.depths();
         let worker_shards: Vec<WorkerShardStats> = self
@@ -568,38 +730,26 @@ impl SmartpickService {
             .map(|(shard, (c, &depth))| WorkerShardStats {
                 shard,
                 depth,
-                reports_applied: c.reports_applied.load(Ordering::Relaxed),
-                retrains: c.retrains.load(Ordering::Relaxed),
-                batches: c.batches.load(Ordering::Relaxed),
+                reports_applied: c.reports_applied.get(),
+                retrains: c.retrains.get(),
+                batches: c.batches.get(),
             })
             .collect();
-        let r = &self.retired;
-        let mut stats = ServiceStats {
-            tenants: self.registry.len(),
+        let t = &self.totals;
+        ServiceStats {
+            tenants: self.tenants_gauge.get().max(0) as usize,
             queue_depth: depths.iter().sum(),
             worker_shards,
-            predictions: r.predictions.load(Ordering::Relaxed),
-            executions: r.executions.load(Ordering::Relaxed),
-            reports_enqueued: r.reports_enqueued.load(Ordering::Relaxed),
-            reports_applied: r.reports_applied.load(Ordering::Relaxed),
-            retrains: r.retrains.load(Ordering::Relaxed),
-            rejections: r.rejections.load(Ordering::Relaxed),
-            apply_failures: r.apply_failures.load(Ordering::Relaxed),
-            stale_predictions: r.stale_predictions.load(Ordering::Relaxed),
+            predictions: t.predictions.get(),
+            executions: t.executions.get(),
+            reports_enqueued: t.reports_enqueued.get(),
+            reports_applied: t.reports_applied.get(),
+            retrains: t.retrains.get(),
+            rejections: t.rejections.get(),
+            apply_failures: t.apply_failures.get(),
+            stale_predictions: t.stale_predictions.get(),
             predict_latency: self.predict_latency.summary(),
-        };
-        self.registry.for_each(|state| {
-            let t = self.stats_of(state);
-            stats.predictions += t.predictions;
-            stats.executions += t.executions;
-            stats.reports_enqueued += t.reports_enqueued;
-            stats.reports_applied += t.reports_applied;
-            stats.retrains += t.retrains;
-            stats.rejections += t.rejections;
-            stats.apply_failures += t.apply_failures;
-            stats.stale_predictions += t.stale_predictions;
-        });
-        stats
+        }
     }
 
     fn stats_of(&self, state: &TenantState) -> TenantStats {
@@ -614,18 +764,121 @@ impl SmartpickService {
                 .config
                 .max_snapshot_age
                 .is_some_and(|max| snapshot_age > max),
-            stale_predictions: state.counters.stale_predictions.load(Ordering::Relaxed),
-            predictions: state.counters.predictions.load(Ordering::Relaxed),
-            executions: state.counters.executions.load(Ordering::Relaxed),
-            reports_enqueued: state.counters.reports_enqueued.load(Ordering::Relaxed),
-            reports_applied: state.counters.reports_applied.load(Ordering::Relaxed),
-            retrains: state.counters.retrains.load(Ordering::Relaxed),
-            rejections: state.counters.rejections.load(Ordering::Relaxed),
-            apply_failures: state.counters.apply_failures.load(Ordering::Relaxed),
+            stale_predictions: state.counters.stale_predictions.get(),
+            predictions: state.counters.predictions.get(),
+            executions: state.counters.executions.get(),
+            reports_enqueued: state.counters.reports_enqueued.get(),
+            reports_applied: state.counters.reports_applied.get(),
+            retrains: state.counters.retrains.get(),
+            rejections: state.counters.rejections.get(),
+            apply_failures: state.counters.apply_failures.get(),
             pending_reports: state.counters.pending.load(Ordering::Relaxed),
             snapshot_generation: state.generation.load(Ordering::Relaxed),
             snapshot_age,
         }
+    }
+
+    /// One versioned envelope of every registered metric plus the last
+    /// `max_events` events — what `Request::Scrape` answers with.
+    /// Point-in-time gauges (queue depths) are refreshed first; counter
+    /// values are sampled with relaxed atomic loads. Like
+    /// [`SmartpickService::stats`], this never touches a registry shard
+    /// lock.
+    pub fn scrape(&self, max_events: usize) -> ScrapeEnvelope {
+        let depths = self.queues.depths();
+        for (gauge, &depth) in self.shard_depth_gauges.iter().zip(&depths) {
+            gauge.set(depth as i64);
+        }
+        self.queue_depth_gauge
+            .set(depths.iter().sum::<usize>() as i64);
+        self.obs.scrape(max_events)
+    }
+
+    /// Liveness/readiness: ready iff every retrain worker is alive (or
+    /// cleanly done), no shard has queued work without progress past the
+    /// configured [`ServiceConfig::stall_deadline`], and the service has
+    /// not been shut down. The report carries per-shard detail (state,
+    /// restarts, stall flag, depth) and one human-readable reason per
+    /// failure.
+    pub fn health(&self) -> HealthReport {
+        let statuses = self.supervisor.status();
+        let depths = self.queues.depths();
+        let now = self.now_us();
+        let deadline_us = self.config.stall_deadline.as_micros() as u64;
+        let closed = self.queues.is_closed();
+        let mut reasons = Vec::new();
+        if closed {
+            reasons.push("service is shut down".to_owned());
+        }
+        let workers: Vec<WorkerHealth> = statuses
+            .iter()
+            .map(|s| {
+                let depth = depths.get(s.shard).copied().unwrap_or(0);
+                let last = self
+                    .shard_counters
+                    .get(s.shard)
+                    .map(|c| c.last_progress_us.load(Ordering::Relaxed))
+                    .unwrap_or(0);
+                let stalled = s.state == WorkerState::Alive
+                    && depth > 0
+                    && now.saturating_sub(last) > deadline_us;
+                match s.state {
+                    WorkerState::Failed => reasons.push(format!(
+                        "worker shard {} failed permanently ({})",
+                        s.shard,
+                        s.last_panic.as_deref().unwrap_or("spawn failure")
+                    )),
+                    WorkerState::Alive if stalled => reasons.push(format!(
+                        "worker shard {} stalled: {} queued, no progress in {:?}",
+                        s.shard, depth, self.config.stall_deadline
+                    )),
+                    _ => {}
+                }
+                WorkerHealth {
+                    shard: s.shard,
+                    state: s.state.name().to_owned(),
+                    restarts: s.restarts,
+                    stalled,
+                    queue_depth: depth,
+                }
+            })
+            .collect();
+        HealthReport {
+            live: true,
+            ready: reasons.is_empty(),
+            reasons,
+            workers,
+        }
+    }
+
+    /// The supervisor's per-shard view (state, restarts, last panic).
+    pub fn worker_status(&self) -> Vec<WorkerStatus> {
+        self.supervisor.status()
+    }
+
+    /// Fault injection for supervision tests: panics the retrain worker
+    /// owning `shard` by feeding it a poison message through its own
+    /// queue (so the panic happens mid-stream, exactly where a real bug
+    /// would). The supervisor then applies the configured restart policy;
+    /// any batch the worker had in flight is re-queued first, so no
+    /// accepted report is lost. Not part of the public API contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Stopped`] after shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the *calling* thread) if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn poison_worker(&self, shard: usize) -> Result<(), ServiceError> {
+        assert!(
+            shard < self.queues.shard_count(),
+            "shard {shard} out of range"
+        );
+        self.queues
+            .push_blocking(shard, WorkerMsg::Poison)
+            .map_err(|_| ServiceError::Stopped)
     }
 
     // ---------------------------------------------------------------
@@ -633,13 +886,11 @@ impl SmartpickService {
     // ---------------------------------------------------------------
 
     /// Shuts the service down: stops admitting work, lets every worker
-    /// drain its queue shard, and joins them all. Idempotent; also runs
-    /// on drop.
+    /// drain its queue shard, and joins them all (plus the supervisor).
+    /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.queues.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.supervisor.shutdown();
     }
 
     fn now_us(&self) -> u64 {

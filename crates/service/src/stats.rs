@@ -1,156 +1,94 @@
-//! Service observability: lock-free counters and a fixed-bucket latency
-//! histogram.
+//! Service observability: counter sets over the `smartpick_obs` metrics
+//! registry, plus the public stats shapes the wire protocol carries.
 //!
 //! Everything here is updated with relaxed atomics on the hot path —
-//! stats must never serialise the readers they are measuring.
+//! stats must never serialise the readers they are measuring. Counters
+//! are registered in the shared [`MetricsRegistry`] under dot-separated
+//! names (`service.*` for process totals, `tenant.<id>.*` per tenant,
+//! `service.worker.<shard>.*` per retrain shard), so one `Scrape` sees
+//! the same numbers [`ServiceStats`] reports — and the hot path
+//! increments *both* its tenant counter and the service total, which is
+//! what lets [`crate::SmartpickService::stats`] aggregate with pure
+//! atomic loads instead of walking the tenant registry under its shard
+//! locks.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Power-of-two microsecond buckets: bucket *i* counts samples in
-/// `[2^i, 2^(i+1))` µs. 40 buckets cover ~13 days; plenty for a request.
-const BUCKETS: usize = 40;
+use smartpick_obs::{Counter, MetricsRegistry};
 
-/// A fixed-bucket log₂ latency histogram (microsecond resolution).
-///
-/// Quantiles are read as the *upper bound* of the bucket containing the
-/// requested rank, i.e. estimates are conservative and never more than 2×
-/// the true value.
+pub use smartpick_obs::{LatencyHistogram, LatencySummary};
+
+/// One scope's worth of hot-path counters (relaxed atomics), registered
+/// under `<prefix>.<field>` in the metrics registry. Used twice: once
+/// per tenant (`tenant.<id>`) and once for the service-wide totals
+/// (`service`).
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let us = (latency.as_micros() as u64).max(1);
-        let idx = (us.ilog2() as usize).min(BUCKETS - 1);
-        // lint:allow(panic-free-server-paths, reason = "idx is clamped to BUCKETS - 1 on the previous line")
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) in microseconds — the upper bound
-    /// of the bucket holding that rank. Zero when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << BUCKETS
-    }
-
-    /// Mean latency in microseconds. Zero when empty.
-    pub fn mean_us(&self) -> f64 {
-        let count = self.count();
-        if count == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
-        }
-    }
-
-    /// A point-in-time summary (count, p50, p99, mean).
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count(),
-            p50_us: self.quantile_us(0.50),
-            p99_us: self.quantile_us(0.99),
-            mean_us: self.mean_us(),
-        }
-    }
-}
-
-/// A point-in-time latency digest.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
-pub struct LatencySummary {
-    /// Samples recorded.
-    pub count: u64,
-    /// Median, microseconds (bucket upper bound).
-    pub p50_us: u64,
-    /// 99th percentile, microseconds (bucket upper bound).
-    pub p99_us: u64,
-    /// Mean, microseconds.
-    pub mean_us: f64,
-}
-
-/// Per-tenant hot-path counters (relaxed atomics).
-#[derive(Debug, Default)]
 pub(crate) struct TenantCounters {
-    pub(crate) predictions: AtomicU64,
-    pub(crate) executions: AtomicU64,
-    pub(crate) reports_enqueued: AtomicU64,
-    pub(crate) reports_applied: AtomicU64,
-    pub(crate) retrains: AtomicU64,
-    pub(crate) rejections: AtomicU64,
-    pub(crate) apply_failures: AtomicU64,
+    pub(crate) predictions: Arc<Counter>,
+    pub(crate) executions: Arc<Counter>,
+    pub(crate) reports_enqueued: Arc<Counter>,
+    pub(crate) reports_applied: Arc<Counter>,
+    pub(crate) retrains: Arc<Counter>,
+    pub(crate) rejections: Arc<Counter>,
+    pub(crate) apply_failures: Arc<Counter>,
     /// Predictions served from a snapshot past the staleness bound.
-    pub(crate) stale_predictions: AtomicU64,
-    /// Reports accepted but not yet applied (quota accounting).
+    pub(crate) stale_predictions: Arc<Counter>,
+    /// Reports accepted but not yet applied (quota accounting; a level,
+    /// not a counter, so it stays a plain atomic off the registry).
     pub(crate) pending: AtomicUsize,
 }
 
 impl TenantCounters {
-    /// Adds this set's current values into `into` (used to retire a
-    /// deregistered tenant's history into the service-wide totals; the
-    /// `pending` gauge is deliberately not folded — it is a level, not a
-    /// counter).
-    pub(crate) fn fold_into(&self, into: &TenantCounters) {
-        for (from, to) in [
-            (&self.predictions, &into.predictions),
-            (&self.executions, &into.executions),
-            (&self.reports_enqueued, &into.reports_enqueued),
-            (&self.reports_applied, &into.reports_applied),
-            (&self.retrains, &into.retrains),
-            (&self.rejections, &into.rejections),
-            (&self.apply_failures, &into.apply_failures),
-            (&self.stale_predictions, &into.stale_predictions),
-        ] {
-            to.fetch_add(from.load(Ordering::Relaxed), Ordering::Relaxed);
+    /// Registers this scope's counters under `<prefix>.<field>`.
+    pub(crate) fn register(metrics: &MetricsRegistry, prefix: &str) -> TenantCounters {
+        let c = |field: &str| metrics.counter(&format!("{prefix}.{field}"));
+        TenantCounters {
+            predictions: c("predictions"),
+            executions: c("executions"),
+            reports_enqueued: c("reports_enqueued"),
+            reports_applied: c("reports_applied"),
+            retrains: c("retrains"),
+            rejections: c("rejections"),
+            apply_failures: c("apply_failures"),
+            stale_predictions: c("stale_predictions"),
+            pending: AtomicUsize::new(0),
         }
     }
 }
 
 /// Per-worker-shard counters: how much retrain work each worker has
-/// applied (relaxed atomics, owned by the service, written by exactly one
-/// worker thread each).
-#[derive(Debug, Default)]
+/// applied (registry-backed, written by exactly one worker thread each),
+/// plus the progress stamp the health check's stall detector reads.
+#[derive(Debug)]
 pub(crate) struct ShardCounters {
-    pub(crate) reports_applied: AtomicU64,
-    pub(crate) retrains: AtomicU64,
-    pub(crate) batches: AtomicU64,
+    pub(crate) reports_applied: Arc<Counter>,
+    pub(crate) retrains: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    /// When this shard last finished a batch, µs since the service
+    /// epoch. A shard with queued work and no progress past the
+    /// configured stall deadline is reported stalled by
+    /// [`crate::SmartpickService::health`].
+    pub(crate) last_progress_us: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Registers shard `shard`'s counters under
+    /// `service.worker.<shard>.<field>`.
+    pub(crate) fn register(metrics: &MetricsRegistry, shard: usize) -> ShardCounters {
+        let c = |field: &str| metrics.counter(&format!("service.worker.{shard}.{field}"));
+        ShardCounters {
+            reports_applied: c("reports_applied"),
+            retrains: c("retrains"),
+            batches: c("batches"),
+            last_progress_us: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn mark_progress(&self, now_us: u64) {
+        self.last_progress_us.store(now_us, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time view of one retrain worker's queue shard.
@@ -205,6 +143,11 @@ pub struct TenantStats {
 }
 
 /// A point-in-time view of the whole service.
+///
+/// Aggregates are read from the service-wide total counters the hot path
+/// increments alongside the per-tenant ones, so building this view is a
+/// handful of atomic loads — it never walks the tenant registry, and the
+/// totals are monotonic across tenant churn by construction.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// Registered tenants.
@@ -214,78 +157,22 @@ pub struct ServiceStats {
     /// Per-worker-shard depths and applied counts (one entry per
     /// configured retrain worker).
     pub worker_shards: Vec<WorkerShardStats>,
-    /// Sum of per-tenant predictions.
+    /// Predictions served, all tenants ever.
     pub predictions: u64,
-    /// Sum of per-tenant executions.
+    /// Queries executed, all tenants ever.
     pub executions: u64,
-    /// Sum of per-tenant accepted reports.
+    /// Reports accepted, all tenants ever.
     pub reports_enqueued: u64,
-    /// Sum of per-tenant applied reports.
+    /// Reports applied, all tenants ever.
     pub reports_applied: u64,
-    /// Sum of per-tenant retrains.
+    /// Retrains fired, all tenants ever.
     pub retrains: u64,
-    /// Sum of per-tenant rejections.
+    /// Admission-control rejections, all tenants ever.
     pub rejections: u64,
-    /// Sum of per-tenant apply failures.
+    /// Failed applies, all tenants ever.
     pub apply_failures: u64,
-    /// Sum of per-tenant stale-snapshot predictions.
+    /// Stale-snapshot predictions, all tenants ever.
     pub stale_predictions: u64,
     /// Snapshot-read (`predict`/`determine`) latency digest.
     pub predict_latency: LatencySummary,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quantiles_track_recorded_spread() {
-        let h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_micros(100)); // bucket [64, 128)
-        }
-        h.record(Duration::from_millis(10)); // bucket [8192, 16384)
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.5), 128);
-        assert_eq!(h.quantile_us(0.99), 128);
-        assert_eq!(h.quantile_us(1.0), 16384);
-        assert!(h.mean_us() > 100.0 && h.mean_us() < 300.0);
-        let s = h.summary();
-        assert_eq!(s.p50_us, 128);
-        assert_eq!(s.count, 100);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.mean_us(), 0.0);
-        assert_eq!(h.summary(), LatencySummary::default());
-    }
-
-    #[test]
-    fn sub_microsecond_samples_land_in_first_bucket() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.quantile_us(1.0), 2);
-    }
-
-    #[test]
-    fn concurrent_recording_loses_nothing() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
-        let handles: Vec<_> = (0..8)
-            .map(|t| {
-                let h = std::sync::Arc::clone(&h);
-                std::thread::spawn(move || {
-                    for i in 0..1000u64 {
-                        h.record(Duration::from_micros(t * 100 + i % 50 + 1));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            handle.join().unwrap();
-        }
-        assert_eq!(h.count(), 8000);
-    }
 }

@@ -1,5 +1,5 @@
 //! The background retrain workers — the paper's §4.2 "independent monitor
-//! thread", made real and sharded.
+//! thread", made real, sharded, and supervised.
 //!
 //! The service runs N worker threads ([`crate::ServiceConfig`]'s
 //! `retrain_workers`); each owns one tenant-hash-sharded slice of the
@@ -11,6 +11,20 @@
 //! while distinct tenants retrain in parallel. Readers never wait on any
 //! of this: they predict against the snapshot published by the previous
 //! batch.
+//!
+//! ## Crash safety
+//!
+//! Workers run under the obs [`Supervisor`]: if one panics, the
+//! supervisor restarts it per the configured restart policy. The worker's
+//! side of that contract is *zero lost reports*: every drained message
+//! sits in a [`BatchRescue`] guard and is only marked consumed after its
+//! apply (or ack) completes, so a panic mid-batch re-queues the unapplied
+//! tail at the *front* of the shard queue, in order — the restarted
+//! worker resumes exactly where its predecessor died. Semantics are
+//! at-least-once: a report whose apply had already mutated the driver
+//! when the panic hit may be applied again after restart.
+//!
+//! [`Supervisor`]: smartpick_obs::Supervisor
 
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
@@ -19,10 +33,11 @@ use std::time::Instant;
 
 use smartpick_core::wp::Determination;
 use smartpick_engine::{QueryProfile, RunReport};
+use smartpick_obs::{event, EventKind, Observability};
 
 use crate::queue::BoundedQueue;
 use crate::registry::TenantState;
-use crate::stats::ShardCounters;
+use crate::stats::{ShardCounters, TenantCounters};
 
 /// One completed run a client (or the service's own `submit`) feeds back
 /// into the training loop.
@@ -50,81 +65,198 @@ pub(crate) enum WorkerMsg {
     },
     /// Ack once every message enqueued before this one has been applied.
     Flush(SyncSender<()>),
+    /// Panic the worker that dequeues this — the fault-injection message
+    /// behind [`crate::SmartpickService::poison_worker`]. Marked consumed
+    /// *before* the panic so a restarted worker does not die again on the
+    /// same message.
+    Poison,
+}
+
+/// Everything one worker thread needs besides its queue shard.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerCtx {
+    /// This worker's shard index (for events).
+    pub(crate) shard: usize,
+    /// This shard's registry-backed counters.
+    pub(crate) counters: Arc<ShardCounters>,
+    /// The service-wide totals, incremented alongside tenant counters.
+    pub(crate) totals: Arc<TenantCounters>,
+    /// The shared observability bundle (events).
+    pub(crate) obs: Arc<Observability>,
+    /// The service epoch `published_at_us`/progress stamps are relative
+    /// to.
+    pub(crate) epoch: Instant,
 }
 
 /// The worker loop: runs until its queue shard is closed and drained.
-pub(crate) fn run_worker(
-    queue: Arc<BoundedQueue<WorkerMsg>>,
-    batch_max: usize,
-    epoch: Instant,
-    shard: Arc<ShardCounters>,
-) {
+pub(crate) fn run_worker(queue: Arc<BoundedQueue<WorkerMsg>>, batch_max: usize, ctx: WorkerCtx) {
     while let Some(first) = queue.pop() {
-        let mut batch = vec![first];
-        batch.extend(queue.drain_up_to(batch_max.saturating_sub(1)));
-        shard.batches.fetch_add(1, Ordering::Relaxed);
+        let mut rescue = BatchRescue::new(&queue);
+        rescue.admit(first);
+        for msg in queue.drain_up_to(batch_max.saturating_sub(1)) {
+            rescue.admit(msg);
+        }
+        ctx.counters.batches.inc();
+        process_batch(&mut rescue, &ctx);
+        ctx.counters
+            .mark_progress(ctx.epoch.elapsed().as_micros() as u64);
+    }
+}
 
-        // Group jobs by tenant, preserving per-tenant FIFO order.
-        let mut flushes: Vec<SyncSender<()>> = Vec::new();
-        let mut groups: Vec<(Arc<TenantState>, Vec<Box<CompletedRun>>)> = Vec::new();
-        for msg in batch {
-            match msg {
-                WorkerMsg::Job { tenant, run } => {
-                    match groups.iter_mut().find(|(t, _)| Arc::ptr_eq(t, &tenant)) {
-                        Some((_, runs)) => runs.push(run),
-                        None => groups.push((tenant, vec![run])),
-                    }
+/// Holds a drained batch so a worker panic loses nothing: slots are
+/// marked consumed one by one as they are applied/acked, and the `Drop`
+/// impl re-queues whatever is left — in order, at the front of the shard
+/// queue — if (and only if) the thread is unwinding.
+#[derive(Debug)]
+struct BatchRescue<'q> {
+    queue: &'q BoundedQueue<WorkerMsg>,
+    slots: Vec<Option<WorkerMsg>>,
+}
+
+impl<'q> BatchRescue<'q> {
+    fn new(queue: &'q BoundedQueue<WorkerMsg>) -> Self {
+        BatchRescue {
+            queue,
+            slots: Vec::new(),
+        }
+    }
+
+    fn admit(&mut self, msg: WorkerMsg) {
+        self.slots.push(Some(msg));
+    }
+
+    /// Marks slot `i` handled and takes its message.
+    fn consume(&mut self, i: usize) -> Option<WorkerMsg> {
+        self.slots.get_mut(i)?.take()
+    }
+}
+
+impl Drop for BatchRescue<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let unhandled: Vec<WorkerMsg> = self.slots.iter_mut().filter_map(|s| s.take()).collect();
+        self.queue.requeue_front(unhandled);
+    }
+}
+
+/// Applies one drained batch: poison check, group by tenant, apply each
+/// group under its driver lock, republish snapshots, ack flushes.
+fn process_batch(rescue: &mut BatchRescue<'_>, ctx: &WorkerCtx) {
+    // Poison first: the panic must not take any of the batch's real work
+    // with it — everything still unconsumed is requeued by the rescue
+    // guard, and the poison slot itself is consumed up front so the
+    // restarted worker does not re-panic on it.
+    if let Some(p) = rescue
+        .slots
+        .iter()
+        .position(|s| matches!(s, Some(WorkerMsg::Poison)))
+    {
+        rescue.consume(p);
+        #[allow(clippy::panic)] // mirrored by the lint:allow below
+        {
+            // lint:allow(panic-free-server-paths, reason = "deliberate fault injection: WorkerMsg::Poison exists only for poison_worker() supervision tests and the supervisor is built to catch exactly this panic")
+            panic!("retrain worker poisoned via poison_worker()");
+        }
+    }
+
+    // Group job slots by tenant, preserving per-tenant FIFO order.
+    let mut groups: Vec<(Arc<TenantState>, Vec<usize>)> = Vec::new();
+    let mut flushes: Vec<usize> = Vec::new();
+    for (i, slot) in rescue.slots.iter().enumerate() {
+        match slot {
+            Some(WorkerMsg::Job { tenant, .. }) => {
+                match groups.iter_mut().find(|(t, _)| Arc::ptr_eq(t, tenant)) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((Arc::clone(tenant), vec![i])),
                 }
-                WorkerMsg::Flush(ack) => flushes.push(ack),
             }
+            Some(WorkerMsg::Flush(_)) => flushes.push(i),
+            Some(WorkerMsg::Poison) | None => {}
         }
+    }
 
-        for (tenant, runs) in groups {
-            apply_batch(&tenant, &runs, epoch, &shard);
-        }
+    for (tenant, idxs) in groups {
+        apply_group(&tenant, &idxs, rescue, ctx);
+    }
 
-        // Jobs enqueued before each flush are now applied (FIFO queue,
-        // whole batch processed above), so the acks are safe.
-        for ack in flushes {
+    // Jobs enqueued before each flush are now applied (FIFO queue, whole
+    // batch processed above), so the acks are safe. Consume before
+    // sending: an ack is a promise already kept, not work to redo after
+    // a panic.
+    for i in flushes {
+        if let Some(WorkerMsg::Flush(ack)) = rescue.consume(i) {
             let _ = ack.send(());
         }
     }
 }
 
-/// Applies one tenant's batch under its driver lock, then republishes the
-/// snapshot exactly once.
-fn apply_batch(
-    tenant: &TenantState,
-    runs: &[Box<CompletedRun>],
-    epoch: Instant,
-    shard: &ShardCounters,
+/// Applies one tenant's slots under its driver lock, then republishes the
+/// snapshot exactly once and emits the retrain events.
+fn apply_group(
+    tenant: &Arc<TenantState>,
+    idxs: &[usize],
+    rescue: &mut BatchRescue<'_>,
+    ctx: &WorkerCtx,
 ) {
-    let mut driver = tenant.driver.lock();
-    for run in runs {
-        match driver.apply_report(&run.query, &run.determination, &run.report) {
-            Ok(retrain) => {
-                tenant
-                    .counters
-                    .reports_applied
-                    .fetch_add(1, Ordering::Relaxed);
-                shard.reports_applied.fetch_add(1, Ordering::Relaxed);
-                if retrain.is_some() {
-                    tenant.counters.retrains.fetch_add(1, Ordering::Relaxed);
-                    shard.retrains.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    ctx.obs.events().publish(
+        event(EventKind::RetrainStarted)
+            .tenant(&tenant.id)
+            .shard(ctx.shard),
+    );
+    let mut applied = 0u64;
+    let mut retrains = 0u64;
+    {
+        let mut driver = tenant.driver.lock();
+        for &i in idxs {
+            let outcome = match rescue.slots.get(i) {
+                Some(Some(WorkerMsg::Job { run, .. })) => {
+                    driver.apply_report(&run.query, &run.determination, &run.report)
+                }
+                _ => continue,
+            };
+            match outcome {
+                Ok(retrain) => {
+                    applied += 1;
+                    tenant.counters.reports_applied.inc();
+                    ctx.totals.reports_applied.inc();
+                    ctx.counters.reports_applied.inc();
+                    if retrain.is_some() {
+                        retrains += 1;
+                        tenant.counters.retrains.inc();
+                        ctx.totals.retrains.inc();
+                        ctx.counters.retrains.inc();
+                    }
+                }
+                Err(_) => {
+                    // A failed apply (e.g. a retrain hiccup) must not take
+                    // the worker down; it is surfaced through the stats
+                    // instead.
+                    tenant.counters.apply_failures.inc();
+                    ctx.totals.apply_failures.inc();
                 }
             }
-            Err(_) => {
-                // A failed apply (e.g. a retrain hiccup) must not take the
-                // worker down; it is surfaced through the stats instead.
-                tenant
-                    .counters
-                    .apply_failures
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+            tenant.counters.pending.fetch_sub(1, Ordering::Relaxed);
+            rescue.consume(i);
         }
-        tenant.counters.pending.fetch_sub(1, Ordering::Relaxed);
+        let snapshot = driver.snapshot();
+        drop(driver);
+        tenant.publish_snapshot(snapshot, ctx.epoch.elapsed().as_micros() as u64);
     }
-    let snapshot = driver.snapshot();
-    drop(driver);
-    tenant.publish_snapshot(snapshot, epoch.elapsed().as_micros() as u64);
+    ctx.obs.events().publish(
+        event(EventKind::SnapshotPublished)
+            .tenant(&tenant.id)
+            .shard(ctx.shard),
+    );
+    ctx.obs.events().publish(
+        event(EventKind::RetrainFinished)
+            .tenant(&tenant.id)
+            .shard(ctx.shard)
+            .duration(started.elapsed())
+            .detail(format!(
+                "{applied} reports applied, {retrains} retrains fired"
+            )),
+    );
 }

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use smartpick_core::wp::{Determination, PredictionRequest};
 use smartpick_engine::QueryProfile;
+use smartpick_obs::{HealthReport, ScrapeEnvelope};
 use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
 
 use crate::error::WireError;
@@ -238,6 +239,34 @@ impl WireClient {
         match self.call(&Request::ServiceStats)? {
             Response::ServiceStats(s) => Ok(s),
             other => Err(unexpected("service_stats", &other)),
+        }
+    }
+
+    /// One versioned telemetry envelope: every metric the server process
+    /// registered (service and wire layers) plus its last `events`
+    /// structured events.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn scrape(&mut self, events: usize) -> Result<ScrapeEnvelope, WireError> {
+        match self.call(&Request::Scrape { events })? {
+            Response::Scrape(envelope) => Ok(*envelope),
+            other => Err(unexpected("scrape", &other)),
+        }
+    }
+
+    /// Liveness/readiness of the server's service: ready iff every
+    /// retrain worker is alive and no shard is stalled past the server's
+    /// configured deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn health(&mut self) -> Result<HealthReport, WireError> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Err(unexpected("health", &other)),
         }
     }
 

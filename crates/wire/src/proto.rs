@@ -10,6 +10,7 @@
 use serde::{DeError, Value};
 use smartpick_core::wp::{Determination, PredictionRequest};
 use smartpick_engine::QueryProfile;
+use smartpick_obs::{HealthReport, ScrapeEnvelope};
 use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
 
 use crate::error::ErrorKind;
@@ -70,6 +71,16 @@ pub enum Request {
     },
     /// A point-in-time view of the whole service.
     ServiceStats,
+    /// One versioned telemetry envelope: every metric the process
+    /// registered (service *and* wire layers) plus the last `events`
+    /// entries of the structured event log.
+    Scrape {
+        /// Max events to include (0 = metrics only).
+        events: usize,
+    },
+    /// Liveness/readiness: ready iff every retrain worker is alive and no
+    /// shard is stalled past the server's configured deadline.
+    Health,
 }
 
 /// One server response.
@@ -92,6 +103,11 @@ pub enum Response {
     TenantStats(TenantStats),
     /// Answer to [`Request::ServiceStats`].
     ServiceStats(ServiceStats),
+    /// Answer to [`Request::Scrape`] (boxed: the envelope carries every
+    /// metric in the process and dwarfs the other variants).
+    Scrape(Box<ScrapeEnvelope>),
+    /// Answer to [`Request::Health`].
+    Health(HealthReport),
     /// The request was rejected; the connection stays usable unless the
     /// kind is [`ErrorKind::Protocol`].
     Error(Rejection),
@@ -168,6 +184,11 @@ impl serde::Serialize for Request {
                 push(&mut m, "tenant", tenant.to_value());
             }
             Request::ServiceStats => m = tagged("op", "service_stats"),
+            Request::Scrape { events } => {
+                m = tagged("op", "scrape");
+                push(&mut m, "events", events.to_value());
+            }
+            Request::Health => m = tagged("op", "health"),
         }
         Value::Obj(m)
     }
@@ -207,6 +228,10 @@ impl serde::Deserialize for Request {
                 tenant: field(pairs, "tenant")?,
             },
             "service_stats" => Request::ServiceStats,
+            "scrape" => Request::Scrape {
+                events: field(pairs, "events")?,
+            },
+            "health" => Request::Health,
             other => return Err(DeError(format!("unknown request op `{other}`"))),
         })
     }
@@ -236,6 +261,14 @@ impl serde::Serialize for Response {
                 m = tagged("kind", "service_stats");
                 push(&mut m, "stats", s.to_value());
             }
+            Response::Scrape(envelope) => {
+                m = tagged("kind", "scrape");
+                push(&mut m, "envelope", envelope.to_value());
+            }
+            Response::Health(report) => {
+                m = tagged("kind", "health");
+                push(&mut m, "report", report.to_value());
+            }
             Response::Error(r) => {
                 m = tagged("kind", "error");
                 push(&mut m, "error_kind", Value::Str(r.kind.name().to_owned()));
@@ -262,6 +295,8 @@ impl serde::Deserialize for Response {
             "flushed" => Response::Flushed,
             "tenant_stats" => Response::TenantStats(field(pairs, "stats")?),
             "service_stats" => Response::ServiceStats(field(pairs, "stats")?),
+            "scrape" => Response::Scrape(Box::new(field(pairs, "envelope")?)),
+            "health" => Response::Health(field(pairs, "report")?),
             "error" => {
                 let kind_name = get_str(pairs, "error_kind")?;
                 Response::Error(Rejection {
@@ -321,6 +356,51 @@ mod tests {
             Request::Determine { tenant, seed, .. } => {
                 assert_eq!(tenant, "t");
                 assert_eq!(seed, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scrape_and_health_round_trip() {
+        match reserialize(&Request::Scrape { events: 32 }) {
+            Request::Scrape { events } => assert_eq!(events, 32),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(matches!(reserialize(&Request::Health), Request::Health));
+
+        let obs = smartpick_obs::Observability::new(8);
+        obs.metrics().counter("wire.frames_read.v2").add(17);
+        obs.events().publish(smartpick_obs::event(
+            smartpick_obs::EventKind::BusyRejection,
+        ));
+        match reserialize(&Response::Scrape(Box::new(obs.scrape(8)))) {
+            Response::Scrape(envelope) => {
+                assert_eq!(envelope.version, smartpick_obs::SCRAPE_VERSION);
+                assert_eq!(envelope.counter("wire.frames_read.v2"), 17);
+                assert_eq!(envelope.events.len(), 1);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let report = smartpick_obs::HealthReport {
+            live: true,
+            ready: false,
+            reasons: vec!["worker shard 1 failed permanently (boom)".into()],
+            workers: vec![smartpick_obs::WorkerHealth {
+                shard: 1,
+                state: "failed".into(),
+                restarts: 3,
+                stalled: false,
+                queue_depth: 4,
+            }],
+        };
+        match reserialize(&Response::Health(report)) {
+            Response::Health(r) => {
+                assert!(r.live && !r.ready);
+                assert_eq!(r.workers.len(), 1);
+                assert_eq!(r.workers[0].restarts, 3);
+                assert_eq!(r.reasons.len(), 1);
             }
             other => panic!("wrong variant: {other:?}"),
         }

@@ -41,6 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smartpick_core::driver::Smartpick;
+use smartpick_obs::{event, Counter, EventKind, Gauge, LatencyHistogram, Observability};
 use smartpick_service::{ServiceError, SmartpickService};
 
 use crate::error::ErrorKind;
@@ -90,6 +91,45 @@ impl Default for WireServerConfig {
     }
 }
 
+/// The wire layer's own telemetry, registered under `wire.*` in the
+/// service's shared metrics registry — so one `Scrape` answers for both
+/// layers.
+#[derive(Debug)]
+struct WireMetrics {
+    /// Frames decoded off sockets, by protocol version.
+    frames_read_v1: Arc<Counter>,
+    frames_read_v2: Arc<Counter>,
+    /// Frames the writer threads put on sockets, by protocol version.
+    frames_written_v1: Arc<Counter>,
+    frames_written_v2: Arc<Counter>,
+    /// Busy rejections issued: over the connection cap or over a
+    /// connection's in-flight cap.
+    busy_rejections: Arc<Counter>,
+    /// Connections currently being served.
+    connections: Arc<Gauge>,
+    /// High-water mark of pipelined requests in flight on any single
+    /// connection since the server started.
+    in_flight_hwm: Arc<Gauge>,
+    /// Connection lifetimes, accept to teardown.
+    connection_lifetime: Arc<LatencyHistogram>,
+}
+
+impl WireMetrics {
+    fn register(obs: &Observability) -> WireMetrics {
+        let m = obs.metrics();
+        WireMetrics {
+            frames_read_v1: m.counter("wire.frames_read.v1"),
+            frames_read_v2: m.counter("wire.frames_read.v2"),
+            frames_written_v1: m.counter("wire.frames_written.v1"),
+            frames_written_v2: m.counter("wire.frames_written.v2"),
+            busy_rejections: m.counter("wire.busy_rejections"),
+            connections: m.gauge("wire.connections"),
+            in_flight_hwm: m.gauge("wire.in_flight_hwm"),
+            connection_lifetime: m.histogram("wire.connection_lifetime"),
+        }
+    }
+}
+
 /// State shared by the acceptor and every handler thread.
 #[derive(Debug)]
 struct Shared {
@@ -102,6 +142,10 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// The service's observability bundle (the wire layer reports into
+    /// the same scrape).
+    obs: Arc<Observability>,
+    wm: WireMetrics,
 }
 
 /// A running TCP front-end over a [`SmartpickService`].
@@ -142,6 +186,8 @@ impl WireServer {
         );
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let obs = Arc::clone(service.observability());
+        let wm = WireMetrics::register(&obs);
         let shared = Arc::new(Shared {
             service,
             template,
@@ -149,6 +195,8 @@ impl WireServer {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             handlers: Mutex::new(Vec::new()),
+            obs,
+            wm,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -244,6 +292,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // acceptor (which has to keep handing freed slots to
         // well-behaved clients).
         if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            shared.wm.busy_rejections.inc();
+            shared.obs.events().publish(
+                event(EventKind::BusyRejection)
+                    .detail("over the server connection cap; told to retry"),
+            );
             let shared = Arc::clone(&shared);
             let _ = std::thread::Builder::new()
                 .name("smartpick-wire-busy".to_owned())
@@ -265,6 +318,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                         &mut EncodeScratch::default(),
                     );
                     if sent.is_ok() {
+                        shared.wm.frames_written_v1.inc();
                         drain_briefly(&stream, &shared);
                     }
                 });
@@ -344,6 +398,22 @@ impl Read for PollingReader<'_> {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let opened = Instant::now();
+    shared.wm.connections.inc();
+    shared
+        .obs
+        .events()
+        .publish(event(EventKind::ConnectionOpened));
+    handle_connection_inner(stream, shared);
+    shared.wm.connections.dec();
+    shared.wm.connection_lifetime.record(opened.elapsed());
+    shared
+        .obs
+        .events()
+        .publish(event(EventKind::ConnectionClosed).duration(opened.elapsed()));
+}
+
+fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     // Responses are single small writes on a ping-pong protocol —
     // Nagle's worst case; without nodelay every round-trip stalls on
     // delayed ACKs.
@@ -379,9 +449,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let (resp_tx, resp_rx) = sync_channel::<ResponseMsg>(shared.config.max_in_flight + 2);
     let writer = {
         let dead = Arc::clone(&dead);
+        let shared = Arc::clone(shared);
         match std::thread::Builder::new()
             .name("smartpick-wire-write".to_owned())
-            .spawn(move || writer_loop(writer_stream, resp_rx, &dead))
+            .spawn(move || writer_loop(writer_stream, resp_rx, &dead, &shared))
         {
             Ok(handle) => handle,
             Err(_) => return,
@@ -433,6 +504,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 Err(FrameError::Io(_)) => break,
             };
         match header.id {
+            None => shared.wm.frames_read_v1.inc(),
+            Some(_) => shared.wm.frames_read_v2.inc(),
+        }
+        match header.id {
             // v1: executed inline on the reader, so legacy requests are
             // answered strictly in request order.
             None => {
@@ -479,6 +554,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     let prior = in_flight.fetch_add(1, Ordering::SeqCst);
                     let mut admitted = false;
                     if prior < cap {
+                        shared.wm.in_flight_hwm.set_max((prior + 1) as i64);
                         if executors.is_none() {
                             // A failed pool start (OS thread exhaustion)
                             // degrades to a retryable busy below — never
@@ -493,6 +569,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                     if !admitted {
                         in_flight.fetch_sub(1, Ordering::SeqCst);
+                        shared.wm.busy_rejections.inc();
+                        shared.obs.events().publish(
+                            event(EventKind::BusyRejection)
+                                .detail("over the per-connection in-flight cap; told to retry"),
+                        );
                         let delivered = queue_response(
                             shared,
                             &dead,
@@ -542,7 +623,12 @@ struct ResponseMsg {
 /// v1 or v2 as each message dictates. On a write failure it flags the
 /// connection dead and keeps *draining* the queue (discarding) so no
 /// executor ever blocks on a send to a dead socket.
-fn writer_loop(mut stream: TcpStream, rx: Receiver<ResponseMsg>, dead: &AtomicBool) {
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<ResponseMsg>,
+    dead: &AtomicBool,
+    shared: &Shared,
+) {
     let mut scratch = EncodeScratch::default();
     let mut broken = false;
     while let Ok(msg) = rx.recv() {
@@ -553,9 +639,13 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<ResponseMsg>, dead: &AtomicBo
             Some(id) => send_response_v2(&mut stream, id, &msg.response, &mut scratch),
             None => send_response(&mut stream, &msg.response, &mut scratch),
         };
-        if sent.is_err() {
-            broken = true;
-            dead.store(true, Ordering::SeqCst);
+        match (&sent, msg.id) {
+            (Ok(()), Some(_)) => shared.wm.frames_written_v2.inc(),
+            (Ok(()), None) => shared.wm.frames_written_v1.inc(),
+            (Err(_), _) => {
+                broken = true;
+                dead.store(true, Ordering::SeqCst);
+            }
         }
     }
 }
@@ -745,6 +835,8 @@ fn execute(request: Request, shared: &Shared) -> Response {
             .map(|()| Response::ReportAccepted),
         Request::TenantStats { tenant } => service.tenant_stats(&tenant).map(Response::TenantStats),
         Request::ServiceStats => Ok(Response::ServiceStats(service.stats())),
+        Request::Scrape { events } => Ok(Response::Scrape(Box::new(service.scrape(events)))),
+        Request::Health => Ok(Response::Health(service.health())),
     };
     result.unwrap_or_else(|e| service_error(&e))
 }

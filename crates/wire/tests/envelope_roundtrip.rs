@@ -15,6 +15,7 @@ use smartpick_core::training::TrainOptions;
 use smartpick_core::wp::{ConstraintMode, Determination, PredictionRequest};
 use smartpick_engine::{QueryProfile, RunReport};
 use smartpick_ml::forest::ForestParams;
+use smartpick_obs::{event, EventKind, HealthReport, Observability, ScrapeEnvelope, WorkerHealth};
 use smartpick_service::{CompletedRun, ServiceConfig, ServiceStats, SmartpickService, TenantStats};
 use smartpick_wire::{ErrorKind, Rejection, Request, Response};
 
@@ -26,6 +27,8 @@ struct Fixture {
     report: RunReport,
     tenant_stats: TenantStats,
     service_stats: ServiceStats,
+    scrape: ScrapeEnvelope,
+    health: HealthReport,
 }
 
 fn fixture() -> &'static Fixture {
@@ -81,12 +84,57 @@ fn fixture() -> &'static Fixture {
         // nanosecond rounding at the edge of the f64 wire number model.
         tenant_stats.snapshot_age = Duration::from_millis(250);
         service_stats.predict_latency.mean_us = 123.5;
+        // A scrape with every metric kind and richly-populated events,
+        // built from values exactly representable as f64 (whole µs, a
+        // mean of two samples that divides evenly) so the JSON identity
+        // is about the envelope shape.
+        let obs = Observability::new(16);
+        obs.metrics().counter("wire.frames_read.v2").add(41);
+        obs.metrics().gauge("service.queue_depth").set(-3);
+        let hist = obs.metrics().histogram("service.predict_latency");
+        hist.record(Duration::from_micros(100));
+        hist.record(Duration::from_micros(300));
+        obs.events().publish(
+            event(EventKind::FeedbackShed)
+                .tenant("fixture")
+                .detail("update queue full"),
+        );
+        obs.events().publish(
+            event(EventKind::RetrainFinished)
+                .tenant("fixture")
+                .shard(1)
+                .duration(Duration::from_millis(5)),
+        );
+        let scrape = obs.scrape(16);
+        let health = HealthReport {
+            live: true,
+            ready: false,
+            reasons: vec!["worker shard 0 failed permanently (poisoned)".to_owned()],
+            workers: vec![
+                WorkerHealth {
+                    shard: 0,
+                    state: "failed".to_owned(),
+                    restarts: 3,
+                    stalled: false,
+                    queue_depth: 12,
+                },
+                WorkerHealth {
+                    shard: 1,
+                    state: "alive".to_owned(),
+                    restarts: 0,
+                    stalled: true,
+                    queue_depth: 1,
+                },
+            ],
+        };
         Fixture {
             query,
             determination,
             report,
             tenant_stats,
             service_stats,
+            scrape,
+            health,
         }
     })
 }
@@ -139,7 +187,7 @@ proptest! {
     /// exactness bound of the JSON number model.
     #[test]
     fn request_envelopes_are_json_identities(
-        variant in 0usize..9,
+        variant in 0usize..11,
         tenant in "[a-z][a-z0-9_]{0,11}",
         seed in 0u64..(1u64 << 53),
         knob in 0.0f64..1.0,
@@ -175,6 +223,8 @@ proptest! {
             },
             6 => Request::Flush,
             7 => Request::TenantStats { tenant },
+            8 => Request::Scrape { events: batch },
+            9 => Request::Health,
             _ => Request::ServiceStats,
         };
         assert_json_round_trip(&request);
@@ -184,7 +234,7 @@ proptest! {
     /// under encode → decode.
     #[test]
     fn response_envelopes_are_json_identities(
-        variant in 0usize..9,
+        variant in 0usize..11,
         kind in 0usize..9,
         message in "\\PC{0,40}",
         flip in 0u32..2,
@@ -200,6 +250,8 @@ proptest! {
             5 => Response::Flushed,
             6 => Response::TenantStats(fix.tenant_stats.clone()),
             7 => Response::ServiceStats(fix.service_stats.clone()),
+            8 => Response::Scrape(Box::new(fix.scrape.clone())),
+            9 => Response::Health(fix.health.clone()),
             _ => Response::Error(Rejection {
                 kind: KINDS[kind],
                 message,
@@ -213,15 +265,15 @@ proptest! {
     /// `bad_request` and the connection survives; it never panics.
     #[test]
     fn unknown_tags_decode_to_errors(op in "[a-z_]{1,12}") {
-        const REQUEST_OPS: [&str; 9] = [
+        const REQUEST_OPS: [&str; 11] = [
             "ping", "register_tenant", "predict", "determine",
             "determine_batch", "report_run", "flush", "tenant_stats",
-            "service_stats",
+            "service_stats", "scrape", "health",
         ];
-        const RESPONSE_KINDS: [&str; 9] = [
+        const RESPONSE_KINDS: [&str; 11] = [
             "pong", "registered", "determination", "determinations",
             "report_accepted", "flushed", "tenant_stats", "service_stats",
-            "error",
+            "scrape", "health", "error",
         ];
         prop_assume!(!REQUEST_OPS.contains(&op.as_str()));
         let request_text = format!("{{\"op\":\"{op}\"}}");

@@ -61,10 +61,18 @@ service-bench:
 
 # Wire serving-boundary cost: the `wire_rtt` group (ping vs in-process
 # vs over-wire determine) plus `wire_pipelined` (N blocking round trips
-# vs N requests in flight on one connection) and `wire_batch_determine`
-# (the same N shipped as one determine_batch frame).
+# vs N requests in flight on one connection), `wire_batch_determine`
+# (the same N shipped as one determine_batch frame), and
+# `scrape_under_load` (the telemetry surface's price, idle and while a
+# background scraper hammers the registry).
 wire-bench:
     cargo bench --bench wire_rtt
+
+# Observability tour: scrape envelope, event log, health, and a
+# supervised worker-crash recovery, narrated (see README
+# "Observability").
+scrape-demo:
+    cargo run --release --example obs_demo
 
 # determine() hot path: vectorized vs the pre-vectorization reference
 # across grid sizes 8/16/32 and forest sizes 10/50/100.

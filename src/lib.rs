@@ -12,6 +12,9 @@
 //! * [`cloudsim`] — the simulated AWS/GCP substrate.
 //! * [`engine`] — the Spark-like DAG execution engine.
 //! * [`ml`] — Random Forest / Gaussian Process / Bayesian Optimizer.
+//! * [`obs`] — observability: lock-light metrics registry, structured
+//!   event log, scrape/health envelopes, and the retrain-worker
+//!   supervisor.
 //! * [`service`] — "smartpickd": the concurrent multi-tenant prediction
 //!   service (sharded tenant registry, snapshot reads, sharded retrain
 //!   workers).
@@ -45,6 +48,7 @@ pub use smartpick_cloudsim as cloudsim;
 pub use smartpick_core as core;
 pub use smartpick_engine as engine;
 pub use smartpick_ml as ml;
+pub use smartpick_obs as obs;
 pub use smartpick_service as service;
 pub use smartpick_sqlmeta as sqlmeta;
 pub use smartpick_wire as wire;
