@@ -1,0 +1,332 @@
+//! Records the wire-codec and connection-scaling numbers into
+//! `BENCH_wire.json` — the binary-vs-JSON speedup the README quotes and
+//! CI guards with `tests/bench_wire_json.rs`.
+//!
+//! Two matrices:
+//!
+//! * **codec** — the same logical request framed as JSON (v2) vs
+//!   negotiated binary (v3). Blocking rows (`ping`, `determine`) give
+//!   honest single round trips, which on loopback are dominated by the
+//!   syscall floor plus determine compute. The headline row,
+//!   `determine_pipelined32`, keeps 32 requests in flight on one
+//!   connection so the per-request syscall floor amortises away and the
+//!   codec — the JSON number formatting/parsing of the `ET_l` latency
+//!   vector that the binary codec exists to eliminate — becomes the
+//!   measured cost. That row is the per-determine median the guard test
+//!   holds at ≥2×.
+//! * **connection scaling** — the reactor core holding N concurrent
+//!   connections on one event-loop thread: wall time to establish all
+//!   of them and the median ping round trip with every connection
+//!   parked open.
+//!
+//! Usage: `cargo run --release -p smartpick_bench --bin bench_wire
+//! [output-path]` (default `BENCH_wire.json` in the working directory).
+//! `SMARTPICK_BENCH_ITERS` overrides the per-op iteration count
+//! (default 300).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{ConstraintMode, PredictionRequest};
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{ServiceConfig, SmartpickService};
+use smartpick_wire::{
+    Codec, Request, Response, ServerCore, WireClient, WireServer, WireServerConfig,
+};
+use smartpick_workloads::tpcds;
+
+fn trained_driver() -> Smartpick {
+    let queries: Vec<_> = [82u32, 68]
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    // A deliberately light forest: this is a *codec* benchmark, so the
+    // determine compute should not drown the serialization cost being
+    // compared. The grid stays real (6×6) so the `ET_l` vector in each
+    // response has its production shape.
+    let opts = TrainOptions {
+        configs_per_query: 6,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 4,
+            ..ForestParams::default()
+        },
+        max_vm: 6,
+        max_sl: 6,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        42,
+    )
+    .expect("training succeeds")
+    .0
+}
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Median round-trip time of `request` issued one-at-a-time over the
+/// client's pipelined surface (v2 when the codec is JSON, v3 when
+/// binary — the same code path, only the codec differs).
+fn measure_rtt(client: &mut WireClient, request: &Request, iters: usize) -> f64 {
+    for _ in 0..20 {
+        let id = client.submit(request).expect("submit");
+        let (got, response) = client.recv().expect("recv");
+        assert_eq!(id, got);
+        assert!(!matches!(response, Response::Error(_)), "{response:?}");
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let id = client.submit(request).expect("submit");
+        let (got, response) = client.recv().expect("recv");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(id, got);
+        std::hint::black_box(&response);
+    }
+    median_us(&mut samples)
+}
+
+/// Median per-request time with `depth` requests kept in flight on one
+/// connection: recv one, submit one, timed in chunks of 16 so the
+/// median is over steady-state windows rather than single syscalls.
+fn measure_pipelined(
+    client: &mut WireClient,
+    request: &Request,
+    depth: usize,
+    iters: usize,
+) -> f64 {
+    const CHUNK: usize = 16;
+    for _ in 0..depth {
+        client.submit(request).expect("submit");
+    }
+    for _ in 0..64 {
+        let (_, response) = client.recv().expect("recv");
+        assert!(!matches!(response, Response::Error(_)), "{response:?}");
+        client.submit(request).expect("submit");
+    }
+    let chunks = (iters / CHUNK).max(8);
+    let mut samples = Vec::with_capacity(chunks);
+    for _ in 0..chunks {
+        let t = Instant::now();
+        for _ in 0..CHUNK {
+            let (_, response) = client.recv().expect("recv");
+            std::hint::black_box(&response);
+            client.submit(request).expect("submit");
+        }
+        samples.push(t.elapsed().as_secs_f64() * 1e6 / CHUNK as f64);
+    }
+    for _ in 0..depth {
+        let _ = client.recv().expect("drain");
+    }
+    median_us(&mut samples)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_wire.json".to_owned());
+    let iters: usize = std::env::var("SMARTPICK_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+
+    let service = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        service,
+        trained_driver(),
+        WireServerConfig::default(),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut json_client = WireClient::connect(addr).expect("connect");
+    json_client.register_tenant("bench", 7).expect("register");
+    let mut bin_client = WireClient::connect(addr).expect("connect");
+    assert!(
+        bin_client.negotiate_binary().expect("negotiate"),
+        "server must speak the binary codec"
+    );
+    assert_eq!(bin_client.codec(), Codec::Binary);
+
+    let query = tpcds::query(82, 100.0).expect("catalog query");
+    let batch: Vec<PredictionRequest> = (0..8)
+        .map(|seed| PredictionRequest {
+            query: query.clone(),
+            knob: 0.5,
+            constraint: ConstraintMode::Hybrid,
+            seed,
+        })
+        .collect();
+    let ops: Vec<(&str, Request)> = vec![
+        ("ping", Request::Ping),
+        (
+            "determine",
+            Request::Determine {
+                tenant: "bench".to_owned(),
+                query: query.clone(),
+                seed: 99,
+            },
+        ),
+        (
+            "determine_batch8",
+            Request::DetermineBatch {
+                tenant: "bench".to_owned(),
+                requests: batch,
+            },
+        ),
+    ];
+
+    println!(
+        "over-wire round trip: pipelined JSON (v2) vs binary (v3), {iters} iterations, median"
+    );
+    smartpick_bench::rule(64);
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "op", "json µs", "binary µs", "speedup"
+    );
+    smartpick_bench::rule(64);
+    let mut codec_rows = String::new();
+    for (i, (name, request)) in ops.iter().enumerate() {
+        let json_us = measure_rtt(&mut json_client, request, iters);
+        let binary_us = measure_rtt(&mut bin_client, request, iters);
+        let speedup = json_us / binary_us;
+        println!("{name:<18} {json_us:>12.1} {binary_us:>12.1} {speedup:>8.2}x");
+        if i > 0 {
+            codec_rows.push_str(",\n");
+        }
+        let _ = write!(
+            codec_rows,
+            "    {{\"op\": \"{name}\", \"json_us\": {json_us:.1}, \"binary_us\": {binary_us:.1}, \
+             \"speedup\": {speedup:.2}}}"
+        );
+    }
+    // The headline: pipelined determine, where the syscall floor
+    // amortises across the 32 in-flight requests and the codec is the
+    // per-request cost that remains.
+    let determine = &ops[1].1;
+    let json_us = measure_pipelined(&mut json_client, determine, 32, iters);
+    let binary_us = measure_pipelined(&mut bin_client, determine, 32, iters);
+    let speedup = json_us / binary_us;
+    println!(
+        "{:<18} {json_us:>12.1} {binary_us:>12.1} {speedup:>8.2}x",
+        "determine_pipe32"
+    );
+    codec_rows.push_str(",\n");
+    let _ = write!(
+        codec_rows,
+        "    {{\"op\": \"determine_pipelined32\", \"json_us\": {json_us:.1}, \"binary_us\": \
+         {binary_us:.1}, \"speedup\": {speedup:.2}}}"
+    );
+    smartpick_bench::rule(64);
+
+    // Payload sizes for the determine response, so the record says what
+    // was actually on the wire.
+    let (det_json_bytes, det_bin_bytes) = {
+        let id = bin_client.submit(determine).expect("submit");
+        let (got, response) = bin_client.recv().expect("recv");
+        assert_eq!(id, got);
+        assert!(
+            matches!(response, Response::Determination(_)),
+            "{response:?}"
+        );
+        let mut bin = Vec::new();
+        smartpick_wire::codec::encode_envelope_into(&response, &mut bin);
+        let json = serde_json::to_string(&response).expect("encodes");
+        (json.len(), bin.len())
+    };
+    println!("determine response payload: {det_json_bytes} B as JSON, {det_bin_bytes} B as binary");
+    drop(json_client);
+    drop(bin_client);
+    drop(server);
+
+    // Connection scaling on the reactor core: N parked connections on
+    // one loop thread, all provably live.
+    let mut scale_rows = String::new();
+    println!("reactor connection scaling (one event-loop thread)");
+    smartpick_bench::rule(64);
+    println!(
+        "{:<12} {:>14} {:>18}",
+        "connections", "connect ms", "parked ping µs"
+    );
+    smartpick_bench::rule(64);
+    for (i, &n) in [256usize, 1024].iter().enumerate() {
+        let service = Arc::new(SmartpickService::new(ServiceConfig {
+            retrain_workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            service,
+            trained_driver(),
+            WireServerConfig {
+                core: ServerCore::Reactor,
+                max_connections: n + 8,
+                ..WireServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let t = Instant::now();
+        let mut clients: Vec<WireClient> = (0..n)
+            .map(|_| WireClient::connect(addr).expect("connect"))
+            .collect();
+        // Prove each one live before timing parked pings.
+        for client in clients.iter_mut() {
+            client.ping().expect("ping");
+        }
+        let connect_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Median ping RTT with all N connections parked open, sampled
+        // round-robin across them.
+        let mut samples = Vec::with_capacity(n.min(512));
+        for client in clients.iter_mut().take(512) {
+            let t = Instant::now();
+            client.ping().expect("ping");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let ping_us = median_us(&mut samples);
+        println!("{n:<12} {connect_ms:>14.1} {ping_us:>18.1}");
+        if i > 0 {
+            scale_rows.push_str(",\n");
+        }
+        let _ = write!(
+            scale_rows,
+            "    {{\"core\": \"reactor\", \"connections\": {n}, \"connect_and_first_ping_ms\": \
+             {connect_ms:.1}, \"parked_ping_median_us\": {ping_us:.1}}}"
+        );
+        drop(clients);
+    }
+    smartpick_bench::rule(64);
+
+    let json = format!(
+        "{{\n  \"bench\": \"wire_codec\",\n  \"unit\": \"microseconds (median over-wire round \
+         trip, loopback TCP)\",\n  \"json\": \"pipelined v2 frames, JSON payloads\",\n  \
+         \"binary\": \"negotiated v3 frames, length-tagged binary payloads (same Value tree, no \
+         number formatting/parsing)\",\n  \"iterations\": {iters},\n  \
+         \"determine_response_bytes\": {{\"json\": {det_json_bytes}, \"binary\": \
+         {det_bin_bytes}}},\n  \"codec\": [\n{codec_rows}\n  \
+         ],\n  \"connection_scaling\": [\n{scale_rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_wire.json");
+    println!("wrote {out_path}");
+}

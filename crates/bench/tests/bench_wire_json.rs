@@ -1,0 +1,92 @@
+//! Guard for the committed `BENCH_wire.json` (written by
+//! `src/bin/bench_wire.rs`): the recorded binary-vs-JSON codec matrix
+//! and reactor connection-scaling entries parse, are internally
+//! consistent, and hold the PR's acceptance bars — asserted on the
+//! *committed record*, not a re-run, so the test is deterministic.
+
+use serde::Value;
+
+fn load() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_wire.json exists at the repo root");
+    serde_json::from_str(&text).expect("BENCH_wire.json parses as JSON")
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> &'a Value {
+    match obj {
+        Value::Obj(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field `{key}`")),
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+fn codec_entry<'a>(root: &'a Value, op: &str) -> &'a Value {
+    let Value::Arr(entries) = field(root, "codec") else {
+        panic!("`codec` must be a list");
+    };
+    entries
+        .iter()
+        .find(|e| field(e, "op") == &Value::Str(op.to_owned()))
+        .unwrap_or_else(|| panic!("op `{op}` is recorded"))
+}
+
+#[test]
+fn bench_wire_json_parses_and_is_internally_consistent() {
+    let root = load();
+    assert_eq!(field(&root, "bench"), &Value::Str("wire_codec".to_owned()));
+    let Value::Arr(entries) = field(&root, "codec") else {
+        panic!("`codec` must be a list");
+    };
+    assert!(entries.len() >= 3, "ping, determine, and pipelined rows");
+    for entry in entries {
+        let json_us = num(field(entry, "json_us"));
+        let binary_us = num(field(entry, "binary_us"));
+        let speedup = num(field(entry, "speedup"));
+        assert!(json_us > 0.0 && json_us.is_finite());
+        assert!(binary_us > 0.0 && binary_us.is_finite());
+        assert!(
+            (speedup - json_us / binary_us).abs() < 0.1,
+            "recorded speedup must match the recorded medians"
+        );
+    }
+}
+
+#[test]
+fn recorded_binary_codec_meets_the_2x_determine_bar() {
+    // The PR's acceptance bar: the binary codec beats JSON by ≥2× on
+    // the median over-wire determine — already on a plain blocking
+    // round trip, and on the pipelined path where the codec is the
+    // dominant per-request cost.
+    let root = load();
+    for op in ["determine", "determine_pipelined32"] {
+        let speedup = num(field(codec_entry(&root, op), "speedup"));
+        assert!(
+            speedup >= 2.0,
+            "recorded `{op}` speedup {speedup} regressed below 2x"
+        );
+    }
+}
+
+#[test]
+fn recorded_reactor_scaling_covers_a_thousand_connections() {
+    let root = load();
+    let Value::Arr(entries) = field(&root, "connection_scaling") else {
+        panic!("`connection_scaling` must be a list");
+    };
+    let thousand = entries
+        .iter()
+        .find(|e| num(field(e, "connections")) >= 1024.0)
+        .expect("a >=1024-connection reactor entry is recorded");
+    assert_eq!(field(thousand, "core"), &Value::Str("reactor".to_owned()));
+    assert!(num(field(thousand, "parked_ping_median_us")) > 0.0);
+}

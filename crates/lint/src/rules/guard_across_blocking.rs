@@ -8,6 +8,16 @@
 //! blocking call made while one is live. `Condvar::wait` is deliberately
 //! *not* blocking here: it releases the guard while parked, which is the
 //! queue's intended pattern.
+//!
+//! The reactor core's I/O sites are classified explicitly: its
+//! `(&stream).read(buf)` / `.write(buf)` calls are *nonblocking*
+//! (`O_NONBLOCK` sockets that return `WouldBlock`), and their non-empty
+//! argument lists already keep them out of both the acquisition and the
+//! blocking sets. Its one true parking point, `poller.wait(..)`, parks
+//! the thread in the OS selector exactly like a channel `recv` — and
+//! unlike `Condvar::wait` it releases no guard — so `.wait(` is treated
+//! as blocking when the receiver is named `poller` (receiver-matched to
+//! keep `Condvar::wait` permitted).
 
 use crate::lexer::{Tok, TokKind};
 use crate::rules::{Context, Finding, Rule};
@@ -36,6 +46,12 @@ const BLOCKING_METHODS: &[&str] = &[
 
 /// Free functions / prefixed names that do framed socket I/O.
 const BLOCKING_PREFIXES: &[&str] = &["read_frame", "write_frame"];
+
+/// Receivers whose `.wait(..)` parks the thread in the OS selector
+/// (the reactor's `Poller`). Matched by receiver name so that
+/// `Condvar::wait` — which releases its guard while parked — stays
+/// deliberately permitted.
+const PARKING_WAIT_RECEIVERS: &[&str] = &["poller"];
 
 /// Crates whose long-lived server threads the rule watches.
 const SCOPED_CRATES: &[&str] = &["service", "wire", "core", "obs"];
@@ -252,6 +268,18 @@ fn blocking_call(toks: &[Tok], i: usize) -> Option<String> {
     let after_dot = i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
     if after_dot && BLOCKING_METHODS.contains(&t.text.as_str()) {
         return Some(t.text.clone());
+    }
+    // The reactor's selector park: `poller.wait(..)`. Receiver-matched
+    // so `Condvar::wait` (guard-releasing by design) is not caught.
+    if t.is_ident("wait")
+        && i >= 2
+        && toks[i - 1].is_punct('.')
+        && toks[i - 2].kind == TokKind::Ident
+        && PARKING_WAIT_RECEIVERS
+            .iter()
+            .any(|r| toks[i - 2].text == *r || toks[i - 2].text.ends_with("_poller"))
+    {
+        return Some(format!("{}.wait", toks[i - 2].text));
     }
     if BLOCKING_PREFIXES.iter().any(|p| t.text.starts_with(p)) {
         return Some(t.text.clone());

@@ -33,6 +33,22 @@ fn negative_condvar_wait(q: &Queue) {
     }
 }
 
+fn positive_selector_park(m: &std::sync::Mutex<u32>, poller: &Poller, events: &mut Events) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = poller.wait(events, None); // POSITIVE: guard `g` live across the selector park
+    drop(g);
+}
+
+fn negative_nonblocking_reactor_io(m: &std::sync::Mutex<u32>, stream: &TcpStream) {
+    // negative: the reactor's socket reads/writes are nonblocking
+    // (O_NONBLOCK, WouldBlock returns) — not parking sites.
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let mut chunk = [0u8; 64];
+    let _ = (&*stream).read(&mut chunk);
+    let _ = (&*stream).write(&chunk);
+    let _ = *g;
+}
+
 fn allowlisted(rx: &std::sync::Mutex<Receiver<u32>>) -> Result<u32, RecvError> {
     // lint:allow(guard-across-blocking, reason = "fixture: workers take turns on recv by design")
     rx.lock().unwrap_or_else(|e| e.into_inner()).recv()

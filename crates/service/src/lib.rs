@@ -13,13 +13,13 @@
 //!
 //! * [`service`] — the [`SmartpickService`] façade and its
 //!   [`ServiceConfig`].
-//! * [`registry`] *(private)* — the sharded tenant registry: N shards of
+//! * `registry` *(private)* — the sharded tenant registry: N shards of
 //!   `parking_lot::RwLock<HashMap<TenantId, slot>>`, hash-routed, so
 //!   tenant lookup scales without a global lock.
 //! * [`worker`] — the batched update queues and background retrain
 //!   workers (the §4.2 monitor thread, made real and sharded by tenant
 //!   hash); [`CompletedRun`] is the unit of feedback.
-//! * [`queue`] *(private)* — the bounded MPSC queues providing
+//! * `queue` *(private)* — the bounded MPSC queues providing
 //!   service-wide backpressure, one shard per retrain worker.
 //! * [`stats`] — the public stats shapes ([`ServiceStats`],
 //!   [`TenantStats`], [`WorkerShardStats`]) over `smartpick_obs`-backed

@@ -451,6 +451,33 @@ impl SmartpickService {
     /// Convenience [`SmartpickService::predict`]: hybrid search with the
     /// tenant's configured knob.
     ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use smartpick_cloudsim::{CloudEnv, Provider};
+    /// use smartpick_core::driver::Smartpick;
+    /// use smartpick_core::properties::SmartpickProperties;
+    /// use smartpick_service::SmartpickService;
+    /// use smartpick_workloads::tpcds;
+    ///
+    /// let training: Vec<_> = tpcds::TRAINING_QUERIES
+    ///     .iter()
+    ///     .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+    ///     .collect();
+    /// let template = Smartpick::train(
+    ///     CloudEnv::new(Provider::Aws),
+    ///     SmartpickProperties::default(),
+    ///     &training,
+    ///     42,
+    /// )?;
+    /// let service = Arc::new(SmartpickService::with_defaults());
+    /// service.register_fork("acme", &template, 7)?;
+    /// let det = service.determine("acme", &training[0], 99)?;
+    /// println!("{} in {:.1}s", det.allocation, det.predicted_seconds);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// See [`SmartpickService::predict`].

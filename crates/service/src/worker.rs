@@ -17,7 +17,7 @@
 //! Workers run under the obs [`Supervisor`]: if one panics, the
 //! supervisor restarts it per the configured restart policy. The worker's
 //! side of that contract is *zero lost reports*: every drained message
-//! sits in a [`BatchRescue`] guard and is only marked consumed after its
+//! sits in a `BatchRescue` guard (private) and is only marked consumed after its
 //! apply (or ack) completes, so a panic mid-batch re-queues the unapplied
 //! tail at the *front* of the shard queue, in order — the restarted
 //! worker resumes exactly where its predecessor died. Semantics are

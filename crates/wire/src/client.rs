@@ -13,10 +13,11 @@ use smartpick_engine::QueryProfile;
 use smartpick_obs::{HealthReport, ScrapeEnvelope};
 use smartpick_service::{CompletedRun, ServiceStats, TenantStats};
 
+use crate::codec::{self, Codec};
 use crate::error::WireError;
 use crate::frame::{
     read_frame_any_into, read_frame_into, write_frame_buffered, write_frame_v2_buffered,
-    FrameError, DEFAULT_MAX_FRAME_LEN,
+    write_frame_v3_buffered, FrameError, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{Request, Response};
 
@@ -40,8 +41,14 @@ use crate::proto::{Request, Response};
 pub struct WireClient {
     stream: TcpStream,
     max_frame_len: usize,
+    /// The codec this client frames requests in. Starts as JSON (every
+    /// server generation understands it); [`WireClient::negotiate_binary`]
+    /// upgrades it when the server echoes binary back.
+    codec: Codec,
     /// Request-JSON scratch, reused across calls.
     encode_buf: String,
+    /// Request binary-payload scratch, reused across calls.
+    bin_buf: Vec<u8>,
     /// Outbound frame assembly scratch, reused across calls.
     frame_buf: Vec<u8>,
     /// Inbound payload scratch, reused across calls.
@@ -80,11 +87,89 @@ impl WireClient {
         WireClient {
             stream,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            codec: Codec::Json,
             encode_buf: String::new(),
+            bin_buf: Vec::new(),
             frame_buf: Vec::new(),
             read_buf: Vec::new(),
             next_id: 0,
         }
+    }
+
+    /// The codec this client currently frames requests in.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Tries to upgrade this connection to the binary codec (v3
+    /// frames), returning whether the upgrade took.
+    ///
+    /// The negotiation is one probe: a binary `ping`. A server that
+    /// speaks v3 answers it in kind (the version byte of each frame *is*
+    /// the negotiation — there is no separate handshake message), and
+    /// every later request from this client is framed as binary. A
+    /// pre-v3 server treats the unknown version byte as a framing
+    /// violation: it answers with a v1 `protocol` error and closes the
+    /// connection — in that case this client reconnects to the same
+    /// address and stays on JSON, so the call is safe against servers of
+    /// any generation. Don't call it while pipelined requests are
+    /// outstanding.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use smartpick_wire::{Codec, WireClient};
+    ///
+    /// let mut client = WireClient::connect("127.0.0.1:7171")?;
+    /// if client.negotiate_binary()? {
+    ///     assert_eq!(client.codec(), Codec::Binary);
+    /// }
+    /// // Either way every call keeps working; only the codec differs.
+    /// client.ping()?;
+    /// # Ok::<(), smartpick_wire::WireError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Socket failures during the probe or the fallback reconnect.
+    pub fn negotiate_binary(&mut self) -> Result<bool, WireError> {
+        let peer = self.stream.peer_addr().map_err(WireError::Io)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        codec::encode_envelope_into(&Request::Ping, &mut self.bin_buf);
+        let probe =
+            write_frame_v3_buffered(&mut self.stream, id, &self.bin_buf, &mut self.frame_buf)
+                .and_then(|()| {
+                    read_frame_any_into(&mut self.stream, self.max_frame_len, &mut self.read_buf)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                });
+        match probe {
+            Ok(header) if header.id == Some(id) && header.codec() == Codec::Binary => {
+                // Confirm it decodes as pong; anything else means the
+                // "server" mirrors bytes without understanding them.
+                match codec::decode_envelope::<Response>(&self.read_buf) {
+                    Ok(Response::Pong) => {
+                        self.codec = Codec::Binary;
+                        Ok(true)
+                    }
+                    _ => self.reconnect_json(&peer),
+                }
+            }
+            // Old server: a v1/v2 error frame (then close), or the close
+            // alone surfacing as an I/O or framing error. Either way the
+            // stream may be poisoned — reconnect and stay on JSON.
+            Ok(_) | Err(_) => self.reconnect_json(&peer),
+        }
+    }
+
+    /// Falls back to a fresh JSON connection after a failed binary
+    /// probe (the old server closed our stream).
+    fn reconnect_json(&mut self, peer: &SocketAddr) -> Result<bool, WireError> {
+        let stream = TcpStream::connect(peer)?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        self.codec = Codec::Json;
+        Ok(false)
     }
 
     /// Bounds every subsequent read and write (`None` = block forever).
@@ -161,6 +246,20 @@ impl WireClient {
     }
 
     /// Convenience prediction: hybrid search with the tenant's knob.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use smartpick_wire::WireClient;
+    /// use smartpick_workloads::tpcds;
+    ///
+    /// let mut client = WireClient::connect("127.0.0.1:7171")?;
+    /// client.register_tenant("acme", 7)?;
+    /// let query = tpcds::query(11, 100.0).expect("catalog query");
+    /// let det = client.determine("acme", &query, 99)?;
+    /// println!("{} in {:.1}s", det.allocation, det.predicted_seconds);
+    /// # Ok::<(), smartpick_wire::WireError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -274,8 +373,30 @@ impl WireClient {
     /// wire round trip, answered from one server-side snapshot read —
     /// results are identical to issuing each request through
     /// [`WireClient::predict`] individually (each keeps its own
-    /// knob/constraint/seed), but framing, JSON, and snapshot
-    /// acquisition are paid once for the whole batch.
+    /// knob/constraint/seed), but framing, payload encoding, and
+    /// snapshot acquisition are paid once for the whole batch.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use smartpick_core::wp::{ConstraintMode, PredictionRequest};
+    /// use smartpick_wire::WireClient;
+    /// use smartpick_workloads::tpcds;
+    ///
+    /// let mut client = WireClient::connect("127.0.0.1:7171")?;
+    /// let query = tpcds::query(11, 100.0).expect("catalog query");
+    /// let requests: Vec<_> = (0..8)
+    ///     .map(|seed| PredictionRequest {
+    ///         query: query.clone(),
+    ///         knob: 0.5,
+    ///         constraint: ConstraintMode::Hybrid,
+    ///         seed,
+    ///     })
+    ///     .collect();
+    /// let determinations = client.determine_many("acme", requests)?;
+    /// assert_eq!(determinations.len(), 8);
+    /// # Ok::<(), smartpick_wire::WireError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -312,7 +433,9 @@ impl WireClient {
     pub fn submit(&mut self, request: &Request) -> Result<u64, WireError> {
         submit_on(
             &mut self.stream,
+            self.codec,
             &mut self.encode_buf,
+            &mut self.bin_buf,
             &mut self.frame_buf,
             &mut self.next_id,
             request,
@@ -366,7 +489,9 @@ impl WireClient {
         Ok((
             WireSender {
                 stream: self.stream,
+                codec: self.codec,
                 encode_buf: self.encode_buf,
+                bin_buf: self.bin_buf,
                 frame_buf: self.frame_buf,
                 next_id: self.next_id,
             },
@@ -378,9 +503,112 @@ impl WireClient {
         ))
     }
 
+    /// Runs N full [`PredictionRequest`]s against `tenant` with the
+    /// results **streamed** back one frame per determination
+    /// (`batch_item`, then a closing `batch_end`), instead of one giant
+    /// response frame like [`WireClient::determine_many`]. Same answers,
+    /// same single server-side snapshot read — but the first result is
+    /// decodable before the last is computed, and no frame has to hold
+    /// the whole batch. Don't interleave with outstanding pipelined
+    /// submissions: this call drains responses until its own
+    /// `batch_end`.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]; the batch fails whole (no partial results).
+    pub fn determine_streamed(
+        &mut self,
+        tenant: impl Into<String>,
+        requests: Vec<PredictionRequest>,
+    ) -> Result<Vec<Determination>, WireError> {
+        let expected = requests.len();
+        let id = self.submit(&Request::DetermineStream {
+            tenant: tenant.into(),
+            requests,
+        })?;
+        let mut out: Vec<Option<Determination>> = Vec::new();
+        out.resize_with(expected, || None);
+        loop {
+            let (got, response) = self.recv()?;
+            if got != id {
+                return Err(WireError::Protocol(format!(
+                    "streamed batch {id} interleaved with response for {got}"
+                )));
+            }
+            match response {
+                Response::BatchItem {
+                    index,
+                    determination,
+                } => {
+                    let slot = out.get_mut(index as usize).ok_or_else(|| {
+                        WireError::Protocol(format!(
+                            "batch_item index {index} out of range for a {expected}-request batch"
+                        ))
+                    })?;
+                    *slot = Some(*determination);
+                }
+                Response::BatchEnd { count } => {
+                    if count as usize != expected {
+                        return Err(WireError::Protocol(format!(
+                            "batch_end reported {count} items, expected {expected}"
+                        )));
+                    }
+                    let mut result = Vec::with_capacity(expected);
+                    for (i, slot) in out.into_iter().enumerate() {
+                        match slot {
+                            Some(d) => result.push(d),
+                            None => {
+                                return Err(WireError::Protocol(format!(
+                                    "batch_end arrived before item {i}"
+                                )))
+                            }
+                        }
+                    }
+                    return Ok(result);
+                }
+                Response::Error(r) => {
+                    return Err(WireError::Rejected {
+                        kind: r.kind,
+                        message: r.message,
+                        retryable: r.retryable,
+                    })
+                }
+                other => return Err(unexpected("batch_item or batch_end", &other)),
+            }
+        }
+    }
+
     /// One request/response exchange; server-side rejections become
     /// [`WireError::Rejected`].
+    ///
+    /// JSON mode speaks legacy v1 frames (so the blocking surface works
+    /// against every server generation); binary mode speaks id-tagged v3
+    /// frames and checks the echoed id.
     fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        let response = match self.codec {
+            Codec::Json => self.call_v1(request)?,
+            Codec::Binary => {
+                let id = self.submit(request)?;
+                let (got, response) = self.recv()?;
+                if got != id {
+                    return Err(WireError::Protocol(format!(
+                        "blocking call {id} answered with response for {got}"
+                    )));
+                }
+                response
+            }
+        };
+        if let Response::Error(r) = response {
+            return Err(WireError::Rejected {
+                kind: r.kind,
+                message: r.message,
+                retryable: r.retryable,
+            });
+        }
+        Ok(response)
+    }
+
+    fn call_v1(&mut self, request: &Request) -> Result<Response, WireError> {
         serde_json::to_string_into(request, &mut self.encode_buf)
             .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
         write_frame_buffered(
@@ -400,25 +628,19 @@ impl WireClient {
         })?;
         let text = std::str::from_utf8(&self.read_buf)
             .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
-        let response: Response = serde_json::from_str(text)
-            .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?;
-        if let Response::Error(r) = response {
-            return Err(WireError::Rejected {
-                kind: r.kind,
-                message: r.message,
-                retryable: r.retryable,
-            });
-        }
-        Ok(response)
+        serde_json::from_str(text)
+            .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))
     }
 }
 
 /// The send half of a [`WireClient::split`] connection: owns the write
-/// side and the id sequence.
+/// side, the codec, and the id sequence.
 #[derive(Debug)]
 pub struct WireSender {
     stream: TcpStream,
+    codec: Codec,
     encode_buf: String,
+    bin_buf: Vec<u8>,
     frame_buf: Vec<u8>,
     next_id: u64,
 }
@@ -432,7 +654,9 @@ impl WireSender {
     pub fn submit(&mut self, request: &Request) -> Result<u64, WireError> {
         submit_on(
             &mut self.stream,
+            self.codec,
             &mut self.encode_buf,
+            &mut self.bin_buf,
             &mut self.frame_buf,
             &mut self.next_id,
             request,
@@ -477,25 +701,40 @@ impl WireReceiver {
     }
 }
 
-/// Encodes and writes one pipelined (v2) request frame, assigning the
-/// next id (shared by [`WireClient::submit`] and [`WireSender::submit`]).
+/// Encodes and writes one pipelined request frame — v2 (JSON) or v3
+/// (binary) as `codec` dictates — assigning the next id (shared by
+/// [`WireClient::submit`] and [`WireSender::submit`]). Both payload
+/// encodings land in a caller-held scratch buffer, so steady-state
+/// submission allocates nothing.
 fn submit_on(
     stream: &mut TcpStream,
+    codec: Codec,
     encode_buf: &mut String,
+    bin_buf: &mut Vec<u8>,
     frame_buf: &mut Vec<u8>,
     next_id: &mut u64,
     request: &Request,
 ) -> Result<u64, WireError> {
     let id = *next_id;
     *next_id += 1;
-    serde_json::to_string_into(request, encode_buf)
-        .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
-    write_frame_v2_buffered(stream, id, encode_buf.as_bytes(), frame_buf)?;
+    match codec {
+        Codec::Json => {
+            serde_json::to_string_into(request, encode_buf)
+                .map_err(|e| WireError::Protocol(format!("encoding request: {e}")))?;
+            write_frame_v2_buffered(stream, id, encode_buf.as_bytes(), frame_buf)?;
+        }
+        Codec::Binary => {
+            codec::encode_envelope_into(request, bin_buf);
+            write_frame_v3_buffered(stream, id, bin_buf, frame_buf)?;
+        }
+    }
     Ok(id)
 }
 
-/// Reads one v2 response frame and decodes its envelope (shared by
-/// [`WireClient::recv`] and [`WireReceiver::recv`]).
+/// Reads one pipelined response frame and decodes its envelope in
+/// whatever codec the frame's version byte names (shared by
+/// [`WireClient::recv`] and [`WireReceiver::recv`]) — so one receiver
+/// handles a server mixing v2 and v3 answers.
 fn recv_on(
     stream: &mut TcpStream,
     max_frame_len: usize,
@@ -514,10 +753,16 @@ fn recv_on(
             "un-numbered (v1) response while pipelining — blocking call interleaved?".to_owned(),
         ));
     };
-    let text = std::str::from_utf8(read_buf)
-        .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
-    let response: Response = serde_json::from_str(text)
-        .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?;
+    let response = match header.codec() {
+        Codec::Json => {
+            let text = std::str::from_utf8(read_buf)
+                .map_err(|e| WireError::Protocol(format!("response is not UTF-8: {e}")))?;
+            serde_json::from_str(text)
+                .map_err(|e| WireError::Protocol(format!("decoding response: {e}")))?
+        }
+        Codec::Binary => codec::decode_response(read_buf)
+            .map_err(|e| WireError::Protocol(format!("decoding binary response: {e}")))?,
+    };
     Ok((id, response))
 }
 

@@ -1,0 +1,693 @@
+//! The payload codecs: how an envelope becomes bytes inside a frame.
+//!
+//! Two codecs share the same [`serde::Value`] data model, so they are
+//! interchangeable representations of the same envelope — anything
+//! expressible in one is expressible in the other, byte cost aside:
+//!
+//! * **JSON** (frame versions 1 and 2): UTF-8 text, human-readable,
+//!   what every pre-binary peer speaks. Its encoding and decoding —
+//!   almost all `f64` text formatting and parsing — dominate the
+//!   over-wire determine cost: the recorded `BENCH_wire.json` matrix
+//!   has the binary codec 2.35× faster on a blocking determine and
+//!   4.08× at pipelining depth 32, where the codec is nearly the whole
+//!   per-request cost.
+//! * **Binary** (frame version 3): a length-tagged tree encoding of the
+//!   same `Value`. Numbers travel as raw IEEE-754 bits (8 bytes,
+//!   big-endian), strings and containers carry `u32` big-endian
+//!   counts — nothing is ever scanned for a delimiter, so decoding is a
+//!   single forward pass with no text parsing at all.
+//!
+//! Binary value grammar (one tag byte, then the payload):
+//!
+//! ```text
+//! 0x00                                     null
+//! 0x01                                     false
+//! 0x02                                     true
+//! 0x03  f64-bits:u64 BE                    number
+//! 0x04  len:u32 BE   bytes[len]            string (UTF-8)
+//! 0x05  count:u32 BE value*count           array
+//! 0x06  count:u32 BE (len:u32 BE key value)*count   object
+//! ```
+//!
+//! Because both codecs round-trip through the *same* `Value` tree,
+//! binary⇄JSON conversion is the identity on every envelope — proven
+//! variant-by-variant in `tests/codec_roundtrip.rs`. The shim's number
+//! model (every number is an `f64`) is shared too, so the two codecs
+//! agree bit-for-bit on what any number means.
+//!
+//! Decoding is **total**: arbitrary bytes can never panic, over-read,
+//! or allocate unboundedly (container counts are sanity-checked against
+//! the bytes actually remaining; nesting is capped at
+//! [`MAX_DECODE_DEPTH`]).
+
+use serde::Value;
+
+/// Which payload representation a connection (or frame) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// UTF-8 JSON text (frame versions 1 and 2).
+    Json,
+    /// The length-tagged binary `Value` encoding (frame version 3).
+    Binary,
+}
+
+impl Codec {
+    /// The stable display name (`"json"` / `"binary"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+}
+
+/// Nesting cap for binary decoding: deeper trees are rejected rather
+/// than risking decoder stack exhaustion on adversarial input. Real
+/// envelopes nest a handful of levels.
+pub const MAX_DECODE_DEPTH: usize = 96;
+
+/// Why binary bytes could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binary codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_NUM: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_ARR: u8 = 0x05;
+const TAG_OBJ: u8 = 0x06;
+
+/// Appends the binary encoding of `v` to `out` (the buffer is *not*
+/// cleared: connection loops reuse one scratch allocation across
+/// frames).
+pub fn encode_value_into(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Num(n) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&n.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            push_bytes(out, s.as_bytes());
+        }
+        Value::Arr(items) => {
+            out.push(TAG_ARR);
+            push_count(out, items.len());
+            for item in items {
+                encode_value_into(item, out);
+            }
+        }
+        Value::Obj(pairs) => {
+            out.push(TAG_OBJ);
+            push_count(out, pairs.len());
+            for (key, value) in pairs {
+                push_bytes(out, key.as_bytes());
+                encode_value_into(value, out);
+            }
+        }
+    }
+}
+
+fn push_count(out: &mut Vec<u8>, n: usize) {
+    // Envelope containers are bounded by the frame cap (1 MiB default),
+    // far below u32::MAX entries.
+    out.extend_from_slice(&(n as u32).to_be_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    push_count(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Decodes one binary value, requiring that it consume `bytes` exactly
+/// (trailing garbage is an error — a mis-framed payload must not decode
+/// "successfully" by accident).
+///
+/// # Errors
+///
+/// [`CodecError`] on any malformed input; never panics.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, CodecError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let v = decode_at(&mut cursor, 0)?;
+    if cursor.pos != bytes.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after the value",
+            bytes.len() - cursor.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+        match self.bytes.get(self.pos..self.pos.saturating_add(n)) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(CodecError(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            ))),
+        }
+    }
+
+    fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_str(&mut self) -> Result<String, CodecError> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| CodecError(format!("non-UTF-8 string: {e}")))
+    }
+}
+
+fn decode_at(c: &mut Cursor<'_>, depth: usize) -> Result<Value, CodecError> {
+    if depth >= MAX_DECODE_DEPTH {
+        return Err(CodecError(format!(
+            "nesting exceeds the {MAX_DECODE_DEPTH}-level cap"
+        )));
+    }
+    Ok(match c.take_u8()? {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_NUM => {
+            let b = c.take(8)?;
+            let bits = u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+            Value::Num(f64::from_bits(bits))
+        }
+        TAG_STR => Value::Str(c.take_str()?),
+        TAG_ARR => {
+            let count = c.take_u32()? as usize;
+            // Every element costs ≥1 byte, so a count beyond the bytes
+            // remaining is a lie; checking first bounds the allocation.
+            if count > c.remaining() {
+                return Err(CodecError(format!(
+                    "array count {count} exceeds the {} bytes remaining",
+                    c.remaining()
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_at(c, depth + 1)?);
+            }
+            Value::Arr(items)
+        }
+        TAG_OBJ => {
+            let count = c.take_u32()? as usize;
+            // Every pair costs ≥5 bytes (key length prefix + value tag).
+            if count > c.remaining() / 5 {
+                return Err(CodecError(format!(
+                    "object count {count} exceeds the {} bytes remaining",
+                    c.remaining()
+                )));
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = c.take_str()?;
+                let value = decode_at(c, depth + 1)?;
+                pairs.push((key, value));
+            }
+            Value::Obj(pairs)
+        }
+        tag => return Err(CodecError(format!("unknown value tag 0x{tag:02x}"))),
+    })
+}
+
+/// Renders `t` as a binary payload into `out` (cleared first, allocation
+/// reused across frames) — the binary twin of
+/// `serde_json::to_string_into`.
+pub fn encode_envelope_into<T: serde::Serialize>(t: &T, out: &mut Vec<u8>) {
+    out.clear();
+    encode_value_into(&t.to_value(), out);
+}
+
+/// Decodes a binary payload back into an envelope.
+///
+/// # Errors
+///
+/// [`CodecError`] on malformed bytes or an unrecognised envelope shape.
+pub fn decode_envelope<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let value = decode_value(bytes)?;
+    T::from_value(&value).map_err(|e| CodecError(format!("unrecognised envelope: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Determination fast paths
+//
+// The generic path above routes every envelope through the `Value`
+// tree, which costs one heap allocation per field — on both sides. For
+// the serving hot path (a `Response` carrying one or many
+// `Determination`s, whose `ET_l` list is the bulk of every determine
+// answer) that tree is most of the remaining binary-codec cost, so the
+// functions below encode and decode those variants **directly**,
+// without building the tree at all.
+//
+// Invariants, enforced by `tests/codec_roundtrip.rs`:
+//
+// * `encode_response_into` is byte-identical to the generic
+//   `encode_envelope_into` for every response — the fast path writes
+//   the exact canonical field order the serde derive emits.
+// * `decode_response` accepts exactly what the generic path accepts:
+//   the fast decoder handles the canonical layout and falls back to
+//   `decode_envelope` on *any* deviation (reordered fields, unexpected
+//   kinds, NaN money, trailing bytes), so acceptance never changes.
+
+use smartpick_cloudsim::Money;
+use smartpick_core::tradeoff::EtEntry;
+use smartpick_core::wp::Determination;
+use smartpick_engine::{Allocation, RelayPolicy};
+
+use crate::proto::Response;
+
+fn w_key(out: &mut Vec<u8>, key: &str) {
+    push_bytes(out, key.as_bytes());
+}
+
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    out.push(TAG_STR);
+    push_bytes(out, s.as_bytes());
+}
+
+fn w_num(out: &mut Vec<u8>, n: f64) {
+    out.push(TAG_NUM);
+    out.extend_from_slice(&n.to_bits().to_be_bytes());
+}
+
+fn w_obj(out: &mut Vec<u8>, fields: usize) {
+    out.push(TAG_OBJ);
+    push_count(out, fields);
+}
+
+fn w_relay(out: &mut Vec<u8>, relay: RelayPolicy) {
+    match relay {
+        RelayPolicy::None => w_str(out, "none"),
+        RelayPolicy::Relay => w_str(out, "relay"),
+        RelayPolicy::Segue { timeout } => w_str(out, &format!("segue:{}", timeout.as_millis())),
+    }
+}
+
+fn w_allocation(out: &mut Vec<u8>, a: &Allocation) {
+    w_obj(out, 3);
+    w_key(out, "n_vm");
+    w_num(out, a.n_vm as f64);
+    w_key(out, "n_sl");
+    w_num(out, a.n_sl as f64);
+    w_key(out, "relay");
+    w_relay(out, a.relay);
+}
+
+fn w_determination(out: &mut Vec<u8>, d: &Determination) {
+    w_obj(out, 8);
+    w_key(out, "allocation");
+    w_allocation(out, &d.allocation);
+    w_key(out, "predicted_seconds");
+    w_num(out, d.predicted_seconds);
+    w_key(out, "predicted_cost");
+    w_num(out, d.predicted_cost.dollars());
+    w_key(out, "et_list");
+    out.push(TAG_ARR);
+    push_count(out, d.et_list.len());
+    for e in &d.et_list {
+        w_obj(out, 3);
+        w_key(out, "allocation");
+        w_allocation(out, &e.allocation);
+        w_key(out, "est_seconds");
+        w_num(out, e.est_seconds);
+        w_key(out, "est_cost");
+        w_num(out, e.est_cost.dollars());
+    }
+    w_key(out, "evaluations");
+    w_num(out, d.evaluations as f64);
+    w_key(out, "known_query");
+    out.push(if d.known_query { TAG_TRUE } else { TAG_FALSE });
+    w_key(out, "matched_query");
+    w_str(out, &d.matched_query);
+    w_key(out, "match_similarity");
+    w_num(out, d.match_similarity);
+}
+
+/// Renders a [`Response`] as a binary payload into `out` (cleared
+/// first), byte-identical to [`encode_envelope_into`] but skipping the
+/// intermediate `Value` tree for the determination-carrying variants
+/// that dominate serving traffic.
+pub fn encode_response_into(response: &Response, out: &mut Vec<u8>) {
+    match response {
+        Response::Determination(d) => {
+            out.clear();
+            w_obj(out, 2);
+            w_key(out, "kind");
+            w_str(out, "determination");
+            w_key(out, "determination");
+            w_determination(out, d);
+        }
+        Response::Determinations(ds) => {
+            out.clear();
+            w_obj(out, 2);
+            w_key(out, "kind");
+            w_str(out, "determinations");
+            w_key(out, "determinations");
+            out.push(TAG_ARR);
+            push_count(out, ds.len());
+            for d in ds {
+                w_determination(out, d);
+            }
+        }
+        Response::BatchItem {
+            index,
+            determination,
+        } => {
+            out.clear();
+            w_obj(out, 3);
+            w_key(out, "kind");
+            w_str(out, "batch_item");
+            w_key(out, "index");
+            w_num(out, *index as f64);
+            w_key(out, "determination");
+            w_determination(out, determination);
+        }
+        _ => encode_envelope_into(response, out),
+    }
+}
+
+/// A non-allocating forward reader for the fast decode path. Every
+/// method returns `None` on any mismatch; the caller then falls back to
+/// the generic tree decoder, so acceptance is unchanged.
+struct Fast<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Fast<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes `len:u32 key` only if it matches `key` exactly.
+    fn key(&mut self, key: &str) -> Option<()> {
+        let len = self.u32()? as usize;
+        (len == key.len() && self.take(len)? == key.as_bytes()).then_some(())
+    }
+
+    fn obj(&mut self, fields: usize) -> Option<()> {
+        (self.u8()? == TAG_OBJ && self.u32()? as usize == fields).then_some(())
+    }
+
+    fn num(&mut self) -> Option<f64> {
+        if self.u8()? != TAG_NUM {
+            return None;
+        }
+        let b = self.take(8)?;
+        Some(f64::from_bits(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        if self.u8()? != TAG_STR {
+            return None;
+        }
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    fn money(&mut self) -> Option<Money> {
+        let n = self.num()?;
+        // The generic path rejects NaN money; so does this one (via
+        // fallback).
+        (!n.is_nan()).then(|| Money::from_dollars(n))
+    }
+
+    fn relay(&mut self) -> Option<RelayPolicy> {
+        match self.str()? {
+            "none" => Some(RelayPolicy::None),
+            "relay" => Some(RelayPolicy::Relay),
+            // `segue:<ms>` is rare — let the generic path handle it.
+            _ => None,
+        }
+    }
+
+    fn allocation(&mut self) -> Option<Allocation> {
+        self.obj(3)?;
+        self.key("n_vm")?;
+        let n_vm = self.num()? as u32;
+        self.key("n_sl")?;
+        let n_sl = self.num()? as u32;
+        self.key("relay")?;
+        let relay = self.relay()?;
+        Some(Allocation::new(n_vm, n_sl).with_relay(relay))
+    }
+
+    fn determination(&mut self) -> Option<Determination> {
+        self.obj(8)?;
+        self.key("allocation")?;
+        let allocation = self.allocation()?;
+        self.key("predicted_seconds")?;
+        let predicted_seconds = self.num()?;
+        self.key("predicted_cost")?;
+        let predicted_cost = self.money()?;
+        self.key("et_list")?;
+        if self.u8()? != TAG_ARR {
+            return None;
+        }
+        let count = self.u32()? as usize;
+        // Each entry costs well over one byte; a count beyond the bytes
+        // remaining is a lie — bound the allocation before trusting it.
+        if count > self.bytes.len() - self.pos {
+            return None;
+        }
+        let mut et_list = Vec::with_capacity(count);
+        for _ in 0..count {
+            self.obj(3)?;
+            self.key("allocation")?;
+            let allocation = self.allocation()?;
+            self.key("est_seconds")?;
+            let est_seconds = self.num()?;
+            self.key("est_cost")?;
+            let est_cost = self.money()?;
+            et_list.push(EtEntry {
+                allocation,
+                est_seconds,
+                est_cost,
+            });
+        }
+        self.key("evaluations")?;
+        let evaluations = self.num()? as usize;
+        self.key("known_query")?;
+        let known_query = match self.u8()? {
+            TAG_TRUE => true,
+            TAG_FALSE => false,
+            _ => return None,
+        };
+        self.key("matched_query")?;
+        let matched_query = self.str()?.to_owned();
+        self.key("match_similarity")?;
+        let match_similarity = self.num()?;
+        Some(Determination {
+            allocation,
+            predicted_seconds,
+            predicted_cost,
+            et_list,
+            evaluations,
+            known_query,
+            matched_query,
+            match_similarity,
+        })
+    }
+}
+
+fn decode_response_fast(bytes: &[u8]) -> Option<Response> {
+    let mut c = Fast { bytes, pos: 0 };
+    if c.u8()? != TAG_OBJ {
+        return None;
+    }
+    let fields = c.u32()? as usize;
+    c.key("kind")?;
+    let response = match (c.str()?, fields) {
+        ("determination", 2) => {
+            c.key("determination")?;
+            Response::Determination(c.determination()?)
+        }
+        ("determinations", 2) => {
+            c.key("determinations")?;
+            if c.u8()? != TAG_ARR {
+                return None;
+            }
+            let count = c.u32()? as usize;
+            if count > bytes.len() - c.pos {
+                return None;
+            }
+            let mut ds = Vec::with_capacity(count);
+            for _ in 0..count {
+                ds.push(c.determination()?);
+            }
+            Response::Determinations(ds)
+        }
+        ("batch_item", 3) => {
+            c.key("index")?;
+            let index = c.num()? as u64;
+            c.key("determination")?;
+            Response::BatchItem {
+                index,
+                determination: Box::new(c.determination()?),
+            }
+        }
+        _ => return None,
+    };
+    // The generic decoder requires exact consumption; so does this one.
+    (c.pos == bytes.len()).then_some(response)
+}
+
+/// Decodes a binary payload into a [`Response`]: the canonical layout
+/// of the determination-carrying variants takes a direct, tree-free
+/// path; everything else — including any non-canonical but valid
+/// encoding — falls back to [`decode_envelope`].
+///
+/// # Errors
+///
+/// Exactly when [`decode_envelope`] errors.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
+    match decode_response_fast(bytes) {
+        Some(response) => Ok(response),
+        None => decode_envelope(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value_into(v, &mut buf);
+        decode_value(&buf).expect("round trip decodes")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(0.0),
+            Value::Num(-0.0),
+            Value::Num(1.5e308),
+            Value::Num(f64::MIN_POSITIVE),
+            Value::Str(String::new()),
+            Value::Str("héllo \u{1F600}".to_owned()),
+        ] {
+            assert_eq!(round(&v), v);
+        }
+        // NaN round-trips bit-exactly even though NaN != NaN.
+        let mut buf = Vec::new();
+        encode_value_into(&Value::Num(f64::NAN), &mut buf);
+        match decode_value(&buf).unwrap() {
+            Value::Num(n) => assert!(n.is_nan()),
+            other => panic!("wrong value: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Obj(vec![
+            (
+                "a".to_owned(),
+                Value::Arr(vec![Value::Num(1.0), Value::Null]),
+            ),
+            (
+                "nested".to_owned(),
+                Value::Obj(vec![("x".to_owned(), Value::Str("y".to_owned()))]),
+            ),
+            ("empty_arr".to_owned(), Value::Arr(vec![])),
+            ("empty_obj".to_owned(), Value::Obj(vec![])),
+        ]);
+        assert_eq!(round(&v), v);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_value_into(&Value::Null, &mut buf);
+        buf.push(0x00);
+        assert!(decode_value(&buf).is_err());
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors_not_panics() {
+        let mut buf = Vec::new();
+        encode_value_into(&Value::Str("hello".to_owned()), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_value(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_value(&[0xFF]).is_err());
+        // A count claiming more elements than bytes remain is rejected
+        // before any allocation of that size.
+        let mut lie = vec![TAG_ARR];
+        lie.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_value(&lie).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_capped() {
+        let mut buf = Vec::new();
+        for _ in 0..MAX_DECODE_DEPTH + 8 {
+            buf.push(TAG_ARR);
+            buf.extend_from_slice(&1u32.to_be_bytes());
+        }
+        buf.push(TAG_NULL);
+        let err = decode_value(&buf).unwrap_err();
+        assert!(err.0.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn envelope_helpers_reuse_the_buffer() {
+        let mut buf = Vec::with_capacity(64);
+        encode_envelope_into(&Value::Num(7.0), &mut buf);
+        let cap = buf.capacity();
+        encode_envelope_into(&Value::Num(8.0), &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        let v: Value = decode_envelope(&buf).unwrap();
+        assert_eq!(v, Value::Num(8.0));
+    }
+}

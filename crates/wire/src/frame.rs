@@ -37,6 +37,15 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// connection can keep many requests in flight.
 pub const PROTOCOL_V2: u8 = 2;
 
+/// The binary protocol generation: the frame layout of
+/// [`PROTOCOL_V2`] (version byte, `u64` request id, `u32` length), but
+/// the payload is the length-tagged binary envelope encoding of
+/// [`crate::codec`] instead of JSON text. Negotiation happens at this
+/// version byte: a server answers each frame in the generation (and
+/// codec) it arrived with, so a client switches codecs simply by
+/// sending its next frame as v3.
+pub const PROTOCOL_V3: u8 = 3;
+
 /// Default cap on a frame's payload length (1 MiB) — far above any
 /// legitimate envelope (a `Determination` with its full `ET_l` list is a
 /// few tens of KiB) while bounding what a bad peer can make us buffer.
@@ -46,10 +55,23 @@ pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
 /// used and, for v2 frames, the request id it carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// The version byte ([`PROTOCOL_VERSION`] or [`PROTOCOL_V2`]).
+    /// The version byte ([`PROTOCOL_VERSION`], [`PROTOCOL_V2`], or
+    /// [`PROTOCOL_V3`]).
     pub version: u8,
-    /// The request id (`Some` iff the frame is v2).
+    /// The request id (`Some` iff the frame is v2 or v3).
     pub id: Option<u64>,
+}
+
+impl FrameHeader {
+    /// The payload codec this frame generation carries: binary for v3,
+    /// JSON for v1/v2.
+    pub fn codec(&self) -> crate::codec::Codec {
+        if self.version == PROTOCOL_V3 {
+            crate::codec::Codec::Binary
+        } else {
+            crate::codec::Codec::Json
+        }
+    }
 }
 
 /// Why a frame could not be read.
@@ -81,7 +103,8 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
             FrameError::VersionMismatch { got } => write!(
                 f,
-                "protocol version mismatch: got {got}, want {PROTOCOL_VERSION} or {PROTOCOL_V2}"
+                "protocol version mismatch: got {got}, want {PROTOCOL_VERSION}, {PROTOCOL_V2}, \
+                 or {PROTOCOL_V3}"
             ),
             FrameError::Oversized { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
@@ -168,10 +191,36 @@ pub fn write_frame_v2_buffered(
     payload: &[u8],
     scratch: &mut Vec<u8>,
 ) -> io::Result<()> {
+    write_frame_tagged_buffered(w, PROTOCOL_V2, id, payload, scratch)
+}
+
+/// Writes one v3 (binary-codec) frame via a caller-owned scratch buffer
+/// (cleared first, allocation reused; single `write_all`). The payload
+/// must be a [`crate::codec`] binary envelope, not JSON.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame_v3_buffered(
+    w: &mut impl Write,
+    id: u64,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    write_frame_tagged_buffered(w, PROTOCOL_V3, id, payload, scratch)
+}
+
+fn write_frame_tagged_buffered(
+    w: &mut impl Write,
+    version: u8,
+    id: u64,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     let len = payload_len(payload)?;
     scratch.clear();
     scratch.reserve(13 + payload.len());
-    scratch.push(PROTOCOL_V2);
+    scratch.push(version);
     scratch.extend_from_slice(&id.to_be_bytes());
     scratch.extend_from_slice(&len.to_be_bytes());
     scratch.extend_from_slice(payload);
@@ -214,15 +263,16 @@ pub fn read_frame_into(
     Ok(())
 }
 
-/// Reads one frame of *either* generation into `payload` (cleared first,
-/// allocation reused) and reports which kind arrived — what a v2 server
-/// (and a pipelined client) read with, since v1 peers must keep working
-/// on the same listener. On error the buffer contents are unspecified.
+/// Reads one frame of *any* generation (v1, v2, or binary v3) into
+/// `payload` (cleared first, allocation reused) and reports which kind
+/// arrived — what the servers (and a pipelined client) read with, since
+/// all generations must keep working on the same listener. On error the
+/// buffer contents are unspecified.
 ///
 /// # Errors
 ///
-/// See [`read_frame`]; a version byte that is neither
-/// [`PROTOCOL_VERSION`] nor [`PROTOCOL_V2`] is a
+/// See [`read_frame`]; a version byte that is none of
+/// [`PROTOCOL_VERSION`], [`PROTOCOL_V2`], [`PROTOCOL_V3`] is a
 /// [`FrameError::VersionMismatch`].
 pub fn read_frame_any_into(
     r: &mut impl Read,
@@ -251,7 +301,7 @@ fn read_frame_core(
     }
     let id = match version[0] {
         PROTOCOL_VERSION => None,
-        PROTOCOL_V2 if accept_v2 => {
+        PROTOCOL_V2 | PROTOCOL_V3 if accept_v2 => {
             let mut id_bytes = [0u8; 8];
             r.read_exact(&mut id_bytes).map_err(FrameError::Io)?;
             Some(u64::from_be_bytes(id_bytes))
@@ -337,6 +387,24 @@ mod tests {
             read_frame_any_into(&mut r, 1024, &mut payload),
             Err(FrameError::Eof)
         ));
+    }
+
+    #[test]
+    fn v3_frames_round_trip_and_report_the_binary_codec() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_v3_buffered(&mut buf, 11, &[0x03, 0, 0, 0, 0, 0, 0, 0, 0], &mut scratch)
+            .unwrap();
+        write_frame(&mut buf, b"legacy").unwrap();
+
+        let mut r = Cursor::new(buf);
+        let mut payload = Vec::new();
+        let h = read_frame_any_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!((h.version, h.id), (PROTOCOL_V3, Some(11)));
+        assert_eq!(h.codec(), crate::codec::Codec::Binary);
+        assert_eq!(payload, [0x03, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let h = read_frame_any_into(&mut r, 1024, &mut payload).unwrap();
+        assert_eq!(h.codec(), crate::codec::Codec::Json);
     }
 
     #[test]

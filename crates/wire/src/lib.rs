@@ -3,12 +3,18 @@
 //! The network front-end for **smartpickd**: the paper ships Workload
 //! Prediction as a standalone server other serverless data-analytics
 //! systems call over Thrift RPC (§5); this crate is that serving
-//! boundary for [`smartpick_service::SmartpickService`] — a
-//! length-prefixed JSON-over-TCP protocol (pipelined and multiplexed in
-//! its v2 generation), a capped thread-per-connection [`WireServer`]
-//! whose reads and writes are decoupled per connection, and a typed
-//! [`WireClient`] with both blocking calls and a non-blocking
-//! `submit`/`recv` pipelining surface.
+//! boundary for [`smartpick_service::SmartpickService`] — a framed
+//! TCP protocol in three generations (v1/v2 JSON, v3 binary), two
+//! server cores (capped thread-per-connection, or the readiness-driven
+//! [`ServerCore::Reactor`] event loop multiplexing thousands of
+//! nonblocking connections), and a typed [`WireClient`] with blocking
+//! calls, a non-blocking `submit`/`recv` pipelining surface, and
+//! per-connection codec negotiation
+//! ([`WireClient::negotiate_binary`]).
+//!
+//! The normative protocol specification — negotiation, back-pressure,
+//! error taxonomy, versioning policy — is `docs/WIRE.md` at the repo
+//! root.
 //!
 //! ## Frame format
 //!
@@ -20,15 +26,22 @@
 //! v2:  +---------+---------------------+-------------------------+-----------+
 //!      | u8 = 2  | u64 request id (BE) | u32 payload length (BE) | payload   |
 //!      +---------+---------------------+-------------------------+-----------+
+//!
+//! v3:  as v2, but the version byte is 3 and the payload is the
+//!      length-tagged binary codec of [`codec`] instead of JSON.
 //! ```
 //!
-//! Both generations coexist on one socket: v1 frames are answered
-//! strictly in order (legacy clients keep working unchanged), while v2
-//! frames let one connection keep many requests in flight — responses
-//! come back in completion order, each naming the request id it answers,
-//! with a per-connection in-flight cap answered by a retryable `busy`
-//! rejection. `determine_batch` additionally ships N prediction requests
-//! in *one* frame, answered from one server-side snapshot read.
+//! All generations coexist on one socket: v1 frames are answered
+//! strictly in order (legacy clients keep working unchanged), while
+//! v2/v3 frames let one connection keep many requests in flight —
+//! responses come back in completion order, each naming the request id
+//! it answers, with a per-connection in-flight cap answered by a
+//! retryable `busy` rejection. **The version byte is the codec
+//! negotiation**: the server answers each frame in the generation (and
+//! codec) it arrived with. `determine_batch` additionally ships N
+//! prediction requests in *one* frame, answered from one server-side
+//! snapshot read, and `determine_stream` streams the batch back one
+//! `BatchItem` frame per result.
 //!
 //! See [`frame`] for the version byte and the max-frame-size guard,
 //! [`proto`] for the request/response envelopes, and [`error`] for the
@@ -92,13 +105,16 @@
 )]
 
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 
 pub use client::{WireClient, WireReceiver, WireSender};
+pub use codec::Codec;
 pub use error::{ErrorKind, WireError};
-pub use frame::{FrameHeader, DEFAULT_MAX_FRAME_LEN, PROTOCOL_V2, PROTOCOL_VERSION};
+pub use frame::{FrameHeader, DEFAULT_MAX_FRAME_LEN, PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION};
 pub use proto::{Rejection, Request, Response};
-pub use server::{WireServer, WireServerConfig};
+pub use server::{ServerCore, WireServer, WireServerConfig};

@@ -54,6 +54,20 @@ pub enum Request {
         /// The prediction requests (each with its own knob/constraint/seed).
         requests: Vec<PredictionRequest>,
     },
+    /// Like [`Request::DetermineBatch`], but the server **streams** the
+    /// results: one [`Response::BatchItem`] frame per request (in
+    /// request order, each tagged with this request's id) followed by a
+    /// terminal [`Response::BatchEnd`] — so a client can start consuming
+    /// result 0 while result N is still being framed, and no single
+    /// response frame has to carry the whole batch. Requires an
+    /// id-carrying frame generation (v2/v3) to be useful pipelined,
+    /// though v1 peers get the same frame sequence strictly in order.
+    DetermineStream {
+        /// The tenant to predict for.
+        tenant: String,
+        /// The prediction requests (each with its own knob/constraint/seed).
+        requests: Vec<PredictionRequest>,
+    },
     /// Feeds one completed run back into `tenant`'s training loop.
     ReportRun {
         /// The tenant the run belongs to.
@@ -95,6 +109,19 @@ pub enum Response {
     /// One prediction result per batched request, in request order
     /// (answers `DetermineBatch`).
     Determinations(Vec<Determination>),
+    /// One element of a streamed batch (answers `DetermineStream`):
+    /// the position of this result within the batch, and the result.
+    BatchItem {
+        /// Zero-based index of this result within the batch.
+        index: u64,
+        /// The prediction result for `requests[index]`.
+        determination: Box<Determination>,
+    },
+    /// Terminal frame of a streamed batch: all `count` items were sent.
+    BatchEnd {
+        /// Number of `BatchItem` frames that preceded this one.
+        count: u64,
+    },
     /// The run report was accepted into the update queue.
     ReportAccepted,
     /// All pending reports were applied.
@@ -173,6 +200,11 @@ impl serde::Serialize for Request {
                 push(&mut m, "tenant", tenant.to_value());
                 push(&mut m, "requests", requests.to_value());
             }
+            Request::DetermineStream { tenant, requests } => {
+                m = tagged("op", "determine_stream");
+                push(&mut m, "tenant", tenant.to_value());
+                push(&mut m, "requests", requests.to_value());
+            }
             Request::ReportRun { tenant, run } => {
                 m = tagged("op", "report_run");
                 push(&mut m, "tenant", tenant.to_value());
@@ -219,6 +251,10 @@ impl serde::Deserialize for Request {
                 tenant: field(pairs, "tenant")?,
                 requests: field(pairs, "requests")?,
             },
+            "determine_stream" => Request::DetermineStream {
+                tenant: field(pairs, "tenant")?,
+                requests: field(pairs, "requests")?,
+            },
             "report_run" => Request::ReportRun {
                 tenant: field(pairs, "tenant")?,
                 run: field(pairs, "run")?,
@@ -250,6 +286,18 @@ impl serde::Serialize for Response {
             Response::Determinations(ds) => {
                 m = tagged("kind", "determinations");
                 push(&mut m, "determinations", ds.to_value());
+            }
+            Response::BatchItem {
+                index,
+                determination,
+            } => {
+                m = tagged("kind", "batch_item");
+                push(&mut m, "index", index.to_value());
+                push(&mut m, "determination", determination.to_value());
+            }
+            Response::BatchEnd { count } => {
+                m = tagged("kind", "batch_end");
+                push(&mut m, "count", count.to_value());
             }
             Response::ReportAccepted => m = tagged("kind", "report_accepted"),
             Response::Flushed => m = tagged("kind", "flushed"),
@@ -291,6 +339,13 @@ impl serde::Deserialize for Response {
             "registered" => Response::Registered,
             "determination" => Response::Determination(field(pairs, "determination")?),
             "determinations" => Response::Determinations(field(pairs, "determinations")?),
+            "batch_item" => Response::BatchItem {
+                index: field(pairs, "index")?,
+                determination: field(pairs, "determination")?,
+            },
+            "batch_end" => Response::BatchEnd {
+                count: field(pairs, "count")?,
+            },
             "report_accepted" => Response::ReportAccepted,
             "flushed" => Response::Flushed,
             "tenant_stats" => Response::TenantStats(field(pairs, "stats")?),

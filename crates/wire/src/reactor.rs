@@ -1,0 +1,886 @@
+//! The readiness-driven connection core: one event-loop thread
+//! multiplexing every connection over nonblocking sockets.
+//!
+//! The thread-per-connection core in [`crate::server`] spends an OS
+//! thread (stack and scheduler slot included) per connection, which caps
+//! the practical connection count at hundreds. This module is the other
+//! answer, selected with [`crate::ServerCore::Reactor`]: an epoll-style
+//! event loop (via the vendored `polling` shim) owns *all* sockets in
+//! nonblocking mode, so a mostly-idle connection costs a few kilobytes
+//! of buffers instead of a thread — thousands of concurrent connections
+//! on one core.
+//!
+//! ## Structure
+//!
+//! ```text
+//!            readiness events                jobs (bounded)
+//!  sockets ────────▶ event loop ─────────────▶ executor pool
+//!     ▲                  │  ▲                      │
+//!     │   framed writes  │  │ waker (socketpair)   │
+//!     └──────────────────┘  └──────────────────────┘
+//!                              completions (bounded)
+//! ```
+//!
+//! - The **event loop** accepts, reads, parses frames out of
+//!   per-connection accumulation buffers, and writes framed responses —
+//!   all nonblocking. It never executes a request.
+//! - Decoded requests go to a shared **executor pool** over a bounded
+//!   run queue (its depth is the `wire.reactor.run_queue_depth` gauge);
+//!   a full queue answers `busy` rather than blocking the loop.
+//! - Executors hand completed responses back over a bounded completion
+//!   queue and nudge the loop awake through one half of a
+//!   `UnixStream::pair` registered with the poller, so a completion
+//!   arriving while every socket is quiet still gets written promptly.
+//!
+//! ## Semantics preserved from the threaded core
+//!
+//! Same frame grammar, same codec mirroring (a request's response uses
+//! the codec generation the request arrived in), same error taxonomy:
+//! v1 framing violations get one best-effort `protocol` error frame and
+//! a close after a short drain; pipelined (v2/v3) payload garbage fails
+//! only its own request id. v1 responses are emitted strictly in
+//! request order via per-connection sequence numbers, even though
+//! execution is concurrent. Connections over
+//! [`crate::WireServerConfig::max_connections`] get a retryable `busy`
+//! frame and a close; connections idle past the deadline are dropped.
+//!
+//! One deliberate difference: where the threaded core answers a
+//! pipelined request over the in-flight cap with a retryable `busy`,
+//! the reactor applies **flow control** instead — it stops *parsing*
+//! (and deregisters read interest) until completions drain the
+//! connection below the cap, so a well-behaved client never sees a
+//! cap-induced busy, it just observes back-pressure. Only a full global
+//! run queue produces `busy` here.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use polling::{Event, Events, Interest, Poller};
+use smartpick_obs::{event, EventKind};
+
+use crate::codec::Codec;
+use crate::error::ErrorKind;
+use crate::frame::{FrameError, PROTOCOL_V2, PROTOCOL_V3, PROTOCOL_VERSION};
+use crate::proto::{Rejection, Request, Response};
+use crate::server::{
+    decode_request, execute_multi, send_response, send_response_v2, send_response_v3,
+    EncodeScratch, Shared,
+};
+
+/// Token of the listener socket in the poller.
+const TOKEN_LISTENER: usize = 0;
+/// Token of the executor-completion waker.
+const TOKEN_WAKER: usize = 1;
+/// First token handed to an accepted connection; tokens are a monotonic
+/// counter and never reused, so a stale completion can never be
+/// delivered to the wrong connection.
+const TOKEN_FIRST_CONN: usize = 2;
+
+/// v1 header: version byte + u32 length.
+const HDR_V1: usize = 5;
+/// v2/v3 header: version byte + u64 id + u32 length.
+const HDR_V23: usize = 13;
+
+/// One decoded request on its way to the executor pool.
+struct Job {
+    token: usize,
+    /// v1 ordering sequence (meaningful only when `id` is `None`).
+    seq: u64,
+    /// The pipelined request id, `None` for v1 frames.
+    id: Option<u64>,
+    codec: Codec,
+    request: Request,
+}
+
+/// One executed request on its way back to the event loop.
+struct Completion {
+    token: usize,
+    seq: u64,
+    id: Option<u64>,
+    codec: Codec,
+    responses: Vec<Response>,
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    opened: Instant,
+    last_byte_at: Instant,
+    /// Unparsed inbound bytes (a frame can arrive in many readable
+    /// events); `parse_pos` tracks how far frame parsing has consumed.
+    read_buf: Vec<u8>,
+    parse_pos: usize,
+    /// Outbound framed bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Response-encode scratch reused across this connection's frames,
+    /// so steady-state writes allocate nothing.
+    scratch: EncodeScratch,
+    /// Jobs admitted to the executor pool and not yet completed.
+    in_flight: usize,
+    /// Read interest withdrawn because `in_flight` hit the cap.
+    paused: bool,
+    /// Next sequence number handed to an inbound v1 frame.
+    v1_next_seq: u64,
+    /// Next v1 sequence whose responses may be written (strict order).
+    v1_emit_seq: u64,
+    /// Completed v1 responses waiting for their turn.
+    v1_ready: BTreeMap<u64, Vec<Response>>,
+    /// Fatal framing violation seen: flush, drain briefly, close.
+    closing: Option<Instant>,
+    /// Peer sent EOF; no more reads, but pending work still answers.
+    peer_eof: bool,
+    /// The interest currently registered with the poller.
+    registered: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            opened: now,
+            last_byte_at: now,
+            read_buf: Vec::new(),
+            parse_pos: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            scratch: EncodeScratch::default(),
+            in_flight: 0,
+            paused: false,
+            v1_next_seq: 0,
+            v1_emit_seq: 0,
+            v1_ready: BTreeMap::new(),
+            closing: None,
+            peer_eof: false,
+            registered: Interest::READABLE,
+        }
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// The interest this connection's state wants right now.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.paused && self.closing.is_none() && !self.peer_eof,
+            writable: self.has_pending_write(),
+        }
+    }
+}
+
+/// What parsing one frame decided, computed from an immutable view of
+/// the buffer so the borrow ends before connection state changes.
+enum Parsed {
+    /// Not enough bytes for the next frame yet.
+    Incomplete,
+    /// A decoded request to run, plus the bytes it consumed.
+    Job {
+        consumed: usize,
+        id: Option<u64>,
+        codec: Codec,
+        request: Request,
+    },
+    /// An inline error reply (decode failure), plus consumed bytes.
+    Reply {
+        consumed: usize,
+        id: Option<u64>,
+        codec: Codec,
+        response: Response,
+        /// Close after flushing (v1 framing/encoding violations).
+        fatal: bool,
+    },
+    /// Framing itself is untrustworthy: reply (no id), then close.
+    Fatal { error: FrameError },
+}
+
+/// Parses the next frame out of `buf`, if complete. Pure: no state
+/// mutation, so the caller can act on the outcome after the borrow
+/// ends.
+fn parse_one(buf: &[u8], max_frame_len: usize) -> Parsed {
+    let Some(&version) = buf.first() else {
+        return Parsed::Incomplete;
+    };
+    let (hdr_len, id) = match version {
+        PROTOCOL_VERSION => (HDR_V1, None),
+        PROTOCOL_V2 | PROTOCOL_V3 => {
+            if buf.len() < HDR_V23 {
+                return Parsed::Incomplete;
+            }
+            let mut id_bytes = [0u8; 8];
+            id_bytes.copy_from_slice(&buf[1..9]);
+            (HDR_V23, Some(u64::from_be_bytes(id_bytes)))
+        }
+        got => {
+            return Parsed::Fatal {
+                error: FrameError::VersionMismatch { got },
+            }
+        }
+    };
+    let Some(len_field) = buf.get(hdr_len - 4..hdr_len) else {
+        return Parsed::Incomplete;
+    };
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(len_field);
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_frame_len {
+        return Parsed::Fatal {
+            error: FrameError::Oversized {
+                len,
+                max: max_frame_len,
+            },
+        };
+    }
+    let Some(payload) = buf.get(hdr_len..hdr_len + len) else {
+        return Parsed::Incomplete;
+    };
+    let consumed = hdr_len + len;
+    let codec = if version == PROTOCOL_V3 {
+        Codec::Binary
+    } else {
+        Codec::Json
+    };
+    match id {
+        // v1: UTF-8/JSON violations are framing-level (fatal), shape
+        // violations are request-level — same taxonomy as the threaded
+        // core's `respond_to`.
+        None => match decode_v1(payload) {
+            Ok(request) => Parsed::Job {
+                consumed,
+                id: None,
+                codec: Codec::Json,
+                request,
+            },
+            Err((kind, message)) => Parsed::Reply {
+                consumed,
+                id: None,
+                codec: Codec::Json,
+                response: Response::Error(Rejection {
+                    kind,
+                    message,
+                    retryable: false,
+                }),
+                fatal: kind == ErrorKind::Protocol,
+            },
+        },
+        // v2/v3: payload problems fail only this id.
+        Some(id) => match decode_request(payload, codec) {
+            Ok(request) => Parsed::Job {
+                consumed,
+                id: Some(id),
+                codec,
+                request,
+            },
+            Err(message) => Parsed::Reply {
+                consumed,
+                id: Some(id),
+                codec,
+                response: Response::Error(Rejection {
+                    kind: ErrorKind::BadRequest,
+                    message,
+                    retryable: false,
+                }),
+                fatal: false,
+            },
+        },
+    }
+}
+
+/// Decodes a v1 payload into a request, classifying failures as
+/// `Protocol` (not UTF-8 / not JSON: the stream is untrustworthy) or
+/// `BadRequest` (valid JSON of the wrong shape).
+fn decode_v1(payload: &[u8]) -> Result<Request, (ErrorKind, String)> {
+    let text = std::str::from_utf8(payload).map_err(|e| {
+        (
+            ErrorKind::Protocol,
+            format!("frame payload is not UTF-8: {e}"),
+        )
+    })?;
+    let value: serde::Value = serde_json::from_str(text).map_err(|e| {
+        (
+            ErrorKind::Protocol,
+            format!("frame payload is not JSON: {e}"),
+        )
+    })?;
+    <Request as serde::Deserialize>::from_value(&value)
+        .map_err(|e| (ErrorKind::BadRequest, format!("unrecognised request: {e}")))
+}
+
+/// The shared executor pool: workers pull jobs off one bounded queue and
+/// push completions plus a waker nudge back to the loop.
+struct Executors {
+    job_tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executors {
+    fn start(
+        shared: &Arc<Shared>,
+        comp_tx: &SyncSender<Completion>,
+        waker_tx: &UnixStream,
+        queue_cap: usize,
+    ) -> Executors {
+        let (job_tx, job_rx) = sync_channel::<Job>(queue_cap);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut workers = Vec::with_capacity(shared.config.pipeline_workers);
+        for i in 0..shared.config.pipeline_workers {
+            let shared = Arc::clone(shared);
+            let comp_tx = comp_tx.clone();
+            let job_rx = Arc::clone(&job_rx);
+            let Ok(waker) = waker_tx.try_clone() else {
+                continue;
+            };
+            let worker = std::thread::Builder::new()
+                .name(format!("smartpick-wire-rexec-{i}"))
+                .spawn(move || loop {
+                    // The mutex guards *dequeueing* only, exactly like
+                    // the threaded core's executor pool.
+                    // lint:allow(guard-across-blocking, reason = "the lock exists to make workers take turns on recv; it guards nothing but the dequeue itself and is dropped before execution")
+                    let msg = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    let Ok(job) = msg else { return };
+                    shared.wm.reactor_run_queue.dec();
+                    let responses = execute_multi(job.request, &shared);
+                    let done = Completion {
+                        token: job.token,
+                        seq: job.seq,
+                        id: job.id,
+                        codec: job.codec,
+                        responses,
+                    };
+                    if comp_tx.send(done).is_err() {
+                        return;
+                    }
+                    // Nudge the event loop; a full waker pipe means a
+                    // wakeup is already pending, which is just as good.
+                    let _ = (&waker).write(&[1]);
+                });
+            if let Ok(worker) = worker {
+                workers.push(worker);
+            }
+        }
+        Executors { job_tx, workers }
+    }
+
+    fn join(self) {
+        drop(self.job_tx);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The event loop itself. Runs on the thread [`crate::WireServer::bind`]
+/// spawns when the config selects [`crate::ServerCore::Reactor`]; exits
+/// when the shutdown flag is raised (the wakeup is either the shutdown
+/// dial's accept event or the poll-interval timeout).
+pub(crate) fn reactor_loop(listener: TcpListener, shared: Arc<Shared>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let Ok(poller) = Poller::new() else { return };
+    if poller
+        .add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+    // Completion waker: executors write a byte, the loop reads it off.
+    let Ok((waker_rx, waker_tx)) = UnixStream::pair() else {
+        return;
+    };
+    if waker_rx.set_nonblocking(true).is_err() || waker_tx.set_nonblocking(true).is_err() {
+        return;
+    }
+    if poller
+        .add(waker_rx.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+
+    // The run queue bounds decoded-but-unexecuted requests globally; a
+    // full queue answers `busy` (retryable), never blocks the loop.
+    let queue_cap = (shared.config.max_in_flight * 4).max(64);
+    let (comp_tx, comp_rx) = sync_channel::<Completion>(queue_cap);
+    let executors = Executors::start(&shared, &comp_tx, &waker_tx, queue_cap);
+    drop(comp_tx); // the loop only receives; executors hold the senders
+
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = Events::with_capacity(1024);
+    let mut closed: Vec<usize> = Vec::new();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = poller.wait(&mut events, Some(shared.config.poll_interval));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    accept_ready(&listener, &poller, &shared, &mut conns, &mut next_token)
+                }
+                TOKEN_WAKER => drain_waker(&waker_rx),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    if !service_conn(conn, ev, &poller, &shared, &executors.job_tx, token) {
+                        closed.push(token);
+                    }
+                }
+            }
+        }
+
+        // Route completions regardless of which event woke us.
+        while let Ok(done) = comp_rx.try_recv() {
+            let token = done.token;
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // connection closed while executing
+            };
+            if !apply_completion(conn, done, &poller, &shared, &executors.job_tx, token) {
+                closed.push(token);
+            }
+        }
+
+        // Sweep: idle deadlines and drained fatal closes.
+        let now = Instant::now();
+        for (token, conn) in conns.iter_mut() {
+            if closed.contains(token) {
+                continue;
+            }
+            match conn.closing {
+                Some(deadline) => {
+                    if (!conn.has_pending_write() && now >= deadline) || conn.peer_eof {
+                        closed.push(*token);
+                    }
+                }
+                None => {
+                    if let Some(idle) = shared.config.idle_timeout {
+                        if conn.last_byte_at.elapsed() >= idle {
+                            closed.push(*token);
+                        }
+                    }
+                    // Half-closed peer with nothing left to answer.
+                    if conn.peer_eof && conn.in_flight == 0 && !conn.has_pending_write() {
+                        closed.push(*token);
+                    }
+                }
+            }
+        }
+
+        for token in closed.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                teardown_conn(conn, &poller, &shared);
+            }
+        }
+    }
+
+    // Teardown: stop feeding executors, let in-flight work finish (its
+    // completions are discarded with the receiver), close every socket.
+    executors.join();
+    for (_, conn) in conns.drain() {
+        teardown_conn(conn, &poller, &shared);
+    }
+}
+
+fn teardown_conn(conn: Conn, poller: &Poller, shared: &Shared) {
+    let _ = poller.delete(conn.stream.as_raw_fd());
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+    shared.wm.connections.dec();
+    shared.wm.connection_lifetime.record(conn.opened.elapsed());
+    shared
+        .obs
+        .events()
+        .publish(event(EventKind::ConnectionClosed).duration(conn.opened.elapsed()));
+}
+
+/// Accepts until the listener would block, enforcing the connection cap
+/// with a best-effort v1 busy frame (the socket buffer of a fresh
+/// connection always has room for one small frame).
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if conns.len() >= shared.config.max_connections {
+            shared.wm.busy_rejections.inc();
+            shared.obs.events().publish(
+                event(EventKind::BusyRejection)
+                    .detail("over the server connection cap; told to retry"),
+            );
+            let mut rejection = Vec::new();
+            let _ = send_response(
+                &mut rejection,
+                &Response::Error(Rejection {
+                    kind: ErrorKind::Busy,
+                    message: format!(
+                        "server at its {}-connection cap; retry later",
+                        shared.config.max_connections
+                    ),
+                    retryable: true,
+                }),
+                &mut EncodeScratch::default(),
+            );
+            let mut stream = stream;
+            if stream.write_all(&rejection).is_ok() {
+                shared.wm.frames_written_v1.inc();
+            }
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = *next_token;
+        *next_token += 1;
+        if poller
+            .add(stream.as_raw_fd(), token, Interest::READABLE)
+            .is_err()
+        {
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.wm.connections.inc();
+        shared
+            .obs
+            .events()
+            .publish(event(EventKind::ConnectionOpened));
+        conns.insert(token, Conn::new(stream, Instant::now()));
+    }
+}
+
+/// Empties the waker pipe so level-triggered polling goes quiet until
+/// the next executor nudge.
+fn drain_waker(waker_rx: &UnixStream) {
+    let mut sink = [0u8; 256];
+    let mut stream = waker_rx;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => return,
+        }
+    }
+}
+
+/// Handles one readiness event on a connection: read + parse + admit on
+/// readable, flush on writable. Returns `false` when the connection
+/// must be closed now.
+fn service_conn(
+    conn: &mut Conn,
+    ev: &Event,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+    token: usize,
+) -> bool {
+    if (ev.readable || ev.closed) && !read_ready(conn, shared, job_tx, token) {
+        return false;
+    }
+    if ev.writable && !flush_writes(conn) {
+        return false;
+    }
+    update_interest(conn, poller, token);
+    true
+}
+
+/// Reads until the socket would block, parses complete frames, admits
+/// jobs. Returns `false` to close immediately (reset-style errors).
+fn read_ready(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+    token: usize,
+) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_byte_at = Instant::now();
+                // While draining toward a fatal close, inbound bytes are
+                // discarded (the nonblocking `drain_briefly`): reading
+                // them keeps the peer's error frame deliverable.
+                if conn.closing.is_none() {
+                    // lint:allow(panic-free-server-paths, reason = "n is the byte count read() just returned for this very buffer, so n <= chunk.len() by the io contract")
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    parse_and_admit(conn, shared, job_tx, token);
+    true
+}
+
+/// Parses every complete frame buffered on `conn`, stopping for flow
+/// control (in-flight cap) or a fatal framing violation.
+fn parse_and_admit(conn: &mut Conn, shared: &Arc<Shared>, job_tx: &SyncSender<Job>, token: usize) {
+    while conn.closing.is_none() {
+        // Flow control: at the cap, leave further frames unparsed and
+        // withdraw read interest; completions resume parsing.
+        if conn.in_flight >= shared.config.max_in_flight {
+            conn.paused = true;
+            break;
+        }
+        conn.paused = false;
+        // lint:allow(panic-free-server-paths, reason = "parse_pos only ever advances by the `consumed` length of a frame parse_one found inside read_buf, so it stays <= read_buf.len()")
+        let unparsed = &conn.read_buf[conn.parse_pos..];
+        let parsed = parse_one(unparsed, shared.config.max_frame_len);
+        match parsed {
+            Parsed::Incomplete => break,
+            Parsed::Fatal { error } => {
+                enqueue_v1_reply(
+                    conn,
+                    shared,
+                    vec![Response::Error(Rejection {
+                        kind: ErrorKind::Protocol,
+                        message: error.to_string(),
+                        retryable: false,
+                    })],
+                );
+                begin_close(conn, shared);
+                break;
+            }
+            Parsed::Reply {
+                consumed,
+                id,
+                codec,
+                response,
+                fatal,
+            } => {
+                conn.parse_pos += consumed;
+                count_read(conn, shared, id, codec);
+                match id {
+                    None => enqueue_v1_reply(conn, shared, vec![response]),
+                    Some(id) => append_tagged(conn, shared, id, codec, &[response]),
+                }
+                if fatal {
+                    begin_close(conn, shared);
+                    break;
+                }
+            }
+            Parsed::Job {
+                consumed,
+                id,
+                codec,
+                request,
+            } => {
+                conn.parse_pos += consumed;
+                count_read(conn, shared, id, codec);
+                let seq = match id {
+                    None => {
+                        let seq = conn.v1_next_seq;
+                        conn.v1_next_seq += 1;
+                        seq
+                    }
+                    Some(_) => 0,
+                };
+                let job = Job {
+                    token,
+                    seq,
+                    id,
+                    codec,
+                    request,
+                };
+                match job_tx.try_send(job) {
+                    Ok(()) => {
+                        conn.in_flight += 1;
+                        shared.wm.reactor_run_queue.inc();
+                    }
+                    Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                        // Global run queue saturated: retryable busy,
+                        // routed through the same ordering machinery so
+                        // v1 answers still come back in request order.
+                        shared.wm.busy_rejections.inc();
+                        shared.obs.events().publish(
+                            event(EventKind::BusyRejection)
+                                .detail("reactor run queue full; told to retry"),
+                        );
+                        let busy = Response::Error(Rejection {
+                            kind: ErrorKind::Busy,
+                            message: "server run queue full; retry later".to_owned(),
+                            retryable: true,
+                        });
+                        match job.id {
+                            // The v1 sequence slot was already taken at
+                            // decode time: the busy answer must fill
+                            // *that* slot, or every later v1 response
+                            // would wait on it forever.
+                            None => {
+                                conn.v1_ready.insert(job.seq, vec![busy]);
+                                drain_v1_ready(conn, shared);
+                            }
+                            Some(id) => append_tagged(conn, shared, id, job.codec, &[busy]),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if conn.parse_pos > 0 {
+        conn.read_buf.drain(..conn.parse_pos);
+        conn.parse_pos = 0;
+    }
+    let _ = flush_writes(conn);
+}
+
+fn count_read(conn: &mut Conn, shared: &Arc<Shared>, id: Option<u64>, codec: Codec) {
+    let _ = conn;
+    match (id, codec) {
+        (None, _) => shared.wm.frames_read_v1.inc(),
+        (Some(_), Codec::Json) => shared.wm.frames_read_v2.inc(),
+        (Some(_), Codec::Binary) => shared.wm.frames_read_v3.inc(),
+    }
+}
+
+/// Routes one executed request's responses back onto its connection,
+/// respecting v1 ordering, then resumes parsing if the connection was
+/// flow-controlled. Returns `false` when the connection must close.
+fn apply_completion(
+    conn: &mut Conn,
+    done: Completion,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+    token: usize,
+) -> bool {
+    conn.in_flight = conn.in_flight.saturating_sub(1);
+    match done.id {
+        None => {
+            conn.v1_ready.insert(done.seq, done.responses);
+            drain_v1_ready(conn, shared);
+        }
+        Some(id) => append_tagged(conn, shared, id, done.codec, &done.responses),
+    }
+    if !flush_writes(conn) {
+        return false;
+    }
+    // Below the cap again: resume parsing bytes that were already
+    // buffered (no readable event will re-announce them) and restore
+    // read interest.
+    if conn.paused && conn.in_flight < shared.config.max_in_flight {
+        parse_and_admit(conn, shared, job_tx, token);
+    }
+    update_interest(conn, poller, token);
+    true
+}
+
+/// Queues v1 responses at the next sequence slot and emits everything
+/// that is now in order.
+fn enqueue_v1_reply(conn: &mut Conn, shared: &Arc<Shared>, responses: Vec<Response>) {
+    let seq = conn.v1_next_seq;
+    conn.v1_next_seq += 1;
+    conn.v1_ready.insert(seq, responses);
+    drain_v1_ready(conn, shared);
+}
+
+/// Writes every v1 response whose turn has come, in strict request
+/// order, into the outbound buffer.
+fn drain_v1_ready(conn: &mut Conn, shared: &Arc<Shared>) {
+    while let Some(responses) = conn.v1_ready.remove(&conn.v1_emit_seq) {
+        conn.v1_emit_seq += 1;
+        for response in responses {
+            // Encoding into a Vec cannot fail on I/O; a serialization
+            // failure is unrepresentable for our own response types.
+            if send_response(&mut conn.write_buf, &response, &mut conn.scratch).is_ok() {
+                shared.wm.frames_written_v1.inc();
+            }
+        }
+    }
+}
+
+/// Appends id-tagged (v2/v3) responses to the outbound buffer in the
+/// codec the request arrived with.
+fn append_tagged(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    id: u64,
+    codec: Codec,
+    responses: &[Response],
+) {
+    for response in responses {
+        let sent = match codec {
+            Codec::Json => send_response_v2(&mut conn.write_buf, id, response, &mut conn.scratch),
+            Codec::Binary => send_response_v3(&mut conn.write_buf, id, response, &mut conn.scratch),
+        };
+        if sent.is_ok() {
+            match codec {
+                Codec::Json => shared.wm.frames_written_v2.inc(),
+                Codec::Binary => shared.wm.frames_written_v3.inc(),
+            }
+        }
+    }
+}
+
+/// Starts the fatal-close sequence: flush what is queued, discard
+/// inbound bytes, close after a short drain window (the nonblocking
+/// equivalent of the threaded core's `drain_briefly`).
+fn begin_close(conn: &mut Conn, shared: &Arc<Shared>) {
+    if conn.closing.is_none() {
+        conn.closing = Some(Instant::now() + 4 * shared.config.poll_interval);
+        conn.read_buf.clear();
+        conn.parse_pos = 0;
+    }
+}
+
+/// Pushes buffered outbound bytes until done or the socket would block.
+/// Returns `false` on a dead socket.
+fn flush_writes(conn: &mut Conn) -> bool {
+    while conn.write_pos < conn.write_buf.len() {
+        // lint:allow(panic-free-server-paths, reason = "the loop condition on the previous line bounds write_pos below write_buf.len()")
+        match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+    true
+}
+
+/// Syncs the poller's interest with what the connection now needs.
+fn update_interest(conn: &mut Conn, poller: &Poller, token: usize) {
+    let desired = conn.desired_interest();
+    if (desired.readable != conn.registered.readable
+        || desired.writable != conn.registered.writable)
+        && poller
+            .modify(conn.stream.as_raw_fd(), token, desired)
+            .is_ok()
+    {
+        conn.registered = desired;
+    }
+}

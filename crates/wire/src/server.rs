@@ -44,16 +44,36 @@ use smartpick_core::driver::Smartpick;
 use smartpick_obs::{event, Counter, EventKind, Gauge, LatencyHistogram, Observability};
 use smartpick_service::{ServiceError, SmartpickService};
 
+use crate::codec::{self, Codec};
 use crate::error::ErrorKind;
 use crate::frame::{
-    read_frame_any_into, write_frame_buffered, write_frame_v2_buffered, FrameError,
-    DEFAULT_MAX_FRAME_LEN,
+    read_frame_any_into, write_frame_buffered, write_frame_v2_buffered, write_frame_v3_buffered,
+    FrameError, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::proto::{Rejection, Request, Response};
+
+/// Which connection-handling core a [`WireServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerCore {
+    /// One reader thread (plus a writer and a lazy executor pool) per
+    /// connection. Simple, and each blocking request gets a whole OS
+    /// thread — but thread stacks cap the practical connection count at
+    /// hundreds.
+    #[default]
+    ThreadPerConnection,
+    /// A single readiness-driven event loop (epoll via the vendored
+    /// `polling` shim) multiplexing every connection over nonblocking
+    /// sockets, with request execution offloaded to a shared executor
+    /// pool — thousands of mostly-idle connections cost one thread plus
+    /// a few kilobytes of buffers each. See [`crate::reactor`].
+    Reactor,
+}
 
 /// Tunables for a [`WireServer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireServerConfig {
+    /// Which connection-handling core serves the listener.
+    pub core: ServerCore,
     /// Concurrent connections served; the next one is told `busy`.
     pub max_connections: usize,
     /// Per-frame payload cap enforced before the payload is read.
@@ -81,6 +101,7 @@ pub struct WireServerConfig {
 impl Default for WireServerConfig {
     fn default() -> Self {
         WireServerConfig {
+            core: ServerCore::default(),
             max_connections: 64,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(50),
@@ -95,23 +116,31 @@ impl Default for WireServerConfig {
 /// service's shared metrics registry — so one `Scrape` answers for both
 /// layers.
 #[derive(Debug)]
-struct WireMetrics {
-    /// Frames decoded off sockets, by protocol version.
-    frames_read_v1: Arc<Counter>,
-    frames_read_v2: Arc<Counter>,
+pub(crate) struct WireMetrics {
+    /// Frames decoded off sockets, by protocol version (v3 = binary
+    /// codec) — the per-codec split an operator reads to see which
+    /// generation their fleet actually speaks.
+    pub(crate) frames_read_v1: Arc<Counter>,
+    pub(crate) frames_read_v2: Arc<Counter>,
+    pub(crate) frames_read_v3: Arc<Counter>,
     /// Frames the writer threads put on sockets, by protocol version.
-    frames_written_v1: Arc<Counter>,
-    frames_written_v2: Arc<Counter>,
+    pub(crate) frames_written_v1: Arc<Counter>,
+    pub(crate) frames_written_v2: Arc<Counter>,
+    pub(crate) frames_written_v3: Arc<Counter>,
     /// Busy rejections issued: over the connection cap or over a
     /// connection's in-flight cap.
-    busy_rejections: Arc<Counter>,
+    pub(crate) busy_rejections: Arc<Counter>,
     /// Connections currently being served.
-    connections: Arc<Gauge>,
+    pub(crate) connections: Arc<Gauge>,
     /// High-water mark of pipelined requests in flight on any single
     /// connection since the server started.
-    in_flight_hwm: Arc<Gauge>,
+    pub(crate) in_flight_hwm: Arc<Gauge>,
+    /// Requests decoded but not yet picked up by an executor — the
+    /// reactor core's run-queue depth (always 0 on the threaded core,
+    /// whose executors pull from per-connection queues).
+    pub(crate) reactor_run_queue: Arc<Gauge>,
     /// Connection lifetimes, accept to teardown.
-    connection_lifetime: Arc<LatencyHistogram>,
+    pub(crate) connection_lifetime: Arc<LatencyHistogram>,
 }
 
 impl WireMetrics {
@@ -120,32 +149,36 @@ impl WireMetrics {
         WireMetrics {
             frames_read_v1: m.counter("wire.frames_read.v1"),
             frames_read_v2: m.counter("wire.frames_read.v2"),
+            frames_read_v3: m.counter("wire.frames_read.v3"),
             frames_written_v1: m.counter("wire.frames_written.v1"),
             frames_written_v2: m.counter("wire.frames_written.v2"),
+            frames_written_v3: m.counter("wire.frames_written.v3"),
             busy_rejections: m.counter("wire.busy_rejections"),
             connections: m.gauge("wire.connections"),
             in_flight_hwm: m.gauge("wire.in_flight_hwm"),
+            reactor_run_queue: m.gauge("wire.reactor.run_queue_depth"),
             connection_lifetime: m.histogram("wire.connection_lifetime"),
         }
     }
 }
 
-/// State shared by the acceptor and every handler thread.
+/// State shared by the acceptor and every handler thread (and, on the
+/// reactor core, by the event loop and its executor pool).
 #[derive(Debug)]
-struct Shared {
-    service: Arc<SmartpickService>,
+pub(crate) struct Shared {
+    pub(crate) service: Arc<SmartpickService>,
     /// The trained driver `register_tenant` requests fork from: the wire
     /// cannot carry a model, so kick-start training happens server-side
     /// once and tenants are stamped out as cheap copy-on-write forks.
-    template: Smartpick,
-    config: WireServerConfig,
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) template: Smartpick,
+    pub(crate) config: WireServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) handlers: Mutex<Vec<JoinHandle<()>>>,
     /// The service's observability bundle (the wire layer reports into
     /// the same scrape).
-    obs: Arc<Observability>,
-    wm: WireMetrics,
+    pub(crate) obs: Arc<Observability>,
+    pub(crate) wm: WireMetrics,
 }
 
 /// A running TCP front-end over a [`SmartpickService`].
@@ -200,9 +233,14 @@ impl WireServer {
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("smartpick-wire-accept".to_owned())
-                .spawn(move || accept_loop(listener, shared))?
+            match shared.config.core {
+                ServerCore::ThreadPerConnection => std::thread::Builder::new()
+                    .name("smartpick-wire-accept".to_owned())
+                    .spawn(move || accept_loop(listener, shared))?,
+                ServerCore::Reactor => std::thread::Builder::new()
+                    .name("smartpick-wire-reactor".to_owned())
+                    .spawn(move || crate::reactor::reactor_loop(listener, shared))?,
+            }
         };
         Ok(WireServer {
             local_addr,
@@ -491,6 +529,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                         &resp_tx,
                         ResponseMsg {
                             id: None,
+                            codec: Codec::Json,
                             response: Response::Error(Rejection {
                                 kind: ErrorKind::Protocol,
                                 message: e.to_string(),
@@ -503,20 +542,37 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 Err(FrameError::Io(_)) => break,
             };
-        match header.id {
-            None => shared.wm.frames_read_v1.inc(),
-            Some(_) => shared.wm.frames_read_v2.inc(),
+        let codec = header.codec();
+        match (header.id, codec) {
+            (None, _) => shared.wm.frames_read_v1.inc(),
+            (Some(_), Codec::Json) => shared.wm.frames_read_v2.inc(),
+            (Some(_), Codec::Binary) => shared.wm.frames_read_v3.inc(),
         }
         match header.id {
             // v1: executed inline on the reader, so legacy requests are
             // answered strictly in request order.
             None => {
-                let response = respond_to(&payload, shared);
-                let protocol_err = matches!(
-                    &response,
-                    Response::Error(r) if r.kind == ErrorKind::Protocol
-                );
-                if !queue_response(shared, &dead, &resp_tx, ResponseMsg { id: None, response }) {
+                let responses = respond_to(&payload, shared);
+                let protocol_err = responses
+                    .iter()
+                    .any(|r| matches!(r, Response::Error(rej) if rej.kind == ErrorKind::Protocol));
+                let mut delivered = true;
+                for response in responses {
+                    delivered = queue_response(
+                        shared,
+                        &dead,
+                        &resp_tx,
+                        ResponseMsg {
+                            id: None,
+                            codec: Codec::Json,
+                            response,
+                        },
+                    );
+                    if !delivered {
+                        break;
+                    }
+                }
+                if !delivered {
                     break;
                 }
                 if protocol_err {
@@ -524,11 +580,13 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
             }
-            // v2: the length-delimited framing stays trustworthy even
+            // v2/v3: the length-delimited framing stays trustworthy even
             // when the payload is garbage, and the id names exactly the
             // request an error answers — so payload problems are
-            // per-request `bad_request`s, never a close.
-            Some(id) => match decode_request(&payload) {
+            // per-request `bad_request`s, never a close. Responses mirror
+            // the codec each request arrived in: that per-frame echo *is*
+            // the codec negotiation.
+            Some(id) => match decode_request(&payload, codec) {
                 Err(message) => {
                     let delivered = queue_response(
                         shared,
@@ -536,6 +594,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                         &resp_tx,
                         ResponseMsg {
                             id: Some(id),
+                            codec,
                             response: Response::Error(Rejection {
                                 kind: ErrorKind::BadRequest,
                                 message,
@@ -565,7 +624,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                         }
                         admitted = executors
                             .as_ref()
-                            .is_some_and(|pool| pool.req_tx.try_send((id, request)).is_ok());
+                            .is_some_and(|pool| pool.req_tx.try_send((id, codec, request)).is_ok());
                     }
                     if !admitted {
                         in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -580,6 +639,7 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
                             &resp_tx,
                             ResponseMsg {
                                 id: Some(id),
+                                codec,
                                 response: Response::Error(Rejection {
                                     kind: ErrorKind::Busy,
                                     message: format!(
@@ -611,17 +671,19 @@ fn handle_connection_inner(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// One queued outbound response: the v2 request id it answers (`None` =
-/// answer in a v1 frame), and the response itself. JSON encoding and
+/// One queued outbound response: the pipelined request id it answers
+/// (`None` = answer in a v1 frame), the codec the frame must use
+/// (mirroring the request's), and the response itself. Encoding and
 /// framing happen on the writer thread, off the reader and executors.
 struct ResponseMsg {
     id: Option<u64>,
+    codec: Codec,
     response: Response,
 }
 
 /// The per-connection writer: frames queued responses in arrival order,
-/// v1 or v2 as each message dictates. On a write failure it flags the
-/// connection dead and keeps *draining* the queue (discarding) so no
+/// v1, v2, or v3 as each message dictates. On a write failure it flags
+/// the connection dead and keeps *draining* the queue (discarding) so no
 /// executor ever blocks on a send to a dead socket.
 fn writer_loop(
     mut stream: TcpStream,
@@ -635,14 +697,20 @@ fn writer_loop(
         if broken {
             continue;
         }
-        let sent = match msg.id {
-            Some(id) => send_response_v2(&mut stream, id, &msg.response, &mut scratch),
-            None => send_response(&mut stream, &msg.response, &mut scratch),
+        let sent = match (msg.id, msg.codec) {
+            (Some(id), Codec::Binary) => {
+                send_response_v3(&mut stream, id, &msg.response, &mut scratch)
+            }
+            (Some(id), Codec::Json) => {
+                send_response_v2(&mut stream, id, &msg.response, &mut scratch)
+            }
+            (None, _) => send_response(&mut stream, &msg.response, &mut scratch),
         };
-        match (&sent, msg.id) {
-            (Ok(()), Some(_)) => shared.wm.frames_written_v2.inc(),
-            (Ok(()), None) => shared.wm.frames_written_v1.inc(),
-            (Err(_), _) => {
+        match (&sent, msg.id, msg.codec) {
+            (Ok(()), Some(_), Codec::Binary) => shared.wm.frames_written_v3.inc(),
+            (Ok(()), Some(_), Codec::Json) => shared.wm.frames_written_v2.inc(),
+            (Ok(()), None, _) => shared.wm.frames_written_v1.inc(),
+            (Err(_), _, _) => {
                 broken = true;
                 dead.store(true, Ordering::SeqCst);
             }
@@ -655,7 +723,7 @@ fn writer_loop(
 /// [`WireServerConfig::pipeline_workers`] threads, each answering into
 /// the shared response queue with its request's id.
 struct ExecutorPool {
-    req_tx: SyncSender<(u64, Request)>,
+    req_tx: SyncSender<(u64, Codec, Request)>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -670,7 +738,7 @@ impl ExecutorPool {
         in_flight: &Arc<AtomicUsize>,
         dead: &Arc<AtomicBool>,
     ) -> Option<ExecutorPool> {
-        let (req_tx, req_rx) = sync_channel::<(u64, Request)>(shared.config.max_in_flight);
+        let (req_tx, req_rx) = sync_channel::<(u64, Codec, Request)>(shared.config.max_in_flight);
         let req_rx = Arc::new(Mutex::new(req_rx));
         let mut workers = Vec::with_capacity(shared.config.pipeline_workers);
         for i in 0..shared.config.pipeline_workers {
@@ -687,24 +755,29 @@ impl ExecutorPool {
                     // below runs unlocked and in parallel.
                     // lint:allow(guard-across-blocking, reason = "the lock exists to make workers take turns on recv; it guards nothing but the dequeue itself and is dropped before execution")
                     let msg = req_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    let Ok((id, request)) = msg else { return };
-                    let response = execute(request, &shared);
+                    let Ok((id, codec, request)) = msg else {
+                        return;
+                    };
+                    let responses = execute_multi(request, &shared);
                     // Release the slot *before* queueing the answer,
                     // so a client that reacts to the response can
                     // never be told `busy` for a slot this very
                     // request was still holding.
                     in_flight.fetch_sub(1, Ordering::SeqCst);
-                    let delivered = queue_response(
-                        &shared,
-                        &dead,
-                        &resp_tx,
-                        ResponseMsg {
-                            id: Some(id),
-                            response,
-                        },
-                    );
-                    if !delivered {
-                        return;
+                    for response in responses {
+                        let delivered = queue_response(
+                            &shared,
+                            &dead,
+                            &resp_tx,
+                            ResponseMsg {
+                                id: Some(id),
+                                codec,
+                                response,
+                            },
+                        );
+                        if !delivered {
+                            return;
+                        }
                     }
                 });
             if let Ok(worker) = worker {
@@ -754,28 +827,37 @@ fn queue_response(
     }
 }
 
-/// Decodes one v2 payload; the error string becomes the `bad_request`
-/// message for that request id.
-fn decode_request(payload: &[u8]) -> Result<Request, String> {
-    let text =
-        std::str::from_utf8(payload).map_err(|e| format!("frame payload is not UTF-8: {e}"))?;
-    let value: serde::Value =
-        serde_json::from_str(text).map_err(|e| format!("frame payload is not JSON: {e}"))?;
-    <Request as serde::Deserialize>::from_value(&value)
-        .map_err(|e| format!("unrecognised request: {e}"))
+/// Decodes one pipelined (v2/v3) payload in the codec its frame named;
+/// the error string becomes the `bad_request` message for that request
+/// id.
+pub(crate) fn decode_request(payload: &[u8], codec: Codec) -> Result<Request, String> {
+    match codec {
+        Codec::Json => {
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| format!("frame payload is not UTF-8: {e}"))?;
+            let value: serde::Value = serde_json::from_str(text)
+                .map_err(|e| format!("frame payload is not JSON: {e}"))?;
+            <Request as serde::Deserialize>::from_value(&value)
+                .map_err(|e| format!("unrecognised request: {e}"))
+        }
+        Codec::Binary => codec::decode_envelope::<Request>(payload)
+            .map_err(|e| format!("binary payload rejected: {e}")),
+    }
 }
 
-/// Decodes one payload and executes it — every failure becomes an error
-/// *response*, never a handler panic or a dead listener.
-fn respond_to(payload: &[u8], shared: &Shared) -> Response {
+/// Decodes one v1 payload and executes it — every failure becomes an
+/// error *response*, never a handler panic or a dead listener. Returns
+/// the responses to send, in order (more than one only for
+/// `determine_stream`).
+pub(crate) fn respond_to(payload: &[u8], shared: &Shared) -> Vec<Response> {
     let text = match std::str::from_utf8(payload) {
         Ok(text) => text,
         Err(e) => {
-            return Response::Error(Rejection {
+            return vec![Response::Error(Rejection {
                 kind: ErrorKind::Protocol,
                 message: format!("frame payload is not UTF-8: {e}"),
                 retryable: false,
-            })
+            })]
         }
     };
     // Not-JSON is a framing-level violation (close); JSON of the wrong
@@ -783,27 +865,55 @@ fn respond_to(payload: &[u8], shared: &Shared) -> Response {
     let value: serde::Value = match serde_json::from_str(text) {
         Ok(value) => value,
         Err(e) => {
-            return Response::Error(Rejection {
+            return vec![Response::Error(Rejection {
                 kind: ErrorKind::Protocol,
                 message: format!("frame payload is not JSON: {e}"),
                 retryable: false,
-            })
+            })]
         }
     };
     let request = match <Request as serde::Deserialize>::from_value(&value) {
         Ok(request) => request,
         Err(e) => {
-            return Response::Error(Rejection {
+            return vec![Response::Error(Rejection {
                 kind: ErrorKind::BadRequest,
                 message: format!("unrecognised request: {e}"),
                 retryable: false,
-            })
+            })]
         }
     };
-    execute(request, shared)
+    execute_multi(request, shared)
 }
 
-fn execute(request: Request, shared: &Shared) -> Response {
+/// Executes one request, expanding `determine_stream` into its streamed
+/// response sequence (`batch_item` per determination, then `batch_end`;
+/// a whole-batch failure collapses to one error response). Every other
+/// request yields exactly one response.
+pub(crate) fn execute_multi(request: Request, shared: &Shared) -> Vec<Response> {
+    match request {
+        Request::DetermineStream { tenant, requests } => {
+            match shared.service.determine_batch(&tenant, &requests) {
+                Ok(determinations) => {
+                    let count = determinations.len() as u64;
+                    let mut out: Vec<Response> = determinations
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, determination)| Response::BatchItem {
+                            index: index as u64,
+                            determination: Box::new(determination),
+                        })
+                        .collect();
+                    out.push(Response::BatchEnd { count });
+                    out
+                }
+                Err(e) => vec![service_error(&e)],
+            }
+        }
+        other => vec![execute(other, shared)],
+    }
+}
+
+pub(crate) fn execute(request: Request, shared: &Shared) -> Response {
     let service = &shared.service;
     let result = match request {
         Request::Ping => return Response::Pong,
@@ -830,6 +940,12 @@ fn execute(request: Request, shared: &Shared) -> Response {
         Request::DetermineBatch { tenant, requests } => service
             .determine_batch(&tenant, &requests)
             .map(Response::Determinations),
+        // Normally intercepted by `execute_multi` and streamed; if it
+        // reaches the single-response path, degrade gracefully to the
+        // one-frame batch answer rather than erroring or panicking.
+        Request::DetermineStream { tenant, requests } => service
+            .determine_batch(&tenant, &requests)
+            .map(Response::Determinations),
         Request::ReportRun { tenant, run } => service
             .report_run(&tenant, *run)
             .map(|()| Response::ReportAccepted),
@@ -846,7 +962,7 @@ fn execute(request: Request, shared: &Shared) -> Response {
 /// received bytes sends a reset that can discard a just-written error
 /// frame before the peer reads it — the drain makes "error response,
 /// then close" reliable even when the peer was mid-write.
-fn drain_briefly(mut stream: &TcpStream, shared: &Shared) {
+pub(crate) fn drain_briefly(mut stream: &TcpStream, shared: &Shared) {
     if stream
         .set_read_timeout(Some(shared.config.poll_interval))
         .is_err()
@@ -872,7 +988,7 @@ fn drain_briefly(mut stream: &TcpStream, shared: &Shared) {
     }
 }
 
-fn service_error(e: &ServiceError) -> Response {
+pub(crate) fn service_error(e: &ServiceError) -> Response {
     Response::Error(Rejection {
         kind: ErrorKind::of_service_error(e),
         message: e.to_string(),
@@ -880,15 +996,17 @@ fn service_error(e: &ServiceError) -> Response {
     })
 }
 
-/// Reusable response-encode state: the rendered JSON and the assembled
-/// frame each live in a buffer that survives across frames.
+/// Reusable response-encode state: the rendered JSON (or binary
+/// payload) and the assembled frame each live in a buffer that survives
+/// across frames.
 #[derive(Debug, Default)]
-struct EncodeScratch {
+pub(crate) struct EncodeScratch {
     json: String,
+    bin: Vec<u8>,
     frame: Vec<u8>,
 }
 
-fn send_response(
+pub(crate) fn send_response(
     w: &mut impl Write,
     response: &Response,
     scratch: &mut EncodeScratch,
@@ -900,7 +1018,7 @@ fn send_response(
 
 /// The v2 twin of [`send_response`]: frames the response with the
 /// request id it answers.
-fn send_response_v2(
+pub(crate) fn send_response_v2(
     w: &mut impl Write,
     id: u64,
     response: &Response,
@@ -909,4 +1027,16 @@ fn send_response_v2(
     serde_json::to_string_into(response, &mut scratch.json)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     write_frame_v2_buffered(w, id, scratch.json.as_bytes(), &mut scratch.frame)
+}
+
+/// The binary-codec twin of [`send_response_v2`]: same id-tagged frame
+/// shape, payload encoded with [`crate::codec`] instead of JSON.
+pub(crate) fn send_response_v3(
+    w: &mut impl Write,
+    id: u64,
+    response: &Response,
+    scratch: &mut EncodeScratch,
+) -> io::Result<()> {
+    codec::encode_response_into(response, &mut scratch.bin);
+    write_frame_v3_buffered(w, id, &scratch.bin, &mut scratch.frame)
 }

@@ -1,0 +1,266 @@
+//! Property tests for the binary codec: every request/response variant
+//! — including the streamed-batch ones — is **identity** between the
+//! binary and JSON codecs (encode binary → decode → re-encode as JSON
+//! reproduces the JSON rendering of the original exactly, and the
+//! binary bytes themselves are a fixed point), and the binary decoder
+//! is total: arbitrary bytes never panic, never over-read, and always
+//! yield a clean [`CodecError`] or a valid envelope.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::{ConstraintMode, Determination, PredictionRequest};
+use smartpick_engine::QueryProfile;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{CompletedRun, ServiceConfig, SmartpickService};
+use smartpick_wire::codec::{
+    decode_envelope, decode_response, decode_value, encode_envelope_into, encode_response_into,
+};
+use smartpick_wire::{ErrorKind, Rejection, Request, Response};
+
+/// Heavyweight payloads (a real determination and run report), built
+/// once and cloned into generated variants.
+struct Fixture {
+    query: QueryProfile,
+    determination: Determination,
+    run: CompletedRun,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let queries: Vec<_> = [82u32, 68]
+            .iter()
+            .map(|&q| smartpick_workloads::tpcds::query(q, 100.0).unwrap())
+            .collect();
+        let opts = TrainOptions {
+            configs_per_query: 5,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 10,
+                ..ForestParams::default()
+            },
+            max_vm: 3,
+            max_sl: 3,
+            ..TrainOptions::default()
+        };
+        let template = Smartpick::train_with_options(
+            CloudEnv::new(Provider::Aws),
+            SmartpickProperties::default(),
+            &queries,
+            &opts,
+            11,
+        )
+        .unwrap()
+        .0;
+        let service = Arc::new(SmartpickService::new(ServiceConfig {
+            retrain_workers: 2,
+            ..ServiceConfig::default()
+        }));
+        service.register_fork("fixture", &template, 7).unwrap();
+        let query = queries[0].clone();
+        let determination = service.determine("fixture", &query, 99).unwrap();
+        let report = template
+            .shared_resource_manager()
+            .execute(&query, &determination.allocation, 23)
+            .unwrap();
+        Fixture {
+            query: query.clone(),
+            determination: determination.clone(),
+            run: CompletedRun {
+                query,
+                determination,
+                report,
+            },
+        }
+    })
+}
+
+const CONSTRAINTS: [ConstraintMode; 4] = [
+    ConstraintMode::Hybrid,
+    ConstraintMode::VmOnly,
+    ConstraintMode::SlOnly,
+    ConstraintMode::EqualSlVm,
+];
+
+fn prediction_request(knob: f64, constraint: usize, seed: u64) -> PredictionRequest {
+    PredictionRequest {
+        query: fixture().query.clone(),
+        knob,
+        constraint: CONSTRAINTS[constraint % CONSTRAINTS.len()],
+        seed,
+    }
+}
+
+/// The cross-codec identity: both codecs serialize through the same
+/// `Value` tree, so binary-encoding a value, decoding it, and rendering
+/// the result as JSON must reproduce the JSON rendering of the original
+/// byte for byte — and re-encoding the decoded value as binary must
+/// reproduce the binary bytes (the codec is a fixed point).
+fn assert_cross_codec_identity<T: serde::Serialize + serde::Deserialize>(value: &T) {
+    let json_before = serde_json::to_string(value).expect("JSON encodes");
+    let mut bin = Vec::new();
+    encode_envelope_into(value, &mut bin);
+    let decoded: T = decode_envelope(&bin).expect("binary decodes");
+    let json_after = serde_json::to_string(&decoded).expect("JSON re-encodes");
+    assert_eq!(
+        json_before, json_after,
+        "binary round trip must preserve the JSON rendering"
+    );
+    let mut bin_again = Vec::new();
+    encode_envelope_into(&decoded, &mut bin_again);
+    assert_eq!(bin, bin_again, "binary re-encode must be byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request variant is identity across the codec boundary.
+    #[test]
+    fn request_envelopes_cross_codecs_unchanged(
+        variant in 0usize..12,
+        tenant in "[a-z][a-z0-9_]{0,11}",
+        seed in 0u64..(1u64 << 53),
+        knob in 0.0f64..1.0,
+        constraint in 0usize..4,
+        batch in 1usize..5,
+    ) {
+        let fix = fixture();
+        let request = match variant {
+            0 => Request::Ping,
+            1 => Request::RegisterTenant { tenant, seed },
+            2 => Request::Predict {
+                tenant,
+                request: prediction_request(knob, constraint, seed),
+            },
+            3 => Request::Determine {
+                tenant,
+                query: fix.query.clone(),
+                seed,
+            },
+            4 => Request::DetermineBatch {
+                tenant,
+                requests: (0..batch)
+                    .map(|i| prediction_request(knob, constraint + i, seed + i as u64))
+                    .collect(),
+            },
+            5 => Request::DetermineStream {
+                tenant,
+                requests: (0..batch)
+                    .map(|i| prediction_request(knob, constraint + i, seed + i as u64))
+                    .collect(),
+            },
+            6 => Request::ReportRun {
+                tenant,
+                run: Box::new(fix.run.clone()),
+            },
+            7 => Request::Flush,
+            8 => Request::TenantStats { tenant },
+            9 => Request::Scrape { events: batch },
+            10 => Request::Health,
+            _ => Request::ServiceStats,
+        };
+        assert_cross_codec_identity(&request);
+    }
+
+    /// Every response variant is identity across the codec boundary.
+    #[test]
+    fn response_envelopes_cross_codecs_unchanged(
+        variant in 0usize..8,
+        message in "\\PC{0,40}",
+        flip in 0u32..2,
+        batch in 0usize..4,
+    ) {
+        let fix = fixture();
+        let response = match variant {
+            0 => Response::Pong,
+            1 => Response::Registered,
+            2 => Response::Determination(fix.determination.clone()),
+            3 => Response::Determinations(vec![fix.determination.clone(); batch]),
+            4 => Response::BatchItem {
+                index: batch as u64,
+                determination: Box::new(fix.determination.clone()),
+            },
+            5 => Response::BatchEnd { count: batch as u64 },
+            6 => Response::Flushed,
+            _ => Response::Error(Rejection {
+                kind: ErrorKind::Busy,
+                message,
+                retryable: flip == 1,
+            }),
+        };
+        assert_cross_codec_identity(&response);
+        // The response fast paths must be indistinguishable from the
+        // generic tree path: byte-identical encoding, and a decode that
+        // reproduces the same envelope (compared via JSON rendering).
+        let mut generic = Vec::new();
+        encode_envelope_into(&response, &mut generic);
+        let mut fast = Vec::new();
+        encode_response_into(&response, &mut fast);
+        prop_assert_eq!(
+            &generic,
+            &fast,
+            "fast response encode must be byte-identical to the tree path"
+        );
+        let decoded = decode_response(&generic).expect("fast-path decode succeeds");
+        prop_assert_eq!(
+            serde_json::to_string(&response).expect("encodes"),
+            serde_json::to_string(&decoded).expect("encodes"),
+            "fast response decode must reproduce the envelope"
+        );
+    }
+
+    /// Totality: arbitrary bytes fed to the binary decoder return — a
+    /// clean error or a value — and never panic. A successful decode
+    /// must be a fixed point under re-encode.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        if let Ok(value) = decode_value(&bytes) {
+            let mut re = Vec::new();
+            smartpick_wire::codec::encode_value_into(&value, &mut re);
+            prop_assert_eq!(re, bytes.clone(), "successful decode must re-encode identically");
+        }
+        // The fast response decoder must agree with the generic one on
+        // every input: same acceptance, same envelope.
+        let fast = decode_response(&bytes);
+        let generic = decode_envelope::<Response>(&bytes);
+        match (&fast, &generic) {
+            (Ok(f), Ok(g)) => prop_assert_eq!(
+                serde_json::to_string(f).expect("encodes"),
+                serde_json::to_string(g).expect("encodes"),
+                "fast and generic decodes must agree"
+            ),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "acceptance diverged: {:?}", other),
+        }
+    }
+
+    /// Truncating a valid binary payload at every cut yields a clean
+    /// error, never a panic or an over-read into adjacent memory.
+    #[test]
+    fn truncations_of_valid_payloads_error_cleanly(
+        seed in 0u64..(1u64 << 53),
+        knob in 0.0f64..1.0,
+    ) {
+        let request = Request::Predict {
+            tenant: "acme".to_owned(),
+            request: prediction_request(knob, 0, seed),
+        };
+        let mut bin = Vec::new();
+        encode_envelope_into(&request, &mut bin);
+        for cut in 0..bin.len() {
+            prop_assert!(
+                decode_envelope::<Request>(&bin[..cut]).is_err(),
+                "truncation at {} of {} must not decode",
+                cut,
+                bin.len()
+            );
+        }
+    }
+}

@@ -187,7 +187,7 @@ proptest! {
     /// exactness bound of the JSON number model.
     #[test]
     fn request_envelopes_are_json_identities(
-        variant in 0usize..11,
+        variant in 0usize..12,
         tenant in "[a-z][a-z0-9_]{0,11}",
         seed in 0u64..(1u64 << 53),
         knob in 0.0f64..1.0,
@@ -225,6 +225,12 @@ proptest! {
             7 => Request::TenantStats { tenant },
             8 => Request::Scrape { events: batch },
             9 => Request::Health,
+            10 => Request::DetermineStream {
+                tenant,
+                requests: (0..batch)
+                    .map(|i| prediction_request(knob, constraint + i, seed + i as u64))
+                    .collect(),
+            },
             _ => Request::ServiceStats,
         };
         assert_json_round_trip(&request);
@@ -234,7 +240,7 @@ proptest! {
     /// under encode → decode.
     #[test]
     fn response_envelopes_are_json_identities(
-        variant in 0usize..11,
+        variant in 0usize..13,
         kind in 0usize..9,
         message in "\\PC{0,40}",
         flip in 0u32..2,
@@ -252,6 +258,13 @@ proptest! {
             7 => Response::ServiceStats(fix.service_stats.clone()),
             8 => Response::Scrape(Box::new(fix.scrape.clone())),
             9 => Response::Health(fix.health.clone()),
+            10 => Response::BatchItem {
+                index: batch as u64,
+                determination: Box::new(fix.determination.clone()),
+            },
+            11 => Response::BatchEnd {
+                count: batch as u64,
+            },
             _ => Response::Error(Rejection {
                 kind: KINDS[kind],
                 message,
@@ -265,15 +278,15 @@ proptest! {
     /// `bad_request` and the connection survives; it never panics.
     #[test]
     fn unknown_tags_decode_to_errors(op in "[a-z_]{1,12}") {
-        const REQUEST_OPS: [&str; 11] = [
+        const REQUEST_OPS: [&str; 12] = [
             "ping", "register_tenant", "predict", "determine",
-            "determine_batch", "report_run", "flush", "tenant_stats",
-            "service_stats", "scrape", "health",
+            "determine_batch", "determine_stream", "report_run", "flush",
+            "tenant_stats", "service_stats", "scrape", "health",
         ];
-        const RESPONSE_KINDS: [&str; 11] = [
+        const RESPONSE_KINDS: [&str; 13] = [
             "pong", "registered", "determination", "determinations",
-            "report_accepted", "flushed", "tenant_stats", "service_stats",
-            "scrape", "health", "error",
+            "batch_item", "batch_end", "report_accepted", "flushed",
+            "tenant_stats", "service_stats", "scrape", "health", "error",
         ];
         prop_assume!(!REQUEST_OPS.contains(&op.as_str()));
         let request_text = format!("{{\"op\":\"{op}\"}}");

@@ -8,7 +8,7 @@ use std::io::Cursor;
 use proptest::prelude::*;
 use smartpick_wire::frame::{
     read_frame_any_into, read_frame_into, write_frame, write_frame_v2, FrameError, PROTOCOL_V2,
-    PROTOCOL_VERSION,
+    PROTOCOL_V3, PROTOCOL_VERSION,
 };
 
 const MAX_LEN: usize = 256;
@@ -17,7 +17,7 @@ const MAX_LEN: usize = 256;
 fn header_len(version: u8) -> u64 {
     match version {
         PROTOCOL_VERSION => 5,
-        PROTOCOL_V2 => 13,
+        PROTOCOL_V2 | PROTOCOL_V3 => 13,
         other => panic!("decoder returned unknown version {other}"),
     }
 }
@@ -44,7 +44,9 @@ proptest! {
             Err(FrameError::Eof) => prop_assert!(bytes.is_empty()),
             Err(FrameError::VersionMismatch { got }) => {
                 prop_assert_eq!(got, bytes[0]);
-                prop_assert!(got != PROTOCOL_VERSION && got != PROTOCOL_V2);
+                prop_assert!(
+                    got != PROTOCOL_VERSION && got != PROTOCOL_V2 && got != PROTOCOL_V3
+                );
             }
             Err(FrameError::Oversized { len, max }) => {
                 prop_assert_eq!(max, MAX_LEN);
@@ -124,7 +126,9 @@ proptest! {
         version in 0u8..=255,
         rest in prop::collection::vec(0u8..=255, 0..32),
     ) {
-        prop_assume!(version != PROTOCOL_VERSION && version != PROTOCOL_V2);
+        prop_assume!(
+            version != PROTOCOL_VERSION && version != PROTOCOL_V2 && version != PROTOCOL_V3
+        );
         let mut buf = vec![version];
         buf.extend_from_slice(&rest);
         let mut cursor = Cursor::new(buf.as_slice());

@@ -7,7 +7,7 @@
 verify: build-test lint bench-compile
 
 # Everything CI runs, locally — the pre-push command.
-ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick
+ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick docs
 
 # CI job: release build + the full test suite.
 build-test:
@@ -23,6 +23,13 @@ lint:
 # lint-report.json so finding counts are diffable across PRs.
 lint-smartpick:
     cargo run --release -p lint --bin smartpick-lint -- --json lint-report.json
+
+# CI job: rustdoc builds with warnings denied (broken intra-doc links,
+# missing docs on public items) plus the doc-link check that paths and
+# just recipes referenced by docs/*.md actually exist.
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+    cargo test -q -p smartpick --test doc_links
 
 # CI job: repo-wide formatting gate.
 fmt-check:
@@ -84,6 +91,14 @@ bench-determine:
 bench-determine-record:
     cargo build --release -p smartpick_bench --bin bench_determine
     ./target/release/bench_determine
+
+# Regenerate BENCH_wire.json (binary-vs-JSON codec matrix + reactor
+# connection scaling; quoted by the README Performance table and
+# guarded by crates/bench/tests/bench_wire_json.rs). The 1024-connection
+# scaling run needs a raised fd limit.
+bench-wire-record:
+    cargo build --release -p smartpick_bench --bin bench_wire
+    sh -c 'ulimit -n 20000; ./target/release/bench_wire'
 
 # Reproduce all paper figure/table binaries (release). Fails fast: a
 # panicking figure binary fails the recipe (and the CI smoke job).
