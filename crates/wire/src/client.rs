@@ -55,6 +55,10 @@ pub struct WireClient {
     read_buf: Vec<u8>,
     /// The next pipelined request id.
     next_id: u64,
+    /// The deadline configured via [`WireClient::set_io_timeout`],
+    /// remembered so the fallback reconnect after a failed binary probe
+    /// keeps the same read/write bounds.
+    io_timeout: Option<Duration>,
 }
 
 impl WireClient {
@@ -93,6 +97,7 @@ impl WireClient {
             frame_buf: Vec::new(),
             read_buf: Vec::new(),
             next_id: 0,
+            io_timeout: None,
         }
     }
 
@@ -167,6 +172,8 @@ impl WireClient {
     fn reconnect_json(&mut self, peer: &SocketAddr) -> Result<bool, WireError> {
         let stream = TcpStream::connect(peer)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
         self.stream = stream;
         self.codec = Codec::Json;
         Ok(false)
@@ -183,6 +190,7 @@ impl WireClient {
     pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
         self.stream.set_read_timeout(timeout)?;
         self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
         Ok(())
     }
 

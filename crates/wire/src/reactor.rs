@@ -113,6 +113,10 @@ struct Completion {
 struct Conn {
     stream: TcpStream,
     opened: Instant,
+    /// Last time a byte moved in *either* direction. Outbound progress
+    /// counts: a slow reader that is still consuming a large response
+    /// is alive, not idle (the threaded core gets the same tolerance
+    /// from its per-write timeout).
     last_byte_at: Instant,
     /// Unparsed inbound bytes (a frame can arrive in many readable
     /// events); `parse_pos` tracks how far frame parsing has consumed.
@@ -463,13 +467,25 @@ pub(crate) fn reactor_loop(listener: TcpListener, shared: Arc<Shared>) {
             }
             match conn.closing {
                 Some(deadline) => {
-                    if (!conn.has_pending_write() && now >= deadline) || conn.peer_eof {
+                    // Past the drain deadline the close is unconditional:
+                    // a peer that neither reads its error frame nor
+                    // closes must not pin a connection slot behind its
+                    // own undrained writes.
+                    if now >= deadline || conn.peer_eof {
                         closed.push(*token);
                     }
                 }
                 None => {
+                    // Idle means *client* idle. A connection quiet
+                    // because the server paused reads (flow control) or
+                    // is still executing its requests is being serviced,
+                    // not abandoned — reaping it would discard responses
+                    // the client is legitimately waiting for.
                     if let Some(idle) = shared.config.idle_timeout {
-                        if conn.last_byte_at.elapsed() >= idle {
+                        if conn.in_flight == 0
+                            && !conn.paused
+                            && conn.last_byte_at.elapsed() >= idle
+                        {
                             closed.push(*token);
                         }
                     }
@@ -488,8 +504,12 @@ pub(crate) fn reactor_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
     }
 
-    // Teardown: stop feeding executors, let in-flight work finish (its
-    // completions are discarded with the receiver), close every socket.
+    // Teardown: drop the completion receiver *before* joining so a
+    // worker blocked on a full completion channel errors out of `send`
+    // and exits instead of deadlocking the join (at shutdown a saturated
+    // run queue can produce more completions than the loop will ever
+    // drain). In-flight results are discarded with the receiver.
+    drop(comp_rx);
     executors.join();
     for (_, conn) in conns.drain() {
         teardown_conn(conn, &poller, &shared);
@@ -607,8 +627,18 @@ fn service_conn(
     true
 }
 
-/// Reads until the socket would block, parses complete frames, admits
-/// jobs. Returns `false` to close immediately (reset-style errors).
+/// Per-`read_ready` call cap on ingested bytes. The poller is
+/// level-triggered, so a connection with more buffered input is simply
+/// re-announced on the next wait — the cap bounds how long one fast
+/// producer can monopolise the loop (and the shutdown check) before
+/// other connections get their turn.
+const READ_QUANTUM: usize = 256 * 1024;
+
+/// Reads and parses until the socket would block, the fairness quantum
+/// is spent, or flow control pauses the connection — flow control stops
+/// *reading*, not just parsing, so a producer that outruns the
+/// executors cannot grow `read_buf` without bound. Returns `false` to
+/// close immediately (reset-style errors).
 fn read_ready(
     conn: &mut Conn,
     shared: &Arc<Shared>,
@@ -616,6 +646,7 @@ fn read_ready(
     token: usize,
 ) -> bool {
     let mut chunk = [0u8; 16 * 1024];
+    let mut taken = 0usize;
     loop {
         match (&conn.stream).read(&mut chunk) {
             Ok(0) => {
@@ -624,12 +655,20 @@ fn read_ready(
             }
             Ok(n) => {
                 conn.last_byte_at = Instant::now();
+                taken += n;
                 // While draining toward a fatal close, inbound bytes are
                 // discarded (the nonblocking `drain_briefly`): reading
                 // them keeps the peer's error frame deliverable.
                 if conn.closing.is_none() {
                     // lint:allow(panic-free-server-paths, reason = "n is the byte count read() just returned for this very buffer, so n <= chunk.len() by the io contract")
                     conn.read_buf.extend_from_slice(&chunk[..n]);
+                    parse_and_admit(conn, shared, job_tx, token);
+                    if conn.paused || conn.closing.is_some() {
+                        break;
+                    }
+                }
+                if taken >= READ_QUANTUM {
+                    break;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -859,7 +898,10 @@ fn flush_writes(conn: &mut Conn) -> bool {
         // lint:allow(panic-free-server-paths, reason = "the loop condition on the previous line bounds write_pos below write_buf.len()")
         match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => return false,
-            Ok(n) => conn.write_pos += n,
+            Ok(n) => {
+                conn.write_pos += n;
+                conn.last_byte_at = Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return false,
