@@ -1,0 +1,195 @@
+//! Records the durability numbers into `BENCH_store.json` — what a
+//! tenant costs at rest and what a crash costs at startup, guarded by
+//! `tests/bench_store_json.rs`.
+//!
+//! Two matrices:
+//!
+//! * **snapshot at rest** — the encoded size of one tenant's full
+//!   driver state (predictor + history + monitor + RNG) as persisted by
+//!   `persist_tenant`, for models trained on 1 and 2 catalog queries.
+//!   This is the per-tenant disk bill for the keep-2 retention policy.
+//! * **recovery** — wall time for `SmartpickService::open` to come back
+//!   from a generation-0 snapshot plus a WAL of N accepted reports:
+//!   scan, replay through `apply_report`, republish, re-persist. The
+//!   row family shows how replay cost scales with WAL length — the
+//!   knob `snapshot_every` trades against.
+//!
+//! Usage: `cargo run --release -p smartpick_bench --bin bench_store
+//! [output-path]` (default `BENCH_store.json` in the working
+//! directory). Store roots live under the repo's own `target/tmp`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{CompletedRun, PersistenceConfig, ServiceConfig, SmartpickService};
+use smartpick_workloads::tpcds;
+
+fn trained_driver(query_ids: &[u32]) -> Smartpick {
+    let queries: Vec<_> = query_ids
+        .iter()
+        .map(|&q| tpcds::query(q, 100.0).expect("catalog query"))
+        .collect();
+    let opts = TrainOptions {
+        configs_per_query: 6,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        },
+        max_vm: 4,
+        max_sl: 4,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        42,
+    )
+    .expect("training succeeds")
+    .0
+}
+
+fn bench_root(tag: &str) -> PathBuf {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+        .join(format!("bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench store root");
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        retrain_workers: 1,
+        supervisor_poll: Duration::from_millis(5),
+        // Snapshots only on demand: the WAL carries everything, so the
+        // recovery rows measure pure replay scaling.
+        persistence: Some(PersistenceConfig {
+            snapshot_every: u64::MAX,
+            ..PersistenceConfig::at(dir)
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_owned());
+
+    // --- snapshot size at rest, by model scale -----------------------
+    println!("snapshot at rest (persist_tenant, full driver state)");
+    smartpick_bench::rule(64);
+    println!("{:<16} {:>12} {:>10}", "trained queries", "bytes", "KiB");
+    smartpick_bench::rule(64);
+    let mut snap_rows = String::new();
+    for (i, queries) in [&[82u32][..], &[82, 68][..]].iter().enumerate() {
+        let dir = bench_root(&format!("snap{}", queries.len()));
+        let service = SmartpickService::open(&dir, durable_config(&dir)).expect("open store");
+        service
+            .register_tenant("bench", trained_driver(queries))
+            .expect("register");
+        let bytes = service.persist_tenant("bench").expect("persist");
+        let kib = bytes as f64 / 1024.0;
+        println!("{:<16} {bytes:>12} {kib:>10.1}", queries.len());
+        if i > 0 {
+            snap_rows.push_str(",\n");
+        }
+        let _ = write!(
+            snap_rows,
+            "    {{\"trained_queries\": {}, \"bytes\": {bytes}, \"kilobytes\": {kib:.1}}}",
+            queries.len()
+        );
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    smartpick_bench::rule(64);
+
+    // --- recovery time vs WAL length ---------------------------------
+    // One report template re-fed N times (fresh run ids each time), so
+    // the WAL length is the only variable across rows.
+    println!("crash recovery (SmartpickService::open) vs WAL length");
+    smartpick_bench::rule(64);
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "wal records", "wal bytes", "recover ms"
+    );
+    smartpick_bench::rule(64);
+    // One accepted report, minted by a throwaway in-memory service, is
+    // the template every row re-feeds with fresh run ids.
+    let run = {
+        let minter = SmartpickService::new(ServiceConfig {
+            retrain_workers: 1,
+            ..ServiceConfig::default()
+        });
+        minter
+            .register_tenant("bench", trained_driver(&[82]))
+            .expect("register");
+        let query = tpcds::query(82, 100.0).expect("catalog query");
+        let outcome = minter.submit("bench", &query, 7).expect("submit");
+        CompletedRun {
+            query,
+            determination: outcome.determination,
+            report: outcome.report,
+        }
+    };
+    let mut rec_rows = String::new();
+    for (i, &n) in [0usize, 32, 128, 512].iter().enumerate() {
+        let dir = bench_root(&format!("rec{n}"));
+        {
+            let service = SmartpickService::open(&dir, durable_config(&dir)).expect("open store");
+            service
+                .register_tenant("bench", trained_driver(&[82]))
+                .expect("register");
+            // Feed exactly n reports in small bursts so the tenant
+            // pending quota never trips.
+            let mut fed = 0usize;
+            while fed < n {
+                for _ in 0..16.min(n - fed) {
+                    service.report_run("bench", run.clone()).expect("report");
+                    fed += 1;
+                }
+                assert!(service.flush(), "drain between bursts");
+            }
+        }
+        let wal_bytes: u64 = std::fs::read_dir(dir.join("wal"))
+            .expect("wal dir")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum();
+        let t = Instant::now();
+        let recovered = SmartpickService::open(&dir, durable_config(&dir)).expect("reopen store");
+        let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(recovered.tenants(), vec!["bench".to_owned()], "tenant back");
+        println!("{n:<12} {wal_bytes:>12} {recover_ms:>12.1}");
+        if i > 0 {
+            rec_rows.push_str(",\n");
+        }
+        let _ = write!(
+            rec_rows,
+            "    {{\"wal_records\": {n}, \"wal_bytes\": {wal_bytes}, \"recover_ms\": \
+             {recover_ms:.1}}}"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    smartpick_bench::rule(64);
+
+    let json = format!(
+        "{{\n  \"bench\": \"store_durability\",\n  \"snapshot_unit\": \"bytes at rest for one \
+         tenant's full driver snapshot (persist_tenant)\",\n  \"recovery_unit\": \"milliseconds \
+         for SmartpickService::open to recover one tenant from a generation-0 snapshot plus a \
+         WAL of N reports\",\n  \"snapshot_at_rest\": [\n{snap_rows}\n  ],\n  \"recovery\": \
+         [\n{rec_rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_store.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,104 @@
+//! Guard for the committed `BENCH_store.json` (written by
+//! `src/bin/bench_store.rs`): the recorded per-tenant snapshot sizes
+//! and recovery-time-vs-WAL-length rows parse, are internally
+//! consistent, and hold the PR's durability bars — asserted on the
+//! *committed record*, not a re-run, so the test is deterministic.
+
+use serde::Value;
+
+fn load() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_store.json exists at the repo root");
+    serde_json::from_str(&text).expect("BENCH_store.json parses as JSON")
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> &'a Value {
+    match obj {
+        Value::Obj(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field `{key}`")),
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+fn rows<'a>(root: &'a Value, key: &str) -> &'a [Value] {
+    match field(root, key) {
+        Value::Arr(entries) => entries,
+        other => panic!("`{key}` must be a list, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_store_json_parses_and_is_internally_consistent() {
+    let root = load();
+    assert_eq!(
+        field(&root, "bench"),
+        &Value::Str("store_durability".to_owned())
+    );
+
+    let snaps = rows(&root, "snapshot_at_rest");
+    assert!(snaps.len() >= 2, "at least two model scales recorded");
+    let mut last_queries = 0.0;
+    for row in snaps {
+        let queries = num(field(row, "trained_queries"));
+        let bytes = num(field(row, "bytes"));
+        let kilobytes = num(field(row, "kilobytes"));
+        assert!(queries > last_queries, "rows ordered by model scale");
+        last_queries = queries;
+        assert!(bytes > 0.0 && bytes.is_finite());
+        assert!(
+            (kilobytes - bytes / 1024.0).abs() < 0.1,
+            "recorded kilobytes must match the recorded bytes"
+        );
+    }
+
+    let recovery = rows(&root, "recovery");
+    assert!(recovery.len() >= 3, "a WAL-length scaling family");
+    let mut last_records = -1.0;
+    let mut last_bytes = -1.0;
+    for row in recovery {
+        let records = num(field(row, "wal_records"));
+        let wal_bytes = num(field(row, "wal_bytes"));
+        let recover_ms = num(field(row, "recover_ms"));
+        assert!(records > last_records, "rows ordered by WAL length");
+        assert!(
+            wal_bytes > last_bytes,
+            "more records must mean a longer WAL"
+        );
+        last_records = records;
+        last_bytes = wal_bytes;
+        assert!(recover_ms > 0.0 && recover_ms.is_finite());
+    }
+}
+
+/// The durability bars the PR quotes: a tenant at rest stays small
+/// (kilobytes, not megabytes — the snapshot is the flat SoA tree
+/// layout, not a debug dump), and recovery is interactive even with
+/// hundreds of unsnapshotted reports to replay.
+#[test]
+fn bench_store_json_holds_the_durability_bars() {
+    let root = load();
+    for row in rows(&root, "snapshot_at_rest") {
+        let kilobytes = num(field(row, "kilobytes"));
+        assert!(
+            kilobytes < 1024.0,
+            "a tenant snapshot at rest must stay under 1 MiB, got {kilobytes} KiB"
+        );
+    }
+    for row in rows(&root, "recovery") {
+        let recover_ms = num(field(row, "recover_ms"));
+        assert!(
+            recover_ms < 10_000.0,
+            "recovery must stay interactive (<10 s), got {recover_ms} ms"
+        );
+    }
+}

@@ -20,6 +20,7 @@ use smartpick_engine::{QueryProfile, RunReport};
 use crate::error::SmartpickError;
 use crate::history::{HistoryServer, RunRecord};
 use crate::mfe::Mfe;
+use crate::persist;
 use crate::properties::SmartpickProperties;
 use crate::retrain::RetrainReport;
 use crate::rm::ResourceManager;
@@ -317,6 +318,48 @@ impl Smartpick {
     pub fn retrain_count(&self) -> usize {
         self.mfe.monitor().retrain_count()
     }
+
+    /// Captures a complete checkpoint of this driver as plain data — the
+    /// export half of the persistence surface (see [`crate::persist`]).
+    ///
+    /// The checkpoint covers the trained predictor, the MFE monitor and
+    /// its simulated clock stream, the history records and the driver's
+    /// own RNG state, so a [`Smartpick::from_state`] restore continues
+    /// *exactly* where this driver stood: the same reports applied in the
+    /// same order produce bit-identical models on both sides.
+    pub fn export_state(&self) -> persist::DriverState {
+        persist::DriverState {
+            props: self.props.clone(),
+            predictor: persist::export_predictor(&self.predictor),
+            history: self.history.snapshot(),
+            mfe: persist::export_mfe(&self.mfe),
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a driver from an [`Smartpick::export_state`] checkpoint —
+    /// the restore half of the persistence surface.
+    ///
+    /// Exactness caveat: only environments built via `CloudEnv::new` /
+    /// `CloudEnv::with_family` round-trip (see [`crate::persist`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartpickError::InvalidState`] (or a forwarded model
+    /// error) when the checkpoint fails validation.
+    pub fn from_state(state: &persist::DriverState) -> Result<Self, SmartpickError> {
+        let predictor = persist::restore_predictor(&state.predictor)?;
+        let env = predictor.env().clone();
+        let mfe = persist::restore_mfe(env.clone(), state.props.clone(), &state.mfe)?;
+        Ok(Smartpick {
+            mfe,
+            rm: Arc::new(ResourceManager::new(env)),
+            props: state.props.clone(),
+            predictor: Arc::new(predictor),
+            history: HistoryServer::from_records(state.history.clone()),
+            rng: StdRng::from_state(state.rng_state),
+        })
+    }
 }
 
 /// Mixed into the training seed so the driver's per-submission RNG stream
@@ -451,6 +494,68 @@ mod tests {
         forked.submit(&q).unwrap();
         assert_eq!(forked.history().len(), 1);
         assert_eq!(sp.history().len(), 1);
+    }
+
+    #[test]
+    fn export_restore_twin_stays_bit_identical() {
+        let mut sp = system();
+        let q = tpcds::query(82, 100.0).unwrap();
+        sp.submit(&q).unwrap();
+
+        // Checkpoint mid-stream, restore a twin, and drive both through
+        // the same workload: every stochastic draw must line up, so
+        // outcomes stay bit-identical indefinitely.
+        let state = sp.export_state();
+        let mut twin = Smartpick::from_state(&state).unwrap();
+        assert_eq!(twin.history().len(), sp.history().len());
+
+        for round in 0..3 {
+            let a = sp.submit(&q).unwrap();
+            let b = twin.submit(&q).unwrap();
+            assert_eq!(
+                a.determination.predicted_seconds.to_bits(),
+                b.determination.predicted_seconds.to_bits(),
+                "round {round}: predictions diverged"
+            );
+            assert_eq!(
+                a.report.seconds().to_bits(),
+                b.report.seconds().to_bits(),
+                "round {round}: executions diverged"
+            );
+        }
+
+        // Force a retrain on both via the same mispredicted report; the
+        // retrained models must also match exactly.
+        let outcome = sp.submit(&q).unwrap();
+        let twin_outcome = twin.submit(&q).unwrap();
+        let mut report = outcome.report.clone();
+        report.completion = smartpick_cloudsim::SimDuration::from_secs_f64(
+            outcome.determination.predicted_seconds + 500.0,
+        );
+        let mut twin_report = twin_outcome.report.clone();
+        twin_report.completion = report.completion;
+        let r1 = sp
+            .apply_report(&q, &outcome.determination, &report)
+            .unwrap();
+        let r2 = twin
+            .apply_report(&q, &twin_outcome.determination, &twin_report)
+            .unwrap();
+        assert!(r1.is_some() && r2.is_some(), "both twins retrain");
+        assert_eq!(sp.retrain_count(), twin.retrain_count());
+
+        let probe = PredictionRequest::new(q, 424_242);
+        assert_eq!(
+            sp.predictor()
+                .determine(&probe)
+                .unwrap()
+                .predicted_seconds
+                .to_bits(),
+            twin.predictor()
+                .determine(&probe)
+                .unwrap()
+                .predicted_seconds
+                .to_bits()
+        );
     }
 
     #[test]

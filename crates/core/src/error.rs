@@ -29,6 +29,8 @@ pub enum SmartpickError {
         /// The offending value.
         value: String,
     },
+    /// A persisted driver state failed validation during restore.
+    InvalidState(String),
 }
 
 impl fmt::Display for SmartpickError {
@@ -48,6 +50,9 @@ impl fmt::Display for SmartpickError {
             }
             SmartpickError::InvalidProperty { key, value } => {
                 write!(f, "invalid value `{value}` for property `{key}`")
+            }
+            SmartpickError::InvalidState(what) => {
+                write!(f, "invalid persisted state: {what}")
             }
         }
     }

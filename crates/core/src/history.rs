@@ -65,6 +65,14 @@ impl HistoryServer {
         HistoryServer::default()
     }
 
+    /// Rebuilds a history from previously captured
+    /// [`HistoryServer::snapshot`] records — the persistence restore path.
+    pub fn from_records(records: Vec<RunRecord>) -> Self {
+        HistoryServer {
+            records: RwLock::new(records),
+        }
+    }
+
     /// Appends a record.
     pub fn record(&self, record: RunRecord) {
         self.records.write().push(record);

@@ -29,6 +29,8 @@
 //! * [`properties`] — the Table 4 `smartpick.*` property set.
 //! * [`driver`] — the [`driver::Smartpick`] facade wiring it all together
 //!   (Figure 3's steps 0–9).
+//! * [`persist`] — plain-data driver checkpoints for durable tenant state
+//!   (the export/restore surface `smartpick-store` serialises).
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@ pub mod error;
 pub mod features;
 pub mod history;
 pub mod mfe;
+pub mod persist;
 pub mod planner;
 pub mod properties;
 pub mod retrain;

@@ -88,6 +88,34 @@ impl Mfe {
         trigger
     }
 
+    /// Rebuilds an MFE from checkpointed state — the persistence restore
+    /// path. `clock_state` is [`Mfe::clock_state`] output and `epoch` is
+    /// [`Mfe::sim_epoch`], so the restored MFE's context stream continues
+    /// exactly where the checkpointed one stopped.
+    pub fn restore(
+        env: CloudEnv,
+        monitor: RetrainMonitor,
+        clock_state: [u64; 4],
+        epoch: f64,
+    ) -> Self {
+        Mfe {
+            env,
+            monitor,
+            clock: StdRng::from_state(clock_state),
+            epoch,
+        }
+    }
+
+    /// The raw state of the simulated clock/contention RNG stream.
+    pub fn clock_state(&self) -> [u64; 4] {
+        self.clock.state()
+    }
+
+    /// The current simulated epoch (seconds advanced so far).
+    pub fn sim_epoch(&self) -> f64 {
+        self.epoch
+    }
+
     /// The retraining monitor (for executing fired tasks).
     pub fn monitor_mut(&mut self) -> &mut RetrainMonitor {
         &mut self.monitor

@@ -134,6 +134,28 @@ impl RetrainMonitor {
         }
     }
 
+    /// Rebuilds a monitor from checkpointed state — the persistence
+    /// restore path. `pending` must carry the [`QueryFeatures::names`]
+    /// schema (callers rebuild it row by row from persisted samples).
+    pub fn restore(
+        props: SmartpickProperties,
+        pending: Dataset,
+        free_ram_gb: u32,
+        retrain_count: usize,
+    ) -> Self {
+        RetrainMonitor {
+            props,
+            pending,
+            free_ram_gb,
+            retrain_count,
+        }
+    }
+
+    /// The samples waiting for the next batch retrain.
+    pub fn pending(&self) -> &Dataset {
+        &self.pending
+    }
+
     /// Number of retraining tasks fired so far.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count

@@ -39,6 +39,14 @@ impl SimilarityChecker {
         SimilarityChecker::default()
     }
 
+    /// Rebuilds a checker from previously captured
+    /// [`SimilarityChecker::signatures`] — the persistence restore path.
+    /// Signatures are taken verbatim (no re-extraction), so a restored
+    /// checker matches queries exactly as the original did.
+    pub fn from_signatures(signatures: Vec<KnownSignature>) -> Self {
+        SimilarityChecker { known: signatures }
+    }
+
     /// Registers a known query, extracting its signature from its SQL and
     /// map-task count. Re-registering an id replaces the old signature.
     pub fn register(&mut self, query: &QueryProfile) {

@@ -343,6 +343,17 @@ impl WorkloadPredictor {
         (self.max_vm, self.max_sl)
     }
 
+    /// The minimum total instances a candidate may request (the training
+    /// floor the searches honour).
+    pub fn min_total(&self) -> u32 {
+        self.min_total
+    }
+
+    /// The similarity checker (alien-query matching state).
+    pub fn similarity(&self) -> &SimilarityChecker {
+        &self.sc
+    }
+
     /// Mutable access to the underlying forest (background retraining).
     pub(crate) fn forest_mut(&mut self) -> &mut RandomForest {
         &mut self.forest
@@ -689,6 +700,39 @@ impl WorkloadPredictionService for WorkloadPredictor {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        // Cross-request dedup: a determination is a pure function of the
+        // request (the δ-noise stream is seeded from it), so identical
+        // requests inside one frame are computed once and the result
+        // fanned out per index. Keyed on the canonical serialisation; a
+        // request that fails to serialise simply keeps its own slot.
+        let mut first_of: HashMap<String, usize> = HashMap::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let key = serde_json::to_string(r).unwrap_or_else(|_| format!("__nodedup_{i}"));
+            let slot = *first_of.entry(key).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        if unique.len() < requests.len() {
+            let uniques: Vec<PredictionRequest> =
+                unique.iter().map(|&i| requests[i].clone()).collect();
+            let computed = self.determine_unique_batch(&uniques)?;
+            return Ok(slot_of.iter().map(|&s| computed[s].clone()).collect());
+        }
+        self.determine_unique_batch(requests)
+    }
+}
+
+impl WorkloadPredictor {
+    /// The batched determine over already-deduplicated requests — the
+    /// computation half of [`WorkloadPredictionService::determine_batch`].
+    fn determine_unique_batch(
+        &self,
+        requests: &[PredictionRequest],
+    ) -> Result<Vec<Determination>, SmartpickError> {
         // Resolve every query up front so an unmatchable one fails the
         // whole batch before any search work is spent.
         let mut resolved = Vec::with_capacity(requests.len());

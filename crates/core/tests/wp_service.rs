@@ -1,6 +1,9 @@
 //! Integration tests of the Workload Prediction service boundary — the
 //! trait other SEDA systems consume (§5, §6.3.2).
 
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
 use smartpick_cloudsim::{CloudEnv, Provider};
 use smartpick_core::training::{train_predictor, TrainOptions};
 use smartpick_core::wp::{ConstraintMode, PredictionRequest, WorkloadPredictionService};
@@ -268,4 +271,111 @@ fn determine_batch_is_bit_identical_to_sequential_determines() {
     }
     // The empty batch is a no-op, not an error.
     assert!(wp.determine_batch(&[]).unwrap().is_empty());
+}
+
+/// Asserts two determinations are bitwise equal, field by field.
+fn assert_bit_identical(
+    got: &smartpick_core::Determination,
+    want: &smartpick_core::Determination,
+    context: &str,
+) {
+    assert_eq!(got.allocation, want.allocation, "{context}");
+    assert_eq!(
+        got.predicted_seconds.to_bits(),
+        want.predicted_seconds.to_bits(),
+        "{context}"
+    );
+    assert_eq!(got.predicted_cost, want.predicted_cost, "{context}");
+    assert_eq!(got.et_list, want.et_list, "{context}");
+    assert_eq!(got.evaluations, want.evaluations, "{context}");
+    assert_eq!(got.known_query, want.known_query, "{context}");
+    assert_eq!(got.matched_query, want.matched_query, "{context}");
+    assert_eq!(
+        got.match_similarity.to_bits(),
+        want.match_similarity.to_bits(),
+        "{context}"
+    );
+}
+
+#[test]
+fn duplicate_requests_in_a_batch_dedup_without_changing_results() {
+    // ROADMAP item 1: identical requests inside one frame are computed
+    // once and fanned out. The fan-out must be invisible — every slot,
+    // duplicate or not, equals its own sequential determine().
+    let wp = predictor();
+    let base = PredictionRequest::new(tpcds::query(11, 100.0).unwrap(), 21);
+    let other = PredictionRequest {
+        query: tpcds::query(49, 100.0).unwrap(),
+        knob: 0.2,
+        constraint: ConstraintMode::VmOnly,
+        seed: 22,
+    };
+    // Same query + seed but different knob must NOT collapse together.
+    let near_miss = PredictionRequest {
+        knob: 0.3,
+        ..base.clone()
+    };
+    let requests = vec![
+        base.clone(),
+        other.clone(),
+        base.clone(),
+        near_miss.clone(),
+        base,
+        other,
+        near_miss,
+    ];
+    let batch = wp.determine_batch(&requests).unwrap();
+    assert_eq!(batch.len(), requests.len());
+    for (i, (request, got)) in requests.iter().zip(&batch).enumerate() {
+        let want = wp.determine(request).unwrap();
+        assert_bit_identical(got, &want, &format!("slot {i}"));
+    }
+    // Duplicates really did collapse to the same answer object-for-object.
+    assert_eq!(batch[0].et_list, batch[2].et_list);
+    assert_eq!(batch[0].et_list, batch[4].et_list);
+}
+
+/// Trains the shared predictor once for the property test below.
+fn shared_predictor() -> &'static WorkloadPredictor {
+    static WP: OnceLock<WorkloadPredictor> = OnceLock::new();
+    WP.get_or_init(predictor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any multiset of requests drawn from a small pool — so duplicates
+    /// are frequent — answers identically to the undeduped sequential
+    /// path, slot for slot.
+    #[test]
+    fn dedup_batches_match_the_undeduped_path(
+        picks in prop::collection::vec(0usize..5, 1..10),
+    ) {
+        let wp = shared_predictor();
+        let pool = [
+            PredictionRequest::new(tpcds::query(11, 100.0).unwrap(), 101),
+            PredictionRequest::new(tpcds::query(49, 100.0).unwrap(), 102),
+            PredictionRequest {
+                query: tpcds::query(82, 100.0).unwrap(),
+                knob: 0.1,
+                constraint: ConstraintMode::SlOnly,
+                seed: 103,
+            },
+            PredictionRequest::new(tpcds::query(11, 100.0).unwrap(), 104),
+            PredictionRequest {
+                query: tpcds::query(49, 100.0).unwrap(),
+                knob: 0.0,
+                constraint: ConstraintMode::EqualSlVm,
+                seed: 102,
+            },
+        ];
+        let requests: Vec<PredictionRequest> =
+            picks.iter().map(|&i| pool[i].clone()).collect();
+        let batch = wp.determine_batch(&requests).unwrap();
+        prop_assert_eq!(batch.len(), requests.len());
+        for (i, (request, got)) in requests.iter().zip(&batch).enumerate() {
+            let want = wp.determine(request).unwrap();
+            assert_bit_identical(got, &want, &format!("slot {i} of {picks:?}"));
+        }
+    }
 }

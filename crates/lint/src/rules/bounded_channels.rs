@@ -15,7 +15,7 @@ pub struct BoundedChannels;
 
 pub const NAME: &str = "bounded-channels-only";
 
-const SCOPED_CRATES: &[&str] = &["service", "wire", "obs"];
+const SCOPED_CRATES: &[&str] = &["service", "wire", "obs", "store"];
 
 impl Rule for BoundedChannels {
     fn name(&self) -> &'static str {

@@ -108,7 +108,7 @@ fn in_scope(file: &SourceFile) -> bool {
         return false;
     }
     match file.crate_name.as_str() {
-        "service" | "wire" | "obs" => true,
+        "service" | "wire" | "obs" | "store" => true,
         "core" => file.rel.ends_with("src/driver.rs"),
         _ => false,
     }

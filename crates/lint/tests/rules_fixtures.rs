@@ -128,6 +128,38 @@ fn obs_crate_is_in_scope_for_the_concurrency_rules() {
 }
 
 #[test]
+fn store_crate_is_in_scope_for_the_concurrency_rules() {
+    // The store crate sits on the retrain workers' write path and under
+    // startup recovery: an unwrap or an unbounded channel there is a
+    // server-path violation like anywhere else in the serving stack.
+    let src = "fn header(bytes: &[u8], at: usize) -> u8 { bytes[at] }\n\
+               fn decode(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let file = SourceFile::parse_str("crates/store/src/fixture.rs", "store", FileKind::Src, src);
+    let findings = run_file(&file, &Context::default());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "panic-free-server-paths" && !f.allowed),
+        "{findings:#?}"
+    );
+    let unbounded = "use std::sync::mpsc::channel;\n\
+                     fn f() { let (_tx, _rx) = channel(); }\n";
+    let file = SourceFile::parse_str(
+        "crates/store/src/chan.rs",
+        "store",
+        FileKind::Src,
+        unbounded,
+    );
+    let findings = run_file(&file, &Context::default());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "bounded-channels-only" && !f.allowed),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn rules_out_of_scope_crates_stay_quiet() {
     // The panic-safety rules are scoped to server crates: the same
     // violations in (say) the figures tooling are not findings.

@@ -93,6 +93,51 @@ impl RandomForest {
         Ok(forest)
     }
 
+    /// Reassembles a fitted forest from its parts — the persistence
+    /// restore path. `params` is the configuration the forest was
+    /// originally fitted with; `trees` is the live ensemble (which may
+    /// hold more trees than `params.n_trees` after warm-start retrains).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] for an empty ensemble and
+    /// [`MlError::DimensionMismatch`] when any tree's feature width
+    /// differs from `n_features`.
+    pub fn from_parts(
+        trees: Vec<Arc<RegressionTree>>,
+        params: ForestParams,
+        n_features: usize,
+    ) -> Result<Self, MlError> {
+        if trees.is_empty() {
+            return Err(MlError::InvalidParameter(
+                "forest must hold at least one tree",
+            ));
+        }
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidParameter("n_trees must be positive"));
+        }
+        for tree in &trees {
+            if tree.n_features() != n_features {
+                return Err(MlError::DimensionMismatch {
+                    expected: n_features,
+                    actual: tree.n_features(),
+                });
+            }
+        }
+        Ok(RandomForest {
+            trees,
+            params,
+            n_features,
+        })
+    }
+
+    /// The live ensemble, oldest tree first — with
+    /// [`RegressionTree::flat_parts`], everything persistence needs to
+    /// reproduce the forest exactly via [`RandomForest::from_parts`].
+    pub fn trees(&self) -> &[Arc<RegressionTree>] {
+        &self.trees
+    }
+
     fn effective_tree_params(&self) -> TreeParams {
         let mut tp = self.params.tree.clone();
         if tp.max_features.is_none() {
@@ -402,6 +447,26 @@ mod tests {
         f.retire_oldest(30, 10);
         assert_eq!(snap.predict(&[5.0, 0.0]), before);
         assert_ne!(f.predict(&[5.0, 0.0]), before);
+    }
+
+    #[test]
+    fn from_parts_round_trip_is_bit_identical() {
+        let d = wave_data(150);
+        let mut f = RandomForest::fit(&d, &ForestParams::default(), 5).unwrap();
+        f.warm_start_extend(&d, 10, 6).unwrap();
+        let back = RandomForest::from_parts(f.trees().to_vec(), f.params().clone(), f.n_features())
+            .unwrap();
+        assert_eq!(back.n_trees(), f.n_trees());
+        for i in 0..20 {
+            let x = [i as f64 * 0.51, (i % 3) as f64];
+            assert_eq!(back.predict(&x).to_bits(), f.predict(&x).to_bits());
+        }
+        // Invalid shapes are rejected.
+        assert!(RandomForest::from_parts(vec![], ForestParams::default(), 2).is_err());
+        assert!(matches!(
+            RandomForest::from_parts(f.trees().to_vec(), ForestParams::default(), 3),
+            Err(MlError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -470,6 +470,98 @@ impl RegressionTree {
         }
     }
 
+    /// The flat struct-of-arrays compilation, `(feature, threshold,
+    /// children)` — the canonical on-disk shape for model persistence.
+    /// Slot `i` is a leaf when `feature[i] == u16::MAX` (the leaf value
+    /// sits inline in `threshold[i]`); otherwise `children[i]` is the
+    /// left-child index and the right child is `children[i] + 1`.
+    pub fn flat_parts(&self) -> (&[u16], &[f64], &[u32]) {
+        (
+            &self.flat.feature,
+            &self.flat.threshold,
+            &self.flat.children,
+        )
+    }
+
+    /// Reconstructs a fitted tree from [`RegressionTree::flat_parts`]
+    /// output plus its feature width and importance vector. The flat
+    /// layout is a complete encoding, so the reference `enum` tree is
+    /// rebuilt from it and both prediction paths stay bit-identical to
+    /// the originally fitted tree.
+    ///
+    /// Validation is total: every structural invariant is checked before
+    /// any walk could run, so corrupted inputs are rejected instead of
+    /// panicking or looping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] when the arrays are empty,
+    /// have mismatched lengths, reference out-of-range features or
+    /// children, or contain a non-forward child edge (which could form a
+    /// cycle).
+    pub fn from_flat_parts(
+        feature: Vec<u16>,
+        threshold: Vec<f64>,
+        children: Vec<u32>,
+        n_features: usize,
+        importance: Vec<f64>,
+    ) -> Result<Self, MlError> {
+        let n = feature.len();
+        if n == 0 {
+            return Err(MlError::InvalidParameter(
+                "tree must have at least one node",
+            ));
+        }
+        if threshold.len() != n || children.len() != n {
+            return Err(MlError::InvalidParameter("flat array lengths must match"));
+        }
+        if n_features >= LEAF as usize {
+            return Err(MlError::InvalidParameter(
+                "feature count must fit below the u16 leaf sentinel",
+            ));
+        }
+        if importance.len() != n_features {
+            return Err(MlError::InvalidParameter(
+                "importance width must match feature count",
+            ));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            if feature[i] == LEAF {
+                nodes.push(Node::Leaf {
+                    value: threshold[i],
+                });
+                continue;
+            }
+            if feature[i] as usize >= n_features {
+                return Err(MlError::InvalidParameter("split feature out of range"));
+            }
+            let left = children[i] as usize;
+            // Children must sit strictly after their parent (the compiler
+            // allocates them that way), which both bounds the arrays and
+            // rules out cycles, so every walk terminates.
+            if left <= i || left + 1 >= n {
+                return Err(MlError::InvalidParameter("child index not forward"));
+            }
+            nodes.push(Node::Split {
+                feature: feature[i] as usize,
+                threshold: threshold[i],
+                left,
+                right: left + 1,
+            });
+        }
+        Ok(RegressionTree {
+            flat: FlatTree {
+                feature,
+                threshold,
+                children,
+            },
+            nodes,
+            n_features,
+            importance,
+        })
+    }
+
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -582,6 +674,67 @@ mod tests {
         for i in 0..120 {
             let x = [i as f64 - 10.0, (i % 9) as f64];
             assert_eq!(t.predict(&x).to_bits(), t.predict_reference(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn flat_parts_round_trip_is_bit_identical() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 3).unwrap();
+        let (f, th, ch) = t.flat_parts();
+        let back = RegressionTree::from_flat_parts(
+            f.to_vec(),
+            th.to_vec(),
+            ch.to_vec(),
+            t.n_features(),
+            t.importance().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.node_count(), t.node_count());
+        for i in 0..120 {
+            let x = [i as f64 - 10.0, (i % 9) as f64];
+            assert_eq!(back.predict(&x).to_bits(), t.predict(&x).to_bits());
+            assert_eq!(
+                back.predict_reference(&x).to_bits(),
+                t.predict_reference(&x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn from_flat_parts_rejects_corrupt_structure() {
+        let d = step_data();
+        let t = RegressionTree::fit(&d, &TreeParams::default(), 3).unwrap();
+        let (f, th, ch) = t.flat_parts();
+        let (f, th, ch) = (f.to_vec(), th.to_vec(), ch.to_vec());
+        // Empty tree.
+        assert!(RegressionTree::from_flat_parts(vec![], vec![], vec![], 2, vec![0.0; 2]).is_err());
+        // Mismatched lengths.
+        assert!(RegressionTree::from_flat_parts(
+            f.clone(),
+            th[..th.len() - 1].to_vec(),
+            ch.clone(),
+            2,
+            vec![0.0; 2]
+        )
+        .is_err());
+        // Backward child edge (possible cycle) on the first split node.
+        if let Some(split) = f.iter().position(|&v| v != u16::MAX) {
+            let mut bad = ch.clone();
+            bad[split] = split as u32;
+            assert!(
+                RegressionTree::from_flat_parts(f.clone(), th.clone(), bad, 2, vec![0.0; 2])
+                    .is_err()
+            );
+        }
+        // Split feature out of range.
+        if let Some(split) = f.iter().position(|&v| v != u16::MAX) {
+            let mut bad = f.clone();
+            bad[split] = 7;
+            assert!(
+                RegressionTree::from_flat_parts(bad, th.clone(), ch.clone(), 2, vec![0.0; 2])
+                    .is_err()
+            );
         }
     }
 

@@ -84,6 +84,27 @@ pub enum EventKind {
     /// The supervisor gave up on a worker shard (policy `Strict`, retries
     /// exhausted, or respawn failure).
     WorkerFailed,
+    /// A tenant snapshot was persisted to the store.
+    SnapshotPersisted,
+    /// Recovery loaded a tenant's snapshot from the store.
+    SnapshotLoaded,
+    /// Recovery replayed a tenant's WAL records past its snapshot.
+    WalReplayed,
+    /// A torn (truncated/corrupt) WAL tail was dropped during recovery.
+    TornTailDropped,
+    /// A corrupt snapshot file was moved aside; recovery fell back to an
+    /// older snapshot plus WAL replay.
+    SnapshotQuarantined,
+    /// A shard WAL was compacted after snapshots made its prefix
+    /// redundant.
+    WalCompacted,
+    /// A tenant could not be recovered (no valid snapshot at any
+    /// generation); startup continued without it.
+    TenantUnrecoverable,
+    /// A store operation failed at runtime (WAL open/append, snapshot
+    /// write); the service continues serving without durability for the
+    /// affected work.
+    StoreDegraded,
 }
 
 impl EventKind {
@@ -103,6 +124,14 @@ impl EventKind {
             EventKind::WorkerPanic => "worker_panic",
             EventKind::WorkerRestarted => "worker_restarted",
             EventKind::WorkerFailed => "worker_failed",
+            EventKind::SnapshotPersisted => "snapshot_persisted",
+            EventKind::SnapshotLoaded => "snapshot_loaded",
+            EventKind::WalReplayed => "wal_replayed",
+            EventKind::TornTailDropped => "torn_tail_dropped",
+            EventKind::SnapshotQuarantined => "snapshot_quarantined",
+            EventKind::WalCompacted => "wal_compacted",
+            EventKind::TenantUnrecoverable => "tenant_unrecoverable",
+            EventKind::StoreDegraded => "store_degraded",
         }
     }
 
@@ -122,6 +151,14 @@ impl EventKind {
             "worker_panic" => Some(EventKind::WorkerPanic),
             "worker_restarted" => Some(EventKind::WorkerRestarted),
             "worker_failed" => Some(EventKind::WorkerFailed),
+            "snapshot_persisted" => Some(EventKind::SnapshotPersisted),
+            "snapshot_loaded" => Some(EventKind::SnapshotLoaded),
+            "wal_replayed" => Some(EventKind::WalReplayed),
+            "torn_tail_dropped" => Some(EventKind::TornTailDropped),
+            "snapshot_quarantined" => Some(EventKind::SnapshotQuarantined),
+            "wal_compacted" => Some(EventKind::WalCompacted),
+            "tenant_unrecoverable" => Some(EventKind::TenantUnrecoverable),
+            "store_degraded" => Some(EventKind::StoreDegraded),
             _ => None,
         }
     }
@@ -139,8 +176,15 @@ impl EventKind {
             EventKind::FeedbackShed
             | EventKind::StalenessFlagged
             | EventKind::BusyRejection
-            | EventKind::WorkerRestarted => Severity::Warn,
-            EventKind::WorkerPanic | EventKind::WorkerFailed => Severity::Error,
+            | EventKind::WorkerRestarted
+            | EventKind::TornTailDropped
+            | EventKind::SnapshotQuarantined => Severity::Warn,
+            EventKind::WorkerPanic
+            | EventKind::WorkerFailed
+            | EventKind::TenantUnrecoverable
+            | EventKind::StoreDegraded => Severity::Error,
+            EventKind::SnapshotPersisted | EventKind::WalCompacted => Severity::Debug,
+            EventKind::SnapshotLoaded | EventKind::WalReplayed => Severity::Info,
         }
     }
 }
@@ -561,6 +605,14 @@ mod tests {
             EventKind::WorkerPanic,
             EventKind::WorkerRestarted,
             EventKind::WorkerFailed,
+            EventKind::SnapshotPersisted,
+            EventKind::SnapshotLoaded,
+            EventKind::WalReplayed,
+            EventKind::TornTailDropped,
+            EventKind::SnapshotQuarantined,
+            EventKind::WalCompacted,
+            EventKind::TenantUnrecoverable,
+            EventKind::StoreDegraded,
         ] {
             assert_eq!(EventKind::parse(kind.name()), Some(kind));
             let _ = kind.default_severity();

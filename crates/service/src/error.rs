@@ -39,6 +39,11 @@ pub enum ServiceError {
     Stopped,
     /// A prediction / execution / retraining failure from the core.
     Core(SmartpickError),
+    /// A durable-store failure (opening the store directory, persisting a
+    /// snapshot on request). Runtime store failures on the worker path
+    /// degrade to events instead of surfacing here — serving never stops
+    /// for the disk.
+    Store(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -59,6 +64,7 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::Stopped => write!(f, "service is shut down"),
             ServiceError::Core(e) => write!(f, "core error: {e}"),
+            ServiceError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -102,6 +108,9 @@ mod tests {
         }
         .is_retryable());
         assert!(!ServiceError::UnknownTenant("t".into()).is_retryable());
+        assert!(ServiceError::Store("disk full".into())
+            .to_string()
+            .contains("disk full"));
         assert!(ServiceError::Stopped.to_string().contains("shut down"));
         let e: ServiceError = SmartpickError::NoTrainingData.into();
         assert!(e.source().is_some());

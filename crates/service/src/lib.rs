@@ -27,6 +27,10 @@
 //!   service totals under `service.*` in the shared metrics registry.
 //! * [`error`] — typed [`ServiceError`] rejections (admission control
 //!   rejections are marked retryable).
+//! * [`persist`] — the durability wiring over `smartpick_store`:
+//!   [`PersistenceConfig`], per-shard WAL appends on the worker path,
+//!   periodic snapshot persistence, and the crash-recovery pass behind
+//!   [`SmartpickService::open`]. The read path never touches it.
 //!
 //! Observability is built in: every counter lives in a shared
 //! [`smartpick_obs::Observability`] bundle, structured events go to its
@@ -57,6 +61,7 @@
 )]
 
 pub mod error;
+pub mod persist;
 mod queue;
 mod registry;
 pub mod service;
@@ -64,6 +69,9 @@ pub mod stats;
 pub mod worker;
 
 pub use error::ServiceError;
-pub use service::{ServiceConfig, SmartpickService};
+pub use persist::PersistenceConfig;
+pub use service::{FlushOutcome, ServiceConfig, SmartpickService};
+// The store's fsync knob is part of `PersistenceConfig`'s surface.
+pub use smartpick_store::FsyncPolicy;
 pub use stats::{LatencyHistogram, LatencySummary, ServiceStats, TenantStats, WorkerShardStats};
 pub use worker::CompletedRun;

@@ -1,0 +1,358 @@
+//! Durability wiring: how the service layers over `smartpick_store`.
+//!
+//! Three pieces live here. [`PersistenceConfig`] is the public knob
+//! surface (directory, fsync policy, snapshot cadence, compaction
+//! threshold). `ServicePersist`/`WorkerPersist` (crate-private) are the
+//! store handles the service façade and each retrain worker hold — the
+//! worker's carries the shard's WAL append handle. And `recover` is the
+//! crash-recovery pass `SmartpickService::open` runs **before any worker
+//! spawns**: newest valid snapshot per tenant, WAL replay past its
+//! generation, fresh snapshots persisted, WALs reset.
+//!
+//! The one rule every piece obeys: the read path
+//! (`predict`/`determine`) never touches any of this. Durability costs
+//! land on the retrain workers and on startup, never on a prediction.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime};
+
+use parking_lot::Mutex;
+use smartpick_core::driver::Smartpick;
+use smartpick_obs::{event, Counter, EventKind, Gauge, MetricsRegistry, Observability};
+use smartpick_store::wal::WalPayload;
+use smartpick_store::{FsyncPolicy, Snapshot, Store, WalRecord, WalWriter};
+
+use crate::registry::{ShardedRegistry, TenantState};
+use crate::worker::CompletedRun;
+
+/// Durability tunables for a [`crate::SmartpickService`] opened over a
+/// store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// The store root. Snapshots land under `tenants/`, WALs under
+    /// `wal/`.
+    pub dir: PathBuf,
+    /// When WAL appends reach the disk (see
+    /// [`smartpick_store::FsyncPolicy`]). Default: one fsync per applied
+    /// batch.
+    pub fsync: FsyncPolicy,
+    /// Persist a tenant's snapshot after this many applied reports. The
+    /// WAL covers everything since the last snapshot, so larger values
+    /// trade longer replay for fewer snapshot writes.
+    pub snapshot_every: u64,
+    /// Compact a shard WAL once it grows past this many bytes (checked
+    /// after each snapshot persist, when the floors have just moved).
+    pub compact_threshold_bytes: u64,
+}
+
+impl PersistenceConfig {
+    /// A config rooted at `dir` with the default knobs.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::PerBatch,
+            snapshot_every: 256,
+            compact_threshold_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The `store.*` metrics the durability layer reports.
+#[derive(Debug)]
+pub(crate) struct StoreMetrics {
+    pub(crate) wal_bytes_written: Arc<Counter>,
+    pub(crate) wal_records_appended: Arc<Counter>,
+    pub(crate) wal_records_replayed: Arc<Counter>,
+    pub(crate) snapshot_bytes_written: Arc<Counter>,
+    pub(crate) snapshots_persisted: Arc<Counter>,
+    pub(crate) snapshots_quarantined: Arc<Counter>,
+    pub(crate) torn_tails_dropped: Arc<Counter>,
+    pub(crate) compactions: Arc<Counter>,
+    pub(crate) recovery_duration_us: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    pub(crate) fn register(metrics: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            wal_bytes_written: metrics.counter("store.wal_bytes_written"),
+            wal_records_appended: metrics.counter("store.wal_records_appended"),
+            wal_records_replayed: metrics.counter("store.wal_records_replayed"),
+            snapshot_bytes_written: metrics.counter("store.snapshot_bytes_written"),
+            snapshots_persisted: metrics.counter("store.snapshots_persisted"),
+            snapshots_quarantined: metrics.counter("store.snapshots_quarantined"),
+            torn_tails_dropped: metrics.counter("store.torn_tails_dropped"),
+            compactions: metrics.counter("store.compactions"),
+            recovery_duration_us: metrics.gauge("store.recovery_duration_us"),
+        }
+    }
+}
+
+/// The façade's store handle: registration/deregistration snapshots and
+/// the `persist_*` admin API.
+#[derive(Debug)]
+pub(crate) struct ServicePersist {
+    pub(crate) store: Store,
+    pub(crate) cfg: PersistenceConfig,
+    pub(crate) metrics: Arc<StoreMetrics>,
+}
+
+/// One retrain worker's store handle: the shard WAL plus the knobs the
+/// apply loop needs. Rebuilt per spawn attempt (a restarted worker opens
+/// a fresh append handle).
+#[derive(Debug)]
+pub(crate) struct WorkerPersist {
+    pub(crate) store: Store,
+    /// `None` when the WAL could not be opened — the worker then runs
+    /// non-durable (a `StoreDegraded` event was emitted at spawn).
+    pub(crate) wal: Mutex<Option<WalWriter>>,
+    pub(crate) snapshot_every: u64,
+    pub(crate) compact_threshold_bytes: u64,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) metrics: Arc<StoreMetrics>,
+}
+
+/// A fresh durability epoch for a registration: wall-clock nanoseconds,
+/// so re-registering an id always gets a larger epoch than any record the
+/// old registration wrote.
+pub(crate) fn tenant_epoch() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// What [`recover`] did, for the caller's log line.
+#[derive(Debug, Default)]
+pub(crate) struct RecoveryOutcome {
+    pub(crate) tenants: usize,
+    pub(crate) unrecoverable: usize,
+}
+
+/// Crash recovery: rebuild every on-disk tenant into `registry`.
+///
+/// Runs strictly before the retrain workers spawn (they open WAL append
+/// handles; this pass rewrites the WAL files). Per tenant: load the
+/// newest snapshot that validates (corrupt ones were quarantined by the
+/// store), restore the driver bit-exactly, then replay this tenant's WAL
+/// records from *every* shard file — sorted by run id, deduplicated
+/// (at-least-once appends can duplicate), filtered to the snapshot's
+/// epoch and past its watermark — through the ordinary `apply_report`.
+/// Commits past the snapshot's generation reconstruct the published
+/// generation count; trailing applied-but-uncommitted reports count as
+/// one more publish. A fresh snapshot is persisted at the recovered
+/// generation and the WALs are reset once every tenant is through.
+pub(crate) fn recover(
+    store: &Store,
+    registry: &ShardedRegistry,
+    obs: &Observability,
+    metrics: &Arc<StoreMetrics>,
+    now_us: u64,
+) -> RecoveryOutcome {
+    let started = Instant::now();
+    let mut outcome = RecoveryOutcome::default();
+
+    // Gather every WAL record, tolerating torn tails per shard.
+    let mut records: Vec<WalRecord> = Vec::new();
+    match store.scan_wals() {
+        Ok(scans) => {
+            for shard in scans {
+                if let Some(reason) = &shard.scan.torn {
+                    metrics.torn_tails_dropped.inc();
+                    obs.events().publish(
+                        event(EventKind::TornTailDropped)
+                            .shard(shard.shard)
+                            .detail(format!(
+                                "kept {} bytes, {} records; dropped tail: {reason}",
+                                shard.scan.valid_len,
+                                shard.scan.records.len()
+                            )),
+                    );
+                }
+                records.extend(shard.scan.records);
+            }
+        }
+        Err(e) => {
+            obs.events()
+                .publish(event(EventKind::StoreDegraded).detail(format!("WAL scan failed: {e}")));
+        }
+    }
+
+    let tenant_ids = match store.tenant_ids() {
+        Ok(ids) => ids,
+        Err(e) => {
+            obs.events().publish(
+                event(EventKind::StoreDegraded).detail(format!("tenant listing failed: {e}")),
+            );
+            Vec::new()
+        }
+    };
+
+    for id in tenant_ids {
+        match recover_tenant(store, registry, obs, metrics, now_us, &id, &records) {
+            Ok(()) => outcome.tenants += 1,
+            Err(why) => {
+                outcome.unrecoverable += 1;
+                obs.events().publish(
+                    event(EventKind::TenantUnrecoverable)
+                        .tenant(&id)
+                        .detail(why),
+                );
+            }
+        }
+    }
+
+    // Everything recoverable is now folded into fresh snapshots; the
+    // WALs start over.
+    if let Err(e) = store.reset_wals() {
+        obs.events()
+            .publish(event(EventKind::StoreDegraded).detail(format!("WAL reset failed: {e}")));
+    }
+    metrics
+        .recovery_duration_us
+        .set(started.elapsed().as_micros() as i64);
+    outcome
+}
+
+/// One tenant's recovery. `Err(reason)` means unrecoverable (the caller
+/// emits the event); the service still starts.
+fn recover_tenant(
+    store: &Store,
+    registry: &ShardedRegistry,
+    obs: &Observability,
+    metrics: &Arc<StoreMetrics>,
+    now_us: u64,
+    id: &str,
+    records: &[WalRecord],
+) -> Result<(), String> {
+    let loaded = store
+        .load_snapshot(id)
+        .map_err(|e| format!("snapshot load failed: {e}"))?;
+    for name in &loaded.quarantined {
+        metrics.snapshots_quarantined.inc();
+        obs.events().publish(
+            event(EventKind::SnapshotQuarantined)
+                .tenant(id)
+                .detail(format!("{name} failed validation; moved to quarantine/")),
+        );
+    }
+    let snap = loaded
+        .snapshot
+        .ok_or_else(|| "no snapshot validated at any generation".to_owned())?;
+    let mut driver =
+        Smartpick::from_state(&snap.state).map_err(|e| format!("snapshot state invalid: {e}"))?;
+    obs.events()
+        .publish(event(EventKind::SnapshotLoaded).tenant(id).detail(format!(
+            "generation {}, watermark {}",
+            snap.generation, snap.watermark
+        )));
+
+    // This tenant's records, current epoch only, canonical replay order:
+    // reports sorted by run id and deduplicated (a worker that panicked
+    // mid-batch appends its rescued batch again on restart — at-least-
+    // once on disk, exactly-once through the model).
+    let replay_start = Instant::now();
+    let mut reports: Vec<(u64, &str)> = Vec::new();
+    let mut commits: Vec<(u64, u64)> = Vec::new();
+    for record in records {
+        if record.tenant != id || record.epoch != snap.epoch {
+            continue;
+        }
+        match &record.payload {
+            WalPayload::Report { run_id, run_json } => {
+                if *run_id > snap.watermark {
+                    reports.push((*run_id, run_json));
+                }
+            }
+            WalPayload::Commit {
+                generation,
+                watermark,
+            } => commits.push((*generation, *watermark)),
+        }
+    }
+    reports.sort_by_key(|(run_id, _)| *run_id);
+    reports.dedup_by_key(|(run_id, _)| *run_id);
+
+    let mut watermark = snap.watermark;
+    let mut replayed = 0u64;
+    let mut failed = 0u64;
+    for (run_id, run_json) in reports {
+        match serde_json::from_str::<CompletedRun>(run_json) {
+            Ok(run) => {
+                if driver
+                    .apply_report(&run.query, &run.determination, &run.report)
+                    .is_err()
+                {
+                    failed += 1;
+                }
+                replayed += 1;
+            }
+            Err(_) => failed += 1,
+        }
+        // The record was consumed either way; the watermark tracks
+        // consumption, exactly as the live path's does.
+        watermark = watermark.max(run_id);
+    }
+    metrics.wal_records_replayed.add(replayed);
+
+    // Reconstruct the published generation: commits the replayed
+    // watermark actually covers, plus one publish for any trailing
+    // applied-but-uncommitted reports.
+    let mut generation = snap.generation;
+    let mut committed_wm = snap.watermark;
+    for (commit_gen, commit_wm) in commits {
+        if commit_wm <= watermark && commit_gen > generation {
+            generation = commit_gen;
+            committed_wm = committed_wm.max(commit_wm);
+        }
+    }
+    if watermark > committed_wm {
+        generation += 1;
+    }
+    obs.events().publish(
+        event(EventKind::WalReplayed)
+            .tenant(id)
+            .duration(replay_start.elapsed())
+            .detail(format!(
+                "{replayed} reports replayed ({failed} failed), watermark {watermark}, generation {generation}"
+            )),
+    );
+
+    // Fold the replay into a fresh snapshot before the driver moves into
+    // the registry.
+    let fresh = Snapshot {
+        tenant: id.to_owned(),
+        epoch: snap.epoch,
+        generation,
+        watermark,
+        state: driver.export_state(),
+    };
+    let state = TenantState::new(id.to_owned(), driver, now_us, obs.metrics(), snap.epoch);
+    state.generation.store(generation, Ordering::Relaxed);
+    state.next_run_id.store(watermark, Ordering::Relaxed);
+    state.applied_watermark.store(watermark, Ordering::Relaxed);
+    registry
+        .insert(state)
+        .map_err(|e| format!("registry insert failed: {e}"))?;
+
+    match store.persist_snapshot(&fresh) {
+        Ok(bytes) => {
+            metrics.snapshots_persisted.inc();
+            metrics.snapshot_bytes_written.add(bytes);
+            obs.events().publish(
+                event(EventKind::SnapshotPersisted)
+                    .tenant(id)
+                    .detail(format!("generation {generation}, {bytes} bytes (recovery)")),
+            );
+        }
+        Err(e) => {
+            obs.events().publish(
+                event(EventKind::StoreDegraded)
+                    .tenant(id)
+                    .detail(format!("post-recovery snapshot persist failed: {e}")),
+            );
+        }
+    }
+    Ok(())
+}

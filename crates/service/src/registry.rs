@@ -50,6 +50,20 @@ pub(crate) struct TenantState {
     /// current stale episode (reset on every snapshot republish, so each
     /// episode yields one event, not one per prediction).
     pub(crate) stale_flagged: AtomicBool,
+    /// This registration's durability epoch (nanoseconds at registration,
+    /// or the recovered snapshot's). Stamped into every snapshot and WAL
+    /// record so replay can discard records from an earlier registration
+    /// of the same id.
+    pub(crate) epoch: u64,
+    /// The last run id handed out by `enqueue_report` (ids start at 1;
+    /// 0 means "none yet"). Restored to the replay watermark at recovery.
+    pub(crate) next_run_id: AtomicU64,
+    /// The highest run id a retrain worker has consumed for this tenant —
+    /// the watermark stamped into WAL commits and persisted snapshots.
+    pub(crate) applied_watermark: AtomicU64,
+    /// Reports applied since the last persisted snapshot; drives the
+    /// `snapshot_every` persistence cadence.
+    pub(crate) applied_since_persist: AtomicU64,
 }
 
 impl TenantState {
@@ -58,6 +72,7 @@ impl TenantState {
         driver: Smartpick,
         now_us: u64,
         metrics: &MetricsRegistry,
+        epoch: u64,
     ) -> Self {
         let counters = TenantCounters::register(metrics, &format!("tenant.{id}"));
         TenantState {
@@ -70,6 +85,10 @@ impl TenantState {
             generation: AtomicU64::new(0),
             published_at_us: AtomicU64::new(now_us),
             stale_flagged: AtomicBool::new(false),
+            epoch,
+            next_run_id: AtomicU64::new(0),
+            applied_watermark: AtomicU64::new(0),
+            applied_since_persist: AtomicU64::new(0),
         }
     }
 

@@ -1,11 +1,13 @@
 //! The `SmartpickService` façade: many threads, many tenants, one
 //! Smartpick per tenant.
 
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use smartpick_core::driver::{QueryOutcome, Smartpick};
 use smartpick_core::wp::{
     ConstraintMode, Determination, PredictionRequest, WorkloadPredictionService,
@@ -15,8 +17,10 @@ use smartpick_obs::{
     event, EventKind, Gauge, HealthReport, LatencyHistogram, Observability, RestartPolicy,
     ScrapeEnvelope, SpawnFn, Supervisor, SupervisorConfig, WorkerHealth, WorkerState, WorkerStatus,
 };
+use smartpick_store::{Snapshot, Store};
 
 use crate::error::ServiceError;
+use crate::persist::{self, PersistenceConfig, ServicePersist, StoreMetrics, WorkerPersist};
 use crate::queue::{PushRejected, ShardedQueue};
 use crate::registry::{tenant_hash, ShardedRegistry, TenantState};
 use crate::stats::{ServiceStats, ShardCounters, TenantCounters, TenantStats, WorkerShardStats};
@@ -56,6 +60,11 @@ pub struct ServiceConfig {
     /// the service is built over an existing [`Observability`] via
     /// [`SmartpickService::with_observability`]).
     pub event_capacity: usize,
+    /// Durable tenant state, when set: snapshots + per-shard WALs under
+    /// the configured directory, with crash recovery at startup. `None`
+    /// (the default) runs fully in-memory. Usually set through
+    /// [`SmartpickService::open`].
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -74,7 +83,38 @@ impl Default for ServiceConfig {
             supervisor_poll: Duration::from_millis(20),
             stall_deadline: Duration::from_secs(5),
             event_capacity: 256,
+            persistence: None,
         }
+    }
+}
+
+/// What [`SmartpickService::try_flush`] observed — the typed answer to
+/// "did my reports land, and if not, why not".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Every report enqueued before the call was applied and its
+    /// tenant's snapshot republished, on every shard.
+    Flushed,
+    /// A worker shard failed permanently (restart policy exhausted); its
+    /// queue will never drain. Retrying cannot help.
+    ShardFailed {
+        /// The failed shard.
+        shard: usize,
+    },
+    /// The timeout elapsed while a live shard was still draining.
+    /// Retrying with a longer timeout may succeed.
+    TimedOut {
+        /// The shard still draining when time ran out.
+        shard: usize,
+    },
+    /// The service was shut down before the flush could be enqueued.
+    Stopped,
+}
+
+impl FlushOutcome {
+    /// `true` only for [`FlushOutcome::Flushed`].
+    pub fn is_flushed(self) -> bool {
+        matches!(self, FlushOutcome::Flushed)
     }
 }
 
@@ -146,6 +186,10 @@ pub struct SmartpickService {
     tenants_gauge: Arc<Gauge>,
     queue_depth_gauge: Arc<Gauge>,
     shard_depth_gauges: Box<[Arc<Gauge>]>,
+    /// The durable store, when configured: registration/deregistration
+    /// snapshots and the `persist_*` admin API. The worker-side WAL
+    /// handles live in each worker's context, not here.
+    persist: Option<Arc<ServicePersist>>,
 }
 
 impl SmartpickService {
@@ -194,6 +238,42 @@ impl SmartpickService {
         let tenants_gauge = metrics.gauge("service.tenants");
         let queue_depth_gauge = metrics.gauge("service.queue_depth");
         let epoch = Instant::now();
+        let registry = ShardedRegistry::new(config.shards);
+
+        // Durable store + crash recovery, strictly before any worker
+        // spawns: recovery rewrites the WAL files the workers are about
+        // to hold append handles on. A store that cannot open degrades
+        // (event + in-memory operation) — startup never fails for the
+        // disk.
+        let persist: Option<Arc<ServicePersist>> =
+            config
+                .persistence
+                .as_ref()
+                .and_then(|cfg| match Store::open(&cfg.dir) {
+                    Ok(store) => {
+                        let store_metrics = Arc::new(StoreMetrics::register(metrics));
+                        let outcome = persist::recover(
+                            &store,
+                            &registry,
+                            &obs,
+                            &store_metrics,
+                            epoch.elapsed().as_micros() as u64,
+                        );
+                        tenants_gauge.add(outcome.tenants as i64);
+                        Some(Arc::new(ServicePersist {
+                            store,
+                            cfg: cfg.clone(),
+                            metrics: store_metrics,
+                        }))
+                    }
+                    Err(e) => {
+                        obs.events().publish(
+                            event(EventKind::StoreDegraded)
+                                .detail(format!("store open failed, running in-memory only: {e}")),
+                        );
+                        None
+                    }
+                });
 
         // Workers are spawned (and respawned after panics) through the
         // supervisor; a spawn failure marks its shard failed — visible in
@@ -206,14 +286,40 @@ impl SmartpickService {
             let totals = Arc::clone(&totals);
             let obs = Arc::clone(&obs);
             let batch_max = config.retrain_batch_max;
+            let persist = persist.clone();
             Box::new(move |shard, attempt| {
                 let queue = Arc::clone(shard_queues.get(shard)?);
+                let worker_persist = persist.as_ref().map(|sp| {
+                    // Each spawn attempt opens its own append handle (the
+                    // predecessor's died with its thread); open failure
+                    // degrades this worker to non-durable applies.
+                    let wal = match sp.store.open_wal(shard, sp.cfg.fsync) {
+                        Ok(writer) => Some(writer),
+                        Err(e) => {
+                            obs.events().publish(
+                                event(EventKind::StoreDegraded)
+                                    .shard(shard)
+                                    .detail(format!("WAL open failed, applying non-durably: {e}")),
+                            );
+                            None
+                        }
+                    };
+                    Arc::new(WorkerPersist {
+                        store: sp.store.clone(),
+                        wal: Mutex::new(wal),
+                        snapshot_every: sp.cfg.snapshot_every,
+                        compact_threshold_bytes: sp.cfg.compact_threshold_bytes,
+                        fsync: sp.cfg.fsync,
+                        metrics: Arc::clone(&sp.metrics),
+                    })
+                });
                 let ctx = WorkerCtx {
                     shard,
                     counters: Arc::clone(shard_counters.get(shard)?),
                     totals: Arc::clone(&totals),
                     obs: Arc::clone(&obs),
                     epoch,
+                    persist: worker_persist,
                 };
                 std::thread::Builder::new()
                     .name(format!("smartpickd-retrain-{shard}.{attempt}"))
@@ -233,7 +339,7 @@ impl SmartpickService {
         );
 
         SmartpickService {
-            registry: ShardedRegistry::new(config.shards),
+            registry,
             queues,
             supervisor,
             shard_counters,
@@ -245,12 +351,48 @@ impl SmartpickService {
             tenants_gauge,
             queue_depth_gauge,
             shard_depth_gauges,
+            persist,
         }
     }
 
     /// Starts a service with [`ServiceConfig::default`].
     pub fn with_defaults() -> Self {
         SmartpickService::new(ServiceConfig::default())
+    }
+
+    /// Opens a **durable** service rooted at `dir`: recovers every tenant
+    /// persisted there (newest valid snapshot + WAL replay, tolerating
+    /// torn tails and quarantining corrupt files), then starts the
+    /// workers with per-shard WALs and periodic snapshot persistence.
+    ///
+    /// `config.persistence` supplies the durability knobs if set (its
+    /// `dir` is overridden by `dir`); otherwise the defaults of
+    /// [`PersistenceConfig::at`] apply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] if the store directory cannot be created
+    /// or opened. Per-tenant recovery problems never fail startup; they
+    /// surface as `snapshot_quarantined` / `tenant_unrecoverable` /
+    /// `store_degraded` events and `store.*` metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `config` count/capacity field is zero (as
+    /// [`SmartpickService::new`]).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        mut config: ServiceConfig,
+    ) -> Result<SmartpickService, ServiceError> {
+        let dir = dir.into();
+        // Validate the root up front so a bad path is a hard error here,
+        // not a degraded-mode surprise later.
+        Store::open(&dir).map_err(|e| ServiceError::Store(e.to_string()))?;
+        match &mut config.persistence {
+            Some(cfg) => cfg.dir = dir,
+            None => config.persistence = Some(PersistenceConfig::at(dir)),
+        }
+        Ok(SmartpickService::new(config))
     }
 
     /// The configuration the service was started with.
@@ -284,16 +426,52 @@ impl SmartpickService {
             return Err(ServiceError::Stopped);
         }
         let id = id.into();
+        let epoch = persist::tenant_epoch();
+        // Export before the driver moves into the registry; persisted
+        // only after the insert succeeds, so a duplicate-id rejection
+        // cannot touch the existing tenant's files.
+        let exported = self.persist.as_ref().map(|_| driver.export_state());
         self.registry.insert(TenantState::new(
             id.clone(),
             driver,
             self.now_us(),
             self.obs.metrics(),
+            epoch,
         ))?;
         self.tenants_gauge.inc();
         self.obs
             .events()
-            .publish(event(EventKind::TenantRegistered).tenant(id));
+            .publish(event(EventKind::TenantRegistered).tenant(&id));
+        if let (Some(sp), Some(state)) = (&self.persist, exported) {
+            // A re-registered id starts a new epoch: clear any files the
+            // old registration left so they can never shadow this one.
+            let _ = sp.store.remove_tenant(&id);
+            let snap = Snapshot {
+                tenant: id.clone(),
+                epoch,
+                generation: 0,
+                watermark: 0,
+                state,
+            };
+            match sp.store.persist_snapshot(&snap) {
+                Ok(bytes) => {
+                    sp.metrics.snapshots_persisted.inc();
+                    sp.metrics.snapshot_bytes_written.add(bytes);
+                    self.obs.events().publish(
+                        event(EventKind::SnapshotPersisted)
+                            .tenant(&id)
+                            .detail(format!("generation 0, {bytes} bytes (registration)")),
+                    );
+                }
+                Err(e) => {
+                    self.obs.events().publish(
+                        event(EventKind::StoreDegraded)
+                            .tenant(&id)
+                            .detail(format!("registration snapshot persist failed: {e}")),
+                    );
+                }
+            }
+        }
         Ok(())
     }
 
@@ -328,6 +506,18 @@ impl SmartpickService {
         let _state = self.registry.remove(id)?;
         self.obs.metrics().remove_prefix(&format!("tenant.{id}."));
         self.tenants_gauge.dec();
+        if let Some(sp) = &self.persist {
+            // Best-effort: leftover WAL records for the removed tenant
+            // are dropped at the next compaction/recovery (no tenant
+            // directory to replay into).
+            if let Err(e) = sp.store.remove_tenant(id) {
+                self.obs.events().publish(
+                    event(EventKind::StoreDegraded)
+                        .tenant(id)
+                        .detail(format!("tenant removal from store failed: {e}")),
+                );
+            }
+        }
         self.obs
             .events()
             .publish(event(EventKind::TenantDeregistered).tenant(id));
@@ -596,8 +786,13 @@ impl SmartpickService {
             });
         }
 
+        // Run ids are assigned at admission (ids start at 1), so a report
+        // keeps its id across a worker-panic re-queue and its WAL records
+        // deduplicate at replay.
+        let run_id = state.next_run_id.fetch_add(1, Ordering::Relaxed) + 1;
         let msg = WorkerMsg::Job {
             tenant: Arc::clone(state),
+            run_id,
             run: Box::new(run),
         };
         let shard = self.worker_shard_of(&state.id);
@@ -644,9 +839,22 @@ impl SmartpickService {
     /// applied and its tenant's snapshot republished — on every worker
     /// shard. Returns `false` if the service is already shut down or a
     /// worker shard has failed permanently (its queue would never drain).
+    /// [`SmartpickService::try_flush`] reports *which* of those happened.
     pub fn flush(&self) -> bool {
-        if self.failed_shards().next().is_some() {
-            return false;
+        self.flush_inner(None).is_flushed()
+    }
+
+    /// [`SmartpickService::flush`] with a deadline and a typed outcome:
+    /// callers can tell a shard that failed permanently (retrying is
+    /// pointless) from one that was merely still draining when `timeout`
+    /// ran out (retrying with a longer timeout may succeed).
+    pub fn try_flush(&self, timeout: Duration) -> FlushOutcome {
+        self.flush_inner(Some(Instant::now() + timeout))
+    }
+
+    fn flush_inner(&self, deadline: Option<Instant>) -> FlushOutcome {
+        if let Some(shard) = self.failed_shards().next() {
+            return FlushOutcome::ShardFailed { shard };
         }
         // One flush token per shard; the blocking pushes park on each
         // queue's not-full condvar, so a flush against a saturated queue
@@ -660,25 +868,105 @@ impl SmartpickService {
                 .push_blocking(shard, WorkerMsg::Flush(ack))
                 .is_err()
             {
-                return false;
+                return FlushOutcome::Stopped;
             }
             pending.push(done);
         }
         // A worker can die *while* we wait (its restart re-queues and
         // eventually acks our token), or die for good (policy gives up) —
-        // poll with a timeout so a permanently failed shard turns into
-        // `false` instead of a hang.
-        pending.into_iter().enumerate().all(|(shard, done)| loop {
-            match done.recv_timeout(Duration::from_millis(50)) {
-                Ok(()) => break true,
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.shard_has_failed(shard) {
-                        break false;
+        // poll with a timeout so a permanently failed shard turns into a
+        // typed outcome instead of a hang.
+        for (shard, done) in pending.into_iter().enumerate() {
+            loop {
+                match done.recv_timeout(Duration::from_millis(50)) {
+                    Ok(()) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.shard_has_failed(shard) {
+                            return FlushOutcome::ShardFailed { shard };
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return FlushOutcome::TimedOut { shard };
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // The ack sender died without sending; the rescue
+                        // guard re-queues flush tokens on panic, so this
+                        // means the shard is gone for good.
+                        return FlushOutcome::ShardFailed { shard };
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => break false,
             }
-        })
+        }
+        FlushOutcome::Flushed
+    }
+
+    // ---------------------------------------------------------------
+    // Durability (admin API)
+    // ---------------------------------------------------------------
+
+    /// Persists `tenant`'s full driver state to the store right now, off
+    /// the worker cadence — the admin "checkpoint this tenant" hook.
+    /// Returns the snapshot's encoded size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] if persistence is not configured or the
+    /// write fails; [`ServiceError::UnknownTenant`] if not registered.
+    pub fn persist_tenant(&self, tenant: &str) -> Result<u64, ServiceError> {
+        let Some(sp) = &self.persist else {
+            return Err(ServiceError::Store("persistence not configured".into()));
+        };
+        let state = self.registry.get(tenant)?;
+        // Export under the driver lock so state/generation/watermark are
+        // one consistent cut (the worker updates all three under or
+        // before the same lock).
+        let (exported, generation, watermark) = {
+            let driver = state.driver.lock();
+            (
+                driver.export_state(),
+                state.generation.load(Ordering::Relaxed),
+                state.applied_watermark.load(Ordering::Relaxed),
+            )
+        };
+        let snap = Snapshot {
+            tenant: state.id.clone(),
+            epoch: state.epoch,
+            generation,
+            watermark,
+            state: exported,
+        };
+        let bytes = sp
+            .store
+            .persist_snapshot(&snap)
+            .map_err(|e| ServiceError::Store(e.to_string()))?;
+        sp.metrics.snapshots_persisted.inc();
+        sp.metrics.snapshot_bytes_written.add(bytes);
+        state.applied_since_persist.store(0, Ordering::Relaxed);
+        self.obs.events().publish(
+            event(EventKind::SnapshotPersisted)
+                .tenant(tenant)
+                .detail(format!("generation {generation}, {bytes} bytes (admin)")),
+        );
+        Ok(bytes)
+    }
+
+    /// [`SmartpickService::persist_tenant`] for every registered tenant.
+    /// Returns how many were persisted; the first store failure aborts.
+    ///
+    /// # Errors
+    ///
+    /// See [`SmartpickService::persist_tenant`] ([`ServiceError::UnknownTenant`]
+    /// from a concurrent deregistration is skipped, not an error).
+    pub fn persist_all(&self) -> Result<usize, ServiceError> {
+        let mut persisted = 0;
+        for id in self.registry.ids() {
+            match self.persist_tenant(&id) {
+                Ok(_) => persisted += 1,
+                Err(ServiceError::UnknownTenant(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(persisted)
     }
 
     /// Shards the supervisor has given up on.

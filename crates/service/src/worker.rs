@@ -31,10 +31,14 @@ use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::Instant;
 
+use smartpick_core::persist::DriverState;
 use smartpick_core::wp::Determination;
 use smartpick_engine::{QueryProfile, RunReport};
 use smartpick_obs::{event, EventKind, Observability};
+use smartpick_store::wal::WalPayload;
+use smartpick_store::{Snapshot, WalRecord};
 
+use crate::persist::WorkerPersist;
 use crate::queue::BoundedQueue;
 use crate::registry::TenantState;
 use crate::stats::{ShardCounters, TenantCounters};
@@ -60,6 +64,10 @@ pub(crate) enum WorkerMsg {
         /// never touches the registry and deregistered tenants still get
         /// their in-flight reports applied).
         tenant: Arc<TenantState>,
+        /// The tenant-scoped run id assigned at enqueue time. Stable
+        /// across a `BatchRescue` re-queue, so a report that is WAL-
+        /// appended twice around a worker panic deduplicates at replay.
+        run_id: u64,
         /// The run to apply.
         run: Box<CompletedRun>,
     },
@@ -86,6 +94,10 @@ pub(crate) struct WorkerCtx {
     /// The service epoch `published_at_us`/progress stamps are relative
     /// to.
     pub(crate) epoch: Instant,
+    /// The durability layer, when the service was opened over a store:
+    /// this shard's WAL handle plus the snapshot/compaction knobs.
+    /// `None` runs the classic in-memory-only worker.
+    pub(crate) persist: Option<Arc<WorkerPersist>>,
 }
 
 /// The worker loop: runs until its queue shard is closed and drained.
@@ -194,6 +206,15 @@ fn process_batch(rescue: &mut BatchRescue<'_>, ctx: &WorkerCtx) {
 
 /// Applies one tenant's slots under its driver lock, then republishes the
 /// snapshot exactly once and emits the retrain events.
+///
+/// With persistence configured the order is WAL-first: every report in
+/// the group is appended (and synced per policy) *before* any apply
+/// mutates the driver, so an accepted report is durable before the crash
+/// window opens. A worker panic between append and apply replays the
+/// record at recovery; a panic after apply re-appends it via the rescue
+/// re-queue — both collapse to exactly-once because replay deduplicates
+/// by run id. The commit record and any due snapshot persist happen
+/// after the publish, off the driver lock.
 fn apply_group(
     tenant: &Arc<TenantState>,
     idxs: &[usize],
@@ -206,15 +227,21 @@ fn apply_group(
             .tenant(&tenant.id)
             .shard(ctx.shard),
     );
+    if let Some(persist) = ctx.persist.as_deref() {
+        wal_append_reports(persist, tenant, idxs, rescue, ctx);
+    }
     let mut applied = 0u64;
     let mut retrains = 0u64;
+    let mut consumed = 0u64;
+    let mut exported: Option<DriverState> = None;
     {
         let mut driver = tenant.driver.lock();
         for &i in idxs {
-            let outcome = match rescue.slots.get(i) {
-                Some(Some(WorkerMsg::Job { run, .. })) => {
-                    driver.apply_report(&run.query, &run.determination, &run.report)
-                }
+            let (outcome, run_id) = match rescue.slots.get(i) {
+                Some(Some(WorkerMsg::Job { run, run_id, .. })) => (
+                    driver.apply_report(&run.query, &run.determination, &run.report),
+                    *run_id,
+                ),
                 _ => continue,
             };
             match outcome {
@@ -238,8 +265,29 @@ fn apply_group(
                     ctx.totals.apply_failures.inc();
                 }
             }
+            // The watermark tracks consumption (the record will never be
+            // offered again), not apply success — replay treats a
+            // deterministic apply failure the same way.
+            tenant
+                .applied_watermark
+                .fetch_max(run_id, Ordering::Relaxed);
+            consumed += 1;
             tenant.counters.pending.fetch_sub(1, Ordering::Relaxed);
             rescue.consume(i);
+        }
+        if let Some(persist) = ctx.persist.as_deref() {
+            if consumed > 0 {
+                let since = tenant
+                    .applied_since_persist
+                    .fetch_add(consumed, Ordering::Relaxed)
+                    + consumed;
+                if since >= persist.snapshot_every {
+                    // Export under the lock so the persisted state and the
+                    // about-to-publish snapshot are the same model.
+                    exported = Some(driver.export_state());
+                    tenant.applied_since_persist.store(0, Ordering::Relaxed);
+                }
+            }
         }
         let snapshot = driver.snapshot();
         drop(driver);
@@ -250,6 +298,11 @@ fn apply_group(
             .tenant(&tenant.id)
             .shard(ctx.shard),
     );
+    if let Some(persist) = ctx.persist.as_deref() {
+        if consumed > 0 {
+            persist_after_publish(persist, tenant, exported, ctx);
+        }
+    }
     ctx.obs.events().publish(
         event(EventKind::RetrainFinished)
             .tenant(&tenant.id)
@@ -259,4 +312,178 @@ fn apply_group(
                 "{applied} reports applied, {retrains} retrains fired"
             )),
     );
+}
+
+/// Appends the group's reports to the shard WAL and syncs per policy.
+/// Failures degrade: one `StoreDegraded` event, and the batch proceeds
+/// non-durable (availability over durability — the query results behind
+/// these reports were already returned).
+fn wal_append_reports(
+    persist: &WorkerPersist,
+    tenant: &Arc<TenantState>,
+    idxs: &[usize],
+    rescue: &BatchRescue<'_>,
+    ctx: &WorkerCtx,
+) {
+    let mut wal = persist.wal.lock();
+    let Some(writer) = wal.as_mut() else {
+        return;
+    };
+    let before = writer.bytes_written();
+    let mut appended = 0u64;
+    for &i in idxs {
+        let Some(Some(WorkerMsg::Job { run, run_id, .. })) = rescue.slots.get(i) else {
+            continue;
+        };
+        let record = WalRecord {
+            tenant: tenant.id.clone(),
+            epoch: tenant.epoch,
+            payload: WalPayload::Report {
+                run_id: *run_id,
+                run_json: serde_json::to_string(run.as_ref()).unwrap_or_default(),
+            },
+        };
+        match writer.append(&record.encode_payload()) {
+            Ok(()) => appended += 1,
+            Err(e) => {
+                ctx.obs.events().publish(
+                    event(EventKind::StoreDegraded)
+                        .tenant(&tenant.id)
+                        .shard(ctx.shard)
+                        .detail(format!("WAL append failed: {e}")),
+                );
+                break;
+            }
+        }
+    }
+    if let Err(e) = writer.sync() {
+        ctx.obs.events().publish(
+            event(EventKind::StoreDegraded)
+                .shard(ctx.shard)
+                .detail(format!("WAL sync failed: {e}")),
+        );
+    }
+    persist.metrics.wal_records_appended.add(appended);
+    persist
+        .metrics
+        .wal_bytes_written
+        .add(writer.bytes_written().saturating_sub(before));
+}
+
+/// The post-publish durability tail: commit record, due snapshot
+/// persist, and (after a snapshot moved the floors) a compaction pass.
+fn persist_after_publish(
+    persist: &WorkerPersist,
+    tenant: &Arc<TenantState>,
+    exported: Option<DriverState>,
+    ctx: &WorkerCtx,
+) {
+    let generation = tenant.generation.load(Ordering::Relaxed);
+    let watermark = tenant.applied_watermark.load(Ordering::Relaxed);
+    {
+        let mut wal = persist.wal.lock();
+        if let Some(writer) = wal.as_mut() {
+            let before = writer.bytes_written();
+            let record = WalRecord {
+                tenant: tenant.id.clone(),
+                epoch: tenant.epoch,
+                payload: WalPayload::Commit {
+                    generation,
+                    watermark,
+                },
+            };
+            let appended = writer
+                .append(&record.encode_payload())
+                .and_then(|()| writer.sync());
+            if let Err(e) = appended {
+                ctx.obs.events().publish(
+                    event(EventKind::StoreDegraded)
+                        .tenant(&tenant.id)
+                        .shard(ctx.shard)
+                        .detail(format!("WAL commit failed: {e}")),
+                );
+            } else {
+                persist.metrics.wal_records_appended.inc();
+                persist
+                    .metrics
+                    .wal_bytes_written
+                    .add(writer.bytes_written().saturating_sub(before));
+            }
+        }
+    }
+    let Some(state) = exported else {
+        return;
+    };
+    let snap = Snapshot {
+        tenant: tenant.id.clone(),
+        epoch: tenant.epoch,
+        generation,
+        watermark,
+        state,
+    };
+    match persist.store.persist_snapshot(&snap) {
+        Ok(bytes) => {
+            persist.metrics.snapshots_persisted.inc();
+            persist.metrics.snapshot_bytes_written.add(bytes);
+            ctx.obs.events().publish(
+                event(EventKind::SnapshotPersisted)
+                    .tenant(&tenant.id)
+                    .shard(ctx.shard)
+                    .detail(format!("generation {generation}, {bytes} bytes")),
+            );
+        }
+        Err(e) => {
+            ctx.obs.events().publish(
+                event(EventKind::StoreDegraded)
+                    .tenant(&tenant.id)
+                    .shard(ctx.shard)
+                    .detail(format!("snapshot persist failed: {e}")),
+            );
+            return;
+        }
+    }
+    // The snapshot just raised this tenant's floor; if the shard WAL has
+    // grown past the threshold, rewrite it. The append handle must be
+    // closed across the rewrite (the file is replaced) and reopened
+    // after.
+    let mut wal = persist.wal.lock();
+    let over = wal
+        .as_ref()
+        .is_some_and(|w| w.file_len() > persist.compact_threshold_bytes);
+    if !over {
+        return;
+    }
+    *wal = None;
+    match persist.store.compact_wal(ctx.shard) {
+        Ok(stats) => {
+            persist.metrics.compactions.inc();
+            ctx.obs
+                .events()
+                .publish(
+                    event(EventKind::WalCompacted)
+                        .shard(ctx.shard)
+                        .detail(format!(
+                            "{} records kept, {} dropped; {} -> {} bytes",
+                            stats.kept, stats.dropped, stats.bytes_before, stats.bytes_after
+                        )),
+                );
+        }
+        Err(e) => {
+            ctx.obs.events().publish(
+                event(EventKind::StoreDegraded)
+                    .shard(ctx.shard)
+                    .detail(format!("WAL compaction failed: {e}")),
+            );
+        }
+    }
+    match persist.store.open_wal(ctx.shard, persist.fsync) {
+        Ok(writer) => *wal = Some(writer),
+        Err(e) => {
+            ctx.obs.events().publish(
+                event(EventKind::StoreDegraded)
+                    .shard(ctx.shard)
+                    .detail(format!("WAL reopen after compaction failed: {e}")),
+            );
+        }
+    }
 }

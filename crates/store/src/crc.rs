@@ -1,0 +1,70 @@
+//! CRC-32 (IEEE 802.3), the checksum both on-disk formats carry.
+//!
+//! The standard reflected table-driven implementation (polynomial
+//! `0xEDB88320`), byte-at-a-time over a 256-entry table built at first
+//! use. Torn-write detection — a record or snapshot whose payload bytes
+//! were only partially flushed — is the whole job; cryptographic
+//! integrity is explicitly *not* (the store trusts its own disk, not its
+//! writers' atomicity).
+
+use std::sync::OnceLock;
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+                bit += 1;
+            }
+            // lint:allow(panic-free-server-paths, reason = "the while condition bounds i below the table length 256")
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// The CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        // lint:allow(panic-free-server-paths, reason = "the index is masked to 0..=255 against a [u32; 256] table")
+        c = (c >> 8) ^ t[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let want = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

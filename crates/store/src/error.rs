@@ -1,0 +1,69 @@
+//! The store's typed failures.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a store operation failed.
+///
+/// The two variants draw the line recovery cares about: [`StoreError::Io`]
+/// means the *filesystem* misbehaved (permissions, disk full, a vanished
+/// directory) and retrying or degrading to non-durable operation may
+/// help; [`StoreError::Corrupt`] means the *bytes* are wrong (bad magic,
+/// CRC mismatch, impossible counts) and the file itself is the problem —
+/// recovery quarantines it and falls back rather than retrying.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(String),
+    /// The bytes on disk failed validation (magic, version, CRC, or
+    /// structural checks).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(what) => write!(f, "store I/O error: {what}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store data: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl StoreError {
+    /// Whether this failure means the bytes themselves are bad (so the
+    /// file should be quarantined, not retried).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, StoreError::Corrupt(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let io: StoreError = io::Error::other("disk gone").into();
+        assert!(!io.is_corrupt());
+        assert!(io.to_string().contains("disk gone"));
+        let bad = StoreError::Corrupt("crc mismatch".into());
+        assert!(bad.is_corrupt());
+        assert!(bad.to_string().contains("crc"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,564 @@
+//! The snapshot codec: one tenant's full driver checkpoint as a
+//! versioned, CRC-checked binary file.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic   8 bytes  "SPSNAP1\0"
+//! version u32 BE   currently 1
+//! length  u32 BE   payload byte count
+//! payload length bytes
+//! crc     u32 BE   CRC-32 (IEEE) of the payload bytes
+//! ```
+//!
+//! The payload carries the snapshot identity (tenant, epoch, generation,
+//! WAL watermark) followed by [`DriverState`]: the forest reuses its flat
+//! struct-of-arrays inference layout verbatim (per tree: the `u16`
+//! feature, `f64` threshold and `u32` children arrays), floats travel as
+//! raw bits so restore is bit-exact, and the two shapes that already have
+//! canonical JSON forms elsewhere in the system (`smartpick.*` properties
+//! and the history records) are embedded as JSON strings.
+//!
+//! Decoding is **total** in the `smartpick_wire::codec` style: arbitrary
+//! bytes can never panic or over-read, every count is checked against the
+//! bytes remaining before allocation, trailing bytes are rejected, and a
+//! truncated or bit-flipped file fails the CRC before any field is
+//! trusted.
+
+use serde::Serialize;
+use smartpick_cloudsim::Provider;
+use smartpick_core::persist::{
+    DriverState, ForestState, KnownQueryState, MfeState, MonitorState, PredictorState, TreeState,
+};
+use smartpick_core::properties::SmartpickProperties;
+
+use crate::codec::{put_f64, put_f64s, put_str, put_u16, put_u32, put_u64, put_u8, Reader};
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+/// The 8-byte file magic.
+pub const MAGIC: &[u8; 8] = b"SPSNAP1\0";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// One tenant's durable checkpoint: identity plus the full driver state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The tenant this checkpoint belongs to.
+    pub tenant: String,
+    /// The tenant's registration epoch — WAL records from other epochs
+    /// (an earlier registration under the same id) must not replay into
+    /// this state.
+    pub epoch: u64,
+    /// The snapshot generation at capture time (how many snapshots the
+    /// tenant had published).
+    pub generation: u64,
+    /// The highest run id applied into this state. Replay starts strictly
+    /// after it.
+    pub watermark: u64,
+    /// The complete driver checkpoint.
+    pub state: DriverState,
+}
+
+/// The identity prefix of a snapshot, readable without decoding the full
+/// driver state (compaction uses this to compute per-tenant floors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The tenant this checkpoint belongs to.
+    pub tenant: String,
+    /// The tenant's registration epoch.
+    pub epoch: u64,
+    /// The snapshot generation at capture time.
+    pub generation: u64,
+    /// The highest run id applied into this state.
+    pub watermark: u64,
+}
+
+/// JSON for a shape whose canonical form is already JSON elsewhere in
+/// the system (the shim's `to_string` is infallible).
+fn json<T: Serialize>(t: &T) -> String {
+    serde_json::to_string(t).unwrap_or_default()
+}
+
+impl Snapshot {
+    /// Encodes the whole snapshot file (magic, version, payload, CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(4096);
+        self.encode_payload(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 20);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u32(&mut out, payload.len() as u32);
+        let crc = crc32(&payload);
+        out.extend_from_slice(&payload);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.tenant);
+        put_u64(out, self.epoch);
+        put_u64(out, self.generation);
+        put_u64(out, self.watermark);
+        put_str(out, &json(&self.state.props));
+        encode_predictor(&self.state.predictor, out);
+        put_str(out, &json(&self.state.history));
+        encode_mfe(&self.state.mfe, out);
+        for &w in &self.state.rng_state {
+            put_u64(out, w);
+        }
+    }
+
+    /// Decodes a complete snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on bad magic, unknown version, length
+    /// mismatch, CRC failure, or any structural defect in the payload.
+    /// Never panics on any input.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+        let payload = checked_payload(bytes)?;
+        let mut r = Reader::new(payload);
+        let tenant = r.str()?;
+        let epoch = r.u64()?;
+        let generation = r.u64()?;
+        let watermark = r.u64()?;
+        let props: SmartpickProperties = from_json(&r.str()?, "properties")?;
+        let predictor = decode_predictor(&mut r)?;
+        let history = from_json(&r.str()?, "history")?;
+        let mfe = decode_mfe(&mut r)?;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = r.u64()?;
+        }
+        r.finish()?;
+        Ok(Snapshot {
+            tenant,
+            epoch,
+            generation,
+            watermark,
+            state: DriverState {
+                props,
+                predictor,
+                history,
+                mfe,
+                rng_state,
+            },
+        })
+    }
+
+    /// Decodes only the identity prefix — still CRC-checked, so a meta
+    /// read never trusts torn bytes, but the (much larger) driver state
+    /// is not materialised.
+    ///
+    /// # Errors
+    ///
+    /// See [`Snapshot::decode`].
+    pub fn decode_meta(bytes: &[u8]) -> Result<SnapshotMeta, StoreError> {
+        let payload = checked_payload(bytes)?;
+        let mut r = Reader::new(payload);
+        Ok(SnapshotMeta {
+            tenant: r.str()?,
+            epoch: r.u64()?,
+            generation: r.u64()?,
+            watermark: r.u64()?,
+        })
+    }
+}
+
+/// Validates the envelope (magic, version, length, CRC) and returns the
+/// payload slice.
+fn checked_payload(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    let Some(magic) = bytes.get(..8) else {
+        return Err(StoreError::Corrupt(format!(
+            "file too short for a snapshot header ({} bytes)",
+            bytes.len()
+        )));
+    };
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt("bad snapshot magic".into()));
+    }
+    let mut r = Reader::new(bytes.get(8..).unwrap_or(&[]));
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let len = r.u32()? as usize;
+    let payload_start = 16usize;
+    let crc_start = payload_start.saturating_add(len);
+    let payload = bytes
+        .get(payload_start..crc_start)
+        .ok_or_else(|| StoreError::Corrupt("payload truncated".into()))?;
+    let crc_bytes = bytes
+        .get(crc_start..crc_start.saturating_add(4))
+        .ok_or_else(|| StoreError::Corrupt("missing trailing CRC".into()))?;
+    if crc_start + 4 != bytes.len() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the CRC",
+            bytes.len() - crc_start - 4
+        )));
+    }
+    let want = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let got = crc32(payload);
+    if got != want {
+        return Err(StoreError::Corrupt(format!(
+            "payload CRC mismatch (stored {want:#010x}, computed {got:#010x})"
+        )));
+    }
+    Ok(payload)
+}
+
+fn from_json<T: serde::Deserialize>(s: &str, what: &str) -> Result<T, StoreError> {
+    serde_json::from_str(s).map_err(|e| StoreError::Corrupt(format!("bad {what} JSON: {e:?}")))
+}
+
+fn encode_predictor(p: &PredictorState, out: &mut Vec<u8>) {
+    put_u8(
+        out,
+        match p.provider {
+            Provider::Aws => 0,
+            Provider::Gcp => 1,
+        },
+    );
+    put_u8(out, p.compute_optimised as u8);
+    let f = &p.forest;
+    put_u32(out, f.n_trees);
+    put_u32(out, f.max_depth);
+    put_u32(out, f.min_samples_split);
+    put_u32(out, f.min_samples_leaf);
+    match f.max_features {
+        Some(m) => {
+            put_u8(out, 1);
+            put_u32(out, m);
+        }
+        None => put_u8(out, 0),
+    }
+    put_u8(out, f.bootstrap as u8);
+    put_u32(out, f.n_features);
+    put_u32(out, f.trees.len() as u32);
+    for t in &f.trees {
+        put_u32(out, t.feature.len() as u32);
+        for &v in &t.feature {
+            put_u16(out, v);
+        }
+        for &v in &t.threshold {
+            put_f64(out, v);
+        }
+        for &v in &t.children {
+            put_u32(out, v);
+        }
+        put_f64s(out, &t.importance);
+    }
+    put_u32(out, p.known.len() as u32);
+    for k in &p.known {
+        put_str(out, &k.id);
+        put_f64(out, k.code);
+        put_f64(out, k.input_gb);
+        put_u64(out, k.tasks);
+        put_f64(out, k.task_secs_on_vm);
+    }
+    put_u32(out, p.signatures.len() as u32);
+    for (id, vector) in &p.signatures {
+        put_str(out, id);
+        for &v in vector {
+            put_f64(out, v);
+        }
+    }
+    put_u8(out, p.relay_aware as u8);
+    put_f64(out, p.stderr);
+    put_u32(out, p.max_vm);
+    put_u32(out, p.max_sl);
+    put_u32(out, p.min_total);
+}
+
+fn decode_predictor(r: &mut Reader<'_>) -> Result<PredictorState, StoreError> {
+    let provider = match r.u8()? {
+        0 => Provider::Aws,
+        1 => Provider::Gcp,
+        other => return Err(StoreError::Corrupt(format!("unknown provider tag {other}"))),
+    };
+    let compute_optimised = bool_of(r.u8()?, "compute_optimised")?;
+    let n_trees = r.u32()?;
+    let max_depth = r.u32()?;
+    let min_samples_split = r.u32()?;
+    let min_samples_leaf = r.u32()?;
+    let max_features = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "bad max_features presence tag {other}"
+            )))
+        }
+    };
+    let bootstrap = bool_of(r.u8()?, "bootstrap")?;
+    let n_features = r.u32()?;
+    // Every tree costs ≥ one slot (2 + 8 + 4 bytes) plus the importance
+    // count prefix.
+    let tree_count = r.count(18)?;
+    let mut trees = Vec::with_capacity(tree_count);
+    for _ in 0..tree_count {
+        // Every slot costs 2 (feature) + 8 (threshold) + 4 (children).
+        let n_slots = r.count(14)?;
+        let mut feature = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            feature.push(r.u16()?);
+        }
+        let mut threshold = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            threshold.push(r.f64()?);
+        }
+        let mut children = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            children.push(r.u32()?);
+        }
+        let importance = r.f64s()?;
+        trees.push(TreeState {
+            feature,
+            threshold,
+            children,
+            importance,
+        });
+    }
+    // Every known query costs ≥ 4 (id length) + 8*4 (numbers).
+    let known_count = r.count(36)?;
+    let mut known = Vec::with_capacity(known_count);
+    for _ in 0..known_count {
+        known.push(KnownQueryState {
+            id: r.str()?,
+            code: r.f64()?,
+            input_gb: r.f64()?,
+            tasks: r.u64()?,
+            task_secs_on_vm: r.f64()?,
+        });
+    }
+    // Every signature costs ≥ 4 (id length) + 8*4 (vector).
+    let sig_count = r.count(36)?;
+    let mut signatures = Vec::with_capacity(sig_count);
+    for _ in 0..sig_count {
+        let id = r.str()?;
+        let mut vector = [0f64; 4];
+        for v in &mut vector {
+            *v = r.f64()?;
+        }
+        signatures.push((id, vector));
+    }
+    Ok(PredictorState {
+        provider,
+        compute_optimised,
+        forest: ForestState {
+            n_trees,
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            max_features,
+            bootstrap,
+            n_features,
+            trees,
+        },
+        known,
+        signatures,
+        relay_aware: bool_of(r.u8()?, "relay_aware")?,
+        stderr: r.f64()?,
+        max_vm: r.u32()?,
+        max_sl: r.u32()?,
+        min_total: r.u32()?,
+    })
+}
+
+fn encode_mfe(m: &MfeState, out: &mut Vec<u8>) {
+    for &w in &m.clock_state {
+        put_u64(out, w);
+    }
+    put_f64(out, m.epoch);
+    let mon = &m.monitor;
+    put_u32(out, mon.pending_features.len() as u32);
+    let width = mon.pending_features.first().map(|r| r.len()).unwrap_or(0);
+    put_u32(out, width as u32);
+    for row in &mon.pending_features {
+        for &v in row {
+            put_f64(out, v);
+        }
+    }
+    for &t in &mon.pending_targets {
+        put_f64(out, t);
+    }
+    put_u32(out, mon.free_ram_gb);
+    put_u64(out, mon.retrain_count);
+}
+
+fn decode_mfe(r: &mut Reader<'_>) -> Result<MfeState, StoreError> {
+    let mut clock_state = [0u64; 4];
+    for w in &mut clock_state {
+        *w = r.u64()?;
+    }
+    let epoch = r.f64()?;
+    // Every pending row costs width*8 bytes plus its 8-byte target.
+    let rows = r.u32()? as usize;
+    let width = r.u32()? as usize;
+    let per_row = width.saturating_mul(8).saturating_add(8);
+    if rows > r.remaining() / per_row.max(1) {
+        return Err(StoreError::Corrupt(format!(
+            "pending row count {rows} exceeds the {} bytes remaining",
+            r.remaining()
+        )));
+    }
+    let mut pending_features = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = Vec::with_capacity(width);
+        for _ in 0..width {
+            row.push(r.f64()?);
+        }
+        pending_features.push(row);
+    }
+    let mut pending_targets = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        pending_targets.push(r.f64()?);
+    }
+    Ok(MfeState {
+        clock_state,
+        epoch,
+        monitor: MonitorState {
+            pending_features,
+            pending_targets,
+            free_ram_gb: r.u32()?,
+            retrain_count: r.u64()?,
+        },
+    })
+}
+
+fn bool_of(b: u8, what: &str) -> Result<bool, StoreError> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(StoreError::Corrupt(format!("bad {what} flag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small synthetic checkpoint exercising every payload branch
+    /// (leaf-only tree, pending rows, optional max_features).
+    fn sample() -> Snapshot {
+        const LEAF: u16 = u16::MAX;
+        Snapshot {
+            tenant: "acme-α".into(),
+            epoch: 7,
+            generation: 3,
+            watermark: 41,
+            state: DriverState {
+                props: SmartpickProperties::default(),
+                predictor: PredictorState {
+                    provider: Provider::Gcp,
+                    compute_optimised: true,
+                    forest: ForestState {
+                        n_trees: 2,
+                        max_depth: 16,
+                        min_samples_split: 4,
+                        min_samples_leaf: 2,
+                        max_features: Some(5),
+                        bootstrap: true,
+                        n_features: 3,
+                        trees: vec![
+                            TreeState {
+                                feature: vec![LEAF],
+                                threshold: vec![12.5],
+                                children: vec![0],
+                                importance: vec![0.0, 0.0, 0.0],
+                            },
+                            TreeState {
+                                feature: vec![1, LEAF, LEAF],
+                                threshold: vec![0.5, 1.0, 2.0],
+                                children: vec![1, 0, 0],
+                                importance: vec![0.0, 1.25, 0.0],
+                            },
+                        ],
+                    },
+                    known: vec![KnownQueryState {
+                        id: "tpcds-q11".into(),
+                        code: 11.0,
+                        input_gb: 100.0,
+                        tasks: 64,
+                        task_secs_on_vm: 2.5,
+                    }],
+                    signatures: vec![("tpcds-q11".into(), [1.0, 2.0, 3.0, 4.0])],
+                    relay_aware: false,
+                    stderr: 0.75,
+                    max_vm: 20,
+                    max_sl: 40,
+                    min_total: 4,
+                },
+                history: Vec::new(),
+                mfe: MfeState {
+                    clock_state: [1, 2, 3, u64::MAX],
+                    epoch: 1234.5,
+                    monitor: MonitorState {
+                        pending_features: vec![vec![1.0, -0.0, f64::MAX]],
+                        pending_targets: vec![9.5],
+                        free_ram_gb: 8,
+                        retrain_count: 2,
+                    },
+                },
+                rng_state: [5, 6, 7, 8],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        let meta = Snapshot::decode_meta(&bytes).unwrap();
+        assert_eq!(meta.tenant, "acme-α");
+        assert_eq!(meta.epoch, 7);
+        assert_eq!(meta.generation, 3);
+        assert_eq!(meta.watermark, 41);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "decode accepted a file truncated at byte {cut}"
+            );
+            assert!(Snapshot::decode_meta(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn any_payload_bit_flip_fails_the_crc() {
+        let bytes = sample().encode();
+        // Flip one bit in every payload byte (skip the 16-byte header and
+        // the trailing CRC itself — flipping those trips other checks).
+        for i in 16..bytes.len() - 4 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            let err = Snapshot::decode(&bad).unwrap_err();
+            assert!(err.is_corrupt(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_version_and_trailing_bytes_are_rejected() {
+        let bytes = sample().encode();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(Snapshot::decode(&wrong_magic).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[11] = 9;
+        assert!(Snapshot::decode(&wrong_version).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Snapshot::decode(&trailing).is_err());
+        assert!(Snapshot::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,744 @@
+//! The directory layer: where snapshots and WALs live, and every
+//! filesystem discipline recovery depends on.
+//!
+//! * **Atomic snapshot writes** — encode to `*.tmp`, `fsync`, rename into
+//!   place, best-effort directory sync. A crash mid-write leaves a stale
+//!   `.tmp` (ignored and cleaned on the next write), never a half-visible
+//!   snapshot.
+//! * **Keep-2 retention** — the two newest generations per tenant are
+//!   retained. Two, not one: if the newest file turns out corrupt at
+//!   recovery, the older one plus the WAL suffix past *its* watermark
+//!   still reconstructs the tenant, which is also why WAL compaction
+//!   floors at the *older* retained snapshot's watermark.
+//! * **Quarantine, never delete** — a file that fails validation is moved
+//!   into `quarantine/` with its bytes intact, so a corruption bug can be
+//!   diagnosed after the fact; recovery then falls back instead of
+//!   failing startup.
+//! * **Torn-tail truncation on WAL open** — an append handle is only
+//!   handed out after the file's torn tail (if any) has been cut at the
+//!   longest valid prefix, so new records never land after garbage.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::snapshot::{Snapshot, SnapshotMeta};
+use crate::wal::{scan_wal, FsyncPolicy, WalPayload, WalRecord, WalScan, WalWriter};
+
+/// How many snapshot generations are retained per tenant.
+pub const RETAINED_SNAPSHOTS: usize = 2;
+
+/// A handle on one store root directory. Cheap to clone (it is only the
+/// paths); all state lives on disk.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+/// One tenant's newest valid snapshot, plus what was quarantined finding
+/// it.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The decoded snapshot, or `None` when no file validated.
+    pub snapshot: Option<Snapshot>,
+    /// File names moved into `quarantine/` because they failed
+    /// validation (newest first, the order they were tried).
+    pub quarantined: Vec<String>,
+}
+
+/// One shard WAL's scan result.
+#[derive(Debug)]
+pub struct ShardScan {
+    /// The shard index parsed from the file name.
+    pub shard: usize,
+    /// The scan (longest valid prefix + torn-tail report).
+    pub scan: WalScan,
+}
+
+/// What a compaction pass did to one shard WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records kept (still ahead of some tenant's floor).
+    pub kept: usize,
+    /// Records dropped as redundant (covered by retained snapshots) or
+    /// stale (deregistered tenant / earlier epoch).
+    pub dropped: usize,
+    /// File bytes before.
+    pub bytes_before: u64,
+    /// File bytes after.
+    pub bytes_after: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("tenants")).map_err(StoreError::from)?;
+        fs::create_dir_all(root.join("wal")).map_err(StoreError::from)?;
+        Ok(Store { root })
+    }
+
+    /// The root this store was opened at.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn tenant_dir(&self, tenant: &str) -> PathBuf {
+        self.root.join("tenants").join(encode_tenant(tenant))
+    }
+
+    fn wal_path(&self, shard: usize) -> PathBuf {
+        self.root.join("wal").join(format!("shard-{shard}.wal"))
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshots
+    // -----------------------------------------------------------------
+
+    /// Persists `snapshot` atomically and prunes old generations (keep
+    /// [`RETAINED_SNAPSHOTS`]). Returns the encoded byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn persist_snapshot(&self, snapshot: &Snapshot) -> Result<u64, StoreError> {
+        let dir = self.tenant_dir(&snapshot.tenant);
+        fs::create_dir_all(&dir).map_err(StoreError::from)?;
+        let bytes = snapshot.encode();
+        let final_path = dir.join(format!("snap-{:020}.snap", snapshot.generation));
+        let tmp_path = dir.join(format!("snap-{:020}.tmp", snapshot.generation));
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp_path)
+                .map_err(StoreError::from)?;
+            f.write_all(&bytes).map_err(StoreError::from)?;
+            f.sync_data().map_err(StoreError::from)?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(StoreError::from)?;
+        sync_dir(&dir);
+        self.prune_snapshots(&dir)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Deletes snapshots beyond the newest [`RETAINED_SNAPSHOTS`], plus
+    /// any stale `.tmp` leftovers from crashed writes.
+    fn prune_snapshots(&self, dir: &Path) -> Result<(), StoreError> {
+        let mut snaps = snapshot_files(dir)?;
+        // Newest first.
+        snaps.sort_by_key(|s| std::cmp::Reverse(s.0));
+        for (_, path) in snaps.into_iter().skip(RETAINED_SNAPSHOTS) {
+            fs::remove_file(path).map_err(StoreError::from)?;
+        }
+        for entry in fs::read_dir(dir).map_err(StoreError::from)? {
+            let path = entry.map_err(StoreError::from)?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Every tenant id that has a directory in the store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the tenants directory cannot be listed.
+    pub fn tenant_ids(&self) -> Result<Vec<String>, StoreError> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(self.root.join("tenants")).map_err(StoreError::from)? {
+            let entry = entry.map_err(StoreError::from)?;
+            if entry.file_type().map_err(StoreError::from)?.is_dir() {
+                if let Some(name) = entry.file_name().to_str() {
+                    ids.push(decode_tenant(name));
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Loads `tenant`'s newest snapshot that validates, moving each
+    /// corrupt newer file into `quarantine/` rather than failing — the
+    /// fall-back-and-rebuild half of the durability story.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures (corruption is handled,
+    /// not returned).
+    pub fn load_snapshot(&self, tenant: &str) -> Result<LoadedSnapshot, StoreError> {
+        let dir = self.tenant_dir(tenant);
+        if !dir.is_dir() {
+            return Ok(LoadedSnapshot {
+                snapshot: None,
+                quarantined: Vec::new(),
+            });
+        }
+        let mut snaps = snapshot_files(&dir)?;
+        snaps.sort_by_key(|s| std::cmp::Reverse(s.0));
+        let mut quarantined = Vec::new();
+        for (_, path) in snaps {
+            let bytes = fs::read(&path).map_err(StoreError::from)?;
+            match Snapshot::decode(&bytes) {
+                // A snapshot that decodes but belongs to some other
+                // tenant's id is as corrupt as a bad CRC.
+                Ok(snap) if snap.tenant == tenant => {
+                    return Ok(LoadedSnapshot {
+                        snapshot: Some(snap),
+                        quarantined,
+                    })
+                }
+                _ => {
+                    quarantined.push(quarantine(&dir, &path));
+                }
+            }
+        }
+        Ok(LoadedSnapshot {
+            snapshot: None,
+            quarantined,
+        })
+    }
+
+    /// Reads `tenant`'s retained snapshot *metas* (CRC-checked identity
+    /// prefixes), newest first, skipping unreadable files.
+    fn snapshot_metas(&self, tenant_dir: &Path) -> Result<Vec<SnapshotMeta>, StoreError> {
+        let mut snaps = snapshot_files(tenant_dir)?;
+        snaps.sort_by_key(|s| std::cmp::Reverse(s.0));
+        let mut metas = Vec::new();
+        for (_, path) in snaps {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Ok(meta) = Snapshot::decode_meta(&bytes) {
+                    metas.push(meta);
+                }
+            }
+        }
+        Ok(metas)
+    }
+
+    /// Removes every trace of `tenant` (snapshots and quarantine). Used
+    /// on deregistration and before re-registering an id, so stale-epoch
+    /// snapshots can never shadow the new tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory exists but cannot be removed.
+    pub fn remove_tenant(&self, tenant: &str) -> Result<(), StoreError> {
+        let dir = self.tenant_dir(tenant);
+        if dir.is_dir() {
+            fs::remove_dir_all(dir).map_err(StoreError::from)?;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // WAL
+    // -----------------------------------------------------------------
+
+    /// Opens an append handle on shard `shard`'s WAL, truncating any torn
+    /// tail first so appends always extend a valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// if the file exists but is not a WAL at all.
+    pub fn open_wal(&self, shard: usize, policy: FsyncPolicy) -> Result<WalWriter, StoreError> {
+        let path = self.wal_path(shard);
+        if path.is_file() {
+            let bytes = fs::read(&path).map_err(StoreError::from)?;
+            let scan = scan_wal(&bytes)?;
+            if scan.torn.is_some() {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(StoreError::from)?;
+                f.set_len(scan.valid_len).map_err(StoreError::from)?;
+                f.sync_data().map_err(StoreError::from)?;
+            }
+        }
+        WalWriter::open(&path, policy)
+    }
+
+    /// Scans every shard WAL in the store (whatever shard count wrote
+    /// them — recovery regroups records per tenant, so a changed worker
+    /// count between runs is harmless).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the WAL directory cannot be listed or a file
+    /// cannot be read. Torn files are scanned, not errors.
+    pub fn scan_wals(&self) -> Result<Vec<ShardScan>, StoreError> {
+        let mut scans = Vec::new();
+        for entry in fs::read_dir(self.root.join("wal")).map_err(StoreError::from)? {
+            let path = entry.map_err(StoreError::from)?.path();
+            let Some(shard) = shard_of(&path) else {
+                continue;
+            };
+            let bytes = fs::read(&path).map_err(StoreError::from)?;
+            let scan = match scan_wal(&bytes) {
+                Ok(scan) => scan,
+                // Not a WAL at all: treat the whole file as a torn tail.
+                Err(e) => WalScan {
+                    records: Vec::new(),
+                    valid_len: 0,
+                    torn: Some(e.to_string()),
+                },
+            };
+            scans.push(ShardScan { shard, scan });
+        }
+        scans.sort_by_key(|s| s.shard);
+        Ok(scans)
+    }
+
+    /// Deletes every shard WAL — called once recovery has folded their
+    /// records into freshly persisted snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if a file cannot be removed.
+    pub fn reset_wals(&self) -> Result<(), StoreError> {
+        for entry in fs::read_dir(self.root.join("wal")).map_err(StoreError::from)? {
+            let path = entry.map_err(StoreError::from)?.path();
+            if shard_of(&path).is_some() {
+                fs::remove_file(path).map_err(StoreError::from)?;
+            }
+        }
+        sync_dir(&self.root.join("wal"));
+        Ok(())
+    }
+
+    /// Rewrites shard `shard`'s WAL keeping only records still needed for
+    /// recovery: per on-disk tenant, records past the **older** retained
+    /// snapshot's watermark (so a corrupt newest snapshot can still fall
+    /// back), same-epoch only; records for tenants with no snapshot
+    /// directory (deregistered) are dropped.
+    ///
+    /// The caller must not hold an open [`WalWriter`] on this shard
+    /// across the call — the file is replaced, so the handle must be
+    /// reopened after.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn compact_wal(&self, shard: usize) -> Result<CompactStats, StoreError> {
+        let path = self.wal_path(shard);
+        let bytes = if path.is_file() {
+            fs::read(&path).map_err(StoreError::from)?
+        } else {
+            Vec::new()
+        };
+        let bytes_before = bytes.len() as u64;
+        let scan = scan_wal(&bytes).unwrap_or(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: Some("not a WAL".into()),
+        });
+
+        // Per-tenant floors from the retained snapshot metas: the floor
+        // is the *minimum* (oldest retained) watermark/generation, keyed
+        // by the current epoch on disk.
+        let mut floors: HashMap<String, (u64, u64, u64)> = HashMap::new();
+        for tenant in self.tenant_ids()? {
+            let metas = self.snapshot_metas(&self.tenant_dir(&tenant))?;
+            if let Some(newest) = metas.first() {
+                let epoch = newest.epoch;
+                let (wm, generation) = metas
+                    .iter()
+                    .filter(|m| m.epoch == epoch)
+                    .map(|m| (m.watermark, m.generation))
+                    .fold((u64::MAX, u64::MAX), |acc, v| {
+                        (acc.0.min(v.0), acc.1.min(v.1))
+                    });
+                floors.insert(tenant, (epoch, wm, generation));
+            }
+        }
+
+        let mut kept_records = Vec::new();
+        let mut dropped = 0usize;
+        for record in scan.records {
+            let keep = match floors.get(&record.tenant) {
+                Some(&(epoch, wm_floor, gen_floor)) if record.epoch == epoch => {
+                    match &record.payload {
+                        WalPayload::Report { run_id, .. } => *run_id > wm_floor,
+                        WalPayload::Commit { generation, .. } => *generation > gen_floor,
+                    }
+                }
+                // Wrong epoch or no snapshot at all: stale, drop.
+                _ => false,
+            };
+            if keep {
+                kept_records.push(record);
+            } else {
+                dropped += 1;
+            }
+        }
+
+        let tmp = self.root.join("wal").join(format!("shard-{shard}.tmp"));
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(StoreError::from)?;
+            f.write_all(crate::wal::MAGIC).map_err(StoreError::from)?;
+            for record in &kept_records {
+                f.write_all(&WalRecord::frame(&record.encode_payload()))
+                    .map_err(StoreError::from)?;
+            }
+            f.sync_data().map_err(StoreError::from)?;
+        }
+        fs::rename(&tmp, &path).map_err(StoreError::from)?;
+        sync_dir(&self.root.join("wal"));
+        let bytes_after = fs::metadata(&path).map_err(StoreError::from)?.len();
+        Ok(CompactStats {
+            kept: kept_records.len(),
+            dropped,
+            bytes_before,
+            bytes_after,
+        })
+    }
+}
+
+/// `(generation, path)` for every `snap-*.snap` in `dir`.
+fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut snaps = Vec::new();
+    for entry in fs::read_dir(dir).map_err(StoreError::from)? {
+        let path = entry.map_err(StoreError::from)?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(generation) = name
+            .strip_prefix("snap-")
+            .and_then(|r| r.strip_suffix(".snap"))
+            .and_then(|g| g.parse::<u64>().ok())
+        {
+            snaps.push((generation, path));
+        }
+    }
+    Ok(snaps)
+}
+
+/// Moves `path` into `dir/quarantine/`, returning the name it landed
+/// under. Best-effort: a failed move falls back to leaving the file in
+/// place (still skipped by the caller).
+fn quarantine(dir: &Path, path: &Path) -> String {
+    let qdir = dir.join("quarantine");
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("unnamed")
+        .to_owned();
+    if fs::create_dir_all(&qdir).is_ok() {
+        let _ = fs::rename(path, qdir.join(&name));
+    }
+    name
+}
+
+/// Parses `shard-<k>.wal` back into `k`.
+fn shard_of(path: &Path) -> Option<usize> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("shard-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
+}
+
+/// Best-effort directory durability for a just-renamed entry.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Encodes a tenant id as a filesystem-safe directory name:
+/// `[A-Za-z0-9_-]` pass through, everything else (including `%`) becomes
+/// `%XX` per UTF-8 byte.
+pub fn encode_tenant(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for &b in id.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes [`encode_tenant`]'s output. Malformed escapes pass through
+/// verbatim (directory names are under the store's control; garbage in
+/// means someone else wrote it, and a lossy decode beats a panic).
+pub fn decode_tenant(name: &str) -> String {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        // lint:allow(panic-free-server-paths, reason = "the while condition bounds i below bytes.len()")
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 {
+            let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                std::str::from_utf8(h)
+                    .ok()
+                    .and_then(|s| u8::from_str_radix(s, 16).ok())
+            });
+            if let Some(b) = hex {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        // lint:allow(panic-free-server-paths, reason = "the while condition bounds i below bytes.len()")
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalPayload;
+    use smartpick_cloudsim::Provider;
+    use smartpick_core::persist::{
+        DriverState, ForestState, MfeState, MonitorState, PredictorState, TreeState,
+    };
+    use smartpick_core::properties::SmartpickProperties;
+
+    fn test_root(tag: &str) -> PathBuf {
+        let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+            .join(format!("store-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snapshot(tenant: &str, epoch: u64, generation: u64, watermark: u64) -> Snapshot {
+        Snapshot {
+            tenant: tenant.into(),
+            epoch,
+            generation,
+            watermark,
+            state: DriverState {
+                props: SmartpickProperties::default(),
+                predictor: PredictorState {
+                    provider: Provider::Aws,
+                    compute_optimised: false,
+                    forest: ForestState {
+                        n_trees: 1,
+                        max_depth: 4,
+                        min_samples_split: 2,
+                        min_samples_leaf: 1,
+                        max_features: None,
+                        bootstrap: false,
+                        n_features: 2,
+                        trees: vec![TreeState {
+                            feature: vec![u16::MAX],
+                            threshold: vec![1.0],
+                            children: vec![0],
+                            importance: vec![0.0, 0.0],
+                        }],
+                    },
+                    known: Vec::new(),
+                    signatures: Vec::new(),
+                    relay_aware: false,
+                    stderr: 1.0,
+                    max_vm: 4,
+                    max_sl: 4,
+                    min_total: 1,
+                },
+                history: Vec::new(),
+                mfe: MfeState {
+                    clock_state: [1, 2, 3, 4],
+                    epoch: 0.0,
+                    monitor: MonitorState {
+                        pending_features: Vec::new(),
+                        pending_targets: Vec::new(),
+                        free_ram_gb: 8,
+                        retrain_count: 0,
+                    },
+                },
+                rng_state: [9, 9, 9, 9],
+            },
+        }
+    }
+
+    fn report(tenant: &str, epoch: u64, run_id: u64) -> WalRecord {
+        WalRecord {
+            tenant: tenant.into(),
+            epoch,
+            payload: WalPayload::Report {
+                run_id,
+                run_json: "{}".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn tenant_encoding_round_trips_awkward_ids() {
+        for id in ["plain", "has space", "a/b\\c", "ünïcode", "%41", "..", ""] {
+            let enc = encode_tenant(id);
+            assert!(
+                enc.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'%'),
+                "{enc}"
+            );
+            assert_eq!(decode_tenant(&enc), id, "{id}");
+        }
+    }
+
+    #[test]
+    fn persist_load_prune_and_remove() {
+        let store = Store::open(test_root("plpr")).unwrap();
+        for generation in 0..4 {
+            store
+                .persist_snapshot(&snapshot("acme", 1, generation, generation * 10))
+                .unwrap();
+        }
+        // Keep-2: only generations 2 and 3 remain.
+        let loaded = store.load_snapshot("acme").unwrap();
+        assert_eq!(loaded.snapshot.as_ref().unwrap().generation, 3);
+        assert!(loaded.quarantined.is_empty());
+        let dir = store.tenant_dir("acme");
+        assert_eq!(snapshot_files(&dir).unwrap().len(), RETAINED_SNAPSHOTS);
+        assert_eq!(store.tenant_ids().unwrap(), vec!["acme".to_owned()]);
+        store.remove_tenant("acme").unwrap();
+        assert!(store.tenant_ids().unwrap().is_empty());
+        assert!(store.load_snapshot("acme").unwrap().snapshot.is_none());
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_quarantines_and_falls_back() {
+        let store = Store::open(test_root("quar")).unwrap();
+        store.persist_snapshot(&snapshot("t", 1, 1, 5)).unwrap();
+        store.persist_snapshot(&snapshot("t", 1, 2, 9)).unwrap();
+        // Corrupt the newest file in place.
+        let dir = store.tenant_dir("t");
+        let mut snaps = snapshot_files(&dir).unwrap();
+        snaps.sort_by_key(|s| std::cmp::Reverse(s.0));
+        let newest = snaps[0].1.clone();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let loaded = store.load_snapshot("t").unwrap();
+        assert_eq!(loaded.snapshot.as_ref().unwrap().generation, 1);
+        assert_eq!(loaded.quarantined.len(), 1);
+        assert!(dir
+            .join("quarantine")
+            .join(&loaded.quarantined[0])
+            .is_file());
+
+        // Both corrupt → no snapshot, two quarantined.
+        let older = snaps[1].1.clone();
+        fs::write(&older, b"garbage").unwrap();
+        let loaded = store.load_snapshot("t").unwrap();
+        assert!(loaded.snapshot.is_none());
+        assert_eq!(loaded.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn wal_open_truncates_torn_tails_and_scan_reads_all_shards() {
+        let store = Store::open(test_root("wal")).unwrap();
+        {
+            let mut w = store.open_wal(0, FsyncPolicy::PerBatch).unwrap();
+            w.append(&report("a", 1, 1).encode_payload()).unwrap();
+            w.append(&report("a", 1, 2).encode_payload()).unwrap();
+            w.sync().unwrap();
+        }
+        {
+            let mut w = store.open_wal(1, FsyncPolicy::PerBatch).unwrap();
+            w.append(&report("b", 1, 1).encode_payload()).unwrap();
+            w.sync().unwrap();
+        }
+        // Tear shard 0's tail mid-record.
+        let p0 = store.wal_path(0);
+        let len = fs::metadata(&p0).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&p0)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let scans = store.scan_wals().unwrap();
+        assert_eq!(scans.len(), 2);
+        assert_eq!(scans[0].scan.records.len(), 1);
+        assert!(scans[0].scan.torn.is_some());
+        assert_eq!(scans[1].scan.records.len(), 1);
+        assert!(scans[1].scan.torn.is_none());
+        // Reopening truncates the torn tail, then appends cleanly.
+        {
+            let mut w = store.open_wal(0, FsyncPolicy::PerBatch).unwrap();
+            w.append(&report("a", 1, 3).encode_payload()).unwrap();
+            w.sync().unwrap();
+        }
+        let scans = store.scan_wals().unwrap();
+        assert!(scans[0].scan.torn.is_none());
+        assert_eq!(scans[0].scan.records.len(), 2);
+        store.reset_wals().unwrap();
+        assert!(store.scan_wals().unwrap().is_empty());
+    }
+
+    #[test]
+    fn compaction_drops_covered_and_stale_records() {
+        let store = Store::open(test_root("compact")).unwrap();
+        // Tenant `t` has snapshots at generations 1 (wm 5) and 2 (wm 9):
+        // the floor is the older one, watermark 5.
+        store.persist_snapshot(&snapshot("t", 7, 1, 5)).unwrap();
+        store.persist_snapshot(&snapshot("t", 7, 2, 9)).unwrap();
+        {
+            let mut w = store.open_wal(0, FsyncPolicy::PerBatch).unwrap();
+            for run_id in 1..=12 {
+                w.append(&report("t", 7, run_id).encode_payload()).unwrap();
+            }
+            // A stale-epoch record and a deregistered tenant's record.
+            w.append(&report("t", 6, 99).encode_payload()).unwrap();
+            w.append(&report("gone", 1, 1).encode_payload()).unwrap();
+            // Commits: one at the floor generation, one past it.
+            w.append(
+                &WalRecord {
+                    tenant: "t".into(),
+                    epoch: 7,
+                    payload: WalPayload::Commit {
+                        generation: 1,
+                        watermark: 5,
+                    },
+                }
+                .encode_payload(),
+            )
+            .unwrap();
+            w.append(
+                &WalRecord {
+                    tenant: "t".into(),
+                    epoch: 7,
+                    payload: WalPayload::Commit {
+                        generation: 2,
+                        watermark: 9,
+                    },
+                }
+                .encode_payload(),
+            )
+            .unwrap();
+            w.sync().unwrap();
+        }
+        let stats = store.compact_wal(0).unwrap();
+        // Kept: reports 6..=12 (7 of them) + the generation-2 commit.
+        assert_eq!(stats.kept, 8);
+        assert_eq!(stats.dropped, 8);
+        assert!(stats.bytes_after < stats.bytes_before);
+        let scans = store.scan_wals().unwrap();
+        let records = &scans[0].scan.records;
+        assert_eq!(records.len(), 8);
+        assert!(records.iter().all(|r| r.tenant == "t" && r.epoch == 7));
+        assert!(records.iter().all(|r| match &r.payload {
+            WalPayload::Report { run_id, .. } => *run_id > 5,
+            WalPayload::Commit { generation, .. } => *generation > 1,
+        }));
+    }
+}

@@ -1,0 +1,438 @@
+//! The append-only write-ahead log of accepted completed-run reports.
+//!
+//! One WAL file per retrain-worker shard (`wal/shard-<k>.wal`), so WAL
+//! appends inherit the service's shard parallelism: a shard's single
+//! worker is the only appender to its file, and a tenant's records stay
+//! in order because its reports always route to the same shard.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic   8 bytes  "SPWAL1\0\0"
+//! record* each:
+//!   length  u32 BE   payload byte count
+//!   crc     u32 BE   CRC-32 (IEEE) of the payload bytes
+//!   payload length bytes
+//! ```
+//!
+//! Two payload kinds:
+//!
+//! ```text
+//! 0x01 Report: tenant str | epoch u64 | run_id u64 | run_json str
+//! 0x02 Commit: tenant str | epoch u64 | generation u64 | watermark u64
+//! ```
+//!
+//! A **Report** is appended (and fsynced per [`FsyncPolicy`]) *before*
+//! its run is applied to the driver; a **Commit** is appended after the
+//! batch's snapshot publish, recording exactly which generation the
+//! publish produced — replay uses Commits to republish at the same
+//! points the original run did, so a recovered tenant lands on the same
+//! generation number, not merely the same model.
+//!
+//! The scanner ([`scan_wal`]) is torn-tolerant by construction: it walks
+//! records forward and stops at the first length prefix, CRC, or payload
+//! that does not check out, returning exactly the longest valid prefix —
+//! the property `tests/wal_truncation.rs` proves at every byte offset.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{put_str, put_u64, put_u8, Reader};
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+/// The 8-byte WAL file magic.
+pub const MAGIC: &[u8; 8] = b"SPWAL1\0\0";
+
+const KIND_REPORT: u8 = 0x01;
+const KIND_COMMIT: u8 = 0x02;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: strongest durability, slowest appends.
+    PerRecord,
+    /// `fsync` once per applied batch (the default): a crash can lose at
+    /// most the final, unsynced batch — which was not yet applied-and-
+    /// acknowledged anyway.
+    PerBatch,
+    /// Never `fsync`; leave flushing to the OS. For tests and throwaway
+    /// environments.
+    Never,
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The owning tenant.
+    pub tenant: String,
+    /// The tenant registration epoch the record was written under.
+    pub epoch: u64,
+    /// What the record says.
+    pub payload: WalPayload,
+}
+
+/// The two record kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalPayload {
+    /// An accepted completed-run report, logged before its apply.
+    Report {
+        /// The run id assigned at enqueue (idempotency key for replay).
+        run_id: u64,
+        /// The `CompletedRun` as canonical JSON (the service owns that
+        /// type; the store does not depend on it).
+        run_json: String,
+    },
+    /// A snapshot publish that covered every report up to `watermark`.
+    Commit {
+        /// The generation the publish produced.
+        generation: u64,
+        /// The highest run id applied when it happened.
+        watermark: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes this record's payload (not the length/CRC framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match &self.payload {
+            WalPayload::Report { run_id, run_json } => {
+                put_u8(&mut out, KIND_REPORT);
+                put_str(&mut out, &self.tenant);
+                put_u64(&mut out, self.epoch);
+                put_u64(&mut out, *run_id);
+                put_str(&mut out, run_json);
+            }
+            WalPayload::Commit {
+                generation,
+                watermark,
+            } => {
+                put_u8(&mut out, KIND_COMMIT);
+                put_str(&mut out, &self.tenant);
+                put_u64(&mut out, self.epoch);
+                put_u64(&mut out, *generation);
+                put_u64(&mut out, *watermark);
+            }
+        }
+        out
+    }
+
+    /// Decodes one record payload.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on an unknown kind, truncation, or
+    /// trailing bytes. Never panics.
+    pub fn decode_payload(bytes: &[u8]) -> Result<WalRecord, StoreError> {
+        let mut r = Reader::new(bytes);
+        let kind = r.u8()?;
+        let tenant = r.str()?;
+        let epoch = r.u64()?;
+        let record = match kind {
+            KIND_REPORT => WalRecord {
+                tenant,
+                epoch,
+                payload: WalPayload::Report {
+                    run_id: r.u64()?,
+                    run_json: r.str()?,
+                },
+            },
+            KIND_COMMIT => WalRecord {
+                tenant,
+                epoch,
+                payload: WalPayload::Commit {
+                    generation: r.u64()?,
+                    watermark: r.u64()?,
+                },
+            },
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown WAL record kind {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// Frames `payload` as it appears on disk (`len | crc | payload`).
+    pub fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crc32(payload).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// What a torn-tolerant scan found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Every record in the longest valid prefix, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of that prefix (including the magic) — truncating the
+    /// file here drops exactly the torn tail.
+    pub valid_len: u64,
+    /// Why scanning stopped early, if it did (`None` = the whole file
+    /// was valid).
+    pub torn: Option<String>,
+}
+
+/// Scans WAL `bytes` forward, returning the longest valid prefix.
+///
+/// Never fails on a damaged *tail* — that is the torn-write case the WAL
+/// exists to tolerate — but does reject a file whose *head* is not a WAL
+/// at all (missing/should-not-happen magic), which distinguishes "crashed
+/// mid-append" from "this is not our file".
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] only when the magic itself is wrong. Never
+/// panics.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, StoreError> {
+    let head = bytes.get(..8);
+    match head {
+        Some(m) if m == MAGIC => {}
+        Some(_) => return Err(StoreError::Corrupt("bad WAL magic".into())),
+        None if bytes.is_empty() => {
+            // A zero-length file is what a crash between create and the
+            // magic write leaves behind: an empty, valid WAL.
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: None,
+            });
+        }
+        None => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: Some(format!("magic torn at {} bytes", bytes.len())),
+            });
+        }
+    }
+    let mut records = Vec::new();
+    let mut pos = 8usize;
+    let torn = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        let Some(header) = bytes.get(pos..pos + 8).filter(|h| h.len() == 8) else {
+            break Some(format!("record header torn at offset {pos}"));
+        };
+        let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let want_crc = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+        let payload_start = pos + 8;
+        let Some(payload) = bytes.get(payload_start..payload_start.saturating_add(len)) else {
+            break Some(format!(
+                "record payload torn at offset {pos} (wanted {len} bytes)"
+            ));
+        };
+        if crc32(payload) != want_crc {
+            break Some(format!("record CRC mismatch at offset {pos}"));
+        }
+        match WalRecord::decode_payload(payload) {
+            Ok(r) => records.push(r),
+            Err(e) => break Some(format!("malformed record at offset {pos}: {e}")),
+        }
+        pos = payload_start + len;
+    };
+    Ok(WalScan {
+        records,
+        valid_len: pos as u64,
+        torn,
+    })
+}
+
+/// An append handle on one shard's WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    policy: FsyncPolicy,
+    bytes_written: u64,
+    file_len: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating or appending to) the WAL at `path`. A new file
+    /// gets the magic written and synced immediately; an existing file is
+    /// appended to past its current end — the caller is expected to have
+    /// scanned and truncated any torn tail first (see
+    /// [`crate::Store::open_wal`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the file cannot be opened or the magic
+    /// cannot be written.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<WalWriter, StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(StoreError::from)?;
+        let len = file.metadata().map_err(StoreError::from)?.len();
+        let file_len = if len == 0 {
+            file.write_all(MAGIC).map_err(StoreError::from)?;
+            file.sync_data().map_err(StoreError::from)?;
+            MAGIC.len() as u64
+        } else {
+            len
+        };
+        Ok(WalWriter {
+            file,
+            policy,
+            bytes_written: 0,
+            file_len,
+        })
+    }
+
+    /// Appends one record, framing and checksumming `payload`, syncing
+    /// per the policy ([`FsyncPolicy::PerRecord`] syncs here; the others
+    /// wait for [`WalWriter::sync`] or the OS).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on a failed write/sync.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let framed = WalRecord::frame(payload);
+        self.file.write_all(&framed).map_err(StoreError::from)?;
+        self.bytes_written += framed.len() as u64;
+        self.file_len += framed.len() as u64;
+        if self.policy == FsyncPolicy::PerRecord {
+            self.file.sync_data().map_err(StoreError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes appended records to stable storage (a no-op under
+    /// [`FsyncPolicy::Never`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on a failed sync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.policy != FsyncPolicy::Never {
+            self.file.sync_data().map_err(StoreError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes appended through this handle (for the `store.*` counters).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The file's current byte length (magic included) — the compaction
+    /// trigger compares this against its threshold.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tenant: &str, run_id: u64) -> WalRecord {
+        WalRecord {
+            tenant: tenant.into(),
+            epoch: 3,
+            payload: WalPayload::Report {
+                run_id,
+                run_json: format!("{{\"run\":{run_id}}}"),
+            },
+        }
+    }
+
+    fn commit(tenant: &str, generation: u64, watermark: u64) -> WalRecord {
+        WalRecord {
+            tenant: tenant.into(),
+            epoch: 3,
+            payload: WalPayload::Commit {
+                generation,
+                watermark,
+            },
+        }
+    }
+
+    fn wal_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = MAGIC.to_vec();
+        for r in records {
+            bytes.extend_from_slice(&WalRecord::frame(&r.encode_payload()));
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for r in [report("acme", 7), commit("acme", 2, 7)] {
+            let payload = r.encode_payload();
+            assert_eq!(WalRecord::decode_payload(&payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn scan_recovers_whole_valid_files() {
+        let records = vec![report("a", 1), report("b", 1), commit("a", 1, 1)];
+        let bytes = wal_bytes(&records);
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(scan.torn.is_none());
+        // Empty and magic-only files are valid, empty WALs.
+        assert_eq!(scan_wal(&[]).unwrap().records.len(), 0);
+        let magic_only = scan_wal(MAGIC).unwrap();
+        assert!(magic_only.torn.is_none());
+        assert_eq!(magic_only.valid_len, 8);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_records_keeping_the_prefix() {
+        let records = vec![report("a", 1), report("a", 2)];
+        let mut bytes = wal_bytes(&records);
+        let good_len = bytes.len();
+        // A record whose CRC lies.
+        let bad = WalRecord::frame(&report("a", 3).encode_payload());
+        let corrupt_at = bytes.len() + 8 + 2;
+        bytes.extend_from_slice(&bad);
+        bytes[corrupt_at] ^= 0xFF;
+        let scan = scan_wal(&bytes).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, good_len as u64);
+        assert!(scan.torn.unwrap().contains("CRC"));
+    }
+
+    #[test]
+    fn scan_rejects_non_wal_files_but_tolerates_torn_magic() {
+        assert!(scan_wal(b"NOTAWAL!rest").is_err());
+        let scan = scan_wal(&MAGIC[..4]).unwrap();
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn.unwrap().contains("magic"));
+    }
+
+    #[test]
+    fn writer_appends_scannable_records_across_reopens() {
+        let dir =
+            std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("smartpick-wal-unit-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = WalWriter::open(&path, FsyncPolicy::PerRecord).unwrap();
+            w.append(&report("a", 1).encode_payload()).unwrap();
+            assert!(w.bytes_written() > 0);
+        }
+        {
+            let mut w = WalWriter::open(&path, FsyncPolicy::PerBatch).unwrap();
+            w.append(&commit("a", 1, 1).encode_payload()).unwrap();
+            w.sync().unwrap();
+            assert_eq!(w.file_len(), std::fs::metadata(&path).unwrap().len());
+        }
+        let scan = scan_wal(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.torn.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

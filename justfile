@@ -7,7 +7,7 @@
 verify: build-test lint bench-compile
 
 # Everything CI runs, locally — the pre-push command.
-ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick docs
+ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick docs store-bench
 
 # CI job: release build + the full test suite.
 build-test:
@@ -91,6 +91,21 @@ bench-determine:
 bench-determine-record:
     cargo build --release -p smartpick_bench --bin bench_determine
     ./target/release/bench_determine
+
+# CI job: regenerate the durability record (per-tenant snapshot size at
+# rest + recovery time vs WAL length) into a scratch path to prove the
+# harness still runs, then hold the *committed* BENCH_store.json to the
+# guard bars in crates/bench/tests/bench_store_json.rs.
+store-bench:
+    cargo build --release -p smartpick_bench --bin bench_store
+    ./target/release/bench_store target/tmp/BENCH_store.scratch.json
+    cargo test -q -p smartpick_bench --test bench_store_json
+
+# Regenerate the committed BENCH_store.json at the repo root (quoted by
+# the README Performance table and docs/PERSISTENCE.md).
+bench-store-record:
+    cargo build --release -p smartpick_bench --bin bench_store
+    ./target/release/bench_store
 
 # Regenerate BENCH_wire.json (binary-vs-JSON codec matrix + reactor
 # connection scaling; quoted by the README Performance table and
