@@ -181,3 +181,39 @@ fn malformed_and_unknown_allows_are_findings() {
     let (unallowed, _) = split(&findings, "malformed-allow");
     assert_eq!(unallowed, vec![1, 2], "{findings:#?}");
 }
+
+/// Lines of a multi-rule fixture marked `POSITIVE(rule)` for one rule.
+fn positive_lines_for(src: &str, rule: &str) -> Vec<u32> {
+    let marker = format!("POSITIVE({rule})");
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(&marker))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+#[test]
+fn residency_module_fixture() {
+    // The residency module (eviction sweep, single-flight rehydration)
+    // is service-crate code, so every crate-scoped rule covers its
+    // idioms: no driver guard across the persist handoff, bare
+    // `.lock().unwrap()` on a slot is a poisoning cascade, runtime
+    // indexing on the evict path can panic a server thread — while the
+    // rehydration condvar wait stays a non-finding by design.
+    let src = include_str!("fixtures/residency.rs");
+    let findings = lint_fixture("residency", src, &Context::default());
+    for rule in [
+        "guard-across-blocking",
+        "poison-recovery",
+        "panic-free-server-paths",
+    ] {
+        let (unallowed, _) = split(&findings, rule);
+        assert_eq!(
+            unallowed,
+            positive_lines_for(src, rule),
+            "{rule}: {findings:#?}"
+        );
+    }
+    let (_, allowed) = split(&findings, "guard-across-blocking");
+    assert_eq!(allowed.len(), 1, "{findings:#?}");
+}

@@ -105,6 +105,13 @@ pub enum EventKind {
     /// write); the service continues serving without durability for the
     /// affected work.
     StoreDegraded,
+    /// A resident tenant was evicted to cold (final snapshot persisted,
+    /// forest/driver dropped). Routine capacity management — chatty at
+    /// scale, so it defaults to `Debug`.
+    TenantEvicted,
+    /// A cold tenant was rehydrated from its newest snapshot on first
+    /// touch (carries the load duration).
+    TenantRehydrated,
 }
 
 impl EventKind {
@@ -132,6 +139,8 @@ impl EventKind {
             EventKind::WalCompacted => "wal_compacted",
             EventKind::TenantUnrecoverable => "tenant_unrecoverable",
             EventKind::StoreDegraded => "store_degraded",
+            EventKind::TenantEvicted => "tenant_evicted",
+            EventKind::TenantRehydrated => "tenant_rehydrated",
         }
     }
 
@@ -159,6 +168,8 @@ impl EventKind {
             "wal_compacted" => Some(EventKind::WalCompacted),
             "tenant_unrecoverable" => Some(EventKind::TenantUnrecoverable),
             "store_degraded" => Some(EventKind::StoreDegraded),
+            "tenant_evicted" => Some(EventKind::TenantEvicted),
+            "tenant_rehydrated" => Some(EventKind::TenantRehydrated),
             _ => None,
         }
     }
@@ -183,7 +194,10 @@ impl EventKind {
             | EventKind::WorkerFailed
             | EventKind::TenantUnrecoverable
             | EventKind::StoreDegraded => Severity::Error,
-            EventKind::SnapshotPersisted | EventKind::WalCompacted => Severity::Debug,
+            EventKind::SnapshotPersisted
+            | EventKind::WalCompacted
+            | EventKind::TenantEvicted
+            | EventKind::TenantRehydrated => Severity::Debug,
             EventKind::SnapshotLoaded | EventKind::WalReplayed => Severity::Info,
         }
     }
@@ -613,6 +627,8 @@ mod tests {
             EventKind::WalCompacted,
             EventKind::TenantUnrecoverable,
             EventKind::StoreDegraded,
+            EventKind::TenantEvicted,
+            EventKind::TenantRehydrated,
         ] {
             assert_eq!(EventKind::parse(kind.name()), Some(kind));
             let _ = kind.default_severity();

@@ -45,7 +45,7 @@ pub use metrics::{
     MetricValue, MetricsRegistry,
 };
 pub use supervise::{
-    RestartPolicy, SpawnFn, Supervisor, SupervisorConfig, WorkerState, WorkerStatus,
+    PollFn, RestartPolicy, SpawnFn, Supervisor, SupervisorConfig, WorkerState, WorkerStatus,
 };
 
 use std::sync::Arc;

@@ -428,6 +428,34 @@ impl MetricsRegistry {
         }
     }
 
+    /// Binds `name` to exactly this counter instance, replacing whatever
+    /// was registered there. The identity-keyed half of tenant-churn
+    /// metric lifecycles: a registration *installs* its own instances
+    /// (after its slot insert succeeds) and its deregistration later
+    /// removes only those instances with
+    /// [`MetricsRegistry::remove_counter_exact`] — so a concurrent
+    /// re-registration of the same name can never have its fresh
+    /// counters pruned by the old teardown.
+    pub fn install_counter(&self, name: &str, counter: &Arc<Counter>) {
+        self.inner
+            .write()
+            .insert(name.to_owned(), MetricHandle::Counter(Arc::clone(counter)));
+    }
+
+    /// Unregisters `name` only if the registered counter is *this
+    /// instance* (pointer identity), returning whether it was removed.
+    /// See [`MetricsRegistry::install_counter`].
+    pub fn remove_counter_exact(&self, name: &str, counter: &Arc<Counter>) -> bool {
+        let mut map = self.inner.write();
+        match map.get(name) {
+            Some(MetricHandle::Counter(c)) if Arc::ptr_eq(c, counter) => {
+                map.remove(name);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Unregisters every metric whose name starts with `prefix` (tenant
     /// teardown), returning how many were removed. Hot paths still
     /// holding `Arc`s keep updating them harmlessly off-registry.
@@ -537,6 +565,28 @@ mod tests {
                 "tenant.b.predictions"
             ]
         );
+    }
+
+    #[test]
+    fn exact_removal_is_keyed_by_instance_identity() {
+        let reg = MetricsRegistry::new();
+        let old = Arc::new(Counter::new());
+        reg.install_counter("tenant.t.predictions", &old);
+        assert!(reg.remove_counter_exact("tenant.t.predictions", &old));
+        // Re-install (a re-registration), then try the *old* teardown
+        // again: identity mismatch, the fresh instance survives.
+        let fresh = Arc::new(Counter::new());
+        fresh.add(5);
+        reg.install_counter("tenant.t.predictions", &fresh);
+        assert!(!reg.remove_counter_exact("tenant.t.predictions", &old));
+        assert_eq!(
+            reg.sample("tenant.t.predictions").map(|s| s.value),
+            Some(MetricValue::Counter(5))
+        );
+        // Wrong-kind and missing names are no-ops too.
+        reg.gauge("g").set(1);
+        assert!(!reg.remove_counter_exact("g", &fresh));
+        assert!(!reg.remove_counter_exact("missing", &fresh));
     }
 
     #[test]

@@ -106,6 +106,12 @@ impl Default for SupervisorConfig {
 /// spawn and counts up per restart. `None` means the spawn failed.
 pub type SpawnFn = Box<dyn Fn(usize, u64) -> Option<JoinHandle<()>> + Send + Sync>;
 
+/// A periodic chore the supervisor's monitor thread runs once per poll
+/// iteration (see [`Supervisor::start_with_poll_hook`]). Must be cheap
+/// relative to the poll interval and must never panic — it runs on the
+/// same thread that detects worker panics.
+pub type PollFn = Box<dyn Fn() + Send + Sync>;
+
 #[derive(Debug)]
 struct Slot {
     handle: Option<JoinHandle<()>>,
@@ -119,6 +125,7 @@ struct Inner {
     stop: AtomicBool,
     config: SupervisorConfig,
     spawn: SpawnFn,
+    poll_hook: Option<PollFn>,
     obs: Arc<Observability>,
     restarts_total: Arc<Counter>,
     panics_total: Arc<Counter>,
@@ -155,6 +162,21 @@ impl Supervisor {
         obs: Arc<Observability>,
         metric_prefix: &str,
     ) -> Supervisor {
+        Supervisor::start_with_poll_hook(workers, config, spawn, None, obs, metric_prefix)
+    }
+
+    /// [`Supervisor::start`], plus an optional [`PollFn`] the monitor
+    /// thread calls once per poll iteration — how owners piggy-back
+    /// periodic housekeeping (e.g. smartpickd's tenant-residency sweep)
+    /// on the supervisor thread without spawning another one.
+    pub fn start_with_poll_hook(
+        workers: usize,
+        config: SupervisorConfig,
+        spawn: SpawnFn,
+        poll_hook: Option<PollFn>,
+        obs: Arc<Observability>,
+        metric_prefix: &str,
+    ) -> Supervisor {
         assert!(workers > 0, "at least one supervised worker required");
         let restarts_total = obs.metrics().counter(&format!("{metric_prefix}.restarts"));
         let panics_total = obs.metrics().counter(&format!("{metric_prefix}.panics"));
@@ -186,6 +208,7 @@ impl Supervisor {
             stop: AtomicBool::new(false),
             config,
             spawn,
+            poll_hook,
             obs,
             restarts_total,
             panics_total,
@@ -269,6 +292,9 @@ fn monitor_loop(inner: &Inner) {
     loop {
         if inner.stop.load(Ordering::Acquire) {
             return;
+        }
+        if let Some(hook) = &inner.poll_hook {
+            hook();
         }
         match take_finished(inner) {
             None => sleep_unless_stopped(inner, inner.config.poll),

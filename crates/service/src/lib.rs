@@ -21,6 +21,12 @@
 //!   hash); [`CompletedRun`] is the unit of feedback.
 //! * `queue` *(private)* — the bounded MPSC queues providing
 //!   service-wide backpressure, one shard per retrain worker.
+//! * `residency` *(private)* — tiered tenant residency: with
+//!   [`ServiceConfig::max_resident_tenants`] /
+//!   [`ServiceConfig::idle_evict_after`] set, a background sweep evicts
+//!   idle / excess tenants to their durable snapshots and the first
+//!   subsequent touch rehydrates them transparently (single-flight per
+//!   tenant), so total registered tenants can far exceed resident ones.
 //! * [`stats`] — the public stats shapes ([`ServiceStats`],
 //!   [`TenantStats`], [`WorkerShardStats`]) over `smartpick_obs`-backed
 //!   counters; per-tenant counters live under `tenant.<id>.*` and
@@ -64,6 +70,7 @@ pub mod error;
 pub mod persist;
 mod queue;
 mod registry;
+mod residency;
 pub mod service;
 pub mod stats;
 pub mod worker;

@@ -13,8 +13,9 @@
 //! (`predict`/`determine`) never touches any of this. Durability costs
 //! land on the retrain workers and on startup, never on a prediction.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime};
 
@@ -22,9 +23,10 @@ use parking_lot::Mutex;
 use smartpick_core::driver::Smartpick;
 use smartpick_obs::{event, Counter, EventKind, Gauge, MetricsRegistry, Observability};
 use smartpick_store::wal::WalPayload;
-use smartpick_store::{FsyncPolicy, Snapshot, Store, WalRecord, WalWriter};
+use smartpick_store::{FsyncPolicy, Snapshot, Store, StoreError, WalRecord, WalWriter};
 
 use crate::registry::{ShardedRegistry, TenantState};
+use crate::stats::TenantCounters;
 use crate::worker::CompletedRun;
 
 /// Durability tunables for a [`crate::SmartpickService`] opened over a
@@ -89,6 +91,106 @@ impl StoreMetrics {
     }
 }
 
+/// Per-tenant serialization of snapshot writes against directory
+/// removal, shared by the façade, the evictor, and every retrain worker
+/// (the [`Store`] itself is only paths; this is the one place their file
+/// operations for the same id meet).
+///
+/// The protocol that makes tenant teardown race-free: deregistration
+/// stamps the tenant `defunct` *before* calling [`TenantFiles::remove`],
+/// and every snapshot persist re-checks that stamp **inside** the
+/// tenant's file lock. So any persist is either ordered before the
+/// removal (and its output is deleted with the directory) or observes
+/// the stamp and skips — a write can never land *after* the removal and
+/// resurrect a deregistered tenant, and a removal can never land after a
+/// re-registration's fresh write and delete a live tenant's files.
+#[derive(Debug, Default)]
+pub(crate) struct TenantFiles {
+    locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl TenantFiles {
+    fn lock_for(&self, id: &str) -> Arc<Mutex<()>> {
+        let mut map = self.locks.lock();
+        Arc::clone(map.entry(id.to_owned()).or_default())
+    }
+
+    /// Drops `id`'s lock entry if no other thread holds a handle on it —
+    /// safe because handles are only cloned under the map lock held
+    /// here, so `strong_count == 2` (map + ours) proves exclusivity.
+    fn release(&self, id: &str, ours: Arc<Mutex<()>>) {
+        let mut map = self.locks.lock();
+        if map
+            .get(id)
+            .is_some_and(|l| Arc::strong_count(l) == 2 && Arc::ptr_eq(l, &ours))
+        {
+            map.remove(id);
+        }
+    }
+
+    /// Persists `snap` unless `defunct` is set, checked under the
+    /// tenant's file lock. `Ok(None)` means the tenant was deregistered
+    /// and nothing was written.
+    pub(crate) fn persist_unless_defunct(
+        &self,
+        store: &Store,
+        snap: &Snapshot,
+        defunct: &AtomicBool,
+    ) -> Result<Option<u64>, StoreError> {
+        let lock = self.lock_for(&snap.tenant);
+        let result = {
+            let _guard = lock.lock();
+            if defunct.load(Ordering::SeqCst) {
+                Ok(None)
+            } else {
+                store.persist_snapshot(snap).map(Some)
+            }
+        };
+        self.release(&snap.tenant, lock);
+        result
+    }
+
+    /// Registration's variant: clear whatever files an earlier
+    /// registration of this id left, then persist the fresh generation-0
+    /// snapshot — one atomic step under the tenant's file lock, skipped
+    /// entirely (`Ok(None)`) if this registration was already
+    /// deregistered.
+    pub(crate) fn fresh_start(
+        &self,
+        store: &Store,
+        snap: &Snapshot,
+        defunct: &AtomicBool,
+    ) -> Result<Option<u64>, StoreError> {
+        let lock = self.lock_for(&snap.tenant);
+        let result = {
+            let _guard = lock.lock();
+            if defunct.load(Ordering::SeqCst) {
+                Ok(None)
+            } else {
+                store
+                    .remove_tenant(&snap.tenant)
+                    .and_then(|()| store.persist_snapshot(snap).map(Some))
+            }
+        };
+        self.release(&snap.tenant, lock);
+        result
+    }
+
+    /// Removes `id`'s store directory under its file lock. The caller
+    /// must have stamped the tenant defunct *before* calling, so every
+    /// concurrent persist either already lost the lock race (its file is
+    /// deleted here) or will observe the stamp and skip.
+    pub(crate) fn remove(&self, store: &Store, id: &str) -> Result<(), StoreError> {
+        let lock = self.lock_for(id);
+        let result = {
+            let _guard = lock.lock();
+            store.remove_tenant(id)
+        };
+        self.release(id, lock);
+        result
+    }
+}
+
 /// The façade's store handle: registration/deregistration snapshots and
 /// the `persist_*` admin API.
 #[derive(Debug)]
@@ -96,6 +198,7 @@ pub(crate) struct ServicePersist {
     pub(crate) store: Store,
     pub(crate) cfg: PersistenceConfig,
     pub(crate) metrics: Arc<StoreMetrics>,
+    pub(crate) files: Arc<TenantFiles>,
 }
 
 /// One retrain worker's store handle: the shard WAL plus the knobs the
@@ -111,6 +214,7 @@ pub(crate) struct WorkerPersist {
     pub(crate) compact_threshold_bytes: u64,
     pub(crate) fsync: FsyncPolicy,
     pub(crate) metrics: Arc<StoreMetrics>,
+    pub(crate) files: Arc<TenantFiles>,
 }
 
 /// A fresh durability epoch for a registration: wall-clock nanoseconds,
@@ -328,13 +432,21 @@ fn recover_tenant(
         watermark,
         state: driver.export_state(),
     };
-    let state = TenantState::new(id.to_owned(), driver, now_us, obs.metrics(), snap.epoch);
+    let counters = Arc::new(TenantCounters::detached());
+    let state = TenantState::new(
+        id.to_owned(),
+        driver,
+        now_us,
+        Arc::clone(&counters),
+        snap.epoch,
+    );
     state.generation.store(generation, Ordering::Relaxed);
     state.next_run_id.store(watermark, Ordering::Relaxed);
     state.applied_watermark.store(watermark, Ordering::Relaxed);
-    registry
+    let state = registry
         .insert(state)
         .map_err(|e| format!("registry insert failed: {e}"))?;
+    counters.install(obs.metrics(), &format!("tenant.{id}"));
 
     match store.persist_snapshot(&fresh) {
         Ok(bytes) => {
@@ -347,6 +459,10 @@ fn recover_tenant(
             );
         }
         Err(e) => {
+            // The disk still holds the pre-replay snapshot: mark the
+            // in-memory state ahead of it so an eviction later cannot
+            // skip its persist believing the disk is current.
+            state.applied_since_persist.store(1, Ordering::Relaxed);
             obs.events().publish(
                 event(EventKind::StoreDegraded)
                     .tenant(id)

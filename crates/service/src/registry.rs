@@ -1,33 +1,52 @@
-//! The sharded tenant registry.
+//! The sharded tenant registry and its tiered-residency slots.
 //!
 //! Tenants are hash-routed across N independent shards, each a
 //! `parking_lot::RwLock<HashMap<...>>`, so registry traffic scales with
 //! tenants instead of funnelling through one global lock. Lookups take a
-//! shard read lock only long enough to clone the tenant's `Arc` out — no
-//! caller ever holds a shard lock across a prediction, execution, or
-//! retrain.
+//! shard read lock only long enough to clone the tenant's slot `Arc` out
+//! — no caller ever holds a shard lock across a prediction, execution,
+//! or retrain.
+//!
+//! ## Residency
+//!
+//! Each registered tenant occupies a [`TenantSlot`] carrying a
+//! [`Residency`] state machine:
+//!
+//! * **Hot** — the full [`TenantState`] (forest snapshot + driver +
+//!   resource manager) is resident; the read path clones the `Arc` out.
+//! * **Cold** — the heavy state has been dropped after a final snapshot
+//!   persist; only [`ColdMeta`] (generation/epoch/watermark/run-id
+//!   floors) remains in memory. ~2.7 KiB on disk, ~nothing in RAM.
+//! * **Rehydrating** — one caller is loading the newest snapshot back
+//!   through `crates/store`; the transition is **single-flight**:
+//!   concurrent callers block on the slot's condvar until the one
+//!   rehydration completes (or fails back to Cold).
+//!
+//! The slot keeps the tenant's identity — its id, its `tenant.<id>.*`
+//! counter instances, and a defunct flag — across residency transitions,
+//! so a cold tenant is indistinguishable from a hot one at every public
+//! API except latency (ARCHITECTURE.md invariant #9).
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 
 use parking_lot::{Mutex, RwLock};
 use smartpick_core::driver::Smartpick;
 use smartpick_core::rm::ResourceManager;
 use smartpick_core::wp::WorkloadPredictor;
-use smartpick_obs::MetricsRegistry;
 
 use crate::error::ServiceError;
 use crate::stats::TenantCounters;
 
-/// One tenant's live state.
+/// One tenant's live (hot) state.
 ///
 /// The read path touches only `snapshot` (an `RwLock` held for the
 /// nanoseconds an `Arc` clone takes) and the atomic counters; the
 /// `driver` mutex is taken exclusively by the retrain worker (and by
-/// admin operations like deregistration).
+/// admin operations like eviction and deregistration).
 #[derive(Debug)]
 pub(crate) struct TenantState {
     /// The tenant id.
@@ -40,8 +59,9 @@ pub(crate) struct TenantState {
     pub(crate) rm: Arc<ResourceManager>,
     /// The tenant's configured cost–performance knob ε.
     pub(crate) knob: f64,
-    /// Hot-path counters, registered under `tenant.<id>.*`.
-    pub(crate) counters: TenantCounters,
+    /// Hot-path counters, scraped under `tenant.<id>.*`. Shared with the
+    /// registry slot so they survive evict/rehydrate cycles.
+    pub(crate) counters: Arc<TenantCounters>,
     /// Snapshots published so far (0 = registration snapshot).
     pub(crate) generation: AtomicU64,
     /// Publication instant, µs since the service epoch.
@@ -64,6 +84,23 @@ pub(crate) struct TenantState {
     /// Reports applied since the last persisted snapshot; drives the
     /// `snapshot_every` persistence cadence.
     pub(crate) applied_since_persist: AtomicU64,
+    /// Set by `deregister_tenant` **before** the store directory is
+    /// removed. Every persistence site (worker commit/snapshot tail,
+    /// evict-time snapshot, registration snapshot) checks it — and
+    /// re-checks after writing, compensating with a directory remove —
+    /// so a worker mid-batch can never resurrect `tenants/<id>/` for a
+    /// tenant the operator deleted.
+    pub(crate) defunct: AtomicBool,
+    /// Set while the eviction sweep is draining this state. Enqueuers
+    /// bump `counters.pending` *then* check this flag; the evictor sets
+    /// it *then* checks pending (both `SeqCst`), so one side always sees
+    /// the other — a report can never be queued against a state whose
+    /// slot just went cold without the enqueuer noticing and retrying
+    /// against the rehydrated state.
+    pub(crate) retired: AtomicBool,
+    /// Last read-path touch, µs since the service epoch — the LRU clock
+    /// hand the eviction sweep orders candidates by.
+    pub(crate) last_touch_us: AtomicU64,
 }
 
 impl TenantState {
@@ -71,10 +108,9 @@ impl TenantState {
         id: String,
         driver: Smartpick,
         now_us: u64,
-        metrics: &MetricsRegistry,
+        counters: Arc<TenantCounters>,
         epoch: u64,
     ) -> Self {
-        let counters = TenantCounters::register(metrics, &format!("tenant.{id}"));
         TenantState {
             snapshot: RwLock::new(driver.snapshot()),
             rm: driver.shared_resource_manager(),
@@ -89,6 +125,9 @@ impl TenantState {
             next_run_id: AtomicU64::new(0),
             applied_watermark: AtomicU64::new(0),
             applied_since_persist: AtomicU64::new(0),
+            defunct: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
+            last_touch_us: AtomicU64::new(now_us),
         }
     }
 
@@ -109,6 +148,176 @@ impl TenantState {
     }
 }
 
+/// What a cold slot remembers about its tenant: the floors a rehydration
+/// restores so generation stays monotone and run ids are never reissued
+/// within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ColdMeta {
+    /// Published generation at eviction time.
+    pub(crate) generation: u64,
+    /// The registration's durability epoch.
+    pub(crate) epoch: u64,
+    /// Highest consumed run id at eviction time.
+    pub(crate) watermark: u64,
+    /// Highest *issued* run id at eviction time (≥ watermark; quota
+    /// rejections burn ids without consuming them).
+    pub(crate) next_run_id: u64,
+}
+
+/// Where a tenant's heavy state currently lives. See the module docs.
+#[derive(Debug)]
+pub(crate) enum Residency {
+    /// Resident: full state in memory.
+    Hot(Arc<TenantState>),
+    /// Evicted: only the floors remain; the newest persisted snapshot is
+    /// the state of record.
+    Cold(ColdMeta),
+    /// One caller is loading the snapshot back; everyone else waits.
+    Rehydrating,
+}
+
+/// What [`TenantSlot::acquire`] resolved to.
+pub(crate) enum Acquired {
+    /// The tenant is hot; here is its state.
+    Hot(Arc<TenantState>),
+    /// The tenant was cold and *this caller* now owns the single-flight
+    /// rehydration: it must call [`TenantSlot::finish_rehydrate`] or
+    /// [`TenantSlot::abort_rehydrate`] (the service wraps this in a
+    /// drop guard so a failed load can never strand waiters).
+    MustRehydrate(ColdMeta),
+}
+
+/// One registered tenant's registry slot: the [`Residency`] state
+/// machine plus the identity that survives residency transitions.
+///
+/// The mutex is `std::sync` (not `parking_lot`) because the
+/// single-flight protocol needs a [`Condvar`]; it is held only for state
+/// inspection/transition — never across the snapshot load I/O.
+#[derive(Debug)]
+pub(crate) struct TenantSlot {
+    /// The tenant id.
+    pub(crate) id: String,
+    /// The tenant's `tenant.<id>.*` counter instances — shared with the
+    /// hot state and reused across rehydrations, so stats never run
+    /// backwards over an evict/rehydrate cycle and teardown can remove
+    /// exactly these instances from the scrape.
+    pub(crate) counters: Arc<TenantCounters>,
+    /// Set when the slot is deregistered; a rehydration completing
+    /// against a defunct slot stamps its state defunct too, so late
+    /// persistence is suppressed.
+    pub(crate) defunct: AtomicBool,
+    residency: StdMutex<Residency>,
+    rehydrated: Condvar,
+}
+
+impl TenantSlot {
+    fn new_hot(state: Arc<TenantState>) -> Self {
+        TenantSlot {
+            id: state.id.clone(),
+            counters: Arc::clone(&state.counters),
+            defunct: AtomicBool::new(false),
+            residency: StdMutex::new(Residency::Hot(state)),
+            rehydrated: Condvar::new(),
+        }
+    }
+
+    /// Locks the residency cell, recovering the data from a poisoned
+    /// mutex: every transition writes a whole `Residency` value, so the
+    /// cell is valid even if a panicking thread was holding the lock.
+    fn cell(&self) -> MutexGuard<'_, Residency> {
+        self.residency.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves the slot: returns the hot state, or claims the
+    /// single-flight rehydration for this caller, blocking while another
+    /// caller's rehydration is in flight.
+    pub(crate) fn acquire(&self) -> Acquired {
+        let mut cell = self.cell();
+        loop {
+            match &*cell {
+                Residency::Hot(state) => return Acquired::Hot(Arc::clone(state)),
+                Residency::Cold(meta) => {
+                    let meta = *meta;
+                    *cell = Residency::Rehydrating;
+                    return Acquired::MustRehydrate(meta);
+                }
+                Residency::Rehydrating => {
+                    cell = self
+                        .rehydrated
+                        .wait(cell)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Completes a claimed rehydration: publishes `state` as hot and
+    /// wakes every waiter. Returns whether the slot had been
+    /// deregistered meanwhile (in which case `state` is stamped defunct
+    /// — waiters still get a servable state, but nothing will persist
+    /// for it).
+    pub(crate) fn finish_rehydrate(&self, state: Arc<TenantState>) -> bool {
+        let defunct = self.defunct.load(Ordering::SeqCst);
+        if defunct {
+            state.defunct.store(true, Ordering::SeqCst);
+        }
+        let mut cell = self.cell();
+        *cell = Residency::Hot(state);
+        drop(cell);
+        self.rehydrated.notify_all();
+        defunct
+    }
+
+    /// Aborts a claimed rehydration (load failure): restores `Cold` so
+    /// the next caller gets its own attempt, and wakes waiters.
+    pub(crate) fn abort_rehydrate(&self, meta: ColdMeta) {
+        let mut cell = self.cell();
+        *cell = Residency::Cold(meta);
+        drop(cell);
+        self.rehydrated.notify_all();
+    }
+
+    /// Transitions Hot → Cold, but only if the slot still holds exactly
+    /// `expect` (a concurrent deregister + re-register swaps the state
+    /// out; going cold then would throw away the *new* tenant).
+    pub(crate) fn make_cold(&self, expect: &Arc<TenantState>, meta: ColdMeta) -> bool {
+        let mut cell = self.cell();
+        match &*cell {
+            Residency::Hot(state) if Arc::ptr_eq(state, expect) => {
+                *cell = Residency::Cold(meta);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The hot state, if resident right now (no waiting, no claiming).
+    pub(crate) fn peek_hot(&self) -> Option<Arc<TenantState>> {
+        match &*self.cell() {
+            Residency::Hot(state) => Some(Arc::clone(state)),
+            _ => None,
+        }
+    }
+
+    /// Claims this slot's teardown: the first caller wins and gets
+    /// `Some(hot_state)` (the hot state, if any, with its own defunct
+    /// stamp set); every later caller gets `None` — the id reads as
+    /// unknown while the winner completes the teardown. The stamp
+    /// precedes the store-directory removal, which precedes the registry
+    /// entry removal: persists are fenced by the stamp, and the id only
+    /// becomes re-registrable once its files are gone.
+    pub(crate) fn claim_defunct(&self) -> Option<Option<Arc<TenantState>>> {
+        if self.defunct.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        let hot = self.peek_hot();
+        if let Some(state) = &hot {
+            state.defunct.store(true, Ordering::SeqCst);
+        }
+        Some(hot)
+    }
+}
+
 /// The tenant hash every sharded structure routes by — the registry's
 /// shards and the retrain workers' queue shards use this same function,
 /// so "which worker retrains tenant X" is as stable and uniform as
@@ -120,7 +329,7 @@ pub(crate) fn tenant_hash(id: &str) -> u64 {
 }
 
 /// One registry shard: an independently locked slice of the tenant map.
-type Shard = RwLock<HashMap<String, Arc<TenantState>>>;
+type Shard = RwLock<HashMap<String, Arc<TenantSlot>>>;
 
 /// Hash-routed shards of tenant slots.
 #[derive(Debug)]
@@ -141,19 +350,22 @@ impl ShardedRegistry {
         &self.shards[(tenant_hash(id) as usize) % self.shards.len()]
     }
 
-    /// Inserts a new tenant; rejects duplicates.
-    pub(crate) fn insert(&self, state: TenantState) -> Result<(), ServiceError> {
+    /// Inserts a new tenant as a hot slot; rejects duplicates. Returns
+    /// the inserted state so callers can run post-insert steps
+    /// (metric install, registration snapshot) against exactly it.
+    pub(crate) fn insert(&self, state: TenantState) -> Result<Arc<TenantState>, ServiceError> {
+        let state = Arc::new(state);
         match self.shard(&state.id).write().entry(state.id.clone()) {
-            Entry::Occupied(_) => Err(ServiceError::TenantExists(state.id)),
-            Entry::Vacant(slot) => {
-                slot.insert(Arc::new(state));
-                Ok(())
+            Entry::Occupied(_) => Err(ServiceError::TenantExists(state.id.clone())),
+            Entry::Vacant(entry) => {
+                entry.insert(Arc::new(TenantSlot::new_hot(Arc::clone(&state))));
+                Ok(state)
             }
         }
     }
 
-    /// Looks a tenant up, cloning its `Arc` out of the shard.
-    pub(crate) fn get(&self, id: &str) -> Result<Arc<TenantState>, ServiceError> {
+    /// Looks a tenant's slot up, cloning its `Arc` out of the shard.
+    pub(crate) fn slot(&self, id: &str) -> Result<Arc<TenantSlot>, ServiceError> {
         self.shard(id)
             .read()
             .get(id)
@@ -161,8 +373,8 @@ impl ShardedRegistry {
             .ok_or_else(|| ServiceError::UnknownTenant(id.to_owned()))
     }
 
-    /// Removes a tenant, returning its state.
-    pub(crate) fn remove(&self, id: &str) -> Result<Arc<TenantState>, ServiceError> {
+    /// Removes a tenant, returning its slot (whatever its residency).
+    pub(crate) fn remove(&self, id: &str) -> Result<Arc<TenantSlot>, ServiceError> {
         self.shard(id)
             .write()
             .remove(id)
@@ -178,6 +390,34 @@ impl ShardedRegistry {
             .collect();
         ids.sort();
         ids
+    }
+
+    /// Every currently-hot tenant, with its slot (the eviction sweep's
+    /// candidate list). Shard locks are held only to clone slot `Arc`s
+    /// out; each slot is then peeked under its own mutex.
+    pub(crate) fn resident(&self) -> Vec<(Arc<TenantSlot>, Arc<TenantState>)> {
+        let slots: Vec<Arc<TenantSlot>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        slots
+            .into_iter()
+            .filter_map(|slot| slot.peek_hot().map(|state| (slot, state)))
+            .collect()
+    }
+
+    /// How many tenants are hot right now.
+    pub(crate) fn resident_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|slot| slot.peek_hot().is_some())
+                    .count()
+            })
+            .sum()
     }
 }
 
@@ -200,12 +440,14 @@ mod tests {
         }
         assert!(r.ids().is_empty());
         assert!(matches!(
-            r.get("missing"),
+            r.slot("missing"),
             Err(ServiceError::UnknownTenant(_))
         ));
         assert!(matches!(
             r.remove("missing"),
             Err(ServiceError::UnknownTenant(_))
         ));
+        assert_eq!(r.resident_count(), 0);
+        assert!(r.resident().is_empty());
     }
 }

@@ -1,0 +1,471 @@
+//! Tiered tenant residency: the eviction sweep and the rehydration path.
+//!
+//! With [`crate::ServiceConfig::max_resident_tenants`] /
+//! [`crate::ServiceConfig::idle_evict_after`] set (both require
+//! persistence), the supervisor's poll loop runs [`ResidencyCtl::sweep`]:
+//! an idle pass that evicts tenants untouched past the idle bound, then a
+//! capacity pass that orders resident tenants by last touch (LRU) and
+//! evicts the least-recently-used excess over the cap. Eviction persists
+//! a final snapshot and drops the tenant's forest + driver, leaving only
+//! [`ColdMeta`] in the registry slot; the first subsequent touch
+//! rehydrates from the newest snapshot through `crates/store`,
+//! single-flight per tenant.
+//!
+//! ## Why eviction cannot lose a report
+//!
+//! The evictor and the enqueuer run a Dekker-style handshake over two
+//! `SeqCst` flags: the enqueuer bumps `counters.pending` *then* reads
+//! `retired`; the evictor stores `retired = true` *then* reads `pending`.
+//! One side always observes the other — either the enqueuer backs out
+//! (and retries against the rehydrated state), or the evictor sees
+//! pending work and aborts. A tenant with `pending > 0` is **pinned
+//! hot**: its retrain worker holds queued reports that must commit
+//! against this driver instance. The evictor additionally takes the
+//! driver via `try_lock`, so a worker mid-apply is simply skipped this
+//! sweep, never blocked.
+//!
+//! ## Why eviction cannot resurrect a deregistered tenant
+//!
+//! Every evict-time persist checks the `defunct` stamp before *and after*
+//! writing; a deregistration that lands mid-write is compensated by
+//! removing the tenant directory again. See `docs/PERSISTENCE.md`
+//! ("Residency").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use smartpick_core::driver::Smartpick;
+use smartpick_obs::{event, Counter, EventKind, Gauge, LatencyHistogram, Observability};
+use smartpick_store::Snapshot;
+
+use crate::error::ServiceError;
+use crate::persist::ServicePersist;
+use crate::registry::{Acquired, ColdMeta, ShardedRegistry, TenantSlot, TenantState};
+
+/// Sweeps are throttled to this interval regardless of the supervisor
+/// poll cadence — residency decisions are capacity management, not a hot
+/// path.
+const SWEEP_INTERVAL_US: u64 = 100_000;
+
+/// The residency controller: owns the eviction policy knobs, the
+/// `service.residency.*` metrics, and the rehydration path. One per
+/// service, shared with the supervisor's poll hook.
+#[derive(Debug)]
+pub(crate) struct ResidencyCtl {
+    registry: Arc<ShardedRegistry>,
+    persist: Option<Arc<ServicePersist>>,
+    obs: Arc<Observability>,
+    max_resident: Option<usize>,
+    idle_evict_after_us: Option<u64>,
+    /// The service epoch `last_touch_us` stamps are measured against.
+    epoch: Instant,
+    evictions: Arc<Counter>,
+    rehydrations: Arc<Counter>,
+    rehydrate_failures: Arc<Counter>,
+    resident_gauge: Arc<Gauge>,
+    rehydrate_latency: Arc<LatencyHistogram>,
+    last_sweep_us: AtomicU64,
+}
+
+impl ResidencyCtl {
+    /// Builds the controller (always — metrics are registered even when
+    /// no limits are configured, so dashboards see zeros instead of
+    /// holes). Run after recovery so the gauge starts at the recovered
+    /// resident count.
+    pub(crate) fn new(
+        registry: Arc<ShardedRegistry>,
+        persist: Option<Arc<ServicePersist>>,
+        obs: Arc<Observability>,
+        max_resident: Option<usize>,
+        idle_evict_after_us: Option<u64>,
+        epoch: Instant,
+    ) -> Self {
+        let metrics = obs.metrics();
+        let resident_gauge = metrics.gauge("service.residency.resident_tenants");
+        resident_gauge.set(registry.resident_count() as i64);
+        ResidencyCtl {
+            evictions: metrics.counter("service.residency.evictions"),
+            rehydrations: metrics.counter("service.residency.rehydrations"),
+            rehydrate_failures: metrics.counter("service.residency.rehydrate_failures"),
+            rehydrate_latency: metrics.histogram("service.residency.rehydrate_latency"),
+            resident_gauge,
+            registry,
+            persist,
+            obs,
+            max_resident,
+            idle_evict_after_us,
+            epoch,
+            last_sweep_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether any eviction policy is configured (drives supervisor hook
+    /// installation).
+    pub(crate) fn sweeps_enabled(&self) -> bool {
+        self.max_resident.is_some() || self.idle_evict_after_us.is_some()
+    }
+
+    /// Limits configured but no working store: eviction cannot run
+    /// (nothing durable to rehydrate from), so residency is paused —
+    /// surfaced as a health reason.
+    pub(crate) fn paused(&self) -> bool {
+        self.sweeps_enabled() && self.persist.is_none()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Re-derives the resident gauge from the registry (scrape-time
+    /// truth; transitions also update it incrementally).
+    pub(crate) fn refresh_gauge(&self) {
+        self.resident_gauge
+            .set(self.registry.resident_count() as i64);
+    }
+
+    /// A registration added a hot tenant.
+    pub(crate) fn note_registered(&self) {
+        self.resident_gauge.inc();
+    }
+
+    /// A deregistration dropped a hot tenant.
+    pub(crate) fn note_dropped_hot(&self) {
+        self.resident_gauge.dec();
+    }
+
+    // ---------------------------------------------------------------
+    // Resolution (the read side)
+    // ---------------------------------------------------------------
+
+    /// Resolves `tenant` to a servable state, transparently rehydrating
+    /// a cold tenant from its newest snapshot (single-flight: concurrent
+    /// callers block on the one in-flight load). Stamps the LRU touch
+    /// clock.
+    pub(crate) fn resolve(&self, tenant: &str) -> Result<Arc<TenantState>, ServiceError> {
+        let slot = self.registry.slot(tenant)?;
+        let state = match slot.acquire() {
+            Acquired::Hot(state) => state,
+            Acquired::MustRehydrate(meta) => self.rehydrate(&slot, meta)?,
+        };
+        state.last_touch_us.store(self.now_us(), Ordering::Relaxed);
+        Ok(state)
+    }
+
+    /// Loads the newest snapshot back into a hot state. The caller owns
+    /// the slot's `Rehydrating` claim; any early return (or panic) must
+    /// restore `Cold` so waiters are never stranded — the `AbortOnDrop`
+    /// guard does that until the load succeeds.
+    fn rehydrate(
+        &self,
+        slot: &Arc<TenantSlot>,
+        meta: ColdMeta,
+    ) -> Result<Arc<TenantState>, ServiceError> {
+        let mut guard = AbortOnDrop {
+            slot,
+            meta,
+            armed: true,
+        };
+        // A deregistered slot has no files to load (the store directory
+        // is removed); fail as the lookup would have.
+        if slot.defunct.load(Ordering::SeqCst) {
+            return Err(ServiceError::UnknownTenant(slot.id.clone()));
+        }
+        let Some(sp) = &self.persist else {
+            // Unreachable by construction (Cold requires a persist to
+            // have happened), kept as a typed failure instead of a panic.
+            return Err(ServiceError::Store("persistence not configured".into()));
+        };
+        let started = Instant::now();
+        let loaded = sp
+            .store
+            .load_snapshot(&slot.id)
+            .map_err(|e| self.note_rehydrate_failure(slot, format!("snapshot load failed: {e}")))?;
+        for name in &loaded.quarantined {
+            sp.metrics.snapshots_quarantined.inc();
+            self.obs.events().publish(
+                event(EventKind::SnapshotQuarantined)
+                    .tenant(&slot.id)
+                    .detail(format!("{name} failed validation; moved to quarantine/")),
+            );
+        }
+        let snap = loaded.snapshot.ok_or_else(|| {
+            self.note_rehydrate_failure(slot, "no snapshot validated at any generation".to_owned())
+        })?;
+        let driver = Smartpick::from_state(&snap.state).map_err(|e| {
+            self.note_rehydrate_failure(slot, format!("snapshot state invalid: {e}"))
+        })?;
+
+        let now_us = self.now_us();
+        let state = TenantState::new(
+            slot.id.clone(),
+            driver,
+            now_us,
+            Arc::clone(&slot.counters),
+            snap.epoch,
+        );
+        // Restore the floors. Generation stays monotone across the
+        // evict/rehydrate cycle (a worker may have persisted past the
+        // evict-time generation; take the max of both records), and run
+        // ids issued before eviction — including ids *burned* by queue
+        // rejections, which never reach the WAL — are never reissued
+        // within the epoch.
+        state
+            .generation
+            .store(snap.generation.max(meta.generation), Ordering::Relaxed);
+        state
+            .next_run_id
+            .store(snap.watermark.max(meta.next_run_id), Ordering::Relaxed);
+        state
+            .applied_watermark
+            .store(snap.watermark, Ordering::Relaxed);
+        let state = Arc::new(state);
+
+        guard.armed = false;
+        slot.finish_rehydrate(Arc::clone(&state));
+        self.resident_gauge.inc();
+        self.rehydrations.inc();
+        self.rehydrate_latency.record(started.elapsed());
+        self.obs.events().publish(
+            event(EventKind::TenantRehydrated)
+                .tenant(&slot.id)
+                .duration(started.elapsed())
+                .detail(format!(
+                    "generation {}, watermark {}",
+                    snap.generation.max(meta.generation),
+                    snap.watermark
+                )),
+        );
+        Ok(state)
+    }
+
+    /// Counts + reports one failed rehydration and returns the typed
+    /// error (the slot goes back to `Cold` via the caller's drop guard,
+    /// so the next touch retries the load).
+    ///
+    /// A load that failed because a concurrent deregistration removed
+    /// the files is not a failure at all: deregistration stamps the slot
+    /// defunct *before* the removal, so re-checking the stamp here
+    /// deterministically separates "tenant torn down under us" (report
+    /// it as unknown, like the lookup would have) from genuine store
+    /// corruption.
+    fn note_rehydrate_failure(&self, slot: &TenantSlot, why: String) -> ServiceError {
+        if slot.defunct.load(Ordering::SeqCst) {
+            return ServiceError::UnknownTenant(slot.id.clone());
+        }
+        self.rehydrate_failures.inc();
+        self.obs.events().publish(
+            event(EventKind::StoreDegraded)
+                .tenant(&slot.id)
+                .detail(why.clone()),
+        );
+        ServiceError::Store(why)
+    }
+
+    // ---------------------------------------------------------------
+    // Eviction (the sweep side)
+    // ---------------------------------------------------------------
+
+    /// One residency sweep: the idle pass, then the capacity (LRU) pass.
+    /// Called from the supervisor's poll loop; throttled internally, so
+    /// the poll cadence does not set the sweep cadence. Never blocks on
+    /// a driver lock and never panics.
+    pub(crate) fn sweep(&self) {
+        let now = self.now_us();
+        let last = self.last_sweep_us.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < SWEEP_INTERVAL_US {
+            return;
+        }
+        if self
+            .last_sweep_us
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another sweeper (e.g. a test driving the sweep directly)
+            // won this interval.
+            return;
+        }
+        self.sweep_now();
+    }
+
+    /// The sweep body, unthrottled — tests and benches drive this
+    /// directly for deterministic scheduling.
+    pub(crate) fn sweep_now(&self) {
+        let Some(sp) = &self.persist else { return };
+        if !self.sweeps_enabled() {
+            return;
+        }
+        let now = self.now_us();
+
+        if let Some(idle_us) = self.idle_evict_after_us {
+            for (slot, state) in self.registry.resident() {
+                let idle = now.saturating_sub(state.last_touch_us.load(Ordering::Relaxed));
+                if idle > idle_us {
+                    self.try_evict(sp, &slot, &state, "idle");
+                }
+            }
+        }
+
+        if let Some(max) = self.max_resident {
+            let mut resident = self.registry.resident();
+            if resident.len() > max {
+                // LRU: oldest touch first; evict only the excess.
+                resident.sort_by_key(|(_, state)| state.last_touch_us.load(Ordering::Relaxed));
+                let excess = resident.len() - max;
+                let mut evicted = 0usize;
+                for (slot, state) in resident {
+                    if evicted >= excess {
+                        break;
+                    }
+                    if self.try_evict(sp, &slot, &state, "capacity") {
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        self.refresh_gauge();
+    }
+
+    /// Operator hook: evict one tenant now, regardless of policy.
+    /// `Ok(false)` means the tenant stayed hot (pinned by pending
+    /// reports, mid-apply, already cold, or being deregistered).
+    pub(crate) fn evict(&self, tenant: &str) -> Result<bool, ServiceError> {
+        let Some(sp) = &self.persist else {
+            return Err(ServiceError::Store("persistence not configured".into()));
+        };
+        let slot = self.registry.slot(tenant)?;
+        let Some(state) = slot.peek_hot() else {
+            return Ok(false);
+        };
+        Ok(self.try_evict(sp, &slot, &state, "operator"))
+    }
+
+    /// Attempts to take one hot tenant cold. Non-blocking and strictly
+    /// best-effort: any contention (pending reports, driver mid-apply,
+    /// concurrent deregistration, persist failure, slot swapped by a
+    /// re-registration) leaves the tenant hot and returns `false`.
+    fn try_evict(
+        &self,
+        sp: &ServicePersist,
+        slot: &Arc<TenantSlot>,
+        state: &Arc<TenantState>,
+        why: &str,
+    ) -> bool {
+        // Deregistration owns this tenant's teardown.
+        if slot.defunct.load(Ordering::SeqCst) || state.defunct.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Pinned: a retrain worker holds queued reports for this state.
+        if state.counters.pending.load(Ordering::SeqCst) > 0 {
+            return false;
+        }
+        // The Dekker handshake: publish retirement, then re-check pending.
+        // An enqueuer that slipped in between bumped pending first and
+        // will now observe `retired` (or we observe its bump here).
+        state.retired.store(true, Ordering::SeqCst);
+        if state.counters.pending.load(Ordering::SeqCst) > 0 {
+            state.retired.store(false, Ordering::SeqCst);
+            return false;
+        }
+        // A worker mid-apply holds the driver; skip, don't wait.
+        let Some(driver) = state.driver.try_lock() else {
+            state.retired.store(false, Ordering::SeqCst);
+            return false;
+        };
+        let generation = state.generation.load(Ordering::Relaxed);
+        let watermark = state.applied_watermark.load(Ordering::Relaxed);
+        let next_run_id = state.next_run_id.load(Ordering::Relaxed);
+        // A final snapshot is only due if something was applied since
+        // the last persist; otherwise the disk already holds exactly
+        // this state and eviction is free (the common case for the idle
+        // long tail a residency cap exists for).
+        if state.applied_since_persist.load(Ordering::Relaxed) > 0 {
+            let exported = driver.export_state();
+            let snap = Snapshot {
+                tenant: state.id.clone(),
+                epoch: state.epoch,
+                generation,
+                watermark,
+                state: exported,
+            };
+            // The defunct stamp is re-checked inside the tenant's file
+            // lock: a racing deregistration's removal either runs after
+            // this write (deleting it) or the write is skipped.
+            match sp
+                .files
+                .persist_unless_defunct(&sp.store, &snap, &state.defunct)
+            {
+                Ok(Some(bytes)) => {
+                    sp.metrics.snapshots_persisted.inc();
+                    sp.metrics.snapshot_bytes_written.add(bytes);
+                }
+                Ok(None) => {
+                    // Deregistration owns the teardown; stay out of it.
+                    drop(driver);
+                    state.retired.store(false, Ordering::SeqCst);
+                    return false;
+                }
+                Err(e) => {
+                    // Can't evict what we can't rehydrate: stay hot.
+                    drop(driver);
+                    state.retired.store(false, Ordering::SeqCst);
+                    self.obs.events().publish(
+                        event(EventKind::StoreDegraded)
+                            .tenant(&state.id)
+                            .detail(format!("evict-time snapshot persist failed: {e}")),
+                    );
+                    return false;
+                }
+            }
+            state.applied_since_persist.store(0, Ordering::Relaxed);
+        } else if state.defunct.load(Ordering::SeqCst) {
+            // Deregistration landed since the first check; its teardown
+            // owns this tenant.
+            drop(driver);
+            state.retired.store(false, Ordering::SeqCst);
+            return false;
+        }
+        drop(driver);
+        let meta = ColdMeta {
+            generation,
+            epoch: state.epoch,
+            watermark,
+            next_run_id,
+        };
+        if !slot.make_cold(state, meta) {
+            // The slot no longer holds this state (deregister +
+            // re-register); the orphaned state just dies with our Arc.
+            state.retired.store(false, Ordering::SeqCst);
+            return false;
+        }
+        self.resident_gauge.dec();
+        self.evictions.inc();
+        self.obs
+            .events()
+            .publish(
+                event(EventKind::TenantEvicted)
+                    .tenant(&state.id)
+                    .detail(format!(
+                        "{why}; generation {generation}, watermark {watermark}"
+                    )),
+            );
+        true
+    }
+}
+
+/// Restores `Cold` if a claimed rehydration unwinds before publishing —
+/// waiters blocked in `acquire` must never be stranded on a claim whose
+/// owner is gone.
+struct AbortOnDrop<'a> {
+    slot: &'a TenantSlot,
+    meta: ColdMeta,
+    armed: bool,
+}
+
+impl Drop for AbortOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slot.abort_rehydrate(self.meta);
+        }
+    }
+}

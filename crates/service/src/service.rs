@@ -14,15 +14,18 @@ use smartpick_core::wp::{
 };
 use smartpick_engine::QueryProfile;
 use smartpick_obs::{
-    event, EventKind, Gauge, HealthReport, LatencyHistogram, Observability, RestartPolicy,
+    event, EventKind, Gauge, HealthReport, LatencyHistogram, Observability, PollFn, RestartPolicy,
     ScrapeEnvelope, SpawnFn, Supervisor, SupervisorConfig, WorkerHealth, WorkerState, WorkerStatus,
 };
 use smartpick_store::{Snapshot, Store};
 
 use crate::error::ServiceError;
-use crate::persist::{self, PersistenceConfig, ServicePersist, StoreMetrics, WorkerPersist};
+use crate::persist::{
+    self, PersistenceConfig, ServicePersist, StoreMetrics, TenantFiles, WorkerPersist,
+};
 use crate::queue::{PushRejected, ShardedQueue};
 use crate::registry::{tenant_hash, ShardedRegistry, TenantState};
+use crate::residency::ResidencyCtl;
 use crate::stats::{ServiceStats, ShardCounters, TenantCounters, TenantStats, WorkerShardStats};
 use crate::worker::{run_worker, CompletedRun, WorkerCtx, WorkerMsg};
 
@@ -65,6 +68,18 @@ pub struct ServiceConfig {
     /// (the default) runs fully in-memory. Usually set through
     /// [`SmartpickService::open`].
     pub persistence: Option<PersistenceConfig>,
+    /// Cap on tenants kept *resident* (hot) at once. When registered
+    /// tenants exceed it, a background sweep evicts the least-recently
+    /// touched excess: each evicted tenant's state is persisted as a
+    /// final snapshot, its forest + driver are dropped, and the first
+    /// subsequent touch rehydrates it transparently from the store
+    /// (single-flight per tenant). Requires [`ServiceConfig::persistence`].
+    /// `None` (the default) keeps every tenant hot.
+    pub max_resident_tenants: Option<usize>,
+    /// Evict a tenant untouched by the read path for this long, on the
+    /// same terms as `max_resident_tenants` (requires persistence).
+    /// `None` (the default) disables idle eviction.
+    pub idle_evict_after: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +99,8 @@ impl Default for ServiceConfig {
             stall_deadline: Duration::from_secs(5),
             event_capacity: 256,
             persistence: None,
+            max_resident_tenants: None,
+            idle_evict_after: None,
         }
     }
 }
@@ -171,7 +188,10 @@ impl FlushOutcome {
 /// ```
 #[derive(Debug)]
 pub struct SmartpickService {
-    registry: ShardedRegistry,
+    registry: Arc<ShardedRegistry>,
+    /// Residency policy + rehydration path; shared with the supervisor's
+    /// poll hook, which runs the eviction sweep.
+    residency: Arc<ResidencyCtl>,
     queues: ShardedQueue<WorkerMsg>,
     supervisor: Supervisor,
     shard_counters: Box<[Arc<ShardCounters>]>,
@@ -225,6 +245,15 @@ impl SmartpickService {
             config.retrain_workers > 0,
             "retrain_workers must be positive"
         );
+        assert!(
+            config.max_resident_tenants != Some(0),
+            "max_resident_tenants must be positive when set"
+        );
+        assert!(
+            (config.max_resident_tenants.is_none() && config.idle_evict_after.is_none())
+                || config.persistence.is_some(),
+            "residency limits require persistence (evicted tenants rehydrate from the store)"
+        );
         let queues = ShardedQueue::new(config.retrain_workers, config.queue_capacity);
         let metrics = obs.metrics();
         let shard_counters: Box<[Arc<ShardCounters>]> = (0..config.retrain_workers)
@@ -238,7 +267,7 @@ impl SmartpickService {
         let tenants_gauge = metrics.gauge("service.tenants");
         let queue_depth_gauge = metrics.gauge("service.queue_depth");
         let epoch = Instant::now();
-        let registry = ShardedRegistry::new(config.shards);
+        let registry = Arc::new(ShardedRegistry::new(config.shards));
 
         // Durable store + crash recovery, strictly before any worker
         // spawns: recovery rewrites the WAL files the workers are about
@@ -264,6 +293,7 @@ impl SmartpickService {
                             store,
                             cfg: cfg.clone(),
                             metrics: store_metrics,
+                            files: Arc::new(TenantFiles::default()),
                         }))
                     }
                     Err(e) => {
@@ -274,6 +304,24 @@ impl SmartpickService {
                         None
                     }
                 });
+
+        // The residency controller is built after recovery so its
+        // resident gauge starts at the recovered tenant count; its sweep
+        // rides the supervisor's poll loop (throttled internally).
+        let residency = Arc::new(ResidencyCtl::new(
+            Arc::clone(&registry),
+            persist.clone(),
+            Arc::clone(&obs),
+            config.max_resident_tenants,
+            config.idle_evict_after.map(|d| d.as_micros() as u64),
+            epoch,
+        ));
+        let poll_hook: Option<PollFn> = if residency.sweeps_enabled() {
+            let ctl = Arc::clone(&residency);
+            Some(Box::new(move || ctl.sweep()))
+        } else {
+            None
+        };
 
         // Workers are spawned (and respawned after panics) through the
         // supervisor; a spawn failure marks its shard failed — visible in
@@ -311,6 +359,7 @@ impl SmartpickService {
                         compact_threshold_bytes: sp.cfg.compact_threshold_bytes,
                         fsync: sp.cfg.fsync,
                         metrics: Arc::clone(&sp.metrics),
+                        files: Arc::clone(&sp.files),
                     })
                 });
                 let ctx = WorkerCtx {
@@ -327,19 +376,21 @@ impl SmartpickService {
                     .ok()
             })
         };
-        let supervisor = Supervisor::start(
+        let supervisor = Supervisor::start_with_poll_hook(
             config.retrain_workers,
             SupervisorConfig {
                 policy: config.restart_policy,
                 poll: config.supervisor_poll,
             },
             spawn,
+            poll_hook,
             Arc::clone(&obs),
             "service.worker",
         );
 
         SmartpickService {
             registry,
+            residency,
             queues,
             supervisor,
             shard_counters,
@@ -431,30 +482,42 @@ impl SmartpickService {
         // only after the insert succeeds, so a duplicate-id rejection
         // cannot touch the existing tenant's files.
         let exported = self.persist.as_ref().map(|_| driver.export_state());
-        self.registry.insert(TenantState::new(
+        // Counters are built detached and only *installed* into the
+        // scrape after the insert succeeds — a rejected duplicate never
+        // touches the incumbent's metrics, and deregistration later
+        // removes exactly these instances (identity-keyed), never a
+        // re-registration's fresh ones.
+        let counters = Arc::new(TenantCounters::detached());
+        let state = self.registry.insert(TenantState::new(
             id.clone(),
             driver,
             self.now_us(),
-            self.obs.metrics(),
+            Arc::clone(&counters),
             epoch,
         ))?;
+        counters.install(self.obs.metrics(), &format!("tenant.{id}"));
         self.tenants_gauge.inc();
+        self.residency.note_registered();
         self.obs
             .events()
             .publish(event(EventKind::TenantRegistered).tenant(&id));
-        if let (Some(sp), Some(state)) = (&self.persist, exported) {
-            // A re-registered id starts a new epoch: clear any files the
-            // old registration left so they can never shadow this one.
-            let _ = sp.store.remove_tenant(&id);
+        if let (Some(sp), Some(exported)) = (&self.persist, exported) {
             let snap = Snapshot {
                 tenant: id.clone(),
                 epoch,
                 generation: 0,
                 watermark: 0,
-                state,
+                state: exported,
             };
-            match sp.store.persist_snapshot(&snap) {
-                Ok(bytes) => {
+            // Clear any files an earlier registration of this id left
+            // (they must never shadow the new epoch) and write the fresh
+            // generation-0 snapshot — one step under the tenant's file
+            // lock, with the defunct stamp checked inside it: a
+            // deregistration landing after the insert above either runs
+            // its removal after this write (deleting it) or has already
+            // stamped the state, in which case nothing is written.
+            match sp.files.fresh_start(&sp.store, &snap, &state.defunct) {
+                Ok(Some(bytes)) => {
                     sp.metrics.snapshots_persisted.inc();
                     sp.metrics.snapshot_bytes_written.add(bytes);
                     self.obs.events().publish(
@@ -463,7 +526,12 @@ impl SmartpickService {
                             .detail(format!("generation 0, {bytes} bytes (registration)")),
                     );
                 }
+                Ok(None) => {} // Already deregistered; its teardown owns the files.
                 Err(e) => {
+                    // The base state never reached the disk: mark the
+                    // in-memory state ahead of it so an eviction cannot
+                    // skip its persist believing the disk is current.
+                    state.applied_since_persist.store(1, Ordering::Relaxed);
                     self.obs.events().publish(
                         event(EventKind::StoreDegraded)
                             .tenant(&id)
@@ -503,14 +571,32 @@ impl SmartpickService {
     ///
     /// [`ServiceError::UnknownTenant`] if not registered.
     pub fn deregister_tenant(&self, id: &str) -> Result<(), ServiceError> {
-        let _state = self.registry.remove(id)?;
-        self.obs.metrics().remove_prefix(&format!("tenant.{id}."));
+        let slot = self.registry.slot(id)?;
+        // Claim the teardown: exactly one deregistration wins; a
+        // concurrent second call reads the id as already unknown. The
+        // claim stamps the tenant defunct *before* the store directory
+        // goes — a retrain worker still holding this state mid-batch (or
+        // an evict-time persist) checks the stamp inside the tenant's
+        // file lock, so nothing can recreate `tenants/<id>/` after the
+        // removal below. That is the ghost-tenant resurrection race this
+        // ordering exists to close.
+        let Some(was_hot) = slot.claim_defunct() else {
+            return Err(ServiceError::UnknownTenant(id.to_owned()));
+        };
+        // Identity-keyed: removes exactly this registration's counter
+        // instances, so a concurrent `register_tenant` of the same id
+        // can never have its fresh metrics pruned by this teardown.
+        slot.counters
+            .uninstall(self.obs.metrics(), &format!("tenant.{id}"));
         self.tenants_gauge.dec();
+        if was_hot.is_some() {
+            self.residency.note_dropped_hot();
+        }
         if let Some(sp) = &self.persist {
             // Best-effort: leftover WAL records for the removed tenant
             // are dropped at the next compaction/recovery (no tenant
             // directory to replay into).
-            if let Err(e) = sp.store.remove_tenant(id) {
+            if let Err(e) = sp.files.remove(&sp.store, id) {
                 self.obs.events().publish(
                     event(EventKind::StoreDegraded)
                         .tenant(id)
@@ -518,6 +604,11 @@ impl SmartpickService {
                 );
             }
         }
+        // The registry entry goes last: the id only becomes
+        // re-registrable once its files are gone, so a racing
+        // re-registration's fresh snapshot can never be deleted by this
+        // teardown — it sees `TenantExists` until the teardown is done.
+        let _ = self.registry.remove(id);
         self.obs
             .events()
             .publish(event(EventKind::TenantDeregistered).tenant(id));
@@ -533,6 +624,15 @@ impl SmartpickService {
     // Read path (snapshot predictions)
     // ---------------------------------------------------------------
 
+    /// Resolves a tenant to a servable state, transparently rehydrating
+    /// it from its newest snapshot if it was evicted (single-flight;
+    /// concurrent callers block on the one in-flight load). This is the
+    /// only residency cost the read path ever pays — a hot tenant
+    /// resolves exactly as the registry lookup always did.
+    fn resolve(&self, tenant: &str) -> Result<Arc<TenantState>, ServiceError> {
+        self.residency.resolve(tenant)
+    }
+
     /// Runs a full resource determination for `tenant` against its
     /// current model snapshot. Never blocks behind retraining: the
     /// snapshot is an immutable `Arc`d model, and the only locks touched
@@ -547,7 +647,7 @@ impl SmartpickService {
         tenant: &str,
         request: &PredictionRequest,
     ) -> Result<Determination, ServiceError> {
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         self.predict_on(&state, request)
     }
 
@@ -621,7 +721,7 @@ impl SmartpickService {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         let start = Instant::now();
         let snapshot = state.read_snapshot();
         let stale = self.snapshot_is_stale(&state);
@@ -677,7 +777,7 @@ impl SmartpickService {
         query: &QueryProfile,
         seed: u64,
     ) -> Result<Determination, ServiceError> {
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         self.predict_on(
             &state,
             &PredictionRequest {
@@ -715,7 +815,7 @@ impl SmartpickService {
         // out from under us mid-submission (feedback applied to the wrong
         // tenant instance) and would cost extra shard hops on the hot
         // path.
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         let determination = self.predict_on(
             &state,
             &PredictionRequest {
@@ -732,9 +832,10 @@ impl SmartpickService {
         state.counters.executions.inc();
         self.totals.executions.inc();
         // Feedback is best-effort under load: a shed report costs model
-        // freshness, not correctness.
-        let _ = self.enqueue_report(
-            &state,
+        // freshness, not correctness. (The retry only covers the
+        // eviction race; admission-control rejections still shed.)
+        let _ = self.enqueue_with_retry(
+            Arc::clone(&state),
             CompletedRun {
                 query: query.clone(),
                 determination: determination.clone(),
@@ -762,28 +863,57 @@ impl SmartpickService {
     /// [`ServiceError::QueueFull`] under service-wide backpressure;
     /// [`ServiceError::Stopped`] after shutdown.
     pub fn report_run(&self, tenant: &str, run: CompletedRun) -> Result<(), ServiceError> {
-        let state = self.registry.get(tenant)?;
-        self.enqueue_report(&state, run)
+        let state = self.resolve(tenant)?;
+        self.enqueue_with_retry(state, run)
+    }
+
+    /// [`SmartpickService::enqueue_report`] with the residency retry: a
+    /// report that lost the race against the eviction sweep backs out
+    /// and re-resolves (rehydrating the tenant), so accepted feedback is
+    /// never dropped on the floor by capacity management. The loop is
+    /// bounded in practice — a fresh resolve stamps the touch clock, so
+    /// the sweep will not immediately re-evict the tenant it just lost
+    /// a report race on.
+    fn enqueue_with_retry(
+        &self,
+        mut state: Arc<TenantState>,
+        mut run: CompletedRun,
+    ) -> Result<(), ServiceError> {
+        loop {
+            match self.enqueue_report(&state, run) {
+                Enqueue::Done(result) => return result,
+                Enqueue::Retired(returned) => {
+                    run = *returned;
+                    std::thread::yield_now();
+                    let id = state.id.clone();
+                    state = self.resolve(&id)?;
+                }
+            }
+        }
     }
 
     /// Quota check + enqueue against an already-resolved tenant.
-    fn enqueue_report(
-        &self,
-        state: &Arc<TenantState>,
-        run: CompletedRun,
-    ) -> Result<(), ServiceError> {
+    fn enqueue_report(&self, state: &Arc<TenantState>, run: CompletedRun) -> Enqueue {
         // Reserve quota (compensating add so concurrent reservations
-        // cannot sneak past the cap).
+        // cannot sneak past the cap). `SeqCst` pairs with the eviction
+        // sweep's Dekker handshake: we bump `pending` *then* read
+        // `retired`; the evictor stores `retired` *then* reads `pending`
+        // — one side always observes the other, so a report can never
+        // land on a state that silently went cold.
         let cap = self.config.tenant_pending_cap;
-        let prior = state.counters.pending.fetch_add(1, Ordering::Relaxed);
+        let prior = state.counters.pending.fetch_add(1, Ordering::SeqCst);
+        if state.retired.load(Ordering::SeqCst) {
+            state.counters.pending.fetch_sub(1, Ordering::SeqCst);
+            return Enqueue::Retired(Box::new(run));
+        }
         if prior >= cap {
             state.counters.pending.fetch_sub(1, Ordering::Relaxed);
             self.note_shed(state, "tenant pending quota exceeded");
-            return Err(ServiceError::QuotaExceeded {
+            return Enqueue::Done(Err(ServiceError::QuotaExceeded {
                 tenant: state.id.clone(),
                 pending: prior,
                 cap,
-            });
+            }));
         }
 
         // Run ids are assigned at admission (ids start at 1), so a report
@@ -800,11 +930,11 @@ impl SmartpickService {
             Ok(()) => {
                 state.counters.reports_enqueued.inc();
                 self.totals.reports_enqueued.inc();
-                Ok(())
+                Enqueue::Done(Ok(()))
             }
             Err(rejected) => {
                 state.counters.pending.fetch_sub(1, Ordering::Relaxed);
-                Err(match rejected {
+                Enqueue::Done(Err(match rejected {
                     PushRejected::Full => {
                         self.note_shed(state, "update queue full");
                         ServiceError::QueueFull {
@@ -815,7 +945,7 @@ impl SmartpickService {
                         self.note_shed(state, "service stopped");
                         ServiceError::Stopped
                     }
-                })
+                }))
             }
         }
     }
@@ -906,7 +1036,11 @@ impl SmartpickService {
 
     /// Persists `tenant`'s full driver state to the store right now, off
     /// the worker cadence — the admin "checkpoint this tenant" hook.
-    /// Returns the snapshot's encoded size in bytes.
+    /// Returns the snapshot's encoded size in bytes. An **evicted** (or
+    /// currently rehydrating) tenant returns `Ok(0)` without touching
+    /// the disk: its newest persisted snapshot *is* its state of record,
+    /// so there is nothing in memory to checkpoint — and rehydrating a
+    /// cold tenant just to re-persist it would defeat the eviction.
     ///
     /// # Errors
     ///
@@ -916,7 +1050,9 @@ impl SmartpickService {
         let Some(sp) = &self.persist else {
             return Err(ServiceError::Store("persistence not configured".into()));
         };
-        let state = self.registry.get(tenant)?;
+        let Some(state) = self.registry.slot(tenant)?.peek_hot() else {
+            return Ok(0);
+        };
         // Export under the driver lock so state/generation/watermark are
         // one consistent cut (the worker updates all three under or
         // before the same lock).
@@ -935,10 +1071,18 @@ impl SmartpickService {
             watermark,
             state: exported,
         };
-        let bytes = sp
-            .store
-            .persist_snapshot(&snap)
-            .map_err(|e| ServiceError::Store(e.to_string()))?;
+        // A deregistration landing after the lookup above must win: the
+        // defunct stamp is checked inside the tenant's file lock, so
+        // this write either precedes the teardown's removal (and is
+        // deleted by it) or is skipped.
+        let bytes = match sp
+            .files
+            .persist_unless_defunct(&sp.store, &snap, &state.defunct)
+        {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return Err(ServiceError::UnknownTenant(tenant.to_owned())),
+            Err(e) => return Err(ServiceError::Store(e.to_string())),
+        };
         sp.metrics.snapshots_persisted.inc();
         sp.metrics.snapshot_bytes_written.add(bytes);
         state.applied_since_persist.store(0, Ordering::Relaxed);
@@ -967,6 +1111,38 @@ impl SmartpickService {
             }
         }
         Ok(persisted)
+    }
+
+    // ---------------------------------------------------------------
+    // Residency (admin API)
+    // ---------------------------------------------------------------
+
+    /// Evicts one tenant to its durable snapshot right now, regardless
+    /// of the configured policy — the operator "take this tenant cold"
+    /// hook. `Ok(false)` means the tenant stayed hot: pinned by pending
+    /// retrain reports, mid-apply, already cold, or being deregistered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] if persistence is not configured;
+    /// [`ServiceError::UnknownTenant`] if not registered.
+    pub fn evict_tenant(&self, tenant: &str) -> Result<bool, ServiceError> {
+        self.residency.evict(tenant)
+    }
+
+    /// How many tenants are resident (hot) right now. With
+    /// [`ServiceConfig::max_resident_tenants`] set this converges to at
+    /// most the cap (pinned tenants can exceed it transiently).
+    pub fn resident_tenants(&self) -> usize {
+        self.registry.resident_count()
+    }
+
+    /// Runs one residency sweep on the caller's thread — deterministic
+    /// scheduling for tests and benches; production sweeps ride the
+    /// supervisor poll loop. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn residency_sweep(&self) {
+        self.residency.sweep_now();
     }
 
     /// Shards the supervisor has given up on.
@@ -1013,7 +1189,7 @@ impl SmartpickService {
         tenant: &str,
         f: impl FnOnce(&Smartpick) -> R,
     ) -> Result<R, ServiceError> {
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         let driver = state.driver.lock();
         Ok(f(&driver))
     }
@@ -1024,7 +1200,7 @@ impl SmartpickService {
     ///
     /// [`ServiceError::UnknownTenant`] if not registered.
     pub fn tenant_stats(&self, tenant: &str) -> Result<TenantStats, ServiceError> {
-        let state = self.registry.get(tenant)?;
+        let state = self.resolve(tenant)?;
         Ok(self.stats_of(&state))
     }
 
@@ -1106,6 +1282,7 @@ impl SmartpickService {
         }
         self.queue_depth_gauge
             .set(depths.iter().sum::<usize>() as i64);
+        self.residency.refresh_gauge();
         self.obs.scrape(max_events)
     }
 
@@ -1124,6 +1301,11 @@ impl SmartpickService {
         let mut reasons = Vec::new();
         if closed {
             reasons.push("service is shut down".to_owned());
+        }
+        if self.residency.paused() {
+            reasons.push(
+                "residency limits configured but store unavailable; eviction paused".to_owned(),
+            );
         }
         let workers: Vec<WorkerHealth> = statuses
             .iter()
@@ -1222,3 +1404,12 @@ impl Drop for SmartpickService {
 /// Mixed into the caller's seed so the execution RNG stream differs from
 /// the search's.
 const EXEC_SEED_MIX: u64 = 0x5EED_EC5E;
+
+/// What one enqueue attempt did: a final answer, or "the state went cold
+/// under you — re-resolve and try again" (the report rides back out so
+/// the retry does not clone it; boxed so the common `Done` return stays
+/// small — the box only allocates on the rare lost-race path).
+enum Enqueue {
+    Done(Result<(), ServiceError>),
+    Retired(Box<CompletedRun>),
+}

@@ -41,7 +41,10 @@ pub(crate) struct TenantCounters {
 }
 
 impl TenantCounters {
-    /// Registers this scope's counters under `<prefix>.<field>`.
+    /// Registers this scope's counters under `<prefix>.<field>`
+    /// (get-or-create). Used for the never-churning `service` totals
+    /// scope; per-tenant scopes use [`TenantCounters::detached`] +
+    /// [`TenantCounters::install`] so teardown can be identity-keyed.
     pub(crate) fn register(metrics: &MetricsRegistry, prefix: &str) -> TenantCounters {
         let c = |field: &str| metrics.counter(&format!("{prefix}.{field}"));
         TenantCounters {
@@ -55,6 +58,61 @@ impl TenantCounters {
             stale_predictions: c("stale_predictions"),
             pending: AtomicUsize::new(0),
         }
+    }
+
+    /// Fresh counter instances not (yet) registered anywhere. A tenant
+    /// registration builds its state around these and only *installs*
+    /// them into the scrape after its registry insert succeeds — so a
+    /// rejected duplicate never touches the incumbent's metrics, and a
+    /// later [`TenantCounters::uninstall`] removes exactly these
+    /// instances and nothing a re-registration put in their place.
+    pub(crate) fn detached() -> TenantCounters {
+        TenantCounters {
+            predictions: Arc::new(Counter::new()),
+            executions: Arc::new(Counter::new()),
+            reports_enqueued: Arc::new(Counter::new()),
+            reports_applied: Arc::new(Counter::new()),
+            retrains: Arc::new(Counter::new()),
+            rejections: Arc::new(Counter::new()),
+            apply_failures: Arc::new(Counter::new()),
+            stale_predictions: Arc::new(Counter::new()),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// The `(field name, instance)` pairs this scope scrapes as.
+    fn fields(&self) -> [(&'static str, &Arc<Counter>); 8] {
+        [
+            ("predictions", &self.predictions),
+            ("executions", &self.executions),
+            ("reports_enqueued", &self.reports_enqueued),
+            ("reports_applied", &self.reports_applied),
+            ("retrains", &self.retrains),
+            ("rejections", &self.rejections),
+            ("apply_failures", &self.apply_failures),
+            ("stale_predictions", &self.stale_predictions),
+        ]
+    }
+
+    /// Binds this scope's instances under `<prefix>.<field>`, replacing
+    /// any previous registration of those names.
+    pub(crate) fn install(&self, metrics: &MetricsRegistry, prefix: &str) {
+        for (field, counter) in self.fields() {
+            metrics.install_counter(&format!("{prefix}.{field}"), counter);
+        }
+    }
+
+    /// Unregisters `<prefix>.<field>` names still bound to *these*
+    /// instances (identity-keyed, so a concurrent re-registration's
+    /// fresh counters are never pruned). Returns how many were removed.
+    pub(crate) fn uninstall(&self, metrics: &MetricsRegistry, prefix: &str) -> usize {
+        let mut removed = 0;
+        for (field, counter) in self.fields() {
+            if metrics.remove_counter_exact(&format!("{prefix}.{field}"), counter) {
+                removed += 1;
+            }
+        }
+        removed
     }
 }
 

@@ -291,7 +291,13 @@ fn apply_group(
         }
         let snapshot = driver.snapshot();
         drop(driver);
-        tenant.publish_snapshot(snapshot, ctx.epoch.elapsed().as_micros() as u64);
+        let now_us = ctx.epoch.elapsed().as_micros() as u64;
+        tenant.publish_snapshot(snapshot, now_us);
+        // An actively-reporting tenant counts as touched: the residency
+        // sweep's LRU clock should not evict a tenant whose model is
+        // still absorbing feedback. (While the batch was pending, the
+        // pending counter pinned it hot outright.)
+        tenant.last_touch_us.store(now_us, Ordering::Relaxed);
     }
     ctx.obs.events().publish(
         event(EventKind::SnapshotPublished)
@@ -325,6 +331,11 @@ fn wal_append_reports(
     rescue: &BatchRescue<'_>,
     ctx: &WorkerCtx,
 ) {
+    // A deregistered tenant's records would be dead on arrival (replay
+    // only visits tenants with a store directory); skip the writes.
+    if tenant.defunct.load(Ordering::SeqCst) {
+        return;
+    }
     let mut wal = persist.wal.lock();
     let Some(writer) = wal.as_mut() else {
         return;
@@ -372,12 +383,31 @@ fn wal_append_reports(
 
 /// The post-publish durability tail: commit record, due snapshot
 /// persist, and (after a snapshot moved the floors) a compaction pass.
+///
+/// The ghost-tenant guard lives here: a worker holds its own
+/// `Arc<TenantState>`, so it can reach this point for a tenant
+/// `deregister_tenant` has *already* removed — and the snapshot persist
+/// below recreates `tenants/<id>/`, resurrecting the tenant at the next
+/// open. Deregistration stamps `defunct` before removing the store
+/// directory; the snapshot write goes through
+/// [`TenantFiles::persist_unless_defunct`], which re-checks the stamp
+/// inside the tenant's file lock — the write either precedes the
+/// teardown's removal (and is deleted with the directory) or is skipped,
+/// so it can never land after the removal and resurrect the tenant.
+/// Persisting for a merely *evicted* (retired, non-defunct) tenant stays
+/// allowed: generation is monotone and the bytes equal what eviction
+/// wrote.
+///
+/// [`TenantFiles::persist_unless_defunct`]: crate::persist::TenantFiles::persist_unless_defunct
 fn persist_after_publish(
     persist: &WorkerPersist,
     tenant: &Arc<TenantState>,
     exported: Option<DriverState>,
     ctx: &WorkerCtx,
 ) {
+    if tenant.defunct.load(Ordering::SeqCst) {
+        return;
+    }
     let generation = tenant.generation.load(Ordering::Relaxed);
     let watermark = tenant.applied_watermark.load(Ordering::Relaxed);
     {
@@ -421,8 +451,15 @@ fn persist_after_publish(
         watermark,
         state,
     };
-    match persist.store.persist_snapshot(&snap) {
-        Ok(bytes) => {
+    match persist
+        .files
+        .persist_unless_defunct(&persist.store, &snap, &tenant.defunct)
+    {
+        // Deregistration landed since the check at the top; its removal
+        // owns the directory and the write was skipped under the file
+        // lock.
+        Ok(None) => return,
+        Ok(Some(bytes)) => {
             persist.metrics.snapshots_persisted.inc();
             persist.metrics.snapshot_bytes_written.add(bytes);
             ctx.obs.events().publish(

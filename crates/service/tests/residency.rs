@@ -1,0 +1,461 @@
+//! Tiered residency, end to end through the service: eviction bounds the
+//! resident set, a cold hit rehydrates transparently and predicts
+//! **bitwise-identically** to a never-evicted twin, pending reports pin a
+//! tenant hot, rehydration is single-flight, and — the headline
+//! regression — a tenant deregistered mid-retrain-batch stays gone across
+//! a reopen (no ghost resurrection by the worker's snapshot persist).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::{ConstraintMode, PredictionRequest};
+use smartpick_ml::forest::ForestParams;
+use smartpick_obs::EventKind;
+use smartpick_service::{
+    CompletedRun, PersistenceConfig, ServiceConfig, ServiceError, SmartpickService,
+};
+use smartpick_workloads::tpcds;
+
+/// A store root inside the repo's own `target/` (tests must not touch
+/// paths outside the repository).
+fn test_root(tag: &str) -> PathBuf {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+        .join(format!("residency-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic small trained driver — same recipe, same seed, so two
+/// calls yield bit-identical drivers.
+fn template() -> Smartpick {
+    let queries = vec![tpcds::query(82, 100.0).unwrap()];
+    let opts = TrainOptions {
+        configs_per_query: 5,
+        burst_factor: 3,
+        forest: ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        },
+        max_vm: 3,
+        max_sl: 3,
+        ..TrainOptions::default()
+    };
+    Smartpick::train_with_options(
+        CloudEnv::new(Provider::Aws),
+        SmartpickProperties::default(),
+        &queries,
+        &opts,
+        11,
+    )
+    .unwrap()
+    .0
+}
+
+fn durable_config(dir: &Path, snapshot_every: u64) -> ServiceConfig {
+    ServiceConfig {
+        retrain_workers: 1,
+        supervisor_poll: Duration::from_millis(5),
+        persistence: Some(PersistenceConfig {
+            snapshot_every,
+            ..PersistenceConfig::at(dir)
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+fn probe(seed: u64) -> PredictionRequest {
+    PredictionRequest {
+        query: tpcds::query(82, 100.0).unwrap(),
+        knob: 0.0,
+        constraint: ConstraintMode::Hybrid,
+        seed,
+    }
+}
+
+/// Bit-faithful comparison via `Debug`: f64s render as their shortest
+/// round-trip form, so any bit of drift in the rehydrated model shows.
+fn assert_same_prediction(a: &SmartpickService, b: &SmartpickService, tenant: &str, seed: u64) {
+    let da = a.predict(tenant, &probe(seed)).unwrap();
+    let db = b.predict(tenant, &probe(seed)).unwrap();
+    assert_eq!(
+        format!("{da:?}"),
+        format!("{db:?}"),
+        "predictions diverged for {tenant} at seed {seed}"
+    );
+}
+
+/// The acceptance-criterion test: with `max_resident_tenants = 2` and 5
+/// registered tenants, the sweep bounds the resident set; every tenant —
+/// evicted or not — predicts bitwise-identically to an in-memory twin
+/// that never evicts, and the per-tenant counters survive the
+/// evict/rehydrate cycle (a cold tenant is indistinguishable from a hot
+/// one at every public API, except latency).
+#[test]
+fn eviction_bounds_residency_and_cold_hits_match_never_evicted_twin() {
+    let dir = test_root("twin");
+    const TENANTS: usize = 5;
+    const MAX_RESIDENT: usize = 2;
+
+    let durable = SmartpickService::open(
+        &dir,
+        ServiceConfig {
+            max_resident_tenants: Some(MAX_RESIDENT),
+            ..durable_config(&dir, u64::MAX)
+        },
+    )
+    .unwrap();
+    let twin = SmartpickService::new(ServiceConfig {
+        retrain_workers: 1,
+        supervisor_poll: Duration::from_millis(5),
+        ..ServiceConfig::default()
+    });
+    let tpl = template();
+    for i in 0..TENANTS {
+        let id = format!("t-{i}");
+        durable.register_fork(&id, &tpl, 100 + i as u64).unwrap();
+        twin.register_fork(&id, &tpl, 100 + i as u64).unwrap();
+    }
+
+    // Give every tenant one applied report, mirrored to the twin, so the
+    // evicted state is past its registration snapshot.
+    for i in 0..TENANTS {
+        let id = format!("t-{i}");
+        let query = tpcds::query(82, 100.0).unwrap();
+        let outcome = durable.submit(&id, &query, 500 + i as u64).unwrap();
+        twin.report_run(
+            &id,
+            CompletedRun {
+                query,
+                determination: outcome.determination.clone(),
+                report: outcome.report.clone(),
+            },
+        )
+        .unwrap();
+    }
+    assert!(durable.flush());
+    assert!(twin.flush());
+
+    // One sweep takes the resident set down to the cap.
+    assert_eq!(durable.resident_tenants(), TENANTS);
+    durable.residency_sweep();
+    assert!(
+        durable.resident_tenants() <= MAX_RESIDENT,
+        "sweep left {} tenants resident (cap {MAX_RESIDENT})",
+        durable.resident_tenants()
+    );
+    let metrics = durable.observability().metrics();
+    assert_eq!(
+        metrics.counter("service.residency.evictions").get(),
+        (TENANTS - MAX_RESIDENT) as u64
+    );
+
+    // Track one tenant's counter continuity across the cycle: the submit
+    // above already counted one prediction.
+    let watched = "t-0";
+    let before = durable.tenant_stats(watched).unwrap().predictions;
+
+    // Every tenant — whichever ones went cold — serves the exact same
+    // bits as the twin. Cold hits rehydrate transparently.
+    for i in 0..TENANTS {
+        let id = format!("t-{i}");
+        for seed in [1u64, 9, 42] {
+            assert_same_prediction(&durable, &twin, &id, seed);
+        }
+    }
+    assert_eq!(
+        metrics.counter("service.residency.rehydrations").get(),
+        (TENANTS - MAX_RESIDENT) as u64
+    );
+
+    // Counters survived: tenant_stats and the scrape agree, and the
+    // pre-eviction history was not reset by the rehydration.
+    let after = durable.tenant_stats(watched).unwrap().predictions;
+    assert_eq!(after, before + 3);
+    let scrape = durable.scrape(64);
+    assert_eq!(
+        scrape.counter(&format!("tenant.{watched}.predictions")),
+        after
+    );
+    assert_eq!(
+        scrape.gauge("service.residency.resident_tenants") as usize,
+        durable.resident_tenants()
+    );
+
+    // The story is on the event record.
+    let events = durable.observability().events().recent(256);
+    assert!(events.iter().any(|e| e.kind == EventKind::TenantEvicted));
+    assert!(events.iter().any(|e| e.kind == EventKind::TenantRehydrated));
+
+    // And a rehydrated tenant is fully live: it keeps absorbing feedback.
+    let query = tpcds::query(82, 100.0).unwrap();
+    durable.submit(watched, &query, 777).unwrap();
+    assert!(durable.flush());
+}
+
+/// The headline regression: deregistering a tenant while a retrain
+/// worker is mid-batch (blocked on the driver lock, snapshot persist
+/// still ahead of it) must not let the worker's persistence path
+/// recreate the tenant's store directory — reopening the service must
+/// not resurrect the tenant.
+#[test]
+fn deregister_mid_retrain_batch_cannot_resurrect_tenant() {
+    let dir = test_root("ghost");
+    // snapshot_every = 1: every applied report persists a snapshot — the
+    // exact write that used to resurrect the directory.
+    let svc = Arc::new(SmartpickService::open(&dir, durable_config(&dir, 1)).unwrap());
+    svc.register_tenant("ghost", template()).unwrap();
+
+    // Seed one applied report so the worker path is warm.
+    let query = tpcds::query(82, 100.0).unwrap();
+    let outcome = svc.submit("ghost", &query, 7).unwrap();
+    assert!(svc.flush());
+    assert!(dir.join("tenants").join("ghost").exists());
+
+    // Hold the driver lock from another thread, enqueue a report (the
+    // worker WAL-appends it, then blocks on the lock), deregister while
+    // the worker is wedged mid-batch, then release.
+    let holder = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            svc.inspect_tenant("ghost", |_| {
+                std::thread::sleep(Duration::from_millis(300));
+            })
+            .unwrap();
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    svc.report_run(
+        "ghost",
+        CompletedRun {
+            query: query.clone(),
+            determination: outcome.determination.clone(),
+            report: outcome.report.clone(),
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    svc.deregister_tenant("ghost").unwrap();
+    holder.join().unwrap();
+
+    // Let the worker finish the wedged batch (its persist must now be
+    // suppressed by the defunct stamp), then "crash" and reopen.
+    assert!(svc.flush());
+    assert!(
+        !dir.join("tenants").join("ghost").exists(),
+        "worker persistence resurrected a deregistered tenant's directory"
+    );
+    drop(svc);
+    let reopened = SmartpickService::open(&dir, durable_config(&dir, 1)).unwrap();
+    assert!(
+        reopened.tenants().is_empty(),
+        "deregistered tenant came back from the dead: {:?}",
+        reopened.tenants()
+    );
+}
+
+/// The deregister/re-register metrics race: the old teardown pruned
+/// `tenant.<id>.*` by name prefix, so a concurrent re-registration's
+/// fresh counters could be wiped by the previous registration's
+/// deregistration. Teardown is now identity-keyed; the survivor's
+/// metrics must always be live in the scrape.
+#[test]
+fn concurrent_deregister_reregister_never_prunes_fresh_metrics() {
+    const ITERS: usize = 40;
+    let svc = Arc::new(SmartpickService::new(ServiceConfig {
+        retrain_workers: 1,
+        ..ServiceConfig::default()
+    }));
+    let tpl = Arc::new(template());
+    svc.register_fork("flip", &tpl, 0).unwrap();
+
+    for round in 0..ITERS {
+        let dereg = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.deregister_tenant("flip").unwrap())
+        };
+        let rereg = {
+            let svc = Arc::clone(&svc);
+            let tpl = Arc::clone(&tpl);
+            std::thread::spawn(move || loop {
+                match svc.register_fork("flip", &tpl, round as u64 + 1) {
+                    Ok(()) => break,
+                    Err(ServiceError::TenantExists(_)) => std::thread::yield_now(),
+                    Err(other) => panic!("re-register: {other}"),
+                }
+            })
+        };
+        dereg.join().unwrap();
+        rereg.join().unwrap();
+
+        // The surviving registration's counters must be the ones in the
+        // scrape: one prediction on the fresh tenant reads back as
+        // exactly one, through both the stats and the metrics registry.
+        svc.predict("flip", &probe(round as u64)).unwrap();
+        let stats = svc.tenant_stats("flip").unwrap();
+        assert_eq!(
+            stats.predictions, 1,
+            "round {round}: stale counter instance"
+        );
+        let scrape = svc.scrape(0);
+        assert_eq!(
+            scrape.counter("tenant.flip.predictions"),
+            1,
+            "round {round}: fresh tenant's metrics were pruned by the old deregistration"
+        );
+    }
+}
+
+/// Rehydration is single-flight: N concurrent cold hits produce exactly
+/// one snapshot load; the other callers block on it and then serve.
+#[test]
+fn concurrent_cold_hits_rehydrate_once() {
+    let dir = test_root("singleflight");
+    let svc = Arc::new(SmartpickService::open(&dir, durable_config(&dir, u64::MAX)).unwrap());
+    svc.register_tenant("solo", template()).unwrap();
+    let want = format!("{:?}", svc.predict("solo", &probe(3)).unwrap());
+
+    assert!(svc.evict_tenant("solo").unwrap());
+    assert_eq!(svc.resident_tenants(), 0);
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let hits = Arc::clone(&hits);
+            let want = want.clone();
+            std::thread::spawn(move || {
+                let got = format!("{:?}", svc.predict("solo", &probe(3)).unwrap());
+                assert_eq!(got, want, "cold hit diverged from pre-eviction bits");
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 8);
+    assert_eq!(
+        svc.observability()
+            .metrics()
+            .counter("service.residency.rehydrations")
+            .get(),
+        1,
+        "rehydration must be single-flight"
+    );
+    assert_eq!(svc.resident_tenants(), 1);
+}
+
+/// A tenant with pending (accepted, unapplied) reports is pinned hot:
+/// eviction refuses until the batch commits, and the report is applied
+/// against the same driver instance it was accepted for.
+#[test]
+fn pending_reports_pin_tenant_hot() {
+    let dir = test_root("pin");
+    let svc = Arc::new(SmartpickService::open(&dir, durable_config(&dir, u64::MAX)).unwrap());
+    svc.register_tenant("busy", template()).unwrap();
+    let query = tpcds::query(82, 100.0).unwrap();
+    let outcome = svc.submit("busy", &query, 1).unwrap();
+    assert!(svc.flush());
+
+    // Wedge the worker on the driver lock, then accept a report: pending
+    // stays > 0 until the apply lands, and eviction must refuse.
+    let holder = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            svc.inspect_tenant("busy", |_| {
+                std::thread::sleep(Duration::from_millis(200));
+            })
+            .unwrap();
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    svc.report_run(
+        "busy",
+        CompletedRun {
+            query,
+            determination: outcome.determination.clone(),
+            report: outcome.report.clone(),
+        },
+    )
+    .unwrap();
+    assert!(
+        !svc.evict_tenant("busy").unwrap(),
+        "eviction must refuse a tenant with pending reports"
+    );
+    holder.join().unwrap();
+    assert!(svc.flush());
+    assert_eq!(svc.tenant_stats("busy").unwrap().reports_applied, 2);
+
+    // Batch committed: now the tenant is evictable, and the cold state
+    // includes the report that pinned it.
+    assert!(svc.evict_tenant("busy").unwrap());
+    assert_eq!(svc.tenant_stats("busy").unwrap().reports_applied, 2);
+}
+
+/// Kill-during-evict-snapshot crash test (the `wal_truncation` harness
+/// idea, applied to the evict path): evict persists a final snapshot;
+/// the "kill" tears that file at an arbitrary byte offset. Recovery must
+/// quarantine the torn snapshot and rebuild the tenant from the previous
+/// snapshot plus WAL replay — bitwise-identical to the pre-kill state.
+#[test]
+fn torn_evict_snapshot_recovers_from_previous_generation_plus_wal() {
+    for (tag, cut) in [("cut25", 0.25f64), ("cut80", 0.80f64)] {
+        let dir = test_root(&format!("torn-{tag}"));
+        const REPORTS: u64 = 2;
+        let want = {
+            let svc = SmartpickService::open(&dir, durable_config(&dir, u64::MAX)).unwrap();
+            svc.register_tenant("t", template()).unwrap();
+            for i in 0..REPORTS {
+                let query = tpcds::query(82, 100.0).unwrap();
+                svc.submit("t", &query, 20 + i).unwrap();
+                assert!(svc.flush());
+            }
+            let want = format!("{:?}", svc.predict("t", &probe(5)).unwrap());
+            assert!(svc.evict_tenant("t").unwrap());
+            want
+            // Killed here: drop without any further checkpoint.
+        };
+
+        // Tear the evict-time snapshot (the newest on disk) at `cut`.
+        let tenant_dir = dir.join("tenants").join("t");
+        let newest = fs::read_dir(&tenant_dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .max()
+            .expect("evict must have persisted a snapshot");
+        let bytes = fs::read(&newest).unwrap();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        fs::write(&newest, &bytes[..keep]).unwrap();
+
+        let recovered = SmartpickService::open(&dir, durable_config(&dir, u64::MAX)).unwrap();
+        assert_eq!(recovered.tenants(), vec!["t".to_string()]);
+        assert_eq!(
+            recovered.tenant_stats("t").unwrap().snapshot_generation,
+            REPORTS,
+            "{tag}: recovery must land at the pre-kill generation"
+        );
+        assert_eq!(
+            format!("{:?}", recovered.predict("t", &probe(5)).unwrap()),
+            want,
+            "{tag}: recovered prediction diverged from pre-kill bits"
+        );
+        assert!(
+            recovered
+                .observability()
+                .metrics()
+                .counter("store.snapshots_quarantined")
+                .get()
+                >= 1,
+            "{tag}: the torn evict snapshot must be quarantined"
+        );
+    }
+}

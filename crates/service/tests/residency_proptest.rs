@@ -1,0 +1,288 @@
+//! Property tests for tiered residency: random interleavings of
+//! {predict, report, evict, rehydrate, deregister, re-register} on one
+//! tenant id, from several threads at once.
+//!
+//! `evict_rehydrate_interleavings_keep_generation_monotone`: with the
+//! tenant permanently registered, threads race predicts, reports,
+//! flushes and evictions (every resolve of a cold tenant is an implicit
+//! rehydration). No accepted report may be lost to an eviction
+//! (accept-then-retire is backed out and retried), and the snapshot
+//! generation a thread observes never decreases — rehydration restores
+//! the floor, it never rolls back.
+//!
+//! `full_lifecycle_interleavings_leave_no_ghosts`: deregister and
+//! re-register join the mix. Whatever the interleaving, the books
+//! balance (every accepted report is applied, even those in flight when
+//! their tenant was deregistered), the store directory exists exactly
+//! when the tenant is registered, and a reopen agrees with the final
+//! in-memory registry — no ghost directories, no resurrections.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartpick_cloudsim::{CloudEnv, Provider};
+use smartpick_core::driver::Smartpick;
+use smartpick_core::properties::SmartpickProperties;
+use smartpick_core::training::TrainOptions;
+use smartpick_core::wp::PredictionRequest;
+use smartpick_ml::forest::ForestParams;
+use smartpick_service::{
+    CompletedRun, PersistenceConfig, ServiceConfig, ServiceError, SmartpickService,
+};
+use smartpick_workloads::tpcds;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 16;
+const TENANT: &str = "solo";
+
+/// One trained template shared by every case (tenants are cheap forks).
+fn template() -> &'static Smartpick {
+    static TEMPLATE: OnceLock<Smartpick> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let queries = vec![tpcds::query(82, 100.0).unwrap()];
+        let opts = TrainOptions {
+            configs_per_query: 5,
+            burst_factor: 3,
+            forest: ForestParams {
+                n_trees: 10,
+                ..ForestParams::default()
+            },
+            max_vm: 3,
+            max_sl: 3,
+            ..TrainOptions::default()
+        };
+        Smartpick::train_with_options(
+            CloudEnv::new(Provider::Aws),
+            SmartpickProperties::default(),
+            &queries,
+            &opts,
+            11,
+        )
+        .unwrap()
+        .0
+    })
+}
+
+/// A canned (query, determination, report) triple for report ops.
+fn canned_run() -> &'static CompletedRun {
+    static RUN: OnceLock<CompletedRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let tpl = template();
+        let query = tpcds::query(82, 100.0).unwrap();
+        use smartpick_core::wp::WorkloadPredictionService;
+        let determination = tpl
+            .snapshot()
+            .determine(&PredictionRequest::new(query.clone(), 17))
+            .unwrap();
+        let report = tpl
+            .shared_resource_manager()
+            .execute(&query, &determination.allocation, 23)
+            .unwrap();
+        CompletedRun {
+            query,
+            determination,
+            report,
+        }
+    })
+}
+
+/// A fresh store root per proptest case, inside the repo's `target/`.
+fn case_root(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+        .join(format!("residency-prop-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        shards: 4,
+        queue_capacity: 4096,
+        tenant_pending_cap: 4096,
+        retrain_batch_max: 8,
+        retrain_workers: 2,
+        supervisor_poll: Duration::from_millis(5),
+        persistence: Some(PersistenceConfig {
+            snapshot_every: u64::MAX,
+            ..PersistenceConfig::at(dir)
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn evict_rehydrate_interleavings_keep_generation_monotone(
+        seeds in prop::collection::vec(0u64..u64::MAX, THREADS),
+    ) {
+        let dir = case_root("monotone");
+        let service = Arc::new(SmartpickService::open(&dir, durable_config(&dir)).unwrap());
+        service.register_fork(TENANT, template(), 7).unwrap();
+        let accepted = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let service = Arc::clone(&service);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut last_generation = 0u64;
+                    for _ in 0..OPS_PER_THREAD {
+                        match rng.gen_range(0u8..6) {
+                            0 | 1 => {
+                                let query = tpcds::query(82, 100.0).unwrap();
+                                let det = service
+                                    .predict(TENANT, &PredictionRequest::new(query, rng.gen()))
+                                    .expect("tenant is never deregistered");
+                                assert!(det.predicted_seconds.is_finite());
+                            }
+                            2 | 3 => {
+                                service
+                                    .report_run(TENANT, canned_run().clone())
+                                    .expect("report on a live tenant");
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            4 => {
+                                // May refuse (pending reports pin it hot)
+                                // or miss (already cold): both are fine.
+                                let _ = service.evict_tenant(TENANT).unwrap();
+                            }
+                            _ => {
+                                assert!(service.flush());
+                            }
+                        }
+                        // The stats resolve rehydrates a cold tenant; the
+                        // generation this thread observes must never go
+                        // backwards — an eviction/rehydration cycle that
+                        // lost a publish would show here.
+                        let generation =
+                            service.tenant_stats(TENANT).unwrap().snapshot_generation;
+                        assert!(
+                            generation >= last_generation,
+                            "generation rolled back: {generation} < {last_generation}"
+                        );
+                        last_generation = generation;
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no thread may panic");
+        }
+
+        prop_assert!(service.flush());
+        let stats = service.stats();
+        prop_assert_eq!(stats.reports_enqueued, accepted.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.reports_applied, accepted.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.apply_failures, 0);
+        prop_assert_eq!(stats.rejections, 0);
+        prop_assert_eq!(stats.queue_depth, 0);
+        prop_assert_eq!(service.tenant_stats(TENANT).unwrap().pending_reports, 0);
+    }
+
+    #[test]
+    fn full_lifecycle_interleavings_leave_no_ghosts(
+        seeds in prop::collection::vec(0u64..u64::MAX, THREADS),
+    ) {
+        let dir = case_root("lifecycle");
+        let service = Arc::new(SmartpickService::open(&dir, durable_config(&dir)).unwrap());
+        service.register_fork(TENANT, template(), 7).unwrap();
+        let accepted = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let service = Arc::clone(&service);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for _ in 0..OPS_PER_THREAD {
+                        match rng.gen_range(0u8..8) {
+                            0 => match service.register_fork(TENANT, template(), rng.gen()) {
+                                Ok(()) | Err(ServiceError::TenantExists(_)) => {}
+                                Err(other) => panic!("register: {other}"),
+                            },
+                            1 | 2 => {
+                                let query = tpcds::query(82, 100.0).unwrap();
+                                match service
+                                    .predict(TENANT, &PredictionRequest::new(query, rng.gen()))
+                                {
+                                    Ok(det) => assert!(det.predicted_seconds.is_finite()),
+                                    Err(ServiceError::UnknownTenant(_)) => {}
+                                    Err(other) => panic!("predict: {other}"),
+                                }
+                            }
+                            3..=5 => match service.report_run(TENANT, canned_run().clone()) {
+                                Ok(()) => {
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(ServiceError::UnknownTenant(_)) => {}
+                                Err(other) => panic!("report: {other}"),
+                            },
+                            6 => match service.evict_tenant(TENANT) {
+                                Ok(_) | Err(ServiceError::UnknownTenant(_)) => {}
+                                Err(other) => panic!("evict: {other}"),
+                            },
+                            _ => match service.deregister_tenant(TENANT) {
+                                Ok(()) | Err(ServiceError::UnknownTenant(_)) => {}
+                                Err(other) => panic!("deregister: {other}"),
+                            },
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("no thread may panic");
+        }
+
+        prop_assert!(service.flush());
+        // Every accepted report was applied — including those in flight
+        // when their registration was torn down or its tenant evicted.
+        let stats = service.stats();
+        prop_assert_eq!(stats.reports_enqueued, accepted.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.reports_applied, accepted.load(Ordering::Relaxed));
+        prop_assert_eq!(stats.apply_failures, 0);
+        prop_assert_eq!(stats.queue_depth, 0);
+
+        // The store directory exists exactly when the tenant is
+        // registered: no ghost directories after a deregistration, no
+        // missing state for a survivor.
+        let registered = service.tenants();
+        let tenant_dir = dir.join("tenants").join(TENANT);
+        if registered.is_empty() {
+            prop_assert!(
+                !tenant_dir.exists(),
+                "ghost directory survived deregistration"
+            );
+        } else {
+            prop_assert_eq!(&registered, &vec![TENANT.to_string()]);
+            prop_assert!(tenant_dir.exists(), "registered tenant lost its directory");
+        }
+
+        // A reopen agrees with the final registry — nothing resurrects,
+        // nothing vanishes, and a surviving tenant still serves.
+        drop(service);
+        let reopened = SmartpickService::open(&dir, durable_config(&dir)).unwrap();
+        prop_assert_eq!(reopened.tenants(), registered.clone());
+        if !registered.is_empty() {
+            let query = tpcds::query(82, 100.0).unwrap();
+            let det = reopened
+                .predict(TENANT, &PredictionRequest::new(query, 5))
+                .unwrap();
+            prop_assert!(det.predicted_seconds.is_finite());
+        }
+    }
+}

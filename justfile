@@ -7,7 +7,7 @@
 verify: build-test lint bench-compile
 
 # Everything CI runs, locally — the pre-push command.
-ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick docs store-bench
+ci: build-test lint fmt-check bench-compile figures-smoke lint-smartpick docs store-bench residency-bench
 
 # CI job: release build + the full test suite.
 build-test:
@@ -106,6 +106,22 @@ store-bench:
 bench-store-record:
     cargo build --release -p smartpick_bench --bin bench_store
     ./target/release/bench_store
+
+# CI job: run the residency harness at a reduced scale into a scratch
+# path to prove it still runs (bounded resident set, cold-hit path),
+# then hold the *committed* full-scale BENCH_residency.json to the
+# guard bars in crates/bench/tests/bench_residency_json.rs.
+residency-bench:
+    cargo build --release -p smartpick_bench --bin bench_residency
+    ./target/release/bench_residency target/tmp/BENCH_residency.scratch.json --tenants 2000 --max-resident 100
+    cargo test -q -p smartpick_bench --test bench_residency_json
+
+# Regenerate the committed BENCH_residency.json at the repo root
+# (100k registered tenants under a 1k-resident cap; quoted by
+# docs/PERSISTENCE.md and guarded by the residency-bench CI job).
+bench-residency-record:
+    cargo build --release -p smartpick_bench --bin bench_residency
+    ./target/release/bench_residency --tenants 100000 --max-resident 1000
 
 # Regenerate BENCH_wire.json (binary-vs-JSON codec matrix + reactor
 # connection scaling; quoted by the README Performance table and
